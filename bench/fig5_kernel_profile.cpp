@@ -1,0 +1,50 @@
+// Figure 5 reproduction: low-overhead kernel profile from sampling
+// (paper §VI-B). On-line scheme: AGGREGATE count GROUP BY kernel at 100 Hz
+// sampling; off-line: AGGREGATE sum(aggregate.count) GROUP BY kernel.
+//
+// Expected shape: most samples accumulate *outside* the annotated kernels
+// (the unannotated flux computation, regridding, halo packing); among the
+// annotated kernels, calc-dt dominates (it sweeps all levels and contains
+// the dt reduction).
+#include "bench_common.hpp"
+
+#include <iostream>
+
+using namespace calib;
+using namespace calib::bench;
+
+int main() {
+    BenchSetup setup;
+    setup.app.steps = env_int("CALIB_BENCH_STEPS", 40);
+    // the paper samples at 100 Hz over a ~20 s run; our run is ~100x
+    // shorter, so the default samples proportionally faster
+    const int freq = env_int("CALIB_BENCH_SAMPLE_HZ", 2000);
+
+    std::printf("# Figure 5: profile of user-annotated computational kernels\n");
+    std::printf("# CleverLeaf-sim %dx%d, %d steps, %d ranks, %d Hz sampling\n\n",
+                setup.app.nx, setup.app.ny, setup.app.steps, setup.ranks, freq);
+
+    // stage 1 (on-line): count samples per kernel on each process
+    const RunResult run = run_clever(setup,
+                                     "services.enable=sampler,aggregate\n"
+                                     "sampler.frequency=" + std::to_string(freq) +
+                                     "\n"
+                                     "aggregate.query=AGGREGATE count GROUP BY kernel\n",
+                                     /*keep_records=*/true);
+
+    std::printf("# %llu samples total; per-process profiles: %llu records\n\n",
+                static_cast<unsigned long long>(run.snapshots),
+                static_cast<unsigned long long>(run.output_records));
+
+    // stage 2 (off-line): total samples per kernel across processes;
+    // uses the paper's spelling "aggregate.count" for the on-line result
+    run_query("SELECT kernel, sum(aggregate.count) AS samples, "
+              "percent_total(count) AS \"%\" "
+              "GROUP BY kernel ORDER BY samples DESC",
+              run.records, std::cout);
+
+    std::printf("\n# (empty kernel row = samples outside annotated kernels)\n"
+                "# paper: calc-dt dominates annotated kernels; most samples "
+                "fall outside them\n");
+    return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6 reproduction: MPI function profile (paper §VI-C).
+// On-line scheme: AGGREGATE count, time.duration GROUP BY mpi.function;
+// off-line: accumulate across processes and report the top-10 functions.
+//
+// Expected shape: barrier synchronization dominates (end-of-step barriers
+// absorb the AMR load imbalance), followed by allreduce (the dt
+// reduction); point-to-point time is comparatively small.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+using namespace calib;
+using namespace calib::bench;
+
+int main() {
+    BenchSetup setup;
+
+    std::printf("# Figure 6: MPI function profile of CleverLeaf-sim\n");
+    std::printf("# %dx%d, %d steps, %d ranks, event-based collection\n\n",
+                setup.app.nx, setup.app.ny, setup.app.steps, setup.ranks);
+
+    const RunResult run =
+        run_clever(setup,
+                   "services.enable=event,timer,aggregate\n"
+                   "aggregate.query=AGGREGATE count, time.duration "
+                   "GROUP BY mpi.function\n",
+                   /*keep_records=*/true);
+
+    run_query("SELECT mpi.function, sum(aggregate.count) AS count, "
+              "sum(sum#time.duration) AS \"time (us)\", "
+              "percent_total(sum#time.duration) AS \"%\" "
+              "WHERE mpi.function "
+              "GROUP BY mpi.function ORDER BY \"time (us)\" DESC LIMIT 10",
+              run.records, std::cout);
+
+    std::printf("\n# paper: MPI_Barrier >> MPI_Allreduce >> point-to-point\n");
+    return 0;
+}

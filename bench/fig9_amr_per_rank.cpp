@@ -1,0 +1,58 @@
+// Figure 9 reproduction: runtime per mesh-refinement level per MPI rank
+// (paper §VI-E):
+//
+//   AGGREGATE sum(time.duration)
+//   WHERE not(mpi.function)
+//   GROUP BY amr.level, mpi.rank
+//
+// Expected shape: the level proportions are similar on most ranks, with
+// outliers — ranks whose strip contains more of the refined shock region
+// spend disproportionally more time on fine levels.
+#include "bench_common.hpp"
+
+#include <iostream>
+#include <map>
+
+using namespace calib;
+using namespace calib::bench;
+
+int main() {
+    BenchSetup setup;
+    setup.ranks = env_int("CALIB_BENCH_RANKS", 6); // paper: 18 ranks
+
+    std::printf("# Figure 9: runtime per AMR level per MPI rank\n");
+    std::printf("# %dx%d, %d steps, %d ranks\n\n", setup.app.nx, setup.app.ny,
+                setup.app.steps, setup.ranks);
+
+    const RunResult run = run_clever(setup,
+                                     "services.enable=event,timer,aggregate\n"
+                                     "aggregate.key=*\n"
+                                     "aggregate.ops=count,sum(time.duration)\n",
+                                     /*keep_records=*/true);
+
+    auto rows = run_query("AGGREGATE sum(sum#time.duration) AS t "
+                          "WHERE not(mpi.function), amr.level "
+                          "GROUP BY amr.level, mpi.rank",
+                          run.records);
+
+    std::map<long long, std::map<long long, double>> per_rank;
+    for (const RecordMap& r : rows)
+        per_rank[r.get("mpi.rank").to_int()][r.get("amr.level").to_int()] =
+            r.get("t").to_double();
+
+    std::printf("%8s %14s %14s %14s %18s\n", "rank", "level 0 (us)",
+                "level 1 (us)", "level 2 (us)", "fine fraction");
+    for (const auto& [rank, levels] : per_rank) {
+        double t[3] = {0, 0, 0};
+        for (const auto& [level, value] : levels)
+            if (level >= 0 && level < 3)
+                t[level] = value;
+        const double total = t[0] + t[1] + t[2];
+        std::printf("%8lld %14.1f %14.1f %14.1f %17.1f%%\n", rank, t[0], t[1],
+                    t[2], total > 0 ? 100.0 * (t[1] + t[2]) / total : 0.0);
+    }
+
+    std::printf("\n# paper: proportions similar across ranks with outliers "
+                "(ranks covering the refined region)\n");
+    return 0;
+}

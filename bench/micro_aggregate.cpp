@@ -1,0 +1,293 @@
+// Micro-benchmarks of the aggregation operations (the paper's
+// "comprehensive overhead study of the aggregation operations implemented
+// in Caliper"), plus ablations of DESIGN.md's key decisions:
+//   - per-snapshot aggregation cost vs key width, operator set, and the
+//     number of unique keys in the database
+//   - key hashing: interned-string pointers (ours) vs re-hashing raw
+//     string content on every snapshot
+//   - merge / serialize / flush costs (the cross-process reduction path)
+//   - CalQL parse cost
+#include "aggregate/aggregation_db.hpp"
+#include "common/hash.hpp"
+#include "query/calql.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+using namespace calib;
+
+namespace {
+
+/// Registry + snapshots with `width` string key attributes plus a metric.
+struct Fixture {
+    AttributeRegistry registry;
+    std::vector<SnapshotRecord> snapshots;
+    Attribute metric;
+
+    Fixture(int width, int unique_keys, int n_snapshots = 4096) {
+        metric = registry.create("time", Variant::Type::Double,
+                                 prop::as_value | prop::aggregatable);
+        std::vector<Attribute> attrs;
+        for (int w = 0; w < width; ++w)
+            attrs.push_back(registry.create("key" + std::to_string(w),
+                                            Variant::Type::String));
+        // pre-intern the value universe
+        std::vector<Variant> values;
+        for (int u = 0; u < unique_keys; ++u)
+            values.push_back(Variant("value-" + std::to_string(u)));
+
+        snapshots.resize(n_snapshots);
+        for (int i = 0; i < n_snapshots; ++i) {
+            // first attribute carries the distinguishing value
+            snapshots[i].append(attrs[0].id(), values[i % unique_keys]);
+            for (int w = 1; w < width; ++w)
+                snapshots[i].append(attrs[w].id(), values[0]);
+            snapshots[i].append(metric.id(), Variant(1.0 + i * 0.25));
+        }
+    }
+
+    std::string key_list(int width) const {
+        std::string out;
+        for (int w = 0; w < width; ++w) {
+            if (w)
+                out += ',';
+            out += "key" + std::to_string(w);
+        }
+        return out;
+    }
+};
+
+} // namespace
+
+// -- per-snapshot cost vs key width -------------------------------------------
+
+static void BM_Process_KeyWidth(benchmark::State& state) {
+    const int width = static_cast<int>(state.range(0));
+    Fixture fx(width, 64);
+    AggregationDB db(AggregationConfig::parse("count,sum(time)", fx.key_list(width)),
+                     &fx.registry);
+    db.reserve(256);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        db.process(fx.snapshots[i++ & 4095]);
+        benchmark::DoNotOptimize(db.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Process_KeyWidth)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+// -- per-snapshot cost vs operator set ------------------------------------------
+
+static void BM_Process_Operators(benchmark::State& state) {
+    static const char* op_sets[] = {
+        "count",
+        "count,sum(time)",
+        "count,sum(time),min(time),max(time)",
+        "count,sum(time),min(time),max(time),avg(time),variance(time)",
+        "histogram(time)",
+    };
+    Fixture fx(2, 64);
+    AggregationDB db(
+        AggregationConfig::parse(op_sets[state.range(0)], fx.key_list(2)),
+        &fx.registry);
+    db.reserve(256);
+    std::size_t i = 0;
+    for (auto _ : state)
+        db.process(fx.snapshots[i++ & 4095]);
+    state.SetItemsProcessed(state.iterations());
+    state.SetLabel(op_sets[state.range(0)]);
+}
+BENCHMARK(BM_Process_Operators)->DenseRange(0, 4);
+
+// -- per-snapshot cost vs number of unique keys (table pressure) ---------------
+
+static void BM_Process_UniqueKeys(benchmark::State& state) {
+    const int unique = static_cast<int>(state.range(0));
+    Fixture fx(2, unique, std::max(4096, unique));
+    AggregationDB db(AggregationConfig::parse("count,sum(time)", fx.key_list(2)),
+                     &fx.registry);
+    db.reserve(unique);
+    std::size_t i = 0;
+    const std::size_t mask = fx.snapshots.size() - 1;
+    for (auto _ : state)
+        db.process(fx.snapshots[i++ & mask]);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["entries"] = static_cast<double>(db.size());
+}
+BENCHMARK(BM_Process_UniqueKeys)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+// -- implicit (group-by-everything) vs explicit keys -----------------------------
+
+static void BM_Process_ImplicitKey(benchmark::State& state) {
+    Fixture fx(4, 64);
+    AggregationDB db(AggregationConfig::parse("count,sum(time)", "*"), &fx.registry);
+    db.reserve(256);
+    std::size_t i = 0;
+    for (auto _ : state)
+        db.process(fx.snapshots[i++ & 4095]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Process_ImplicitKey);
+
+// -- ablation: interned-pointer hashing vs raw string re-hashing ----------------
+
+static void BM_KeyHash_Interned(benchmark::State& state) {
+    std::vector<Variant> values;
+    for (int i = 0; i < 64; ++i)
+        values.push_back(Variant("kernel-name-" + std::to_string(i)));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(values[i++ & 63].hash()); // pool-cached hash
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyHash_Interned);
+
+static void BM_KeyHash_RawString(benchmark::State& state) {
+    std::vector<std::string> values;
+    for (int i = 0; i < 64; ++i)
+        values.push_back("kernel-name-" + std::to_string(i));
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const std::string& s = values[i++ & 63];
+        benchmark::DoNotOptimize(mix64(fnv1a(s))); // content hash every time
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KeyHash_RawString);
+
+// -- merge / serialize / flush (cross-process reduction path) -------------------
+
+static void BM_Merge(benchmark::State& state) {
+    const int entries = static_cast<int>(state.range(0));
+    Fixture fx(2, entries, std::max(4096, entries));
+    const AggregationConfig cfg =
+        AggregationConfig::parse("count,sum(time),min(time),max(time)",
+                                 fx.key_list(2));
+    AggregationDB src(cfg, &fx.registry);
+    for (const SnapshotRecord& s : fx.snapshots)
+        src.process(s);
+
+    for (auto _ : state) {
+        AggregationDB dst(cfg, &fx.registry);
+        dst.reserve(entries);
+        dst.merge(src);
+        benchmark::DoNotOptimize(dst.size());
+    }
+    state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_Merge)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_SerializeDeserialize(benchmark::State& state) {
+    const int entries = static_cast<int>(state.range(0));
+    Fixture fx(2, entries, std::max(4096, entries));
+    const AggregationConfig cfg =
+        AggregationConfig::parse("count,sum(time)", fx.key_list(2));
+    AggregationDB src(cfg, &fx.registry);
+    for (const SnapshotRecord& s : fx.snapshots)
+        src.process(s);
+
+    for (auto _ : state) {
+        auto buf = src.serialize();
+        AggregationDB dst(cfg, &fx.registry);
+        dst.merge_serialized(buf);
+        benchmark::DoNotOptimize(dst.size());
+    }
+    state.SetItemsProcessed(state.iterations() * entries);
+    state.SetBytesProcessed(
+        static_cast<std::int64_t>(state.iterations() * src.serialize().size()));
+}
+BENCHMARK(BM_SerializeDeserialize)->Arg(16)->Arg(256)->Arg(4096);
+
+static void BM_Flush(benchmark::State& state) {
+    const int entries = static_cast<int>(state.range(0));
+    Fixture fx(2, entries, std::max(4096, entries));
+    AggregationDB db(AggregationConfig::parse("count,sum(time)", fx.key_list(2)),
+                     &fx.registry);
+    for (const SnapshotRecord& s : fx.snapshots)
+        db.process(s);
+
+    for (auto _ : state) {
+        std::size_t n = 0;
+        db.flush([&n](RecordMap&&) { ++n; });
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() * entries);
+}
+BENCHMARK(BM_Flush)->Arg(16)->Arg(256)->Arg(4096);
+
+// -- ablation: per-thread databases vs one shared, mutex-guarded database --------
+//
+// The paper's design keeps one aggregation database per thread to avoid
+// locks on the snapshot path (§IV-B). These two fixtures quantify that
+// choice under concurrent snapshot processing.
+
+namespace {
+
+/// Shared, thread-safe (magic-static) fixtures for the contention study.
+Fixture& contention_fixture() {
+    static Fixture fx(2, 64);
+    return fx;
+}
+
+AggregationConfig contention_config() {
+    return AggregationConfig::parse("count,sum(time)", contention_fixture().key_list(2));
+}
+
+} // namespace
+
+static void BM_Concurrent_PerThreadDb(benchmark::State& state) {
+    Fixture& fx = contention_fixture();
+    AggregationDB db(contention_config(), &fx.registry); // one per thread
+    db.reserve(256);
+
+    std::size_t i = static_cast<std::size_t>(state.thread_index());
+    for (auto _ : state)
+        db.process(fx.snapshots[(i += 7) & 4095]);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Concurrent_PerThreadDb)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+static void BM_Concurrent_SharedLockedDb(benchmark::State& state) {
+    Fixture& fx = contention_fixture();
+    static AggregationDB shared(contention_config(), &contention_fixture().registry);
+    static std::mutex lock;
+
+    std::size_t i = static_cast<std::size_t>(state.thread_index());
+    for (auto _ : state) {
+        std::lock_guard<std::mutex> guard(lock);
+        shared.process(fx.snapshots[(i += 7) & 4095]);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Concurrent_SharedLockedDb)
+    ->Threads(1)
+    ->Threads(2)
+    ->Threads(4)
+    ->Threads(8)
+    ->UseRealTime();
+
+// -- CalQL parse -----------------------------------------------------------------
+
+static void BM_CalqlParse(benchmark::State& state) {
+    const std::string query =
+        "SELECT kernel, sum(time.duration) AS total "
+        "AGGREGATE count, sum(time.duration), min(time.duration) "
+        "WHERE not(mpi.function), iteration#mainloop>10 "
+        "GROUP BY kernel, amr.level, mpi.rank ORDER BY total DESC LIMIT 20";
+    for (auto _ : state)
+        benchmark::DoNotOptimize(parse_calql(query));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CalqlParse);
+
+BENCHMARK_MAIN();

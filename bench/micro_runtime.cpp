@@ -1,0 +1,144 @@
+// Micro-benchmarks of the runtime hot paths: blackboard updates, the full
+// event-mode snapshot pipeline (annotation event -> snapshot -> timer ->
+// aggregation), trace appends, and the per-thread-database design's
+// snapshot cost under realistic attribute loads.
+#include "calib.hpp"
+
+#include <benchmark/benchmark.h>
+
+using namespace calib;
+
+namespace {
+
+Channel* make_channel(const char* name, std::initializer_list<
+                                            std::pair<const std::string, std::string>>
+                                            cfg) {
+    return Caliper::instance().create_channel(name, RuntimeConfig(cfg));
+}
+
+} // namespace
+
+// -- blackboard update without any active channel -------------------------------
+
+static void BM_BeginEnd_NoChannel(benchmark::State& state) {
+    Caliper& c        = Caliper::instance();
+    const Attribute a = c.create_attribute("ubench.region", Variant::Type::String);
+    const Variant v("region-name");
+    for (auto _ : state) {
+        c.begin(a, v);
+        c.end(a);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_BeginEnd_NoChannel);
+
+// -- full event-mode pipeline: snapshot + timer + aggregation -------------------
+
+static void BM_BeginEnd_EventAggregate(benchmark::State& state) {
+    Caliper& c  = Caliper::instance();
+    Channel* ch = make_channel("ubench-agg",
+                               {{"services.enable", "event,timer,aggregate"},
+                                {"aggregate.key", "ubench.fn"},
+                                {"aggregate.ops", "count,sum(time.duration)"}});
+    const Attribute a = c.create_attribute("ubench.fn", Variant::Type::String);
+    const Variant v("fn");
+    for (auto _ : state) {
+        c.begin(a, v); // 1 snapshot
+        c.end(a);      // 1 snapshot
+    }
+    state.SetItemsProcessed(state.iterations() * 2); // snapshots
+    c.close_channel(ch);
+    c.release_thread_states(ch);
+}
+BENCHMARK(BM_BeginEnd_EventAggregate);
+
+// -- event-mode pipeline with a wide blackboard (7 attributes, paper §V-B) -------
+
+static void BM_BeginEnd_WideBlackboard(benchmark::State& state) {
+    Caliper& c  = Caliper::instance();
+    Channel* ch = make_channel("ubench-wide",
+                               {{"services.enable", "event,timer,aggregate"},
+                                {"aggregate.key", "*"}});
+    // populate seven long-lived attributes like the CleverLeaf experiment
+    Annotation fn("ub.function"), region("ub.annotation"), kernel("ub.kernel");
+    Annotation level("ub.amr.level"), iter("ub.iteration", prop::as_value);
+    Annotation rank("ub.mpi.rank", prop::as_value), mpifn("ub.mpi.function");
+    fn.begin(Variant("main"));
+    region.begin(Variant("computation"));
+    level.begin(Variant(2));
+    iter.set(Variant(17));
+    rank.set(Variant(3));
+
+    for (auto _ : state) {
+        kernel.begin(Variant("advec-cell"));
+        kernel.end();
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+
+    level.end();
+    region.end();
+    fn.end();
+    c.close_channel(ch);
+    c.release_thread_states(ch);
+}
+BENCHMARK(BM_BeginEnd_WideBlackboard);
+
+// -- trace mode: snapshot storage cost -------------------------------------------
+
+static void BM_BeginEnd_Trace(benchmark::State& state) {
+    Caliper& c  = Caliper::instance();
+    Channel* ch = make_channel("ubench-trace",
+                               {{"services.enable", "event,timer,trace"},
+                                {"trace.reserve", "16777216"}});
+    const Attribute a = c.create_attribute("ubench.tr", Variant::Type::String);
+    const Variant v("fn");
+    for (auto _ : state) {
+        c.begin(a, v);
+        c.end(a);
+    }
+    state.SetItemsProcessed(state.iterations() * 2);
+    c.close_channel(ch);
+    c.release_thread_states(ch);
+}
+BENCHMARK(BM_BeginEnd_Trace);
+
+// -- raw snapshot pull (blackboard capture only) ----------------------------------
+
+static void BM_PullSnapshot(benchmark::State& state) {
+    Caliper& c = Caliper::instance();
+    Annotation a("ubench.pull.a"), b("ubench.pull.b"), d("ubench.pull.c");
+    a.begin(Variant("x"));
+    b.begin(Variant(42));
+    d.begin(Variant(2.5));
+    for (auto _ : state) {
+        SnapshotRecord rec;
+        c.pull_snapshot(rec);
+        benchmark::DoNotOptimize(rec.size());
+    }
+    d.end();
+    b.end();
+    a.end();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PullSnapshot);
+
+// -- set() path (iteration counters) ----------------------------------------------
+
+static void BM_Set_EventAggregate(benchmark::State& state) {
+    Caliper& c  = Caliper::instance();
+    Channel* ch = make_channel("ubench-set",
+                               {{"services.enable", "event,timer,aggregate"},
+                                {"aggregate.key", "ubench.iter"},
+                                {"aggregate.ops", "count"}});
+    const Attribute a =
+        c.create_attribute("ubench.iter", Variant::Type::Int, prop::as_value);
+    long long i = 0;
+    for (auto _ : state)
+        c.set(a, Variant(i++ & 1023));
+    state.SetItemsProcessed(state.iterations());
+    c.close_channel(ch);
+    c.release_thread_states(ch);
+}
+BENCHMARK(BM_Set_EventAggregate);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Table I reproduction: number of snapshots and output records
+// (aggregation results) per process, for tracing and aggregation schemes
+// A/B/C in sampled and event-based collection modes.
+//
+// Expected shape (paper §V-B): tracing's output equals its snapshot count;
+// scheme B produces the fewest records; scheme C (per-iteration keys)
+// produces far more records than A, yet remains ~32x smaller than the
+// event-mode trace.
+#include "bench_common.hpp"
+
+using namespace calib::bench;
+
+int main() {
+    BenchSetup setup;
+
+    struct Config {
+        const char* name;
+        char scheme;
+        bool event;
+    };
+    const Config configs[] = {
+        {"Trace    (sample)", 'T', false}, {"Scheme A (sample)", 'A', false},
+        {"Scheme B (sample)", 'B', false}, {"Scheme C (sample)", 'C', false},
+        {"Trace    (event)", 'T', true},   {"Scheme A (event)", 'A', true},
+        {"Scheme B (event)", 'B', true},   {"Scheme C (event)", 'C', true},
+    };
+
+    std::printf("# Table I: snapshots and output records per process\n");
+    std::printf("# CleverLeaf-sim %dx%d, %d steps, %d ranks\n", setup.app.nx,
+                setup.app.ny, setup.app.steps, setup.ranks);
+    std::printf("%-20s %14s %16s %10s\n", "Config", "Snapshots", "Output records",
+                "ratio");
+
+    double trace_event_records = 0, scheme_c_event_records = 0;
+    for (const Config& config : configs) {
+        const RunResult r =
+            run_clever(setup, scheme_profile(config.scheme, config.event));
+        const double snaps_per_proc =
+            static_cast<double>(r.snapshots) / setup.ranks;
+        const double recs_per_proc =
+            static_cast<double>(r.output_records) / setup.ranks;
+        std::printf("%-20s %14.0f %16.0f %9.1f%%\n", config.name, snaps_per_proc,
+                    recs_per_proc, 100.0 * recs_per_proc / snaps_per_proc);
+        if (config.event && config.scheme == 'T')
+            trace_event_records = recs_per_proc;
+        if (config.event && config.scheme == 'C')
+            scheme_c_event_records = recs_per_proc;
+    }
+
+    if (scheme_c_event_records > 0)
+        std::printf("\n# event trace / scheme C size ratio: %.1fx (paper: ~32x)\n",
+                    trace_event_records / scheme_c_event_records);
+    return 0;
+}

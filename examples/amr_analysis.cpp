@@ -1,0 +1,69 @@
+// Application-specific aggregation (paper §VI-E): include the AMR mesh
+// refinement level — an application-defined data dimension — in the
+// aggregation key, then study where the simulation spends its time as the
+// adaptive mesh evolves. This is the paper's headline capability:
+// traditional profilers cannot group by application-specific dimensions.
+//
+// Build & run:  ./examples/amr_analysis
+#include "apps/cleverleaf/driver.hpp"
+#include "calib.hpp"
+#include "mpisim/runtime.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+
+int main() {
+    calib::Caliper& c = calib::Caliper::instance();
+
+    // scheme C of the paper: group by *everything*, including the main
+    // loop iteration and the AMR level
+    calib::Channel* channel = c.create_channel(
+        "amr-analysis", calib::RuntimeConfig{
+                            {"services.enable", "event,timer,aggregate"},
+                            {"aggregate.key", "*"},
+                            {"aggregate.ops", "count,sum(time.duration)"},
+                        });
+
+    calib::clever::CleverConfig config;
+    config.nx    = 160;
+    config.ny    = 64;
+    config.steps = 24;
+    config.regrid_interval = 4;
+
+    std::mutex mutex;
+    std::vector<calib::RecordMap> profile;
+    calib::simmpi::run(2, [&](calib::simmpi::Comm& comm) {
+        calib::clever::run_rank(comm, config);
+        std::vector<calib::RecordMap> mine;
+        c.flush_thread(channel, [&mine](calib::RecordMap&& r) {
+            mine.push_back(std::move(r));
+        });
+        std::lock_guard<std::mutex> lock(mutex);
+        for (auto& r : mine)
+            profile.push_back(std::move(r));
+    });
+    c.close_channel(channel);
+
+    std::printf("collected %zu profile records\n\n", profile.size());
+
+    std::puts("== Runtime per AMR level per timestep (paper Fig. 8):\n"
+              "   AGGREGATE sum(time.duration) WHERE not(mpi.function)\n"
+              "   GROUP BY amr.level, iteration#mainloop ==\n");
+    calib::run_query(
+        "SELECT iteration#mainloop, amr.level, sum(sum#time.duration) AS us "
+        "WHERE not(mpi.function), amr.level "
+        "GROUP BY amr.level,iteration#mainloop "
+        "ORDER BY iteration#mainloop, amr.level LIMIT 30",
+        profile, std::cout);
+
+    std::puts("\n== Runtime per AMR level per rank (paper Fig. 9) ==\n");
+    calib::run_query("SELECT mpi.rank, amr.level, sum(sum#time.duration) AS us "
+                     "WHERE not(mpi.function), amr.level "
+                     "GROUP BY amr.level,mpi.rank ORDER BY mpi.rank, amr.level",
+                     profile, std::cout);
+
+    std::puts("\nLevel 2 (the finest mesh) grows over time as the shock\n"
+              "develops, while level 0 stays constant — the Fig. 8 shape.");
+    return 0;
+}

@@ -1,0 +1,67 @@
+// Interactive analytical aggregation (paper §II-C): a small REPL over a
+// .cali dataset. Generates a demo dataset if none is given.
+//
+//   ./examples/interactive_query [file.cali ...]
+//
+// then type CalQL queries, e.g.:
+//   AGGREGATE sum(count) GROUP BY kernel ORDER BY sum#count DESC LIMIT 5
+//   AGGREGATE sum(sum#time.duration) WHERE not(mpi.function) GROUP BY mpi.rank
+//   help | quit
+#include "apps/paradis/generator.hpp"
+#include "calib.hpp"
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+    std::vector<calib::RecordMap> records;
+
+    if (argc > 1) {
+        for (int i = 1; i < argc; ++i)
+            calib::CaliReader::read_file(argv[i], [&records](calib::RecordMap&& r) {
+                records.push_back(std::move(r));
+            });
+        std::printf("loaded %zu records from %d file(s)\n", records.size(),
+                    argc - 1);
+    } else {
+        std::puts("no input files: generating a demo dataset (4 ranks of the "
+                  "ParaDiS-sim profile)");
+        calib::paradis::ParadisConfig cfg;
+        auto paths = calib::paradis::generate_dataset("/tmp/calib-demo", 4, cfg);
+        for (const auto& p : paths)
+            calib::CaliReader::read_file(p, [&records](calib::RecordMap&& r) {
+                records.push_back(std::move(r));
+            });
+        std::printf("loaded %zu records\n", records.size());
+    }
+
+    std::puts("enter CalQL queries ('help' for syntax, 'quit' to exit):");
+    std::string line;
+    while (std::printf("calql> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+        if (line == "quit" || line == "exit")
+            break;
+        if (line.empty())
+            continue;
+        if (line == "help") {
+            std::puts("clauses: SELECT cols | AGGREGATE op(attr),... | "
+                      "GROUP BY attrs|* | WHERE conds |\n"
+                      "         LET x=scale|truncate|ratio|first(...) | "
+                      "ORDER BY attr [DESC] |\n"
+                      "         FORMAT table|csv|json|expand|tree | LIMIT n\n"
+                      "ops: count sum min max avg variance histogram "
+                      "percent_total");
+            continue;
+        }
+        try {
+            calib::run_query(line, records, std::cout);
+        } catch (const calib::CalQLError& e) {
+            std::printf("query error at position %zu: %s\n", e.position(), e.what());
+        } catch (const std::exception& e) {
+            std::printf("error: %s\n", e.what());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,386 @@
+#include "aggregation_db.hpp"
+
+#include "../common/bytebuf.hpp"
+#include "../common/hash.hpp"
+#include "../common/log.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace calib {
+
+namespace {
+
+constexpr std::size_t initial_table_slots = 256;
+constexpr std::uint32_t serialize_magic   = 0xCA11B0DBu;
+
+std::uint64_t hash_key(const Entry* key, std::size_t len) {
+    std::uint64_t h = fnv1a_offset;
+    for (std::size_t i = 0; i < len; ++i) {
+        h = fnv1a_value(key[i].attribute, h);
+        h = fnv1a_value(key[i].value.hash(), h);
+    }
+    return mix64(h);
+}
+
+bool keys_equal(const Entry* a, const Entry* b, std::size_t len) {
+    for (std::size_t i = 0; i < len; ++i)
+        if (!(a[i] == b[i]))
+            return false;
+    return true;
+}
+
+} // namespace
+
+AggregationDB::AggregationDB(AggregationConfig config, AttributeRegistry* registry)
+    : config_(std::move(config)), registry_(registry) {
+    assert(registry_);
+
+    key_ids_.assign(config_.key.attributes.size(), invalid_id);
+    op_ids_.assign(config_.ops.size(), invalid_id);
+    op_fallback_ids_.assign(config_.ops.size(), invalid_id);
+
+    op_state_offsets_.reserve(config_.ops.size());
+    for (const AggOpConfig& op : config_.ops) {
+        op_state_offsets_.push_back(state_stride_);
+        state_stride_ += kernel::state_size(op.op) / sizeof(std::uint64_t);
+    }
+
+    table_.assign(initial_table_slots, 0);
+}
+
+void AggregationDB::reserve(std::size_t entries) {
+    entries_.reserve(entries);
+    key_arena_.reserve(entries * (config_.key.all ? 8 : config_.key.attributes.size()));
+    state_arena_.reserve(entries * state_stride_);
+    if (entries * 2 > table_.size())
+        grow_table(entries * 2);
+}
+
+void AggregationDB::resolve_ids() {
+    const std::size_t gen = registry_->generation();
+    if (fully_resolved_ || gen == resolved_generation_)
+        return;
+    resolved_generation_ = gen;
+
+    bool all     = true;
+    bool changed = false;
+    for (std::size_t i = 0; i < config_.key.attributes.size(); ++i) {
+        if (key_ids_[i] == invalid_id) {
+            Attribute a = registry_->find(config_.key.attributes[i]);
+            if (a.valid()) {
+                key_ids_[i] = a.id();
+                changed     = true;
+            } else {
+                all = false;
+            }
+        }
+    }
+    for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+        const AggOpConfig& op = config_.ops[i];
+        if (agg_op_is_nullary(op.op))
+            continue;
+        if (op_ids_[i] == invalid_id) {
+            Attribute a = registry_->find(op.attribute);
+            if (a.valid()) {
+                op_ids_[i] = a.id();
+                changed    = true;
+            } else {
+                all = false;
+            }
+        }
+        if (op_fallback_ids_[i] == invalid_id) {
+            // allow re-aggregating already-aggregated profiles: sum(x) also
+            // accepts a "sum#x" input column (paper §VI-B second stage)
+            Attribute a =
+                registry_->find(AggOpConfig{op.op, op.attribute, ""}.result_label());
+            if (a.valid()) {
+                op_fallback_ids_[i] = a.id();
+                changed             = true;
+            } else {
+                all = false;
+            }
+        }
+    }
+    // newly resolved targets invalidate the implicit-key skip cache
+    if (changed)
+        std::fill(implicit_skip_.begin(), implicit_skip_.end(),
+                  static_cast<std::uint8_t>(2));
+    fully_resolved_ = all;
+}
+
+bool AggregationDB::skip_in_implicit_key(id_t attr) {
+    if (attr >= implicit_skip_.size()) {
+        const std::size_t old = implicit_skip_.size();
+        implicit_skip_.resize(attr + 1, 2); // 2 = unknown
+        (void)old;
+    }
+    std::uint8_t& flag = implicit_skip_[attr];
+    if (flag == 2) {
+        Attribute a = registry_->get(attr);
+        bool skip   = !a.valid() || a.skip_in_key() || a.is_hidden();
+        if (!skip) {
+            // aggregation targets never appear in implicit keys
+            for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+                if (op_ids_[i] == attr || op_fallback_ids_[i] == attr) {
+                    skip = true;
+                    break;
+                }
+            }
+            // aggregatable metric values (e.g. time.duration) are inputs,
+            // not grouping dimensions
+            if (a.is_aggregatable())
+                skip = true;
+        }
+        flag = skip ? 1 : 0;
+    }
+    return flag != 0;
+}
+
+void AggregationDB::process(const SnapshotRecord& record) {
+    resolve_ids();
+
+    Entry key[SnapshotRecord::max_entries];
+    std::size_t key_len = 0;
+
+    if (config_.key.all) {
+        for (const Entry& e : record)
+            if (!skip_in_implicit_key(e.attribute))
+                key[key_len++] = e;
+        std::sort(key, key + key_len, [](const Entry& a, const Entry& b) {
+            return a.attribute < b.attribute;
+        });
+    } else {
+        for (std::size_t i = 0; i < key_ids_.size(); ++i) {
+            const id_t attr = key_ids_[i];
+            const Variant v = attr == invalid_id ? Variant() : record.get(attr);
+            // canonicalize: an absent key attribute always contributes the
+            // same (invalid_id, empty) entry, so groups do not depend on
+            // when the attribute was first defined
+            key[key_len++] = Entry(v.empty() ? invalid_id : attr, v);
+        }
+    }
+
+    const std::uint64_t h   = hash_key(key, key_len);
+    const std::size_t index = find_or_insert(key, key_len, h);
+    update_ops(index, record);
+    ++processed_;
+}
+
+void AggregationDB::process_offline(const RecordMap& record) {
+    SnapshotRecord rec;
+    for (const auto& [name, value] : record) {
+        Attribute a = registry_->create(name, value.type());
+        rec.append(a.id(), value);
+    }
+    process(rec);
+}
+
+std::size_t AggregationDB::find_or_insert(const Entry* key, std::size_t key_len,
+                                          std::uint64_t hash) {
+    ++stats_.lookups;
+    const std::size_t mask = table_.size() - 1;
+    std::size_t slot       = hash & mask;
+
+    while (true) {
+        const std::uint32_t stored = table_[slot];
+        if (stored == 0)
+            break;
+        const EntryRec& e = entries_[stored - 1];
+        if (e.hash == hash && e.key_len == key_len &&
+            keys_equal(key_arena_.data() + e.key_offset, key, key_len))
+            return stored - 1;
+        ++stats_.collisions;
+        slot = (slot + 1) & mask;
+    }
+
+    // insert
+    ++stats_.inserts;
+    EntryRec rec;
+    rec.hash         = hash;
+    rec.key_offset   = static_cast<std::uint32_t>(key_arena_.size());
+    rec.key_len      = static_cast<std::uint32_t>(key_len);
+    rec.state_offset = static_cast<std::uint32_t>(state_arena_.size());
+
+    key_arena_.insert(key_arena_.end(), key, key + key_len);
+    state_arena_.resize(state_arena_.size() + state_stride_, 0);
+    for (std::size_t i = 0; i < config_.ops.size(); ++i)
+        kernel::state_init(config_.ops[i].op,
+                           state_arena_.data() + rec.state_offset + op_state_offsets_[i]);
+
+    entries_.push_back(rec);
+    table_[slot] = static_cast<std::uint32_t>(entries_.size());
+
+    if (entries_.size() * 10 > table_.size() * 7)
+        grow_table(table_.size() * 2);
+
+    return entries_.size() - 1;
+}
+
+void AggregationDB::grow_table(std::size_t min_slots) {
+    std::size_t slots = table_.size();
+    while (slots < min_slots)
+        slots *= 2;
+    table_.assign(slots, 0);
+    const std::size_t mask = slots - 1;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        std::size_t slot = entries_[i].hash & mask;
+        while (table_[slot] != 0)
+            slot = (slot + 1) & mask;
+        table_[slot] = static_cast<std::uint32_t>(i + 1);
+    }
+}
+
+std::uint64_t* AggregationDB::entry_state(std::size_t entry_index, std::size_t op_index) {
+    return state_arena_.data() + entries_[entry_index].state_offset +
+           op_state_offsets_[op_index];
+}
+
+const std::uint64_t* AggregationDB::entry_state(std::size_t entry_index,
+                                                std::size_t op_index) const {
+    return state_arena_.data() + entries_[entry_index].state_offset +
+           op_state_offsets_[op_index];
+}
+
+void AggregationDB::update_ops(std::size_t entry_index, const SnapshotRecord& record) {
+    for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+        const AggOp op = config_.ops[i].op;
+        if (agg_op_is_nullary(op)) {
+            kernel::state_update(op, entry_state(entry_index, i), Variant());
+            continue;
+        }
+        Variant v = op_ids_[i] != invalid_id ? record.get(op_ids_[i]) : Variant();
+        if (v.empty() && op_fallback_ids_[i] != invalid_id)
+            v = record.get(op_fallback_ids_[i]);
+        if (!v.empty())
+            kernel::state_update(op, entry_state(entry_index, i), v);
+    }
+}
+
+std::size_t AggregationDB::bytes() const noexcept {
+    return key_arena_.capacity() * sizeof(Entry) +
+           state_arena_.capacity() * sizeof(std::uint64_t) +
+           entries_.capacity() * sizeof(EntryRec) +
+           table_.capacity() * sizeof(std::uint32_t);
+}
+
+void AggregationDB::flush(const std::function<void(RecordMap&&)>& sink) const {
+    // percent_total denominators, one per configured op
+    std::vector<double> denominators(config_.ops.size(), 0.0);
+    for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+        if (config_.ops[i].op != AggOp::PercentTotal)
+            continue;
+        for (std::size_t e = 0; e < entries_.size(); ++e)
+            denominators[i] +=
+                kernel::state_sum_value(config_.ops[i].op, entry_state(e, i));
+    }
+
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+        RecordMap out;
+        const EntryRec& rec = entries_[e];
+        out.reserve(rec.key_len + config_.ops.size());
+        for (std::uint32_t k = 0; k < rec.key_len; ++k) {
+            const Entry& ke = key_arena_[rec.key_offset + k];
+            if (ke.value.empty() || ke.attribute == invalid_id)
+                continue;
+            out.append(registry_->get(ke.attribute).name(), ke.value);
+        }
+        for (std::size_t i = 0; i < config_.ops.size(); ++i)
+            kernel::state_result(config_.ops[i].op, entry_state(e, i), config_.ops[i],
+                                 out, denominators[i]);
+        sink(std::move(out));
+    }
+}
+
+std::vector<RecordMap> AggregationDB::flush() const {
+    std::vector<RecordMap> out;
+    out.reserve(entries_.size());
+    flush([&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    return out;
+}
+
+void AggregationDB::merge(const AggregationDB& other) {
+    assert(config_.ops.size() == other.config_.ops.size());
+    for (std::size_t e = 0; e < other.entries_.size(); ++e) {
+        const EntryRec& rec = other.entries_[e];
+        const Entry* key    = other.key_arena_.data() + rec.key_offset;
+        const std::size_t index = find_or_insert(key, rec.key_len, rec.hash);
+        for (std::size_t i = 0; i < config_.ops.size(); ++i)
+            kernel::state_merge(config_.ops[i].op, entry_state(index, i),
+                                other.entry_state(e, i));
+    }
+    processed_ += other.processed_;
+}
+
+std::vector<std::byte> AggregationDB::serialize() const {
+    std::vector<std::byte> buf;
+    ByteWriter w(buf);
+    w.put(serialize_magic);
+    w.put(static_cast<std::uint32_t>(config_.ops.size()));
+    w.put(static_cast<std::uint64_t>(processed_));
+    w.put(static_cast<std::uint32_t>(entries_.size()));
+
+    for (std::size_t e = 0; e < entries_.size(); ++e) {
+        const EntryRec& rec = entries_[e];
+        w.put(static_cast<std::uint16_t>(rec.key_len));
+        for (std::uint32_t k = 0; k < rec.key_len; ++k) {
+            const Entry& ke = key_arena_[rec.key_offset + k];
+            if (ke.attribute == invalid_id)
+                w.put_string("");
+            else
+                w.put_string(registry_->get(ke.attribute).name_view());
+            w.put_variant(ke.value);
+        }
+        for (std::size_t i = 0; i < config_.ops.size(); ++i)
+            kernel::state_serialize(config_.ops[i].op, entry_state(e, i), w);
+    }
+    return buf;
+}
+
+void AggregationDB::merge_serialized(std::span<const std::byte> data) {
+    ByteReader r(data);
+    if (r.get<std::uint32_t>() != serialize_magic)
+        throw std::runtime_error("AggregationDB: bad serialization magic");
+    const auto nops = r.get<std::uint32_t>();
+    if (nops != config_.ops.size())
+        throw std::runtime_error("AggregationDB: op-count mismatch in merge");
+    const auto nprocessed = r.get<std::uint64_t>();
+    const auto nentries   = r.get<std::uint32_t>();
+
+    // scratch for one deserialized kernel state (largest op state)
+    std::uint64_t scratch[kernel::histogram_bins + 4];
+
+    Entry key[SnapshotRecord::max_entries];
+    for (std::uint32_t e = 0; e < nentries; ++e) {
+        const auto key_len = r.get<std::uint16_t>();
+        if (key_len > SnapshotRecord::max_entries)
+            throw std::runtime_error("AggregationDB: oversized key in merge buffer");
+        for (std::uint16_t k = 0; k < key_len; ++k) {
+            const std::string_view name = r.get_string();
+            const Variant value         = r.get_variant();
+            id_t attr                   = invalid_id;
+            if (!name.empty())
+                attr = registry_->create(name, value.type()).id();
+            key[k] = Entry(attr, value);
+        }
+        const std::uint64_t h   = hash_key(key, key_len);
+        const std::size_t index = find_or_insert(key, key_len, h);
+        for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+            kernel::state_init(config_.ops[i].op, scratch);
+            kernel::state_deserialize(config_.ops[i].op, scratch, r);
+            kernel::state_merge(config_.ops[i].op, entry_state(index, i), scratch);
+        }
+    }
+    processed_ += nprocessed;
+}
+
+void AggregationDB::clear() {
+    key_arena_.clear();
+    state_arena_.clear();
+    entries_.clear();
+    table_.assign(initial_table_slots, 0);
+    processed_ = 0;
+    stats_     = Stats{};
+}
+
+} // namespace calib

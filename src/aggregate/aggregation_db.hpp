@@ -1,0 +1,136 @@
+// The aggregation database (paper §IV-B, Figure 2).
+//
+// An AggregationDB keeps one aggregation entry per unique combination of
+// key-attribute values. Incoming snapshot records are folded in with
+// streaming reduction: extract the key entries, hash them, look up (or
+// insert) the aggregation entry, and update the operator states in place.
+//
+// Databases are mergeable (for cross-thread flushes and the cross-process
+// tree reduction) and serializable (for sending partial results between
+// ranks). The same class backs the online aggregation service and the
+// offline query engine.
+//
+// Thread-safety: none by design — the runtime keeps one DB per monitored
+// thread (paper §IV-B: "this design avoids the use of thread locks").
+#pragma once
+
+#include "kernel.hpp"
+#include "ops.hpp"
+
+#include "../common/attribute.hpp"
+#include "../common/recordmap.hpp"
+#include "../common/snapshot.hpp"
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace calib {
+
+class AggregationDB {
+public:
+    /// \param config the aggregation scheme (ops + key)
+    /// \param registry attribute dictionary used to resolve labels; must
+    ///        outlive the database
+    AggregationDB(AggregationConfig config, AttributeRegistry* registry);
+
+    AggregationDB(AggregationDB&&) noexcept            = default;
+    AggregationDB& operator=(AggregationDB&&) noexcept = default;
+    AggregationDB(const AggregationDB&)                = delete;
+    AggregationDB& operator=(const AggregationDB&)     = delete;
+
+    /// Preallocate room for \a entries aggregation entries (keeps the
+    /// snapshot-processing path free of reallocations until exceeded).
+    void reserve(std::size_t entries);
+
+    /// Fold one snapshot record into the database (streaming reduction).
+    void process(const SnapshotRecord& record);
+
+    /// Fold one offline (name-based) record: attributes are resolved or
+    /// created in the registry, then processed like a snapshot.
+    void process_offline(const RecordMap& record);
+
+    /// Number of aggregation entries (unique keys seen).
+    std::size_t size() const noexcept { return entries_.size(); }
+    bool empty() const noexcept { return entries_.empty(); }
+
+    /// Number of records processed so far (including merged-in ones).
+    std::uint64_t num_processed() const noexcept { return processed_; }
+
+    /// Approximate memory footprint of keys + states + table, in bytes.
+    std::size_t bytes() const noexcept;
+
+    /// Emit one output record per aggregation entry: the (non-empty) key
+    /// attributes followed by the operator results. Entries are emitted in
+    /// insertion order.
+    void flush(const std::function<void(RecordMap&&)>& sink) const;
+    std::vector<RecordMap> flush() const;
+
+    /// Merge all entries of \a other into this database. Both databases
+    /// must use the same AggregationConfig and the same registry.
+    void merge(const AggregationDB& other);
+
+    /// Serialize all entries (attribute labels by name, so the buffer is
+    /// meaningful across registries).
+    std::vector<std::byte> serialize() const;
+
+    /// Merge a buffer produced by serialize() into this database.
+    void merge_serialized(std::span<const std::byte> data);
+
+    /// Drop all entries (config stays).
+    void clear();
+
+    const AggregationConfig& config() const noexcept { return config_; }
+    AttributeRegistry* registry() const noexcept { return registry_; }
+
+    /// Statistics for the overhead study.
+    struct Stats {
+        std::uint64_t lookups    = 0;
+        std::uint64_t collisions = 0; ///< probe steps beyond the first slot
+        std::uint64_t inserts    = 0;
+    };
+    const Stats& stats() const noexcept { return stats_; }
+
+private:
+    struct EntryRec {
+        std::uint64_t hash;
+        std::uint32_t key_offset; ///< index into key_arena_
+        std::uint32_t key_len;    ///< number of key entries
+        std::uint32_t state_offset; ///< index into state_arena_ (u64 words)
+    };
+
+    void resolve_ids();
+    bool skip_in_implicit_key(id_t attr);
+    std::size_t find_or_insert(const Entry* key, std::size_t key_len, std::uint64_t hash);
+    void grow_table(std::size_t min_slots);
+    void update_ops(std::size_t entry_index, const SnapshotRecord& record);
+    std::uint64_t* entry_state(std::size_t entry_index, std::size_t op_index);
+    const std::uint64_t* entry_state(std::size_t entry_index, std::size_t op_index) const;
+
+    AggregationConfig config_;
+    AttributeRegistry* registry_;
+
+    // lazily resolved attribute ids (invalid_id until the attribute exists)
+    std::vector<id_t> key_ids_;
+    std::vector<id_t> op_ids_;          // targets
+    std::vector<id_t> op_fallback_ids_; // result-label fallbacks (re-aggregation)
+    std::size_t resolved_generation_ = static_cast<std::size_t>(-1);
+    bool fully_resolved_             = false;
+
+    // per-attribute-id flag cache for implicit ("group by everything") keys
+    std::vector<std::uint8_t> implicit_skip_;
+
+    std::vector<std::size_t> op_state_offsets_; // u64 words within an entry block
+    std::size_t state_stride_ = 0;              // u64 words per entry
+
+    std::vector<Entry> key_arena_;
+    std::vector<std::uint64_t> state_arena_;
+    std::vector<EntryRec> entries_;
+    std::vector<std::uint32_t> table_; // open addressing; 0 = empty, else index+1
+
+    std::uint64_t processed_ = 0;
+    Stats stats_;
+};
+
+} // namespace calib

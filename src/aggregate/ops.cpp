@@ -1,0 +1,92 @@
+#include "ops.hpp"
+
+#include "../common/util.hpp"
+
+namespace calib {
+
+const char* agg_op_name(AggOp op) noexcept {
+    switch (op) {
+    case AggOp::Count:        return "count";
+    case AggOp::Sum:          return "sum";
+    case AggOp::Min:          return "min";
+    case AggOp::Max:          return "max";
+    case AggOp::Avg:          return "avg";
+    case AggOp::Variance:     return "variance";
+    case AggOp::Histogram:    return "histogram";
+    case AggOp::PercentTotal: return "percent_total";
+    }
+    return "?";
+}
+
+std::optional<AggOp> agg_op_from_name(std::string_view name) noexcept {
+    const std::string n = util::to_lower(name);
+    if (n == "count")         return AggOp::Count;
+    if (n == "sum")           return AggOp::Sum;
+    if (n == "min")           return AggOp::Min;
+    if (n == "max")           return AggOp::Max;
+    if (n == "avg" || n == "mean" || n == "average") return AggOp::Avg;
+    if (n == "variance" || n == "var") return AggOp::Variance;
+    if (n == "histogram" || n == "hist") return AggOp::Histogram;
+    if (n == "percent_total" || n == "percent") return AggOp::PercentTotal;
+    return std::nullopt;
+}
+
+bool agg_op_is_nullary(AggOp op) noexcept {
+    return op == AggOp::Count;
+}
+
+std::string AggOpConfig::result_label() const {
+    if (!alias.empty())
+        return alias;
+    if (agg_op_is_nullary(op))
+        return agg_op_name(op);
+    return std::string(agg_op_name(op)) + "#" + attribute;
+}
+
+AggregationConfig AggregationConfig::parse(std::string_view ops_list,
+                                           std::string_view key_list) {
+    AggregationConfig cfg;
+    for (std::string_view tok : util::split(ops_list, ',')) {
+        tok = util::trim(tok);
+        if (tok.empty())
+            continue;
+        AggOpConfig op;
+        const std::size_t paren = tok.find('(');
+        if (paren == std::string_view::npos) {
+            if (auto parsed = agg_op_from_name(tok)) {
+                op.op = *parsed;
+            } else {
+                // bare attribute name: default to sum (matches the paper's
+                // "AGGREGATE time.duration" usage in §VI-C/D)
+                op.op        = AggOp::Sum;
+                op.attribute = std::string(tok);
+            }
+        } else {
+            const std::size_t close = tok.rfind(')');
+            auto name = util::trim(tok.substr(0, paren));
+            auto arg  = util::trim(tok.substr(
+                paren + 1, close == std::string_view::npos ? std::string_view::npos
+                                                           : close - paren - 1));
+            if (auto parsed = agg_op_from_name(name))
+                op.op = *parsed;
+            else
+                continue; // unknown operator: skip (caller may validate)
+            op.attribute = std::string(arg);
+        }
+        cfg.ops.push_back(std::move(op));
+    }
+
+    const auto keys = util::trim(key_list);
+    if (keys == "*" || util::iequals(keys, "all")) {
+        cfg.key = KeySpec::everything();
+    } else {
+        for (std::string_view tok : util::split(keys, ',')) {
+            tok = util::trim(tok);
+            if (!tok.empty())
+                cfg.key.attributes.emplace_back(tok);
+        }
+    }
+    return cfg;
+}
+
+} // namespace calib

@@ -1,0 +1,88 @@
+// Aggregation operators and their configuration.
+//
+// An aggregation scheme (paper §III-B) consists of
+//   - aggregation *operators* applied to aggregation *attributes*
+//     ("AGGREGATE count, sum(time.duration)"), and
+//   - an aggregation *key* ("GROUP BY function, loop.iteration").
+//
+// The paper's implementation provides sum, min, max, and count; we add
+// avg, variance, histogram, and percent_total as natural extensions.
+#pragma once
+
+#include "../common/variant.hpp"
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace calib {
+
+enum class AggOp : std::uint8_t {
+    Count = 0,   ///< number of input records per key
+    Sum,         ///< sum of the attribute's values
+    Min,         ///< minimum value
+    Max,         ///< maximum value
+    Avg,         ///< arithmetic mean (extension)
+    Variance,    ///< population variance, Welford/Chan mergeable (extension)
+    Histogram,   ///< log2-binned value histogram (extension)
+    PercentTotal ///< sum, normalized to percent of the overall total (extension)
+};
+
+/// Canonical lower-case operator name as used in the description language.
+const char* agg_op_name(AggOp op) noexcept;
+
+/// Parse an operator name (case-insensitive); nullopt when unknown.
+std::optional<AggOp> agg_op_from_name(std::string_view name) noexcept;
+
+/// True for operators that take no target attribute (count).
+bool agg_op_is_nullary(AggOp op) noexcept;
+
+/// One configured aggregation operation, e.g. sum(time.duration).
+struct AggOpConfig {
+    AggOp op = AggOp::Count;
+    std::string attribute; ///< target attribute label (empty for count)
+    std::string alias;     ///< output label override ("... AS total")
+
+    /// Default output attribute label: "count", "sum#time.duration", ...
+    std::string result_label() const;
+
+    bool operator==(const AggOpConfig& rhs) const {
+        return op == rhs.op && attribute == rhs.attribute && alias == rhs.alias;
+    }
+};
+
+/// The aggregation key: either an explicit attribute list or "group by
+/// everything" (all attributes present in a record that are not aggregation
+/// targets or marked skip_key).
+struct KeySpec {
+    bool all = false;
+    std::vector<std::string> attributes;
+
+    static KeySpec everything() {
+        KeySpec k;
+        k.all = true;
+        return k;
+    }
+    static KeySpec of(std::vector<std::string> attrs) {
+        KeySpec k;
+        k.attributes = std::move(attrs);
+        return k;
+    }
+
+    bool operator==(const KeySpec& rhs) const {
+        return all == rhs.all && attributes == rhs.attributes;
+    }
+};
+
+/// A complete aggregation scheme.
+struct AggregationConfig {
+    std::vector<AggOpConfig> ops;
+    KeySpec key;
+
+    /// Convenience: "count,sum(time.duration)" + key list.
+    static AggregationConfig parse(std::string_view ops_list, std::string_view key_list);
+};
+
+} // namespace calib

@@ -1,0 +1,172 @@
+#include "amr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace calib::clever {
+
+std::vector<std::uint8_t> tag_cells(const Patch& p, const AmrConfig& cfg) {
+    std::vector<std::uint8_t> tags(p.cells(), 0);
+    for (int j = 0; j < p.ny; ++j) {
+        for (int i = 0; i < p.nx; ++i) {
+            const double r = p.rho.at(i, j);
+            const double rx = p.rho.at(std::min(i + 1, p.nx - 1), j);
+            const double ry = p.rho.at(i, std::min(j + 1, p.ny - 1));
+            const double jump =
+                std::max(std::abs(rx - r), std::abs(ry - r)) / std::max(r, 1e-12);
+            if (jump > cfg.tag_threshold)
+                tags[static_cast<std::size_t>(j) * p.nx + i] = 1;
+        }
+    }
+    return tags;
+}
+
+void buffer_tags(std::vector<std::uint8_t>& tags, int nx, int ny, int buffer) {
+    if (buffer <= 0)
+        return;
+    std::vector<std::uint8_t> out(tags.size(), 0);
+    for (int j = 0; j < ny; ++j) {
+        for (int i = 0; i < nx; ++i) {
+            if (!tags[static_cast<std::size_t>(j) * nx + i])
+                continue;
+            const int jlo = std::max(0, j - buffer), jhi = std::min(ny - 1, j + buffer);
+            const int ilo = std::max(0, i - buffer), ihi = std::min(nx - 1, i + buffer);
+            for (int jj = jlo; jj <= jhi; ++jj)
+                for (int ii = ilo; ii <= ihi; ++ii)
+                    out[static_cast<std::size_t>(jj) * nx + ii] = 1;
+        }
+    }
+    tags.swap(out);
+}
+
+namespace {
+
+long count_tags(const std::vector<std::uint8_t>& tags, int nx, const Box& box) {
+    long n = 0;
+    for (int j = box.y0; j < box.y1; ++j)
+        for (int i = box.x0; i < box.x1; ++i)
+            n += tags[static_cast<std::size_t>(j) * nx + i];
+    return n;
+}
+
+Box bounding_box(const std::vector<std::uint8_t>& tags, int nx, const Box& within) {
+    Box bb{within.x1, within.y1, within.x0, within.y0};
+    for (int j = within.y0; j < within.y1; ++j) {
+        for (int i = within.x0; i < within.x1; ++i) {
+            if (!tags[static_cast<std::size_t>(j) * nx + i])
+                continue;
+            bb.x0 = std::min(bb.x0, i);
+            bb.y0 = std::min(bb.y0, j);
+            bb.x1 = std::max(bb.x1, i + 1);
+            bb.y1 = std::max(bb.y1, j + 1);
+        }
+    }
+    if (bb.x1 <= bb.x0 || bb.y1 <= bb.y0)
+        return Box{}; // no tags
+    return bb;
+}
+
+void cluster_recursive(const std::vector<std::uint8_t>& tags, int nx,
+                       const AmrConfig& cfg, const Box& region,
+                       std::vector<Box>& out) {
+    const Box box = bounding_box(tags, nx, region);
+    if (box.empty())
+        return;
+
+    const long tagged     = count_tags(tags, nx, box);
+    const double fraction = static_cast<double>(tagged) / box.cells();
+    const bool fits = box.width() <= cfg.max_patch_size &&
+                      box.height() <= cfg.max_patch_size;
+    const bool efficient = fraction >= cfg.min_efficiency;
+    const bool tiny      = box.width() <= 4 && box.height() <= 4;
+
+    if ((fits && efficient) || tiny || (fits && box.cells() <= 64)) {
+        out.push_back(box);
+        return;
+    }
+
+    // bisect the longer dimension at the midpoint
+    if (box.width() >= box.height()) {
+        const int mid = box.x0 + box.width() / 2;
+        cluster_recursive(tags, nx, cfg, Box{box.x0, box.y0, mid, box.y1}, out);
+        cluster_recursive(tags, nx, cfg, Box{mid, box.y0, box.x1, box.y1}, out);
+    } else {
+        const int mid = box.y0 + box.height() / 2;
+        cluster_recursive(tags, nx, cfg, Box{box.x0, box.y0, box.x1, mid}, out);
+        cluster_recursive(tags, nx, cfg, Box{box.x0, mid, box.x1, box.y1}, out);
+    }
+}
+
+} // namespace
+
+std::vector<Box> cluster_tags(const std::vector<std::uint8_t>& tags, int nx, int ny,
+                              const AmrConfig& cfg) {
+    std::vector<Box> out;
+    cluster_recursive(tags, nx, cfg, Box{0, 0, nx, ny}, out);
+    return out;
+}
+
+Hierarchy::Hierarchy(std::unique_ptr<Patch> level0, const AmrConfig& cfg) : cfg_(cfg) {
+    levels_.resize(cfg.levels);
+    levels_[0].push_back(std::move(level0));
+}
+
+std::vector<std::unique_ptr<Patch>> Hierarchy::refine_patch(const Patch& coarse) {
+    std::vector<std::unique_ptr<Patch>> out;
+
+    std::vector<std::uint8_t> tags = tag_cells(coarse, cfg_);
+    buffer_tags(tags, coarse.nx, coarse.ny, cfg_.tag_buffer);
+    const std::vector<Box> boxes = cluster_tags(tags, coarse.nx, coarse.ny, cfg_);
+
+    const int r = cfg_.refinement_ratio;
+    for (const Box& b : boxes) {
+        auto fine = std::make_unique<Patch>(
+            coarse.level + 1, (coarse.x0 + b.x0) * r, (coarse.y0 + b.y0) * r,
+            b.width() * r, b.height() * r, coarse.dx / r, coarse.dy / r);
+        // initialize by injection from the coarse parent
+        for (int j = 0; j < fine->ny; ++j) {
+            for (int i = 0; i < fine->nx; ++i) {
+                const int ci = b.x0 + i / r;
+                const int cj = b.y0 + j / r;
+                fine->rho.at(i, j)    = coarse.rho.at(ci, cj);
+                fine->mx.at(i, j)     = coarse.mx.at(ci, cj);
+                fine->my.at(i, j)     = coarse.my.at(ci, cj);
+                fine->energy.at(i, j) = coarse.energy.at(ci, cj);
+            }
+        }
+        kernel_ideal_gas(*fine);
+        out.push_back(std::move(fine));
+    }
+    return out;
+}
+
+std::size_t Hierarchy::regrid() {
+    std::size_t created = 0;
+    for (int l = 1; l < cfg_.levels; ++l) {
+        levels_[l].clear();
+        for (const auto& coarse : levels_[l - 1]) {
+            auto children = refine_patch(*coarse);
+            created += children.size();
+            for (auto& child : children)
+                levels_[l].push_back(std::move(child));
+        }
+    }
+    return created;
+}
+
+std::size_t Hierarchy::cells_on_level(int l) const {
+    std::size_t n = 0;
+    for (const auto& p : levels_[l])
+        n += p->cells();
+    return n;
+}
+
+std::size_t Hierarchy::total_cells() const {
+    std::size_t n = 0;
+    for (int l = 0; l < num_levels(); ++l)
+        n += cells_on_level(l);
+    return n;
+}
+
+} // namespace calib::clever

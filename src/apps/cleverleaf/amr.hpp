@@ -1,0 +1,76 @@
+// Block-structured adaptive mesh refinement for CleverLeaf-sim
+// (paper §VI-A: SAMRAI-style patch AMR with three levels, refining the
+// complex shock-interaction region).
+//
+// Tagging: cells whose density jump to a neighbor exceeds a threshold are
+// flagged (plus a buffer). Clustering: a simplified Berger–Rigoutsos
+// bisection produces rectangular patch boxes over the flagged region.
+// Fine patches are initialized by injection from their coarse parent.
+#pragma once
+
+#include "hydro.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace calib::clever {
+
+struct AmrConfig {
+    int levels            = 3;
+    int refinement_ratio  = 2;
+    double tag_threshold  = 0.08; ///< relative density jump that flags a cell
+    int tag_buffer        = 2;    ///< flagged-region buffer in cells
+    int max_patch_size    = 96;   ///< max patch extent per dimension (cells)
+    double min_efficiency = 0.45; ///< flagged fraction below which boxes split
+};
+
+/// A rectangular box in level-local cell coordinates: [x0,x1) x [y0,y1).
+struct Box {
+    int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    int width() const noexcept { return x1 - x0; }
+    int height() const noexcept { return y1 - y0; }
+    long cells() const noexcept { return static_cast<long>(width()) * height(); }
+    bool empty() const noexcept { return x1 <= x0 || y1 <= y0; }
+};
+
+/// Flag cells of \a p whose density jump exceeds the threshold; returns a
+/// row-major flag mask of size p.nx * p.ny.
+std::vector<std::uint8_t> tag_cells(const Patch& p, const AmrConfig& cfg);
+
+/// Grow flagged cells by \a buffer in all directions.
+void buffer_tags(std::vector<std::uint8_t>& tags, int nx, int ny, int buffer);
+
+/// Cluster flagged cells into rectangular boxes (simplified
+/// Berger–Rigoutsos bisection).
+std::vector<Box> cluster_tags(const std::vector<std::uint8_t>& tags, int nx, int ny,
+                              const AmrConfig& cfg);
+
+/// The per-rank patch hierarchy: level 0 is this rank's subdomain patch;
+/// finer levels are rebuilt by regrid().
+class Hierarchy {
+public:
+    Hierarchy(std::unique_ptr<Patch> level0, const AmrConfig& cfg);
+
+    /// Rebuild levels 1..levels-1 from the current solution.
+    /// Returns the number of fine patches created.
+    std::size_t regrid();
+
+    int num_levels() const noexcept { return static_cast<int>(levels_.size()); }
+    std::vector<std::unique_ptr<Patch>>& level(int l) { return levels_[l]; }
+    const std::vector<std::unique_ptr<Patch>>& level(int l) const { return levels_[l]; }
+
+    std::size_t cells_on_level(int l) const;
+    std::size_t total_cells() const;
+
+    const AmrConfig& config() const noexcept { return cfg_; }
+
+private:
+    /// Create refined child patches over the flagged region of \a coarse.
+    std::vector<std::unique_ptr<Patch>> refine_patch(const Patch& coarse);
+
+    AmrConfig cfg_;
+    std::vector<std::vector<std::unique_ptr<Patch>>> levels_;
+};
+
+} // namespace calib::clever

@@ -1,0 +1,268 @@
+#include "driver.hpp"
+
+#include "../../runtime/annotation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace calib::clever {
+
+namespace {
+
+/// Bundle of the annotation handles used throughout a run. Annotations are
+/// resolved once; when config.annotate is false, all marks are no-ops.
+struct Marks {
+    bool enabled;
+    Annotation function{"function"};
+    Annotation region{"annotation"};
+    Annotation kernel{"kernel"};
+    Annotation level{"amr.level"};
+    Annotation iteration{"iteration#mainloop", prop::as_value};
+
+    explicit Marks(bool enabled) : enabled(enabled) {}
+
+    void begin(Annotation& a, const Variant& v) {
+        if (enabled)
+            a.begin(v);
+    }
+    void end(Annotation& a) {
+        if (enabled)
+            a.end();
+    }
+    void set(Annotation& a, const Variant& v) {
+        if (enabled)
+            a.set(v);
+    }
+};
+
+/// RAII kernel region.
+struct KernelScope {
+    Marks& m;
+    KernelScope(Marks& m, const char* name) : m(m) {
+        m.begin(m.kernel, Variant(std::string_view(name)));
+    }
+    ~KernelScope() { m.end(m.kernel); }
+};
+
+struct FunctionScope {
+    Marks& m;
+    FunctionScope(Marks& m, const char* name) : m(m) {
+        m.begin(m.function, Variant(std::string_view(name)));
+    }
+    ~FunctionScope() { m.end(m.function); }
+};
+
+struct RegionScope {
+    Marks& m;
+    RegionScope(Marks& m, const char* name) : m(m) {
+        m.begin(m.region, Variant(std::string_view(name)));
+    }
+    ~RegionScope() { m.end(m.region); }
+};
+
+/// Exchange level-0 strip boundary rows with the neighboring ranks and
+/// blend them into the edge cells (keeps ranks coupled; the averaging is
+/// dissipative, hence stable).
+void halo_exchange(Marks& marks, simmpi::CaliComm& comm, Patch& p) {
+    FunctionScope fn(marks, "halo_exchange");
+    const int rank = comm.rank();
+    const int size = comm.size();
+    if (size == 1)
+        return;
+
+    const std::size_t row_doubles = static_cast<std::size_t>(p.nx) * 4;
+    std::vector<double> send_lo(row_doubles), send_hi(row_doubles),
+        recv_row(row_doubles);
+
+    auto pack_row = [&](int j, std::vector<double>& buf) {
+        for (int i = 0; i < p.nx; ++i) {
+            buf[i * 4 + 0] = p.rho.at(i, j);
+            buf[i * 4 + 1] = p.mx.at(i, j);
+            buf[i * 4 + 2] = p.my.at(i, j);
+            buf[i * 4 + 3] = p.energy.at(i, j);
+        }
+    };
+    auto blend_row = [&](int j, const std::vector<double>& buf) {
+        for (int i = 0; i < p.nx; ++i) {
+            p.rho.at(i, j)    = 0.5 * (p.rho.at(i, j) + buf[i * 4 + 0]);
+            p.mx.at(i, j)     = 0.5 * (p.mx.at(i, j) + buf[i * 4 + 1]);
+            p.my.at(i, j)     = 0.5 * (p.my.at(i, j) + buf[i * 4 + 2]);
+            p.energy.at(i, j) = 0.5 * (p.energy.at(i, j) + buf[i * 4 + 3]);
+        }
+    };
+    auto as_bytes = [](const std::vector<double>& v) {
+        return std::span(reinterpret_cast<const std::byte*>(v.data()),
+                         v.size() * sizeof(double));
+    };
+    auto from_bytes = [&recv_row](const std::vector<std::byte>& bytes) {
+        std::memcpy(recv_row.data(), bytes.data(),
+                    std::min(bytes.size(), recv_row.size() * sizeof(double)));
+    };
+
+    // post both boundary sends first, then receive: no serial dependency
+    // chain down the rank order (the classic exchange pattern)
+    if (rank > 0) {
+        pack_row(0, send_lo);
+        comm.send(rank - 1, 100, as_bytes(send_lo));
+    }
+    if (rank < size - 1) {
+        pack_row(p.ny - 1, send_hi);
+        comm.send(rank + 1, 100, as_bytes(send_hi));
+    }
+    if (rank > 0) {
+        from_bytes(comm.recv(rank - 1, 100).payload);
+        blend_row(0, recv_row);
+    }
+    if (rank < size - 1) {
+        from_bytes(comm.recv(rank + 1, 100).payload);
+        blend_row(p.ny - 1, recv_row);
+    }
+}
+
+/// One hydro update of a single patch (kernels annotated individually).
+void advance_patch(Marks& marks, Patch& p, double dt, CleverStats& stats) {
+    {
+        KernelScope k(marks, "ideal-gas");
+        kernel_ideal_gas(p);
+    }
+    {
+        KernelScope k(marks, "viscosity");
+        kernel_viscosity(p);
+    }
+    // the flux computation is deliberately *not* annotated (see Fig. 5:
+    // "most samples were accumulated outside of the annotated kernels")
+    compute_fluxes(p);
+    {
+        KernelScope k(marks, "advec-cell");
+        kernel_advec_cell(p, dt);
+    }
+    {
+        KernelScope k(marks, "advec-mom");
+        kernel_advec_mom(p, dt);
+    }
+    {
+        KernelScope k(marks, "pdv");
+        kernel_pdv(p, dt);
+    }
+    {
+        KernelScope k(marks, "accelerate");
+        kernel_accelerate(p, dt);
+    }
+    {
+        KernelScope k(marks, "reset");
+        kernel_reset(p);
+    }
+    stats.cell_updates += p.cells();
+}
+
+double compute_timestep(Marks& marks, simmpi::CaliComm& comm, const Hierarchy& mesh) {
+    // calc-dt sweeps *all* refinement levels (the global CFL condition for
+    // the hierarchy) and includes the global reduction, as in CleverLeaf:
+    // the minimum must be agreed across ranks before anyone advances.
+    KernelScope k(marks, "calc-dt");
+    double local_dt = 1e30;
+    for (int l = 0; l < mesh.num_levels(); ++l)
+        for (const auto& patch : mesh.level(l))
+            local_dt = std::min(local_dt, kernel_calc_dt(*patch) * (1 << l));
+    return comm.allreduce(local_dt, simmpi::Comm::ReduceOp::Min);
+}
+
+void write_output(Marks& marks, simmpi::CaliComm& comm, const Hierarchy& mesh) {
+    FunctionScope fn(marks, "write_output");
+    RegionScope region(marks, "io");
+    double checksum = 0.0;
+    for (const auto& p : mesh.level(0))
+        checksum += patch_checksum(*p);
+    // gather per-rank checksums to rank 0 (stands in for parallel output)
+    comm.gather(std::span(reinterpret_cast<const std::byte*>(&checksum),
+                          sizeof(checksum)),
+                0);
+}
+
+} // namespace
+
+CleverStats run_rank(simmpi::Comm& raw_comm, const CleverConfig& config) {
+    simmpi::CaliComm comm(raw_comm);
+    Marks marks(config.annotate);
+    CleverStats stats;
+
+    const int rank = comm.rank();
+    const int size = comm.size();
+
+    // --- initialization -------------------------------------------------------
+    std::unique_ptr<Hierarchy> mesh;
+    {
+        FunctionScope fn(marks, "initialize");
+        RegionScope region(marks, "init");
+
+        // y-strip decomposition of the global coarse grid
+        const int rows = config.ny / size;
+        const int j0   = rank * rows;
+        const int j1   = (rank == size - 1) ? config.ny : j0 + rows;
+        const double dx = config.domain_w / config.nx;
+        const double dy = config.domain_h / config.ny;
+
+        auto strip = std::make_unique<Patch>(0, 0, j0, config.nx, j1 - j0, dx, dy);
+        init_triple_point(*strip, config.domain_w, config.domain_h);
+        kernel_ideal_gas(*strip);
+
+        mesh = std::make_unique<Hierarchy>(std::move(strip), config.amr);
+        mesh->regrid();
+    }
+    comm.barrier();
+
+    // --- main loop -------------------------------------------------------------
+    double sim_time = 0.0;
+    for (int step = 0; step < config.steps; ++step) {
+        marks.set(marks.iteration, Variant(static_cast<long long>(step)));
+        FunctionScope fn(marks, "hydro_step");
+        RegionScope region(marks, "computation");
+
+        const double dt = compute_timestep(marks, comm, *mesh);
+
+        halo_exchange(marks, comm, *mesh->level(0)[0]);
+
+        // advance each level; finer levels subcycle (2^l substeps of dt/2^l)
+        for (int l = 0; l < mesh->num_levels(); ++l) {
+            marks.begin(marks.level, Variant(static_cast<long long>(l)));
+            const int substeps = 1 << l;
+            const double dt_l  = dt / substeps;
+            for (int s = 0; s < substeps; ++s)
+                for (auto& patch : mesh->level(l))
+                    advance_patch(marks, *patch, dt_l, stats);
+            marks.end(marks.level);
+        }
+
+        // optional artificial skew: extra smoothing work on rank 0
+        if (config.imbalance > 0.0 && rank == 0) {
+            const int extra =
+                static_cast<int>(config.imbalance * mesh->num_levels());
+            for (int e = 0; e < extra; ++e)
+                kernel_ideal_gas(*mesh->level(0)[0]);
+        }
+
+        if ((step + 1) % config.regrid_interval == 0) {
+            FunctionScope regrid_fn(marks, "do_regrid");
+            RegionScope regrid_region(marks, "regrid");
+            mesh->regrid();
+        }
+        if ((step + 1) % config.io_interval == 0)
+            write_output(marks, comm, *mesh);
+
+        comm.barrier(); // end-of-step synchronization (CleverLeaf-style)
+        sim_time += dt;
+    }
+
+    // --- wrap-up ----------------------------------------------------------------
+    stats.steps    = config.steps;
+    stats.sim_time = sim_time;
+    for (const auto& p : mesh->level(0))
+        stats.checksum += patch_checksum(*p);
+    stats.cells_final = mesh->total_cells();
+    for (int l = 0; l < mesh->num_levels(); ++l)
+        stats.patches_final += mesh->level(l).size();
+    return stats;
+}
+
+} // namespace calib::clever

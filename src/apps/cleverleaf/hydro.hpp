@@ -1,0 +1,88 @@
+// CleverLeaf-sim: a compact but genuine 2D compressible-hydrodynamics
+// solver (first-order finite volume, Rusanov fluxes) structured into the
+// computational kernels of the CleverLeaf mini-application (paper §V-B,
+// §VI): ideal-gas, viscosity, calc-dt, pdv, accelerate, advec-cell,
+// advec-mom, reset, revert. See DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace calib::clever {
+
+/// A 2D scalar field with optional per-cell components (for flux arrays).
+class Field {
+public:
+    Field(int nx, int ny, int components = 1)
+        : nx_(nx), ny_(ny), comp_(components),
+          data_(static_cast<std::size_t>(nx) * ny * components, 0.0) {}
+
+    double& at(int i, int j, int c = 0) noexcept {
+        return data_[(static_cast<std::size_t>(j) * nx_ + i) * comp_ + c];
+    }
+    double at(int i, int j, int c = 0) const noexcept {
+        return data_[(static_cast<std::size_t>(j) * nx_ + i) * comp_ + c];
+    }
+
+    int nx() const noexcept { return nx_; }
+    int ny() const noexcept { return ny_; }
+
+    void swap_data(Field& other) noexcept { data_.swap(other.data_); }
+    void copy_from(const Field& other) { data_ = other.data_; }
+
+private:
+    int nx_, ny_, comp_;
+    std::vector<double> data_;
+};
+
+/// One rectangular mesh patch at a given refinement level.
+/// Coordinates (x0, y0) are in level-global cell units.
+struct Patch {
+    Patch(int level, int x0, int y0, int nx, int ny, double dx, double dy);
+
+    int level;
+    int x0, y0;
+    int nx, ny;
+    double dx, dy;
+
+    // conserved state: density, momentum, total energy
+    Field rho, mx, my, energy;
+    // derived quantities (ideal-gas / viscosity kernels)
+    Field pressure, soundspeed, wavespeed, velx, vely;
+    // double-buffered updates
+    Field rho_new, mx_new, my_new, energy_new;
+    // face fluxes (4 components: rho, mx, my, E)
+    Field flux_x{1, 1, 4};
+    Field flux_y{1, 1, 4};
+
+    // kernel diagnostics
+    double pdv_work  = 0.0;
+    double accel_sum = 0.0;
+
+    std::size_t cells() const noexcept {
+        return static_cast<std::size_t>(nx) * ny;
+    }
+};
+
+/// Initialize the triple-point shock interaction problem (Galera et al.).
+void init_triple_point(Patch& p, double domain_w, double domain_h);
+
+// -- computational kernels (annotated by the driver) --------------------------
+void kernel_ideal_gas(Patch& p);
+void kernel_viscosity(Patch& p);
+double kernel_calc_dt(const Patch& p);
+void kernel_advec_cell(Patch& p, double dt);
+void kernel_advec_mom(Patch& p, double dt);
+void kernel_pdv(Patch& p, double dt);
+void kernel_accelerate(Patch& p, double dt);
+void kernel_reset(Patch& p);
+void kernel_revert(Patch& p);
+
+/// Face-flux computation (the heavy, *unannotated* "other computation").
+void compute_fluxes(Patch& p);
+
+/// Conservation diagnostic used by tests and the io region.
+double patch_checksum(const Patch& p);
+
+} // namespace calib::clever

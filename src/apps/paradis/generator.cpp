@@ -1,0 +1,136 @@
+#include "generator.hpp"
+
+#include "../../common/hash.hpp"
+#include "../../common/recordmap.hpp"
+#include "../../io/caliwriter.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+
+namespace calib::paradis {
+
+namespace {
+
+// ParaDiS-flavoured kernel taxonomy (dislocation dynamics phases).
+const char* kernel_stems[] = {
+    "force-seg",   "force-remote", "cell-charge",  "segseg-force", "mobility",
+    "integrate",   "collision",    "remesh",       "topology",     "migrate",
+    "sort-cells",  "decomp",       "osmotic",      "stress",       "partial-forces",
+};
+
+const char* mpi_stems[] = {
+    "MPI_Allreduce", "MPI_Barrier",   "MPI_Send",     "MPI_Recv",
+    "MPI_Isend",     "MPI_Irecv",     "MPI_Wait",     "MPI_Waitall",
+    "MPI_Bcast",     "MPI_Reduce",    "MPI_Gather",   "MPI_Scatter",
+    "MPI_Allgather", "MPI_Alltoall",  "MPI_Sendrecv", "MPI_Scan",
+};
+
+/// xorshift-based deterministic value stream.
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) : state_(mix64(seed | 1)) {}
+    std::uint64_t next() {
+        state_ ^= state_ << 13;
+        state_ ^= state_ >> 7;
+        state_ ^= state_ << 17;
+        return state_;
+    }
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1p-53; }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace
+
+std::vector<std::string> kernel_names(int n) {
+    std::vector<std::string> out;
+    out.reserve(n);
+    const int stems = static_cast<int>(std::size(kernel_stems));
+    for (int i = 0; i < n; ++i) {
+        std::string name = kernel_stems[i % stems];
+        if (i >= stems)
+            name += "-" + std::to_string(i / stems);
+        out.push_back(std::move(name));
+    }
+    return out;
+}
+
+std::vector<std::string> mpi_function_names(int n) {
+    std::vector<std::string> out;
+    out.reserve(n);
+    const int stems = static_cast<int>(std::size(mpi_stems));
+    for (int i = 0; i < n; ++i) {
+        std::string name = mpi_stems[i % stems];
+        if (i >= stems)
+            name += "_v" + std::to_string(i / stems);
+        out.push_back(std::move(name));
+    }
+    return out;
+}
+
+std::size_t write_rank_file(const std::string& path, int rank,
+                            const ParadisConfig& config) {
+    std::ofstream os(path);
+    if (!os)
+        throw std::runtime_error("paradis-gen: cannot open " + path);
+
+    CaliWriter writer(os);
+    writer.write_global("paradis.rank", Variant(static_cast<long long>(rank)));
+    writer.write_global("paradis.seed",
+                        Variant(static_cast<unsigned long long>(config.seed)));
+
+    const auto kernels = kernel_names(config.num_kernels);
+    const auto mpis    = mpi_function_names(config.num_mpi_functions);
+    Rng rng(config.seed ^ (static_cast<std::uint64_t>(rank) * 0x9e3779b97f4a7c15ull));
+
+    const int keys_per_iter = config.num_kernels + config.num_mpi_functions + 1;
+
+    auto emit = [&](int iteration, int key_index) {
+        RecordMap rec;
+        // key_index: [0, nk) kernels, [nk, nk+nm) MPI functions, last = neither
+        if (key_index < config.num_kernels) {
+            rec.append("kernel", Variant(kernels[key_index]));
+        } else if (key_index < config.num_kernels + config.num_mpi_functions) {
+            rec.append("mpi.function", Variant(mpis[key_index - config.num_kernels]));
+        }
+        rec.append("iteration#mainloop", Variant(static_cast<long long>(iteration)));
+        rec.append("mpi.rank", Variant(static_cast<long long>(rank)));
+
+        const std::uint64_t visits = 1 + rng.next() % 64;
+        const double excl_us       = (0.5 + rng.uniform()) * 150.0 * visits;
+        rec.append("count", Variant(static_cast<unsigned long long>(visits)));
+        rec.append("sum#time.duration", Variant(excl_us));
+        rec.append("sum#time.inclusive.duration",
+                   Variant(excl_us * (1.0 + rng.uniform())));
+        writer.write_record(rec);
+    };
+
+    std::size_t written = 0;
+    for (int iter = 0; written < static_cast<std::size_t>(config.records_per_file);
+         ++iter) {
+        for (int k = 0;
+             k < keys_per_iter &&
+             written < static_cast<std::size_t>(config.records_per_file);
+             ++k, ++written)
+            emit(iter % config.iterations, k);
+    }
+    return written;
+}
+
+std::vector<std::string> generate_dataset(const std::string& dir, int nranks,
+                                          const ParadisConfig& config) {
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> paths;
+    paths.reserve(nranks);
+    for (int r = 0; r < nranks; ++r) {
+        std::string path = dir + "/paradis-" + std::to_string(r) + ".cali";
+        write_rank_file(path, r, config);
+        paths.push_back(std::move(path));
+    }
+    return paths;
+}
+
+} // namespace calib::paradis

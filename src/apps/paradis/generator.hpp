@@ -1,0 +1,41 @@
+// ParaDiS-sim: synthetic distributed time-series profile dataset generator
+// (substitution for the paper's 4096-rank ParaDiS dataset, §V-C).
+//
+// Reproduces the published dataset statistics: one .cali file per rank,
+// 2174 records per file, a per-process time-series profile over
+// computational kernels, MPI functions, MPI rank, and main-loop
+// iterations, with visit count and aggregated runtimes per region. The
+// paper's evaluation query
+//     AGGREGATE sum(time.inclusive.duration) GROUP BY kernel, mpi.function
+// produces exactly 85 output records over this dataset.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calib::paradis {
+
+struct ParadisConfig {
+    int records_per_file  = 2174;
+    int num_kernels       = 60;
+    int num_mpi_functions = 24;
+    int iterations        = 25; ///< 25 * (60+24+1) = 2125; remainder padded
+    std::uint64_t seed    = 0x9a7ad15ull;
+};
+
+/// Deterministic list of kernel / MPI-function names used in the dataset.
+std::vector<std::string> kernel_names(int n);
+std::vector<std::string> mpi_function_names(int n);
+
+/// Write one rank's profile file. Deterministic in (rank, config.seed).
+/// Returns the number of records written.
+std::size_t write_rank_file(const std::string& path, int rank,
+                            const ParadisConfig& config);
+
+/// Generate a dataset of \a nranks files named <dir>/paradis-<rank>.cali.
+/// Returns the file paths in rank order.
+std::vector<std::string> generate_dataset(const std::string& dir, int nranks,
+                                          const ParadisConfig& config);
+
+} // namespace calib::paradis

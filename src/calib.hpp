@@ -1,0 +1,22 @@
+// calib — flexible data aggregation for performance profiling.
+// Umbrella header for the public API.
+#pragma once
+
+#include "common/attribute.hpp"   // IWYU pragma: export
+#include "common/recordmap.hpp"   // IWYU pragma: export
+#include "common/snapshot.hpp"    // IWYU pragma: export
+#include "common/variant.hpp"     // IWYU pragma: export
+
+#include "aggregate/aggregation_db.hpp" // IWYU pragma: export
+#include "aggregate/ops.hpp"            // IWYU pragma: export
+
+#include "query/calql.hpp"     // IWYU pragma: export
+#include "query/formatter.hpp" // IWYU pragma: export
+#include "query/processor.hpp" // IWYU pragma: export
+
+#include "io/calireader.hpp" // IWYU pragma: export
+#include "io/caliwriter.hpp" // IWYU pragma: export
+
+#include "runtime/annotation.hpp" // IWYU pragma: export
+#include "runtime/caliper.hpp"    // IWYU pragma: export
+#include "runtime/config.hpp"     // IWYU pragma: export

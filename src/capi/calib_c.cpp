@@ -1,0 +1,94 @@
+#include "calib_c.h"
+
+#include "../common/log.hpp"
+#include "../runtime/annotation.hpp"
+#include "../runtime/caliper.hpp"
+
+#include <mutex>
+#include <vector>
+
+namespace {
+
+// channel-id table for the C interface (ids are never reused)
+std::mutex g_channel_mutex;
+std::vector<calib::Channel*> g_channels;
+
+calib::Channel* lookup(int id) {
+    std::lock_guard<std::mutex> lock(g_channel_mutex);
+    if (id < 0 || static_cast<std::size_t>(id) >= g_channels.size())
+        return nullptr;
+    return g_channels[id];
+}
+
+} // namespace
+
+extern "C" {
+
+void calib_begin_string(const char* attribute, const char* value) {
+    calib::mark_begin(attribute, calib::Variant(std::string_view(value)));
+}
+
+void calib_begin_int(const char* attribute, int64_t value) {
+    calib::mark_begin(attribute, calib::Variant(static_cast<long long>(value)));
+}
+
+void calib_end(const char* attribute) {
+    calib::mark_end(attribute);
+}
+
+void calib_set_string(const char* attribute, const char* value) {
+    calib::mark_set(attribute, calib::Variant(std::string_view(value)));
+}
+
+void calib_set_int(const char* attribute, int64_t value) {
+    calib::mark_set(attribute, calib::Variant(static_cast<long long>(value)));
+}
+
+void calib_set_double(const char* attribute, double value) {
+    calib::mark_set(attribute, calib::Variant(value));
+}
+
+int calib_channel_create(const char* name, const char* profile) {
+    try {
+        calib::RuntimeConfig cfg = calib::RuntimeConfig::from_string(profile)
+                                       .merged_with(calib::RuntimeConfig::from_env());
+        calib::Channel* channel =
+            calib::Caliper::instance().create_channel(name, cfg);
+        std::lock_guard<std::mutex> lock(g_channel_mutex);
+        g_channels.push_back(channel);
+        return static_cast<int>(g_channels.size()) - 1;
+    } catch (const std::exception& e) {
+        calib::log_error() << "calib_channel_create: " << e.what();
+        return -1;
+    }
+}
+
+int calib_channel_flush(int channel_id) {
+    calib::Channel* channel = lookup(channel_id);
+    if (!channel)
+        return -1;
+    calib::Caliper::instance().flush_thread(channel);
+    return 0;
+}
+
+int calib_channel_close(int channel_id) {
+    calib::Channel* channel = lookup(channel_id);
+    if (!channel)
+        return -1;
+    calib::Caliper::instance().close_channel(channel);
+    return 0;
+}
+
+void calib_snapshot(void) {
+    calib::Caliper::instance().push_snapshot();
+}
+
+void calib_set_thread_label(const char* label) {
+    calib::Caliper::instance().set_thread_label(label);
+}
+
+const char* calib_version(void) {
+    return "1.0.0";
+}
+
+} // extern "C"

@@ -1,0 +1,55 @@
+/* C annotation API for calib (Caliper exposes an equivalent C interface
+ * so C and Fortran codes can be instrumented; paper §IV-A).
+ *
+ * The C API covers the instrumentation surface: attribute begin/end/set,
+ * channel creation from a configuration string, explicit snapshots, and
+ * flushing. Querying and analysis remain C++/CLI territory.
+ */
+#ifndef CALIB_C_H
+#define CALIB_C_H
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* -- region annotations (nested begin/end semantics) ---------------------- */
+void calib_begin_string(const char* attribute, const char* value);
+void calib_begin_int(const char* attribute, int64_t value);
+void calib_end(const char* attribute);
+
+/* -- value attributes (set-only semantics) --------------------------------- */
+void calib_set_string(const char* attribute, const char* value);
+void calib_set_int(const char* attribute, int64_t value);
+void calib_set_double(const char* attribute, double value);
+
+/* -- channels --------------------------------------------------------------
+ * Create a measurement channel from a profile in runtime-config syntax
+ * ("key=value" lines). Returns an opaque id (>= 0), or -1 on error. */
+int calib_channel_create(const char* name, const char* profile);
+
+/* Flush the calling thread's data on the channel (recorder writes files
+ * when enabled). Returns 0 on success, -1 when the id is unknown. */
+int calib_channel_flush(int channel_id);
+
+/* Close the channel: runs finish hooks (e.g. the report service) and
+ * deactivates it. */
+int calib_channel_close(int channel_id);
+
+/* -- snapshots --------------------------------------------------------------
+ * Trigger an explicit snapshot on all active channels. */
+void calib_snapshot(void);
+
+/* -- misc ------------------------------------------------------------------ */
+void calib_set_thread_label(const char* label);
+
+/* Library version as "major.minor.patch". */
+const char* calib_version(void);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* CALIB_C_H */

@@ -1,0 +1,52 @@
+#include "attribute.hpp"
+
+namespace calib {
+
+AttributeRegistry::AttributeRegistry() {
+    attributes_.reserve(64);
+}
+
+Attribute AttributeRegistry::create(std::string_view name, Variant::Type type,
+                                    std::uint32_t properties) {
+    {
+        std::shared_lock lock(mutex_);
+        auto it = by_name_.find(name);
+        if (it != by_name_.end())
+            return attributes_[it->second];
+    }
+
+    std::unique_lock lock(mutex_);
+    auto it = by_name_.find(name);
+    if (it != by_name_.end())
+        return attributes_[it->second];
+
+    const char* interned_name = intern(name);
+    const id_t id             = static_cast<id_t>(attributes_.size());
+    attributes_.emplace_back(id, interned_name, type, properties);
+    by_name_.emplace(std::string_view(interned_name), id);
+    count_.store(attributes_.size(), std::memory_order_release);
+    return attributes_.back();
+}
+
+Attribute AttributeRegistry::find(std::string_view name) const {
+    std::shared_lock lock(mutex_);
+    auto it = by_name_.find(name);
+    return it != by_name_.end() ? attributes_[it->second] : Attribute();
+}
+
+Attribute AttributeRegistry::get(id_t id) const {
+    std::shared_lock lock(mutex_);
+    return id < attributes_.size() ? attributes_[id] : Attribute();
+}
+
+std::size_t AttributeRegistry::size() const {
+    std::shared_lock lock(mutex_);
+    return attributes_.size();
+}
+
+std::vector<Attribute> AttributeRegistry::all() const {
+    std::shared_lock lock(mutex_);
+    return attributes_;
+}
+
+} // namespace calib

@@ -1,0 +1,116 @@
+// Attributes: the "key" half of the key:value data model.
+//
+// An attribute pairs a unique label with a value type and a set of
+// properties that tell the runtime how to treat it (nested begin/end
+// semantics, scope, whether it may appear in aggregation keys, ...).
+// Attribute metadata lives in an AttributeRegistry; hot-path code refers
+// to attributes by their dense integer id.
+#pragma once
+
+#include "types.hpp"
+#include "variant.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace calib {
+
+/// Attribute property flags (combinable).
+namespace prop {
+inline constexpr std::uint32_t none       = 0;
+/// begin/end updates maintain a stack; snapshot sees the innermost value.
+inline constexpr std::uint32_t nested     = 1u << 0;
+/// set-only scalar (no stack); e.g. iteration counters, measurement values.
+inline constexpr std::uint32_t as_value   = 1u << 1;
+/// values of this attribute are metric-like and meaningful to aggregate.
+inline constexpr std::uint32_t aggregatable = 1u << 2;
+/// per-process scope (default is per-thread).
+inline constexpr std::uint32_t scope_process = 1u << 3;
+/// excluded from implicit "group by everything" aggregation keys.
+inline constexpr std::uint32_t skip_key   = 1u << 4;
+/// internal attribute, hidden from default report output.
+inline constexpr std::uint32_t hidden     = 1u << 5;
+} // namespace prop
+
+/// Immutable attribute metadata. Cheap to copy (id + pointers).
+class Attribute {
+public:
+    Attribute() = default;
+    Attribute(id_t id, const char* name, Variant::Type type, std::uint32_t properties)
+        : id_(id), name_(name), type_(type), prop_(properties) {}
+
+    id_t id() const noexcept { return id_; }
+    bool valid() const noexcept { return id_ != invalid_id; }
+
+    /// Interned attribute label.
+    const char* name() const noexcept { return name_; }
+    std::string_view name_view() const noexcept {
+        return name_ ? std::string_view(name_) : std::string_view();
+    }
+
+    Variant::Type type() const noexcept { return type_; }
+    std::uint32_t properties() const noexcept { return prop_; }
+
+    bool is_nested() const noexcept { return prop_ & prop::nested; }
+    bool is_value() const noexcept { return prop_ & prop::as_value; }
+    bool is_aggregatable() const noexcept { return prop_ & prop::aggregatable; }
+    bool is_process_scope() const noexcept { return prop_ & prop::scope_process; }
+    bool is_hidden() const noexcept { return prop_ & prop::hidden; }
+    bool skip_in_key() const noexcept { return prop_ & prop::skip_key; }
+
+    bool operator==(const Attribute& rhs) const noexcept { return id_ == rhs.id_; }
+
+private:
+    id_t id_            = invalid_id;
+    const char* name_   = nullptr;
+    Variant::Type type_ = Variant::Type::Empty;
+    std::uint32_t prop_ = prop::none;
+};
+
+/// Thread-safe attribute dictionary. Creation is idempotent per name:
+/// re-creating an existing attribute returns the original definition.
+class AttributeRegistry {
+public:
+    AttributeRegistry();
+
+    AttributeRegistry(const AttributeRegistry&)            = delete;
+    AttributeRegistry& operator=(const AttributeRegistry&) = delete;
+
+    /// Find or create an attribute. When the attribute already exists its
+    /// original type/properties win (a warning-worthy mismatch is ignored,
+    /// matching Caliper's first-definition-wins behaviour).
+    Attribute create(std::string_view name, Variant::Type type,
+                     std::uint32_t properties = prop::none);
+
+    /// Look up by name; returns an invalid Attribute when absent.
+    Attribute find(std::string_view name) const;
+
+    /// Look up by id; returns an invalid Attribute when out of range.
+    Attribute get(id_t id) const;
+
+    /// Number of attributes defined.
+    std::size_t size() const;
+
+    /// Lock-free attribute count, used by hot paths to detect whether new
+    /// attributes appeared since a cached name-resolution pass.
+    std::size_t generation() const noexcept {
+        return count_.load(std::memory_order_acquire);
+    }
+
+    /// Snapshot of all attributes (for writers / introspection).
+    std::vector<Attribute> all() const;
+
+private:
+    mutable std::shared_mutex mutex_;
+    std::vector<Attribute> attributes_;
+    std::unordered_map<std::string_view, id_t> by_name_;
+    std::atomic<std::size_t> count_{0};
+};
+
+} // namespace calib

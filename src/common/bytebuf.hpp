@@ -1,0 +1,122 @@
+// Little byte-buffer reader/writer used for aggregation-DB serialization
+// and simmpi message payloads. Fixed little-endian-ish host encoding —
+// buffers never leave the process (or travel between threads of it).
+#pragma once
+
+#include "variant.hpp"
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace calib {
+
+class ByteWriter {
+public:
+    explicit ByteWriter(std::vector<std::byte>& out) : out_(out) {}
+
+    template <typename T>
+    void put(const T& v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const std::size_t n = out_.size();
+        out_.resize(n + sizeof(T));
+        std::memcpy(out_.data() + n, &v, sizeof(T));
+    }
+
+    void put_bytes(const void* data, std::size_t len) {
+        const std::size_t n = out_.size();
+        out_.resize(n + len);
+        if (len)
+            std::memcpy(out_.data() + n, data, len);
+    }
+
+    void put_string(std::string_view sv) {
+        put(static_cast<std::uint32_t>(sv.size()));
+        put_bytes(sv.data(), sv.size());
+    }
+
+    /// Type tag + payload. Strings are encoded by content.
+    void put_variant(const Variant& v) {
+        put(static_cast<std::uint8_t>(v.type()));
+        switch (v.type()) {
+        case Variant::Type::Empty:
+            break;
+        case Variant::Type::Bool:
+            put(static_cast<std::uint8_t>(v.as_bool() ? 1 : 0));
+            break;
+        case Variant::Type::String:
+            put_string(v.as_string());
+            break;
+        default:
+            put(v.as_uint()); // raw 8-byte payload for int/uint/double
+        }
+    }
+
+    std::size_t size() const noexcept { return out_.size(); }
+
+private:
+    std::vector<std::byte>& out_;
+};
+
+class ByteReader {
+public:
+    explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+
+    template <typename T>
+    T get() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        require(sizeof(T));
+        T v;
+        std::memcpy(&v, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    std::string_view get_string() {
+        const auto len = get<std::uint32_t>();
+        require(len);
+        auto sv = std::string_view(reinterpret_cast<const char*>(data_.data() + pos_), len);
+        pos_ += len;
+        return sv;
+    }
+
+    Variant get_variant() {
+        const auto type = static_cast<Variant::Type>(get<std::uint8_t>());
+        switch (type) {
+        case Variant::Type::Empty:
+            return {};
+        case Variant::Type::Bool:
+            return Variant(get<std::uint8_t>() != 0);
+        case Variant::Type::String:
+            return Variant(get_string()); // interns
+        case Variant::Type::Int:
+            return Variant(static_cast<long long>(get<std::uint64_t>()));
+        case Variant::Type::UInt:
+            return Variant(static_cast<unsigned long long>(get<std::uint64_t>()));
+        case Variant::Type::Double: {
+            const auto bits = get<std::uint64_t>();
+            double d;
+            std::memcpy(&d, &bits, sizeof(double));
+            return Variant(d);
+        }
+        }
+        return {};
+    }
+
+    bool at_end() const noexcept { return pos_ == data_.size(); }
+    std::size_t remaining() const noexcept { return data_.size() - pos_; }
+
+private:
+    void require(std::size_t n) const {
+        if (pos_ + n > data_.size())
+            throw std::runtime_error("ByteReader: truncated buffer");
+    }
+
+    std::span<const std::byte> data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace calib

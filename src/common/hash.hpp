@@ -1,0 +1,42 @@
+// FNV-1a hashing used for string interning and aggregation-key lookup.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace calib {
+
+inline constexpr std::uint64_t fnv1a_offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t fnv1a_prime  = 0x100000001b3ULL;
+
+/// Feed a range of bytes into an FNV-1a accumulator.
+constexpr std::uint64_t fnv1a(const char* data, std::size_t len,
+                              std::uint64_t h = fnv1a_offset) noexcept {
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= static_cast<unsigned char>(data[i]);
+        h *= fnv1a_prime;
+    }
+    return h;
+}
+
+constexpr std::uint64_t fnv1a(std::string_view sv,
+                              std::uint64_t h = fnv1a_offset) noexcept {
+    return fnv1a(sv.data(), sv.size(), h);
+}
+
+/// Feed a trivially-copyable value into an FNV-1a accumulator.
+template <typename T>
+std::uint64_t fnv1a_value(const T& v, std::uint64_t h = fnv1a_offset) noexcept {
+    return fnv1a(reinterpret_cast<const char*>(&v), sizeof(T), h);
+}
+
+/// 64->64 bit finalizer (splitmix64) to spread FNV output across table slots.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace calib

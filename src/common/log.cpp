@@ -1,0 +1,48 @@
+#include "log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace calib {
+
+namespace {
+
+std::atomic<int> g_verbosity{-1};
+std::mutex g_output_mutex;
+
+int init_verbosity() {
+    if (const char* env = std::getenv("CALIB_LOG_VERBOSITY"))
+        return std::atoi(env);
+    return Log::Warn;
+}
+
+} // namespace
+
+Log::~Log() {
+    if (!enabled(level_))
+        return;
+    static const char* prefix[] = {"error", "warn", "info", "debug"};
+    std::lock_guard<std::mutex> lock(g_output_mutex);
+    std::fprintf(stderr, "calib [%s]: %s\n", prefix[level_], stream_.str().c_str());
+}
+
+bool Log::enabled(Level level) {
+    return static_cast<int>(level) <= verbosity();
+}
+
+void Log::set_verbosity(int level) {
+    g_verbosity.store(level, std::memory_order_relaxed);
+}
+
+int Log::verbosity() {
+    int v = g_verbosity.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = init_verbosity();
+        g_verbosity.store(v, std::memory_order_relaxed);
+    }
+    return v;
+}
+
+} // namespace calib

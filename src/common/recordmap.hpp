@@ -1,0 +1,85 @@
+// RecordMap: the offline representation of a record — attribute *names*
+// mapped to values. File readers, the query engine, and report formatters
+// operate on RecordMaps so that data from different runs (with different
+// attribute-id assignments) can be processed uniformly.
+#pragma once
+
+#include "variant.hpp"
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace calib {
+
+class RecordMap {
+public:
+    /// Attribute names are interned `const char*` so copies stay cheap.
+    using value_type = std::pair<const char*, Variant>;
+
+    RecordMap() = default;
+
+    void append(std::string_view name, const Variant& value) {
+        entries_.emplace_back(intern(name), value);
+    }
+    void append(const char* interned_name, const Variant& value) {
+        entries_.emplace_back(interned_name, value);
+    }
+
+    /// Overwrite the first entry for \a name, or append.
+    void set(std::string_view name, const Variant& value) {
+        const char* n = intern(name);
+        for (auto& [en, ev] : entries_)
+            if (en == n) {
+                ev = value;
+                return;
+            }
+        entries_.emplace_back(n, value);
+    }
+
+    /// First value for \a name, or an empty Variant.
+    Variant get(std::string_view name) const {
+        for (const auto& [en, ev] : entries_)
+            if (name == en)
+                return ev;
+        return {};
+    }
+
+    bool contains(std::string_view name) const {
+        for (const auto& [en, ev] : entries_)
+            if (name == en)
+                return true;
+        return false;
+    }
+
+    void remove(std::string_view name) {
+        std::erase_if(entries_, [&](const value_type& e) { return name == e.first; });
+    }
+
+    std::size_t size() const noexcept { return entries_.size(); }
+    bool empty() const noexcept { return entries_.empty(); }
+    void clear() noexcept { entries_.clear(); }
+    void reserve(std::size_t n) { entries_.reserve(n); }
+
+    auto begin() const noexcept { return entries_.begin(); }
+    auto end() const noexcept { return entries_.end(); }
+    auto begin() noexcept { return entries_.begin(); }
+    auto end() noexcept { return entries_.end(); }
+    const value_type& operator[](std::size_t i) const noexcept { return entries_[i]; }
+
+    bool operator==(const RecordMap& rhs) const {
+        if (entries_.size() != rhs.entries_.size())
+            return false;
+        for (const auto& [n, v] : entries_) {
+            if (!(rhs.get(n) == v))
+                return false;
+        }
+        return true;
+    }
+
+private:
+    std::vector<value_type> entries_;
+};
+
+} // namespace calib

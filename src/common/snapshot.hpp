@@ -1,0 +1,98 @@
+// Snapshot records: a flat set of (attribute-id, value) entries capturing
+// the blackboard state at one point in time. This is the unit of data that
+// flows from the measurement layer into the aggregation service.
+//
+// SnapshotRecord has fixed inline capacity and never allocates, so it is
+// safe to build inside a sampling signal handler.
+#pragma once
+
+#include "attribute.hpp"
+#include "types.hpp"
+#include "variant.hpp"
+
+#include <algorithm>
+#include <cstddef>
+
+namespace calib {
+
+/// One attribute:value pair inside a snapshot.
+struct Entry {
+    id_t attribute = invalid_id;
+    Variant value;
+
+    Entry() = default;
+    Entry(id_t a, const Variant& v) : attribute(a), value(v) {}
+
+    bool operator==(const Entry& rhs) const noexcept {
+        return attribute == rhs.attribute && value == rhs.value;
+    }
+};
+
+/// Fixed-capacity, allocation-free snapshot record.
+class SnapshotRecord {
+public:
+    static constexpr std::size_t max_entries = 64;
+
+    SnapshotRecord() = default;
+
+    /// Append an entry; silently drops entries beyond capacity and records
+    /// the overflow in dropped(). (Real tools surface this as a warning.)
+    void append(id_t attribute, const Variant& value) noexcept {
+        if (size_ < max_entries)
+            entries_[size_++] = Entry(attribute, value);
+        else
+            ++dropped_;
+    }
+    void append(const Entry& e) noexcept { append(e.attribute, e.value); }
+
+    /// Append or overwrite the entry for \a attribute.
+    void set(id_t attribute, const Variant& value) noexcept {
+        for (std::size_t i = 0; i < size_; ++i)
+            if (entries_[i].attribute == attribute) {
+                entries_[i].value = value;
+                return;
+            }
+        append(attribute, value);
+    }
+
+    /// First value recorded for \a attribute, or an empty Variant.
+    Variant get(id_t attribute) const noexcept {
+        for (std::size_t i = 0; i < size_; ++i)
+            if (entries_[i].attribute == attribute)
+                return entries_[i].value;
+        return {};
+    }
+
+    bool contains(id_t attribute) const noexcept {
+        for (std::size_t i = 0; i < size_; ++i)
+            if (entries_[i].attribute == attribute)
+                return true;
+        return false;
+    }
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+    std::size_t dropped() const noexcept { return dropped_; }
+
+    const Entry* begin() const noexcept { return entries_; }
+    const Entry* end() const noexcept { return entries_ + size_; }
+    const Entry& operator[](std::size_t i) const noexcept { return entries_[i]; }
+
+    void clear() noexcept {
+        size_    = 0;
+        dropped_ = 0;
+    }
+
+    /// Sort entries by attribute id (canonical order for key comparison).
+    void sort() noexcept {
+        std::sort(entries_, entries_ + size_,
+                  [](const Entry& a, const Entry& b) { return a.attribute < b.attribute; });
+    }
+
+private:
+    Entry entries_[max_entries];
+    std::size_t size_    = 0;
+    std::size_t dropped_ = 0;
+};
+
+} // namespace calib

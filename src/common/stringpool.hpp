@@ -1,0 +1,79 @@
+// Append-only string interning pool.
+//
+// All string values that enter the data model are interned here, so that
+// a string value can be carried in a Variant as a stable `const char*`:
+// equal strings always yield the same pointer, which makes value equality
+// a pointer comparison and keeps the hot aggregation path allocation-free.
+//
+// Each interned string is stored with a small header carrying its
+// precomputed FNV-1a hash and length, so hashing an interned string during
+// aggregation-key construction is a single load.
+#pragma once
+
+#include "hash.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace calib {
+
+class StringPool {
+public:
+    StringPool();
+    ~StringPool();
+
+    StringPool(const StringPool&)            = delete;
+    StringPool& operator=(const StringPool&) = delete;
+
+    /// Intern \a sv and return a stable, NUL-terminated pointer.
+    /// Identical strings always return the identical pointer.
+    const char* intern(std::string_view sv);
+
+    /// Precomputed content hash of an interned string returned by intern().
+    static std::uint64_t hash(const char* interned) noexcept;
+
+    /// Length of an interned string (cheaper than strlen).
+    static std::uint32_t length(const char* interned) noexcept;
+
+    /// True if \a ptr was returned by this pool (debug aid; O(#blocks)).
+    bool contains(const char* ptr) const;
+
+    /// Number of distinct strings interned so far.
+    std::size_t size() const;
+
+    /// Total bytes of string payload stored (excluding headers).
+    std::size_t payload_bytes() const;
+
+    /// Process-global pool used by the runtime and the offline readers.
+    static StringPool& global();
+
+private:
+    struct Header {
+        std::uint64_t hash;
+        std::uint32_t len;
+        std::uint32_t pad = 0; // keep the payload 8-byte aligned
+    };
+
+    static constexpr std::size_t block_size = 64 * 1024;
+
+    const char* insert_locked(std::string_view sv, std::uint64_t h);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<char[]>> blocks_;
+    std::size_t block_fill_ = 0;
+    std::size_t payload_    = 0;
+    // hash -> interned pointers with that hash (collision chain).
+    std::unordered_map<std::uint64_t, std::vector<const char*>> index_;
+};
+
+/// Convenience wrapper: intern into the process-global pool.
+inline const char* intern(std::string_view sv) {
+    return StringPool::global().intern(sv);
+}
+
+} // namespace calib

@@ -1,0 +1,16 @@
+// calib — flexible data aggregation for performance profiling.
+// Basic type definitions shared by all modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace calib {
+
+/// Identifier type for attributes, nodes, and other registry-managed objects.
+using id_t = std::uint32_t;
+
+/// Sentinel value denoting "no id".
+inline constexpr id_t invalid_id = std::numeric_limits<id_t>::max();
+
+} // namespace calib

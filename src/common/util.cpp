@@ -1,0 +1,141 @@
+#include "util.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace calib::util {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (true) {
+        std::size_t pos = s.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.push_back(s.substr(start));
+            break;
+        }
+        out.push_back(s.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return out;
+}
+
+std::vector<std::string> split_escaped(std::string_view s, char sep) {
+    std::vector<std::string> out;
+    std::string cur;
+    bool esc = false;
+    for (char c : s) {
+        if (esc) {
+            // keep the escape sequence intact; callers unescape() per field
+            cur.push_back(c);
+            esc = false;
+        } else if (c == '\\') {
+            cur.push_back(c);
+            esc = true;
+        } else if (c == sep) {
+            out.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(std::move(cur));
+    return out;
+}
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    return true;
+}
+
+std::string to_lower(std::string_view s) {
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return out;
+}
+
+std::string escape(std::string_view s, std::string_view special) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        if (c == '\n') {
+            // a newline can never survive in a line-oriented format
+            out += "\\n";
+            continue;
+        }
+        if (c == '\\' || special.find(c) != std::string_view::npos)
+            out.push_back('\\');
+        out.push_back(c);
+    }
+    return out;
+}
+
+std::string unescape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size());
+    bool esc = false;
+    for (char c : s) {
+        if (esc) {
+            out.push_back(c == 'n' ? '\n' : c);
+            esc = false;
+        } else if (c == '\\') {
+            esc = true;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+bool looks_numeric(std::string_view text) {
+    if (text.empty())
+        return false;
+    std::size_t i = 0;
+    if (text[0] == '+' || text[0] == '-')
+        i = 1;
+    bool digits = false, dot = false, expo = false;
+    for (; i < text.size(); ++i) {
+        const char c = text[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digits = true;
+        } else if (c == '.' && !dot && !expo) {
+            dot = true;
+        } else if ((c == 'e' || c == 'E') && digits && !expo) {
+            expo = true;
+            if (i + 1 < text.size() && (text[i + 1] == '+' || text[i + 1] == '-'))
+                ++i;
+        } else {
+            return false;
+        }
+    }
+    return digits;
+}
+
+std::string format_bytes(double bytes) {
+    static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int u = 0;
+    while (bytes >= 1024.0 && u < 4) {
+        bytes /= 1024.0;
+        ++u;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
+    return buf;
+}
+
+} // namespace calib::util

@@ -1,0 +1,35 @@
+// Small string and parsing utilities shared across modules.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace calib::util {
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on a single character, honouring backslash escapes of the
+/// separator (used by the .cali stream format).
+std::vector<std::string> split_escaped(std::string_view s, char sep);
+
+std::string_view trim(std::string_view s);
+
+bool iequals(std::string_view a, std::string_view b);
+
+std::string to_lower(std::string_view s);
+
+/// Escape separator-relevant characters (\, sep, newline) with backslashes.
+std::string escape(std::string_view s, std::string_view special);
+
+/// Undo escape().
+std::string unescape(std::string_view s);
+
+/// True if \a text looks like a number (optional sign, digits, dot, exp).
+bool looks_numeric(std::string_view text);
+
+/// Format a byte count as a human-readable string ("1.5 MiB").
+std::string format_bytes(double bytes);
+
+} // namespace calib::util

@@ -1,0 +1,199 @@
+#include "variant.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace calib {
+
+double Variant::to_double() const noexcept {
+    switch (type_) {
+    case Type::Int:    return static_cast<double>(u_.i);
+    case Type::UInt:   return static_cast<double>(u_.u);
+    case Type::Double: return u_.d;
+    case Type::Bool:   return u_.b ? 1.0 : 0.0;
+    default:           return 0.0;
+    }
+}
+
+std::int64_t Variant::to_int() const noexcept {
+    switch (type_) {
+    case Type::Int:    return u_.i;
+    case Type::UInt:   return static_cast<std::int64_t>(u_.u);
+    case Type::Double: return static_cast<std::int64_t>(u_.d);
+    case Type::Bool:   return u_.b ? 1 : 0;
+    default:           return 0;
+    }
+}
+
+std::uint64_t Variant::to_uint() const noexcept {
+    switch (type_) {
+    case Type::Int:    return u_.i < 0 ? 0u : static_cast<std::uint64_t>(u_.i);
+    case Type::UInt:   return u_.u;
+    case Type::Double: return u_.d < 0 ? 0u : static_cast<std::uint64_t>(u_.d);
+    case Type::Bool:   return u_.b ? 1u : 0u;
+    default:           return 0;
+    }
+}
+
+bool Variant::to_bool() const noexcept {
+    switch (type_) {
+    case Type::Bool:   return u_.b;
+    case Type::Int:    return u_.i != 0;
+    case Type::UInt:   return u_.u != 0;
+    case Type::Double: return u_.d != 0.0;
+    case Type::String: return StringPool::length(u_.s) > 0;
+    default:           return false;
+    }
+}
+
+std::string Variant::to_string() const {
+    switch (type_) {
+    case Type::Empty:  return {};
+    case Type::Bool:   return u_.b ? "true" : "false";
+    case Type::Int:    return std::to_string(u_.i);
+    case Type::UInt:   return std::to_string(u_.u);
+    case Type::String: return std::string(as_string());
+    case Type::Double: {
+        // %g with enough digits to round-trip typical measurement values,
+        // but without trailing float noise in reports.
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.12g", u_.d);
+        return buf;
+    }
+    }
+    return {};
+}
+
+Variant Variant::parse(Type type, std::string_view text) {
+    switch (type) {
+    case Type::Empty:
+        return {};
+    case Type::Bool:
+        if (text == "true" || text == "1")
+            return Variant(true);
+        if (text == "false" || text == "0")
+            return Variant(false);
+        return {};
+    case Type::Int: {
+        std::int64_t v = 0;
+        auto [p, ec] = std::from_chars(text.begin(), text.end(), v);
+        return (ec == std::errc() && p == text.end()) ? Variant(static_cast<long long>(v))
+                                                      : Variant();
+    }
+    case Type::UInt: {
+        std::uint64_t v = 0;
+        auto [p, ec] = std::from_chars(text.begin(), text.end(), v);
+        return (ec == std::errc() && p == text.end())
+                   ? Variant(static_cast<unsigned long long>(v))
+                   : Variant();
+    }
+    case Type::Double: {
+        // std::from_chars<double> is available in libstdc++ 11+; use strtod
+        // for locale-independent-enough portability with a bounded copy.
+        std::string tmp(text);
+        char* end = nullptr;
+        errno     = 0;
+        double v  = std::strtod(tmp.c_str(), &end);
+        if (end != tmp.c_str() + tmp.size() || errno == ERANGE)
+            return {};
+        return Variant(v);
+    }
+    case Type::String:
+        return Variant(text);
+    }
+    return {};
+}
+
+Variant Variant::parse_guess(std::string_view text) {
+    if (text.empty())
+        return Variant(text);
+    if (Variant v = parse(Type::Int, text); !v.empty())
+        return v;
+    if (Variant v = parse(Type::Double, text); !v.empty())
+        return v;
+    if (text == "true")
+        return Variant(true);
+    if (text == "false")
+        return Variant(false);
+    return Variant(text);
+}
+
+std::uint64_t Variant::hash() const noexcept {
+    std::uint64_t payload;
+    switch (type_) {
+    case Type::Empty:  payload = 0; break;
+    case Type::Bool:   payload = u_.b ? 1 : 0; break;
+    case Type::String: payload = StringPool::hash(u_.s); break;
+    default:           payload = u_.u; break;
+    }
+    return mix64(payload ^ (static_cast<std::uint64_t>(type_) << 56));
+}
+
+bool Variant::operator==(const Variant& rhs) const noexcept {
+    if (type_ != rhs.type_)
+        return false;
+    switch (type_) {
+    case Type::Empty:  return true;
+    case Type::Bool:   return u_.b == rhs.u_.b;
+    case Type::String: return u_.s == rhs.u_.s; // interned: pointer equality
+    case Type::Double: return u_.d == rhs.u_.d;
+    default:           return u_.u == rhs.u_.u;
+    }
+}
+
+bool Variant::operator<(const Variant& rhs) const noexcept {
+    return compare(rhs) < 0;
+}
+
+int Variant::compare(const Variant& rhs) const noexcept {
+    const bool ln = is_numeric() || is_bool();
+    const bool rn = rhs.is_numeric() || rhs.is_bool();
+    if (ln && rn) {
+        // Compare integers exactly when possible, else via double.
+        if ((type_ == Type::Int || type_ == Type::Bool) &&
+            (rhs.type_ == Type::Int || rhs.type_ == Type::Bool)) {
+            const std::int64_t a = to_int(), b = rhs.to_int();
+            return a < b ? -1 : a > b ? 1 : 0;
+        }
+        if (type_ == Type::UInt && rhs.type_ == Type::UInt) {
+            const std::uint64_t a = u_.u, b = rhs.u_.u;
+            return a < b ? -1 : a > b ? 1 : 0;
+        }
+        const double a = to_double(), b = rhs.to_double();
+        return a < b ? -1 : a > b ? 1 : 0;
+    }
+    if (type_ == Type::String && rhs.type_ == Type::String) {
+        if (u_.s == rhs.u_.s)
+            return 0;
+        return std::strcmp(u_.s, rhs.u_.s);
+    }
+    const auto a = static_cast<int>(type_), b = static_cast<int>(rhs.type_);
+    return a < b ? -1 : a > b ? 1 : 0;
+}
+
+const char* Variant::type_name(Type t) noexcept {
+    switch (t) {
+    case Type::Empty:  return "empty";
+    case Type::Bool:   return "bool";
+    case Type::Int:    return "int";
+    case Type::UInt:   return "uint";
+    case Type::Double: return "double";
+    case Type::String: return "string";
+    }
+    return "?";
+}
+
+Variant::Type Variant::type_from_name(std::string_view name) noexcept {
+    if (name == "bool")   return Type::Bool;
+    if (name == "int")    return Type::Int;
+    if (name == "uint")   return Type::UInt;
+    if (name == "double") return Type::Double;
+    if (name == "string") return Type::String;
+    return Type::Empty;
+}
+
+} // namespace calib

@@ -1,0 +1,125 @@
+#include "calireader.hpp"
+
+#include "../common/util.hpp"
+#include "../common/variant.hpp"
+
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace calib {
+
+namespace {
+
+struct LocalAttr {
+    const char* name; // interned
+    Variant::Type type;
+};
+
+Variant parse_value(const LocalAttr& attr, const std::string& text) {
+    Variant v = Variant::parse(attr.type, text);
+    if (v.empty() && !text.empty())
+        v = Variant::parse_guess(text); // type drifted within the stream
+    if (v.empty() && attr.type == Variant::Type::String)
+        v = Variant(std::string_view(text));
+    return v;
+}
+
+} // namespace
+
+void CaliReader::read(std::istream& is, const RecordSink& sink, RecordMap* globals) {
+    std::unordered_map<std::uint32_t, LocalAttr> attrs;
+    std::string line;
+    std::size_t lineno = 0;
+
+    auto fail = [&lineno](const std::string& msg) {
+        throw std::runtime_error("calib-stream line " + std::to_string(lineno) + ": " +
+                                 msg);
+    };
+
+    while (std::getline(is, line)) {
+        ++lineno;
+        if (line.empty())
+            continue;
+        if (line[0] == '#')
+            continue; // header / comments
+
+        const char kind = line[0];
+        if (line.size() >= 2 && line[1] != ',')
+            fail("malformed line");
+        // a bare "R" is a legal empty record (snapshot with no entries)
+        const std::string_view rest =
+            line.size() >= 2 ? std::string_view(line).substr(2) : std::string_view();
+
+        if (kind == 'A') {
+            auto fields = util::split_escaped(rest, ',');
+            if (fields.size() < 3)
+                fail("malformed attribute definition");
+            const std::uint32_t id = static_cast<std::uint32_t>(std::stoul(fields[0]));
+            LocalAttr attr;
+            attr.name = intern(util::unescape(fields[1]));
+            attr.type = Variant::type_from_name(fields[2]);
+            attrs[id] = attr;
+        } else if (kind == 'R' || kind == 'G') {
+            RecordMap rec;
+            for (const std::string& field : util::split_escaped(rest, ',')) {
+                if (field.empty())
+                    continue;
+                const std::size_t eq = field.find('=');
+                if (eq == std::string::npos)
+                    fail("missing '=' in record field");
+                const std::uint32_t id =
+                    static_cast<std::uint32_t>(std::stoul(field.substr(0, eq)));
+                auto it = attrs.find(id);
+                if (it == attrs.end())
+                    fail("record references undefined attribute " + std::to_string(id));
+                rec.append(it->second.name,
+                           parse_value(it->second, util::unescape(field.substr(eq + 1))));
+            }
+            if (kind == 'R')
+                sink(std::move(rec));
+            else if (globals)
+                for (const auto& [name, value] : rec)
+                    globals->append(name, value);
+        } else {
+            fail(std::string("unknown line kind '") + kind + "'");
+        }
+    }
+}
+
+std::vector<RecordMap> CaliReader::read_all(std::istream& is, RecordMap* globals) {
+    std::vector<RecordMap> out;
+    read(is, [&out](RecordMap&& r) { out.push_back(std::move(r)); }, globals);
+    return out;
+}
+
+std::vector<RecordMap> CaliReader::read_file(const std::string& path,
+                                             RecordMap* globals) {
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    return read_all(is, globals);
+}
+
+void CaliReader::read_file(const std::string& path, const RecordSink& sink,
+                           RecordMap* globals) {
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    read(is, sink, globals);
+}
+
+Dataset Dataset::load(const std::vector<std::string>& paths) {
+    Dataset ds;
+    for (const std::string& path : paths) {
+        RecordMap g;
+        CaliReader::read_file(path, [&ds](RecordMap&& r) {
+            ds.records.push_back(std::move(r));
+        }, &g);
+        g.append("cali.file", Variant(std::string_view(path)));
+        ds.globals.push_back(std::move(g));
+    }
+    return ds;
+}
+
+} // namespace calib

@@ -1,0 +1,44 @@
+// Reader for the calib stream format (see caliwriter.hpp). Produces
+// name-based offline records (RecordMap) ready for the query engine.
+#pragma once
+
+#include "../common/recordmap.hpp"
+
+#include <functional>
+#include <istream>
+#include <string>
+#include <vector>
+
+namespace calib {
+
+class CaliReader {
+public:
+    using RecordSink = std::function<void(RecordMap&&)>;
+
+    /// Stream records from \a is into \a sink; dataset globals (if any)
+    /// accumulate into \a globals. Throws std::runtime_error on a
+    /// malformed stream.
+    static void read(std::istream& is, const RecordSink& sink,
+                     RecordMap* globals = nullptr);
+
+    static std::vector<RecordMap> read_all(std::istream& is,
+                                           RecordMap* globals = nullptr);
+
+    static std::vector<RecordMap> read_file(const std::string& path,
+                                            RecordMap* globals = nullptr);
+
+    /// Stream records from a file (avoids materializing the record vector).
+    static void read_file(const std::string& path, const RecordSink& sink,
+                          RecordMap* globals = nullptr);
+};
+
+/// A loaded multi-file dataset (e.g. one file per MPI rank).
+struct Dataset {
+    std::vector<RecordMap> records;
+    /// Per-file globals; each entry also gets a "cali.file" attribute.
+    std::vector<RecordMap> globals;
+
+    static Dataset load(const std::vector<std::string>& paths);
+};
+
+} // namespace calib

@@ -1,0 +1,66 @@
+#include "caliwriter.hpp"
+
+#include "../common/util.hpp"
+
+namespace calib {
+
+namespace {
+constexpr std::string_view header = "#calib-stream v1";
+constexpr std::string_view value_specials = ",=";
+} // namespace
+
+CaliWriter::CaliWriter(std::ostream& os) : os_(os) {
+    put_line(std::string(header));
+}
+
+void CaliWriter::put_line(const std::string& line) {
+    os_ << line << '\n';
+    bytes_ += line.size() + 1;
+}
+
+std::uint32_t CaliWriter::define(std::string_view name, Variant::Type type,
+                                 std::uint32_t properties) {
+    auto it = attrs_.find(std::string(name));
+    if (it != attrs_.end())
+        return it->second.id;
+
+    const std::uint32_t id = next_id_++;
+    attrs_.emplace(std::string(name), LocalAttr{id, type});
+    put_line("A," + std::to_string(id) + ',' + util::escape(name, value_specials) +
+             ',' + Variant::type_name(type) + ',' + std::to_string(properties));
+    return id;
+}
+
+void CaliWriter::write_global(std::string_view name, const Variant& value) {
+    const std::uint32_t id = define(name, value.type(), prop::none);
+    put_line("G," + std::to_string(id) + '=' +
+             util::escape(value.to_string(), value_specials));
+}
+
+void CaliWriter::write_record(const RecordMap& record) {
+    std::string line = "R";
+    for (const auto& [name, value] : record) {
+        const std::uint32_t id = define(name, value.type(), prop::none);
+        line += ',' + std::to_string(id) + '=' +
+                util::escape(value.to_string(), value_specials);
+    }
+    put_line(line);
+    ++records_;
+}
+
+void CaliWriter::write_snapshot(const AttributeRegistry& registry,
+                                const SnapshotRecord& record) {
+    std::string line = "R";
+    for (const Entry& e : record) {
+        const Attribute a = registry.get(e.attribute);
+        if (!a.valid())
+            continue;
+        const std::uint32_t id = define(a.name_view(), a.type(), a.properties());
+        line += ',' + std::to_string(id) + '=' +
+                util::escape(e.value.to_string(), value_specials);
+    }
+    put_line(line);
+    ++records_;
+}
+
+} // namespace calib

@@ -1,0 +1,59 @@
+// Writer for the calib stream format: a self-describing, line-oriented
+// text serialization of performance-data records.
+//
+//   #calib-stream v1
+//   A,<id>,<name>,<type>,<props>     attribute definition (lazy, on first use)
+//   G,<id>=<value>,...               per-dataset global metadata
+//   R,<id>=<value>,...               one record
+//
+// Values escape ',', '=', '\' and newlines with backslashes. Attribute
+// types let the reader restore typed values without per-value tags.
+#pragma once
+
+#include "../common/attribute.hpp"
+#include "../common/recordmap.hpp"
+#include "../common/snapshot.hpp"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace calib {
+
+class CaliWriter {
+public:
+    explicit CaliWriter(std::ostream& os);
+
+    /// Write one dataset-global metadata entry (e.g. "mpi.rank", problem size).
+    void write_global(std::string_view name, const Variant& value);
+
+    /// Write an offline (name-based) record.
+    void write_record(const RecordMap& record);
+
+    /// Write a snapshot record, resolving names through \a registry.
+    /// Attribute properties are carried into the stream.
+    void write_snapshot(const AttributeRegistry& registry, const SnapshotRecord& record);
+
+    std::uint64_t num_records() const noexcept { return records_; }
+    std::uint64_t num_bytes() const noexcept { return bytes_; }
+
+private:
+    struct LocalAttr {
+        std::uint32_t id;
+        Variant::Type type;
+    };
+
+    std::uint32_t define(std::string_view name, Variant::Type type,
+                         std::uint32_t properties);
+    void put_line(const std::string& line);
+
+    std::ostream& os_;
+    std::unordered_map<std::string, LocalAttr> attrs_;
+    std::uint32_t next_id_     = 0;
+    std::uint64_t records_     = 0;
+    std::uint64_t bytes_       = 0;
+};
+
+} // namespace calib

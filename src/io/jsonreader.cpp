@@ -1,0 +1,205 @@
+#include "jsonreader.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace calib {
+
+namespace {
+
+class JsonParser {
+public:
+    explicit JsonParser(std::string_view text) : text_(text) {}
+
+    std::vector<RecordMap> parse_records() {
+        std::vector<RecordMap> out;
+        skip_ws();
+        expect('[');
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return out;
+        }
+        while (true) {
+            out.push_back(parse_object());
+            skip_ws();
+            const char c = next();
+            if (c == ']')
+                break;
+            if (c != ',')
+                fail("expected ',' or ']' after object");
+            skip_ws();
+        }
+        skip_ws();
+        if (pos_ != text_.size())
+            fail("trailing content after the record array");
+        return out;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw std::runtime_error("json (offset " + std::to_string(pos_) +
+                                 "): " + msg);
+    }
+
+    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    char next() {
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_++];
+    }
+    void expect(char c) {
+        if (next() != c)
+            fail(std::string("expected '") + c + "'");
+    }
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            char c = next();
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                const char esc = next();
+                switch (esc) {
+                case 'n':  out += '\n'; break;
+                case 't':  out += '\t'; break;
+                case 'r':  out += '\r'; break;
+                case 'b':  out += '\b'; break;
+                case 'f':  out += '\f'; break;
+                case '"':  out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/':  out += '/'; break;
+                case 'u': {
+                    // \uXXXX: decode the BMP code point as UTF-8
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = next();
+                        code <<= 4;
+                        if (h >= '0' && h <= '9')
+                            code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            code |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            fail("bad \\u escape");
+                    }
+                    if (code < 0x80) {
+                        out += static_cast<char>(code);
+                    } else if (code < 0x800) {
+                        out += static_cast<char>(0xc0 | (code >> 6));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    } else {
+                        out += static_cast<char>(0xe0 | (code >> 12));
+                        out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+                        out += static_cast<char>(0x80 | (code & 0x3f));
+                    }
+                    break;
+                }
+                default:
+                    fail("unknown escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    Variant parse_value() {
+        skip_ws();
+        const char c = peek();
+        if (c == '"')
+            return Variant(parse_string());
+        if (c == 't') {
+            literal("true");
+            return Variant(true);
+        }
+        if (c == 'f') {
+            literal("false");
+            return Variant(false);
+        }
+        if (c == 'n') {
+            literal("null");
+            return {};
+        }
+        // number
+        const std::size_t start = pos_;
+        if (peek() == '-' || peek() == '+')
+            ++pos_;
+        bool is_double = false;
+        while (pos_ < text_.size()) {
+            const char d = text_[pos_];
+            if (std::isdigit(static_cast<unsigned char>(d))) {
+                ++pos_;
+            } else if (d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-') {
+                is_double = true;
+                ++pos_;
+            } else {
+                break;
+            }
+        }
+        if (pos_ == start)
+            fail("expected a value");
+        const std::string token(text_.substr(start, pos_ - start));
+        if (!is_double) {
+            errno = 0;
+            const long long v = std::strtoll(token.c_str(), nullptr, 10);
+            if (errno == 0)
+                return Variant(v);
+        }
+        return Variant(std::strtod(token.c_str(), nullptr));
+    }
+
+    void literal(std::string_view word) {
+        for (char c : word)
+            if (next() != c)
+                fail("bad literal");
+    }
+
+    RecordMap parse_object() {
+        skip_ws();
+        expect('{');
+        RecordMap rec;
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return rec;
+        }
+        while (true) {
+            skip_ws();
+            const std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            Variant value = parse_value();
+            if (!value.empty())
+                rec.append(key, value);
+            skip_ws();
+            const char c = next();
+            if (c == '}')
+                return rec;
+            if (c != ',')
+                fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<RecordMap> read_json_records(std::string_view text) {
+    return JsonParser(text).parse_records();
+}
+
+} // namespace calib

@@ -1,0 +1,21 @@
+// Minimal JSON reader for record arrays, the inverse of FORMAT json:
+//
+//   [ {"kernel": "advec", "count": 3, "t": 1.5}, ... ]
+//
+// Supports the subset the JSON formatter emits: an array of flat objects
+// with string / number / bool / null values. Lets query pipelines consume
+// reports produced by other tools (or by calib itself).
+#pragma once
+
+#include "../common/recordmap.hpp"
+
+#include <string_view>
+#include <vector>
+
+namespace calib {
+
+/// Parse a JSON array of flat objects into records.
+/// Throws std::runtime_error (with byte position) on malformed input.
+std::vector<RecordMap> read_json_records(std::string_view text);
+
+} // namespace calib

@@ -1,0 +1,22 @@
+// Simple latency/bandwidth network cost model, used by the discrete-event
+// mode of the cross-process tree reduction to charge message costs for
+// rank counts beyond what threads can honestly measure on this machine
+// (see DESIGN.md substitution notes). Defaults approximate an OmniPath-
+// class fabric like the paper's Quartz system.
+#pragma once
+
+#include <cstddef>
+
+namespace calib::simmpi {
+
+struct NetModel {
+    double latency_us           = 1.5;     ///< per-message latency
+    double bandwidth_bytes_per_us = 12000.0; ///< ~12 GB/s
+
+    /// Transfer time for one message of \a bytes.
+    double time_us(std::size_t bytes) const noexcept {
+        return latency_us + static_cast<double>(bytes) / bandwidth_bytes_per_us;
+    }
+};
+
+} // namespace calib::simmpi

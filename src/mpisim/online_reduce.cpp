@@ -1,0 +1,48 @@
+#include "online_reduce.hpp"
+
+#include "../runtime/caliper.hpp"
+#include "../runtime/services/aggregate_config.hpp"
+
+namespace calib::simmpi {
+
+namespace {
+constexpr int tag_online_reduce = 0x0ca11b1;
+} // namespace
+
+std::vector<RecordMap> reduce_channel(Comm& comm, Channel* channel, int root) {
+    Caliper& c = Caliper::instance();
+
+    // accumulate into a fresh database (never mutate the service's own
+    // state: the rank may still flush it through the recorder afterwards)
+    const AggregationConfig cfg = read_aggregate_config(channel->config());
+    AggregationDB accumulator(cfg, &c.registry());
+
+    ThreadData& td = c.thread_data();
+    if (channel->id() < td.channels.size() &&
+        td.channels[channel->id()].aggregation)
+        accumulator.merge(*td.channels[channel->id()].aggregation);
+
+    const int rank = comm.rank();
+    const int size = comm.size();
+    const int vrank = (rank - root + size) % size; // rotate root to 0
+
+    for (int step = 1; step < size; step <<= 1) {
+        if (vrank & step) {
+            const int vdest = vrank - step;
+            comm.send((vdest + root) % size, tag_online_reduce,
+                      accumulator.serialize());
+            break; // this rank's partial is on its way up the tree
+        }
+        if (vrank + step < size) {
+            Message m = comm.recv(((vrank + step + root) % size), tag_online_reduce);
+            accumulator.merge_serialized(m.payload);
+        }
+    }
+
+    std::vector<RecordMap> out;
+    if (rank == root)
+        out = accumulator.flush();
+    return out;
+}
+
+} // namespace calib::simmpi

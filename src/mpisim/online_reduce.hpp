@@ -1,0 +1,34 @@
+// Online cross-process aggregation (extension; paper §II-B notes that
+// on-line solutions "may use dedicated data reduction networks such as
+// MRNet or CBTF" — this provides the same capability over simmpi).
+//
+// At the end of a run, every rank's per-thread aggregation database is
+// merged up a binomial tree *in memory*, so the root obtains the global
+// profile without any intermediate per-rank files. Complements the
+// offline path (recorder + mpi-caliquery); both produce identical results
+// (tested), letting users shift aggregation between stages (paper §VI-F).
+#pragma once
+
+#include "runtime.hpp"
+
+#include "../common/recordmap.hpp"
+
+#include <vector>
+
+namespace calib {
+class Channel;
+}
+
+namespace calib::simmpi {
+
+/// Reduce the calling rank-threads' aggregation databases of \a channel
+/// to \a root. Must be called collectively by every rank of \a comm, on
+/// the thread that produced the rank's measurements, after measurement is
+/// complete. Returns the merged, flushed records on the root rank (empty
+/// vector elsewhere).
+///
+/// Only the aggregate service's state participates; trace buffers are not
+/// reducible (use the recorder + offline query for traces).
+std::vector<RecordMap> reduce_channel(Comm& comm, Channel* channel, int root = 0);
+
+} // namespace calib::simmpi

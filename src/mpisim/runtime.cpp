@@ -1,0 +1,131 @@
+#include "runtime.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+namespace calib::simmpi {
+
+World::World(int size) : size_(size) {
+    mailboxes_.reserve(size);
+    for (int i = 0; i < size; ++i)
+        mailboxes_.push_back(std::make_unique<Mailbox>());
+}
+
+void World::post(int dest, Message&& m) {
+    if (dest < 0 || dest >= size_)
+        throw std::out_of_range("simmpi: send to invalid rank " + std::to_string(dest));
+    Mailbox& box = *mailboxes_[dest];
+    {
+        std::lock_guard<std::mutex> lock(box.mutex);
+        box.queue.push_back(std::move(m));
+    }
+    box.cv.notify_all();
+}
+
+namespace {
+bool matches(const Message& m, int src, int tag) {
+    return (src == any_source || m.src == src) && (tag == any_tag || m.tag == tag);
+}
+} // namespace
+
+Message World::match(int rank, int src, int tag) {
+    Mailbox& box = *mailboxes_[rank];
+    std::unique_lock<std::mutex> lock(box.mutex);
+    while (true) {
+        auto it = std::find_if(box.queue.begin(), box.queue.end(),
+                               [&](const Message& m) { return matches(m, src, tag); });
+        if (it != box.queue.end()) {
+            Message m = std::move(*it);
+            box.queue.erase(it);
+            return m;
+        }
+        box.cv.wait(lock);
+    }
+}
+
+bool World::probe(int rank, int src, int tag) {
+    Mailbox& box = *mailboxes_[rank];
+    std::lock_guard<std::mutex> lock(box.mutex);
+    return std::any_of(box.queue.begin(), box.queue.end(),
+                       [&](const Message& m) { return matches(m, src, tag); });
+}
+
+void World::barrier() {
+    std::unique_lock<std::mutex> lock(barrier_mutex_);
+    const std::uint64_t gen = barrier_generation_;
+    if (++barrier_count_ == size_) {
+        barrier_count_ = 0;
+        ++barrier_generation_;
+        barrier_cv_.notify_all();
+        return;
+    }
+    barrier_cv_.wait(lock, [this, gen] { return barrier_generation_ != gen; });
+}
+
+int Comm::size() const noexcept {
+    return world_->size();
+}
+
+void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
+    Message m;
+    m.src = rank_;
+    m.tag = tag;
+    m.payload.assign(payload.begin(), payload.end());
+    bytes_sent_ += m.payload.size();
+    ++messages_sent_;
+    world_->post(dest, std::move(m));
+}
+
+void Comm::send(int dest, int tag, std::vector<std::byte>&& payload) {
+    Message m;
+    m.src     = rank_;
+    m.tag     = tag;
+    m.payload = std::move(payload);
+    bytes_sent_ += m.payload.size();
+    ++messages_sent_;
+    world_->post(dest, std::move(m));
+}
+
+Message Comm::recv(int src, int tag) {
+    return world_->match(rank_, src, tag);
+}
+
+bool Comm::iprobe(int src, int tag) {
+    return world_->probe(rank_, src, tag);
+}
+
+void Comm::barrier() {
+    world_->barrier();
+}
+
+void run(int nprocs, const std::function<void(Comm&)>& fn) {
+    if (nprocs < 1)
+        throw std::invalid_argument("simmpi::run: nprocs must be >= 1");
+
+    World world(nprocs);
+    std::vector<std::thread> threads;
+    std::vector<std::exception_ptr> errors(nprocs);
+
+    threads.reserve(nprocs);
+    for (int r = 0; r < nprocs; ++r) {
+        threads.emplace_back([&world, &fn, &errors, r] {
+            Comm comm(&world, r);
+            try {
+                fn(comm);
+            } catch (...) {
+                errors[r] = std::current_exception();
+            }
+        });
+    }
+    for (std::thread& t : threads)
+        t.join();
+    for (const std::exception_ptr& e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+} // namespace calib::simmpi

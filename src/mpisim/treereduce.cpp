@@ -1,0 +1,161 @@
+#include "treereduce.hpp"
+
+#include "../io/calireader.hpp"
+#include "../runtime/clock.hpp"
+
+#include <mutex>
+
+namespace calib::simmpi {
+
+namespace {
+constexpr int tag_partial = 0x00ca11b;
+
+double seconds_since(std::uint64_t start_ns) {
+    return static_cast<double>(now_ns() - start_ns) * 1e-9;
+}
+} // namespace
+
+QueryTimes parallel_query(const QuerySpec& spec, const std::vector<std::string>& files,
+                          int nprocs, std::vector<RecordMap>* result) {
+    QueryTimes times;
+    times.nprocs = nprocs;
+    std::mutex result_mutex;
+
+    run(nprocs, [&](Comm& comm) {
+        const int rank = comm.rank();
+        const int size = comm.size();
+
+        const std::uint64_t t_start = now_ns();
+
+        // local stage: read + process this rank's share of the input files
+        QueryProcessor proc(spec);
+        for (std::size_t i = rank; i < files.size();
+             i += static_cast<std::size_t>(size))
+            CaliReader::read_file(files[i],
+                                  [&proc](RecordMap&& r) { proc.add(r); });
+
+        const double local_s = seconds_since(t_start);
+        comm.barrier(); // separate the local and reduction phases cleanly
+
+        // binomial-tree reduction of serialized partial aggregation state
+        const std::uint64_t t_reduce = now_ns();
+        for (int step = 1; step < size; step <<= 1) {
+            if (rank & step) {
+                comm.send(rank - step, tag_partial, proc.serialize_partial());
+                break; // this rank's partial is on its way up the tree
+            }
+            if (rank + step < size) {
+                Message m = comm.recv(rank + step, tag_partial);
+                proc.merge_serialized(m.payload);
+            }
+        }
+        const double reduce_s = seconds_since(t_reduce);
+
+        const std::uint64_t in_total =
+            comm.allreduce(proc.num_records_in(), Comm::ReduceOp::Sum);
+        const std::uint64_t bytes_total =
+            comm.allreduce(comm.bytes_sent(), Comm::ReduceOp::Sum);
+
+        if (rank == 0) {
+            std::lock_guard<std::mutex> lock(result_mutex);
+            times.local_s        = local_s;
+            times.reduce_s       = reduce_s;
+            times.input_records  = in_total;
+            times.bytes_reduced  = bytes_total;
+            times.output_records = proc.result().size();
+            times.total_s        = seconds_since(t_start);
+            if (result)
+                *result = proc.result();
+        }
+    });
+
+    return times;
+}
+
+QueryTimes modeled_query(const QuerySpec& spec, const std::string& representative_file,
+                         int nprocs, const NetModel& net, int files_per_rank,
+                         std::vector<RecordMap>* result) {
+    QueryTimes times;
+    times.nprocs = nprocs;
+
+    // local stage, executed and timed for real
+    const std::uint64_t t_local = now_ns();
+    QueryProcessor local(spec);
+    for (int i = 0; i < files_per_rank; ++i)
+        CaliReader::read_file(representative_file,
+                              [&local](RecordMap&& r) { local.add(r); });
+    times.local_s       = seconds_since(t_local);
+    times.input_records = local.num_records_in() * static_cast<std::uint64_t>(nprocs);
+
+    // Weak scaling: every rank holds (statistically) the same partial
+    // result, so the root's critical path is one merge of an equal-sized
+    // subtree per tree level. Execute each level's serialize + merge on
+    // real databases and add modeled network hops.
+    QueryProcessor subtree(spec);
+    subtree.merge_serialized(local.serialize_partial());
+
+    double reduce_s = 0.0;
+    for (int step = 1; step < nprocs; step <<= 1) {
+        const std::uint64_t t_level          = now_ns();
+        std::vector<std::byte> buf           = subtree.serialize_partial();
+        const double serialize_s             = seconds_since(t_level);
+        const std::uint64_t t_merge          = now_ns();
+        subtree.merge_serialized(buf); // merge the equal sibling subtree
+        const double merge_s = seconds_since(t_merge);
+        reduce_s += serialize_s + merge_s + net.time_us(buf.size()) * 1e-6;
+        times.bytes_reduced += buf.size();
+    }
+    times.reduce_s       = reduce_s;
+    times.total_s        = times.local_s + times.reduce_s;
+    times.output_records = subtree.result().size();
+    if (result)
+        *result = subtree.result();
+    return times;
+}
+
+QueryTimes modeled_query_kary(const QuerySpec& spec,
+                              const std::string& representative_file, int nprocs,
+                              const NetModel& net, int fanout,
+                              std::vector<RecordMap>* result) {
+    if (fanout < 2)
+        fanout = 2;
+    QueryTimes times;
+    times.nprocs = nprocs;
+
+    const std::uint64_t t_local = now_ns();
+    QueryProcessor local(spec);
+    CaliReader::read_file(representative_file,
+                          [&local](RecordMap&& r) { local.add(r); });
+    times.local_s       = seconds_since(t_local);
+    times.input_records = local.num_records_in() * static_cast<std::uint64_t>(nprocs);
+
+    // Weak scaling over a k-ary tree: at every level an inner node merges
+    // (fanout - 1) equal sibling subtrees, received concurrently but
+    // merged sequentially; subtree size multiplies by `fanout` per level.
+    QueryProcessor subtree(spec);
+    subtree.merge_serialized(local.serialize_partial());
+
+    double reduce_s = 0.0;
+    for (long covered = 1; covered < nprocs; covered *= fanout) {
+        const std::uint64_t t_level = now_ns();
+        std::vector<std::byte> buf  = subtree.serialize_partial();
+        const double serialize_s    = seconds_since(t_level);
+
+        const std::uint64_t t_merge = now_ns();
+        for (int sibling = 1; sibling < fanout; ++sibling)
+            subtree.merge_serialized(buf);
+        const double merge_s = seconds_since(t_merge);
+
+        // siblings arrive in parallel: one network hop per level
+        reduce_s += serialize_s + merge_s + net.time_us(buf.size()) * 1e-6;
+        times.bytes_reduced += buf.size() * static_cast<std::uint64_t>(fanout - 1);
+    }
+    times.reduce_s       = reduce_s;
+    times.total_s        = times.local_s + times.reduce_s;
+    times.output_records = subtree.result().size();
+    if (result)
+        *result = subtree.result();
+    return times;
+}
+
+} // namespace calib::simmpi

@@ -1,0 +1,62 @@
+// Scalable cross-process aggregation (paper §IV-C, Figure 4).
+//
+// The parallel query runs one QueryProcessor per rank over that rank's
+// input files, then performs a binomial-tree reduction of the serialized
+// partial aggregation databases: at step k, ranks with bit k set send
+// their partial to (rank - 2^k), which merges it; after ceil(log2 P)
+// steps the root holds the global result.
+//
+// Two modes:
+//   parallel_query  — executes for real on simmpi rank-threads
+//   modeled_query   — discrete-event mode for large P: local processing
+//                     and every per-level merge are executed and *timed*
+//                     for real, while message hops are charged from a
+//                     NetModel; reproduces the logarithmic reduction
+//                     scaling without P physical threads.
+#pragma once
+
+#include "netmodel.hpp"
+#include "runtime.hpp"
+
+#include "../query/processor.hpp"
+#include "../query/queryspec.hpp"
+
+#include <string>
+#include <vector>
+
+namespace calib::simmpi {
+
+struct QueryTimes {
+    double total_s  = 0; ///< wall-clock on rank 0, including input I/O
+    double local_s  = 0; ///< reading + processing process-local input
+    double reduce_s = 0; ///< cross-process tree reduction
+    std::size_t output_records = 0;
+    std::uint64_t input_records  = 0;
+    std::uint64_t bytes_reduced  = 0; ///< total payload moved in the reduction
+    int nprocs = 0;
+};
+
+/// Run \a spec over \a files distributed round-robin across \a nprocs
+/// rank-threads; the root's merged result lands in \a result (optional).
+QueryTimes parallel_query(const QuerySpec& spec, const std::vector<std::string>& files,
+                          int nprocs, std::vector<RecordMap>* result = nullptr);
+
+/// Discrete-event weak-scaling model: every rank processes
+/// `files_per_rank` copies of \a representative_file; tree merges are
+/// executed on real aggregation databases and timed, network hops are
+/// charged from \a net. Suitable for P up to 2^20.
+QueryTimes modeled_query(const QuerySpec& spec, const std::string& representative_file,
+                         int nprocs, const NetModel& net, int files_per_rank = 1,
+                         std::vector<RecordMap>* result = nullptr);
+
+/// Fan-out ablation: model the reduction over a k-ary tree instead of the
+/// binomial (k=2) tree. Each inner node receives and merges (fanout-1)
+/// sibling partials per level; levels = ceil(log_fanout(P)). Higher
+/// fan-out means fewer levels but more sequential merges per node — the
+/// classic reduction-tree tradeoff.
+QueryTimes modeled_query_kary(const QuerySpec& spec,
+                              const std::string& representative_file, int nprocs,
+                              const NetModel& net, int fanout,
+                              std::vector<RecordMap>* result = nullptr);
+
+} // namespace calib::simmpi

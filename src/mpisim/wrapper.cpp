@@ -1,0 +1,73 @@
+#include "wrapper.hpp"
+
+#include "../runtime/caliper.hpp"
+
+namespace calib::simmpi {
+
+CaliComm::CaliComm(Comm& comm) : comm_(comm) {
+    Caliper& c = Caliper::instance();
+    function_attr_ =
+        c.create_attribute("mpi.function", Variant::Type::String, prop::nested);
+    rank_attr_ = c.create_attribute("mpi.rank", Variant::Type::Int, prop::as_value);
+    c.set(rank_attr_, Variant(static_cast<long long>(comm.rank())));
+    c.set_thread_label(std::to_string(comm.rank()));
+}
+
+CaliComm::FunctionScope::FunctionScope(CaliComm& parent, const char* name)
+    : parent_(parent) {
+    Caliper::instance().begin(parent_.function_attr_, Variant(std::string_view(name)));
+}
+
+CaliComm::FunctionScope::~FunctionScope() {
+    Caliper::instance().end(parent_.function_attr_);
+}
+
+void CaliComm::send(int dest, int tag, std::span<const std::byte> payload) {
+    FunctionScope scope(*this, "MPI_Send");
+    comm_.send(dest, tag, payload);
+}
+
+Message CaliComm::recv(int src, int tag) {
+    FunctionScope scope(*this, "MPI_Recv");
+    return comm_.recv(src, tag);
+}
+
+void CaliComm::sendrecv(int dest, std::span<const std::byte> sendbuf, int src,
+                        std::vector<std::byte>& recvbuf, int tag) {
+    FunctionScope scope(*this, "MPI_Sendrecv");
+    comm_.send(dest, tag, sendbuf);
+    recvbuf = comm_.recv(src, tag).payload;
+}
+
+void CaliComm::barrier() {
+    FunctionScope scope(*this, "MPI_Barrier");
+    comm_.barrier();
+}
+
+void CaliComm::bcast(std::vector<std::byte>& data, int root) {
+    FunctionScope scope(*this, "MPI_Bcast");
+    comm_.bcast(data, root);
+}
+
+double CaliComm::allreduce(double value, Comm::ReduceOp op) {
+    FunctionScope scope(*this, "MPI_Allreduce");
+    return comm_.allreduce(value, op);
+}
+
+std::uint64_t CaliComm::allreduce(std::uint64_t value, Comm::ReduceOp op) {
+    FunctionScope scope(*this, "MPI_Allreduce");
+    return comm_.allreduce(value, op);
+}
+
+double CaliComm::reduce(double value, Comm::ReduceOp op, int root) {
+    FunctionScope scope(*this, "MPI_Reduce");
+    return comm_.reduce(value, op, root);
+}
+
+std::vector<std::vector<std::byte>> CaliComm::gather(std::span<const std::byte> payload,
+                                                     int root) {
+    FunctionScope scope(*this, "MPI_Gather");
+    return comm_.gather(payload, root);
+}
+
+} // namespace calib::simmpi

@@ -1,0 +1,54 @@
+// Instrumented MPI wrappers (the paper's "MPI interception through the
+// MPI profiling interface", §V-B): every communication call is wrapped in
+// an "mpi.function" annotation, and the rank is exported as "mpi.rank".
+#pragma once
+
+#include "runtime.hpp"
+
+#include "../common/attribute.hpp"
+#include "../common/variant.hpp"
+
+#include <span>
+#include <vector>
+
+namespace calib::simmpi {
+
+/// Caliper-instrumented communicator. Construction exports "mpi.rank" on
+/// the calling thread's blackboard and labels the thread with its rank.
+class CaliComm {
+public:
+    explicit CaliComm(Comm& comm);
+
+    int rank() const noexcept { return comm_.rank(); }
+    int size() const noexcept { return comm_.size(); }
+    Comm& raw() noexcept { return comm_; }
+
+    void send(int dest, int tag, std::span<const std::byte> payload);
+    Message recv(int src = any_source, int tag = any_tag);
+    void sendrecv(int dest, std::span<const std::byte> sendbuf, int src,
+                  std::vector<std::byte>& recvbuf, int tag);
+    void barrier();
+    void bcast(std::vector<std::byte>& data, int root);
+    double allreduce(double value, Comm::ReduceOp op);
+    std::uint64_t allreduce(std::uint64_t value, Comm::ReduceOp op);
+    double reduce(double value, Comm::ReduceOp op, int root);
+    std::vector<std::vector<std::byte>> gather(std::span<const std::byte> payload,
+                                               int root);
+
+private:
+    /// RAII "mpi.function" region.
+    class FunctionScope {
+    public:
+        FunctionScope(CaliComm& parent, const char* name);
+        ~FunctionScope();
+
+    private:
+        CaliComm& parent_;
+    };
+
+    Comm& comm_;
+    Attribute function_attr_;
+    Attribute rank_attr_;
+};
+
+} // namespace calib::simmpi

@@ -1,0 +1,549 @@
+#include "calql.hpp"
+
+#include "../common/util.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace calib {
+
+namespace {
+
+enum class Tok { Ident, Number, String, Comma, LParen, RParen, Star, Cmp, End };
+
+struct Token {
+    Tok kind = Tok::End;
+    std::string text;
+    std::size_t pos = 0;
+};
+
+bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+           c == '#' || c == '/' || c == ':' || c == '@' || c == '-' || c == '+' ||
+           c == '%';
+}
+
+std::vector<Token> tokenize(std::string_view q) {
+    std::vector<Token> out;
+    std::size_t i = 0;
+    while (i < q.size()) {
+        const char c = q[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (c == '\\') { // line continuation as used in the paper's listings
+            ++i;
+            continue;
+        }
+        const std::size_t start = i;
+        if (c == ',') {
+            out.push_back({Tok::Comma, ",", start});
+            ++i;
+        } else if (c == '(') {
+            out.push_back({Tok::LParen, "(", start});
+            ++i;
+        } else if (c == ')') {
+            out.push_back({Tok::RParen, ")", start});
+            ++i;
+        } else if (c == '*') {
+            out.push_back({Tok::Star, "*", start});
+            ++i;
+        } else if (c == '=' || c == '<' || c == '>' || c == '!') {
+            std::string op(1, c);
+            ++i;
+            if (i < q.size() && q[i] == '=') {
+                op += '=';
+                ++i;
+            }
+            if (op == "!")
+                throw CalQLError("stray '!'", start);
+            out.push_back({Tok::Cmp, op, start});
+        } else if (c == '\'' || c == '"') {
+            const char quote = c;
+            std::string text;
+            ++i;
+            while (i < q.size() && q[i] != quote) {
+                if (q[i] == '\\' && i + 1 < q.size())
+                    ++i;
+                text += q[i++];
+            }
+            if (i >= q.size())
+                throw CalQLError("unterminated string literal", start);
+            ++i; // closing quote
+            out.push_back({Tok::String, text, start});
+        } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                   ((c == '-' || c == '+') && i + 1 < q.size() &&
+                    std::isdigit(static_cast<unsigned char>(q[i + 1])))) {
+            std::string text(1, c);
+            ++i;
+            bool ident = false;
+            while (i < q.size() && is_ident_char(q[i])) {
+                if (!std::isdigit(static_cast<unsigned char>(q[i])) && q[i] != '.' &&
+                    q[i] != 'e' && q[i] != 'E' && q[i] != '-' && q[i] != '+')
+                    ident = true;
+                text += q[i++];
+            }
+            out.push_back({ident ? Tok::Ident : Tok::Number, text, start});
+        } else if (is_ident_char(c)) {
+            std::string text;
+            while (i < q.size() && is_ident_char(q[i]))
+                text += q[i++];
+            out.push_back({Tok::Ident, text, start});
+        } else {
+            throw CalQLError(std::string("unexpected character '") + c + "'", start);
+        }
+    }
+    out.push_back({Tok::End, "", q.size()});
+    return out;
+}
+
+/// Accept the paper's "aggregate.count" spelling for online-aggregation
+/// result attributes (our flush emits "count", "sum#x", ...).
+std::string normalize_attr(std::string name) {
+    if (name == "aggregate.count")
+        return "count";
+    constexpr std::string_view prefix = "aggregate.";
+    if (name.starts_with(prefix)) {
+        const std::string_view rest = std::string_view(name).substr(prefix.size());
+        if (rest.starts_with("sum#") || rest.starts_with("min#") ||
+            rest.starts_with("max#") || rest.starts_with("avg#"))
+            return std::string(rest);
+    }
+    return name;
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view q) : tokens_(tokenize(q)) {}
+
+    QuerySpec parse() {
+        QuerySpec spec;
+        while (peek().kind != Tok::End) {
+            const Token t = expect(Tok::Ident, "clause keyword");
+            const std::string kw = util::to_lower(t.text);
+            if (kw == "select")
+                parse_select(spec);
+            else if (kw == "aggregate")
+                parse_aggregate(spec);
+            else if (kw == "group")
+                parse_group_by(spec);
+            else if (kw == "where")
+                parse_where(spec);
+            else if (kw == "order")
+                parse_order_by(spec);
+            else if (kw == "format")
+                parse_format(spec);
+            else if (kw == "limit")
+                parse_limit(spec);
+            else if (kw == "let")
+                parse_let(spec);
+            else
+                throw CalQLError("unknown clause '" + t.text + "'", t.pos);
+        }
+        return spec;
+    }
+
+private:
+    const Token& peek(std::size_t ahead = 0) const {
+        const std::size_t i = pos_ + ahead;
+        return i < tokens_.size() ? tokens_[i] : tokens_.back();
+    }
+    Token next() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+    Token expect(Tok kind, const char* what) {
+        Token t = next();
+        if (t.kind != kind)
+            throw CalQLError(std::string("expected ") + what + ", got '" + t.text + "'",
+                             t.pos);
+        return t;
+    }
+    bool accept(Tok kind) {
+        if (peek().kind == kind) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool accept_keyword(std::string_view kw) {
+        if (peek().kind == Tok::Ident && util::iequals(peek().text, kw)) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+    bool at_clause_boundary() const {
+        if (peek().kind != Tok::Ident)
+            return peek().kind == Tok::End;
+        static const char* clauses[] = {"select", "aggregate", "group",  "where",
+                                        "order",  "let",       "format", "limit"};
+        for (const char* c : clauses)
+            if (util::iequals(peek().text, c))
+                return true;
+        return false;
+    }
+
+    /// op(attr) [AS alias] | count | bare-attribute (implies sum)
+    AggOpConfig parse_agg_item() {
+        const Token t = next();
+        AggOpConfig cfg;
+        if (t.kind != Tok::Ident)
+            throw CalQLError("expected aggregation term, got '" + t.text + "'", t.pos);
+
+        if (peek().kind == Tok::LParen) {
+            auto op = agg_op_from_name(t.text);
+            if (!op)
+                throw CalQLError("unknown aggregation operator '" + t.text + "'", t.pos);
+            cfg.op = *op;
+            next(); // '('
+            if (!agg_op_is_nullary(cfg.op)) {
+                const Token arg = next();
+                if (arg.kind != Tok::Ident && arg.kind != Tok::String &&
+                    arg.kind != Tok::Number)
+                    throw CalQLError("expected attribute name", arg.pos);
+                cfg.attribute = normalize_attr(arg.text);
+            }
+            expect(Tok::RParen, "')'");
+        } else if (auto op = agg_op_from_name(t.text); op && agg_op_is_nullary(*op)) {
+            cfg.op = *op;
+        } else {
+            // bare attribute: default to sum (paper §VI-C "AGGREGATE count,
+            // time.duration")
+            cfg.op        = AggOp::Sum;
+            cfg.attribute = normalize_attr(t.text);
+        }
+
+        if (accept_keyword("as")) {
+            const Token alias = next();
+            if (alias.kind != Tok::Ident && alias.kind != Tok::String)
+                throw CalQLError("expected alias after AS", alias.pos);
+            cfg.alias = alias.text;
+        }
+        return cfg;
+    }
+
+    void add_op(QuerySpec& spec, const AggOpConfig& cfg) {
+        for (const AggOpConfig& existing : spec.aggregation.ops)
+            if (existing.op == cfg.op && existing.attribute == cfg.attribute)
+                return;
+        spec.aggregation.ops.push_back(cfg);
+    }
+
+    void parse_aggregate(QuerySpec& spec) {
+        do {
+            add_op(spec, parse_agg_item());
+        } while (accept(Tok::Comma));
+    }
+
+    void parse_select(QuerySpec& spec) {
+        do {
+            if (accept(Tok::Star)) {
+                spec.select.clear(); // '*' = all columns
+                continue;
+            }
+            const Token t = peek();
+            if (t.kind == Tok::Ident && peek(1).kind == Tok::LParen) {
+                // "sum(x) AS total": the alias becomes the output column
+                // label, exactly as in the AGGREGATE clause
+                AggOpConfig cfg = parse_agg_item();
+                add_op(spec, cfg);
+                spec.select.push_back(cfg.result_label());
+            } else if (t.kind == Tok::Ident || t.kind == Tok::String) {
+                next();
+                std::string name = normalize_attr(t.text);
+                if (accept_keyword("as")) {
+                    const Token alias = next();
+                    if (alias.kind != Tok::Ident && alias.kind != Tok::String)
+                        throw CalQLError("expected alias after AS", alias.pos);
+                    spec.aliases[name] = alias.text;
+                }
+                spec.select.push_back(std::move(name));
+            } else {
+                throw CalQLError("expected column in SELECT", t.pos);
+            }
+        } while (accept(Tok::Comma));
+    }
+
+    void parse_group_by(QuerySpec& spec) {
+        Token by = next();
+        if (by.kind != Tok::Ident || !util::iequals(by.text, "by"))
+            throw CalQLError("expected BY after GROUP", by.pos);
+        if (accept(Tok::Star)) {
+            spec.aggregation.key = KeySpec::everything();
+            return;
+        }
+        do {
+            const Token t = next();
+            if (t.kind != Tok::Ident && t.kind != Tok::String)
+                throw CalQLError("expected attribute in GROUP BY", t.pos);
+            spec.aggregation.key.attributes.push_back(normalize_attr(t.text));
+        } while (accept(Tok::Comma));
+    }
+
+    void parse_where(QuerySpec& spec) {
+        do {
+            FilterSpec f;
+            const Token t = next();
+            if (t.kind != Tok::Ident && t.kind != Tok::String)
+                throw CalQLError("expected condition in WHERE", t.pos);
+
+            if (util::iequals(t.text, "not") && peek().kind == Tok::LParen) {
+                next(); // '('
+                const Token attr = next();
+                if (attr.kind != Tok::Ident && attr.kind != Tok::String)
+                    throw CalQLError("expected attribute in not()", attr.pos);
+                expect(Tok::RParen, "')'");
+                f.attribute = normalize_attr(attr.text);
+                f.op        = FilterSpec::Op::NotExist;
+            } else {
+                f.attribute = normalize_attr(t.text);
+                if (peek().kind == Tok::Cmp) {
+                    const std::string op = next().text;
+                    const Token v        = next();
+                    if (v.kind != Tok::Ident && v.kind != Tok::String &&
+                        v.kind != Tok::Number)
+                        throw CalQLError("expected comparison value", v.pos);
+                    f.value = v.kind == Tok::String ? Variant(v.text)
+                                                    : Variant::parse_guess(v.text);
+                    if (op == "=" || op == "==")
+                        f.op = FilterSpec::Op::Eq;
+                    else if (op == "!=")
+                        f.op = FilterSpec::Op::Ne;
+                    else if (op == "<")
+                        f.op = FilterSpec::Op::Lt;
+                    else if (op == "<=")
+                        f.op = FilterSpec::Op::Le;
+                    else if (op == ">")
+                        f.op = FilterSpec::Op::Gt;
+                    else if (op == ">=")
+                        f.op = FilterSpec::Op::Ge;
+                    else
+                        throw CalQLError("unknown comparison '" + op + "'", t.pos);
+                } else {
+                    f.op = FilterSpec::Op::Exist;
+                }
+            }
+            spec.filters.push_back(std::move(f));
+        } while (accept(Tok::Comma) || accept_keyword("and"));
+    }
+
+    void parse_order_by(QuerySpec& spec) {
+        Token by = next();
+        if (by.kind != Tok::Ident || !util::iequals(by.text, "by"))
+            throw CalQLError("expected BY after ORDER", by.pos);
+        do {
+            const Token t = next();
+            if (t.kind != Tok::Ident && t.kind != Tok::String)
+                throw CalQLError("expected attribute in ORDER BY", t.pos);
+            SortSpec s;
+            s.attribute = normalize_attr(t.text);
+            if (accept_keyword("desc"))
+                s.descending = true;
+            else
+                accept_keyword("asc");
+            spec.sort.push_back(std::move(s));
+        } while (accept(Tok::Comma));
+    }
+
+    void parse_format(QuerySpec& spec) {
+        const Token t = expect(Tok::Ident, "format name");
+        const std::string fmt = util::to_lower(t.text);
+        if (fmt != "table" && fmt != "csv" && fmt != "json" && fmt != "expand" &&
+            fmt != "tree")
+            throw CalQLError("unknown format '" + t.text + "'", t.pos);
+        spec.format = fmt;
+    }
+
+    /// LET target = fn(attr[, attr|number]...), ...
+    void parse_let(QuerySpec& spec) {
+        do {
+            LetSpec let;
+            const Token name = next();
+            if (name.kind != Tok::Ident && name.kind != Tok::String)
+                throw CalQLError("expected derived-attribute name in LET", name.pos);
+            let.target = normalize_attr(name.text);
+
+            const Token eq = next();
+            if (eq.kind != Tok::Cmp || eq.text != "=")
+                throw CalQLError("expected '=' in LET", eq.pos);
+
+            const Token fn = next();
+            if (fn.kind != Tok::Ident)
+                throw CalQLError("expected function in LET", fn.pos);
+            const std::string fname = util::to_lower(fn.text);
+            if (fname == "scale")
+                let.fn = LetSpec::Fn::Scale;
+            else if (fname == "truncate")
+                let.fn = LetSpec::Fn::Truncate;
+            else if (fname == "ratio")
+                let.fn = LetSpec::Fn::Ratio;
+            else if (fname == "first")
+                let.fn = LetSpec::Fn::First;
+            else
+                throw CalQLError("unknown LET function '" + fn.text + "'", fn.pos);
+
+            expect(Tok::LParen, "'('");
+            bool saw_parameter = false;
+            while (peek().kind != Tok::RParen) {
+                const Token arg = next();
+                if (arg.kind == Tok::Number) {
+                    let.parameter = std::strtod(arg.text.c_str(), nullptr);
+                    saw_parameter = true;
+                } else if (arg.kind == Tok::Ident || arg.kind == Tok::String) {
+                    let.args.push_back(normalize_attr(arg.text));
+                } else {
+                    throw CalQLError("expected argument in LET function", arg.pos);
+                }
+                if (!accept(Tok::Comma))
+                    break;
+            }
+            expect(Tok::RParen, "')'");
+            if (let.args.empty())
+                throw CalQLError("LET function needs at least one attribute",
+                                 fn.pos);
+            if ((let.fn == LetSpec::Fn::Scale || let.fn == LetSpec::Fn::Truncate) &&
+                !saw_parameter)
+                throw CalQLError("LET " + fname + "() needs a numeric parameter",
+                                 fn.pos);
+            spec.lets.push_back(std::move(let));
+        } while (accept(Tok::Comma));
+    }
+
+    void parse_limit(QuerySpec& spec) {
+        const Token t = expect(Tok::Number, "limit value");
+        long long v   = std::atoll(t.text.c_str());
+        if (v < 0)
+            throw CalQLError("negative LIMIT", t.pos);
+        spec.limit = static_cast<std::size_t>(v);
+    }
+
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+std::string quote_if_needed(const std::string& s) {
+    for (char c : s)
+        if (!is_ident_char(c))
+            return "\"" + s + "\"";
+    return s.empty() ? "\"\"" : s;
+}
+
+} // namespace
+
+QuerySpec parse_calql(std::string_view query) {
+    return Parser(query).parse();
+}
+
+std::string to_calql(const QuerySpec& spec) {
+    std::string out;
+    auto append_clause = [&out](const std::string& text) {
+        if (!out.empty())
+            out += ' ';
+        out += text;
+    };
+
+    if (!spec.select.empty()) {
+        std::string s = "SELECT ";
+        for (std::size_t i = 0; i < spec.select.size(); ++i) {
+            if (i)
+                s += ',';
+            s += quote_if_needed(spec.select[i]);
+            auto it = spec.aliases.find(spec.select[i]);
+            if (it != spec.aliases.end())
+                s += " AS " + quote_if_needed(it->second);
+        }
+        append_clause(s);
+    }
+    if (!spec.aggregation.ops.empty()) {
+        std::string s = "AGGREGATE ";
+        for (std::size_t i = 0; i < spec.aggregation.ops.size(); ++i) {
+            const AggOpConfig& op = spec.aggregation.ops[i];
+            if (i)
+                s += ',';
+            if (agg_op_is_nullary(op.op))
+                s += agg_op_name(op.op);
+            else
+                s += std::string(agg_op_name(op.op)) + "(" + quote_if_needed(op.attribute) + ")";
+            if (!op.alias.empty())
+                s += " AS " + quote_if_needed(op.alias);
+        }
+        append_clause(s);
+    }
+    if (spec.aggregation.key.all) {
+        append_clause("GROUP BY *");
+    } else if (!spec.aggregation.key.attributes.empty()) {
+        std::string s = "GROUP BY ";
+        for (std::size_t i = 0; i < spec.aggregation.key.attributes.size(); ++i) {
+            if (i)
+                s += ',';
+            s += quote_if_needed(spec.aggregation.key.attributes[i]);
+        }
+        append_clause(s);
+    }
+    if (!spec.lets.empty()) {
+        std::string s = "LET ";
+        for (std::size_t i = 0; i < spec.lets.size(); ++i) {
+            const LetSpec& let = spec.lets[i];
+            if (i)
+                s += ',';
+            s += quote_if_needed(let.target) + "=";
+            static const char* fns[] = {"scale", "truncate", "ratio", "first"};
+            s += fns[static_cast<int>(let.fn)];
+            s += '(';
+            for (std::size_t a = 0; a < let.args.size(); ++a) {
+                if (a)
+                    s += ',';
+                s += quote_if_needed(let.args[a]);
+            }
+            if (let.fn == LetSpec::Fn::Scale || let.fn == LetSpec::Fn::Truncate) {
+                char buf[32];
+                std::snprintf(buf, sizeof(buf), ",%g", let.parameter);
+                s += buf;
+            }
+            s += ')';
+        }
+        append_clause(s);
+    }
+    if (!spec.filters.empty()) {
+        std::string s = "WHERE ";
+        for (std::size_t i = 0; i < spec.filters.size(); ++i) {
+            const FilterSpec& f = spec.filters[i];
+            if (i)
+                s += ',';
+            switch (f.op) {
+            case FilterSpec::Op::Exist:
+                s += quote_if_needed(f.attribute);
+                break;
+            case FilterSpec::Op::NotExist:
+                s += "not(" + quote_if_needed(f.attribute) + ")";
+                break;
+            default: {
+                static const char* ops[] = {"", "", "=", "!=", "<", "<=", ">", ">="};
+                s += quote_if_needed(f.attribute) + ops[static_cast<int>(f.op)];
+                s += f.value.is_string() ? "\"" + f.value.to_string() + "\""
+                                         : f.value.to_string();
+            }
+            }
+        }
+        append_clause(s);
+    }
+    if (!spec.sort.empty()) {
+        std::string s = "ORDER BY ";
+        for (std::size_t i = 0; i < spec.sort.size(); ++i) {
+            if (i)
+                s += ',';
+            s += quote_if_needed(spec.sort[i].attribute);
+            if (spec.sort[i].descending)
+                s += " DESC";
+        }
+        append_clause(s);
+    }
+    if (spec.format != "table")
+        append_clause("FORMAT " + spec.format);
+    if (spec.limit > 0)
+        append_clause("LIMIT " + std::to_string(spec.limit));
+    return out;
+}
+
+} // namespace calib

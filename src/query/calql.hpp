@@ -1,0 +1,46 @@
+// CalQL: the aggregation description language (paper §III-B).
+//
+// A query is a sequence of clauses, in any order:
+//
+//   SELECT    col, op(attr) [AS alias], ...   projection (ops imply AGGREGATE)
+//   AGGREGATE op(attr) [AS alias], ...        aggregation operators
+//   GROUP BY  attr, ... | *                   aggregation key ('*' = everything)
+//   WHERE     cond, ...                       conjunctive filters; conditions are
+//                                             attr | not(attr) | attr <op> value
+//   ORDER BY  attr [ASC|DESC], ...
+//   FORMAT    table | csv | json | expand | tree
+//   LIMIT     n
+//
+// Keywords are case-insensitive. Attribute labels may contain '.', '#',
+// '/', ':' (e.g. "iteration#mainloop", "sum#time.duration"). Values may be
+// quoted with single or double quotes.
+#pragma once
+
+#include "queryspec.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace calib {
+
+/// Error with position information thrown on malformed queries.
+class CalQLError : public std::runtime_error {
+public:
+    CalQLError(const std::string& what, std::size_t position)
+        : std::runtime_error(what), position_(position) {}
+
+    /// Byte offset into the query string where the error was detected.
+    std::size_t position() const noexcept { return position_; }
+
+private:
+    std::size_t position_;
+};
+
+/// Parse a CalQL query string. Throws CalQLError on malformed input.
+QuerySpec parse_calql(std::string_view query);
+
+/// Render a QuerySpec back into canonical CalQL text (round-trippable).
+std::string to_calql(const QuerySpec& spec);
+
+} // namespace calib

@@ -1,0 +1,93 @@
+#include "filter.hpp"
+
+namespace calib {
+
+namespace {
+
+/// Compare a record value against a filter value, coercing across
+/// numeric/string representations (so `loop.iteration=4` matches whether
+/// the stored value is the integer 4 or the string "4").
+int coerced_compare(const Variant& record_value, const Variant& filter_value) {
+    const bool rn = record_value.is_numeric() || record_value.is_bool();
+    const bool fn = filter_value.is_numeric() || filter_value.is_bool();
+    if (rn == fn)
+        return record_value.compare(filter_value);
+    // mixed: compare textual forms
+    return record_value.to_string().compare(filter_value.to_string());
+}
+
+bool apply_op(FilterSpec::Op op, bool present, const Variant& value,
+              const Variant& filter_value) {
+    switch (op) {
+    case FilterSpec::Op::Exist:
+        return present;
+    case FilterSpec::Op::NotExist:
+        return !present;
+    default:
+        break;
+    }
+    if (!present)
+        return false;
+    const int c = coerced_compare(value, filter_value);
+    switch (op) {
+    case FilterSpec::Op::Eq: return c == 0;
+    case FilterSpec::Op::Ne: return c != 0;
+    case FilterSpec::Op::Lt: return c < 0;
+    case FilterSpec::Op::Le: return c <= 0;
+    case FilterSpec::Op::Gt: return c > 0;
+    case FilterSpec::Op::Ge: return c >= 0;
+    default:                 return false;
+    }
+}
+
+} // namespace
+
+bool filter_matches(const FilterSpec& filter, const RecordMap& record) {
+    const bool present = record.contains(filter.attribute);
+    return apply_op(filter.op, present,
+                    present ? record.get(filter.attribute) : Variant(), filter.value);
+}
+
+bool filters_match(const std::vector<FilterSpec>& filters, const RecordMap& record) {
+    for (const FilterSpec& f : filters)
+        if (!filter_matches(f, record))
+            return false;
+    return true;
+}
+
+SnapshotFilter::SnapshotFilter(std::vector<FilterSpec> filters,
+                               AttributeRegistry* registry)
+    : filters_(std::move(filters)), registry_(registry) {
+    ids_.assign(filters_.size(), invalid_id);
+}
+
+void SnapshotFilter::resolve() {
+    const std::size_t gen = registry_->generation();
+    if (fully_resolved_ || gen == resolved_generation_)
+        return;
+    resolved_generation_ = gen;
+    bool all             = true;
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        if (ids_[i] == invalid_id) {
+            Attribute a = registry_->find(filters_[i].attribute);
+            if (a.valid())
+                ids_[i] = a.id();
+            else
+                all = false;
+        }
+    }
+    fully_resolved_ = all;
+}
+
+bool SnapshotFilter::matches(const SnapshotRecord& record) {
+    resolve();
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        const bool present = ids_[i] != invalid_id && record.contains(ids_[i]);
+        const Variant v    = present ? record.get(ids_[i]) : Variant();
+        if (!apply_op(filters_[i].op, present, v, filters_[i].value))
+            return false;
+    }
+    return true;
+}
+
+} // namespace calib

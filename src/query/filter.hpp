@@ -1,0 +1,41 @@
+// Record filtering (WHERE clause evaluation) for offline records and,
+// with resolved attribute ids, for online snapshot records.
+#pragma once
+
+#include "queryspec.hpp"
+
+#include "../common/attribute.hpp"
+#include "../common/recordmap.hpp"
+#include "../common/snapshot.hpp"
+
+#include <vector>
+
+namespace calib {
+
+/// Evaluate a single condition against an offline record.
+bool filter_matches(const FilterSpec& filter, const RecordMap& record);
+
+/// Evaluate a conjunction of conditions.
+bool filters_match(const std::vector<FilterSpec>& filters, const RecordMap& record);
+
+/// Online filter with id-resolved conditions; usable on the snapshot path.
+class SnapshotFilter {
+public:
+    SnapshotFilter(std::vector<FilterSpec> filters, AttributeRegistry* registry);
+
+    /// True when all conditions hold for \a record.
+    bool matches(const SnapshotRecord& record);
+
+    bool empty() const noexcept { return filters_.empty(); }
+
+private:
+    void resolve();
+
+    std::vector<FilterSpec> filters_;
+    AttributeRegistry* registry_;
+    std::vector<id_t> ids_;
+    std::size_t resolved_generation_ = static_cast<std::size_t>(-1);
+    bool fully_resolved_             = false;
+};
+
+} // namespace calib

@@ -1,0 +1,54 @@
+#include "let.hpp"
+
+#include <cmath>
+
+namespace calib {
+
+Variant evaluate_let(const LetSpec& let, const RecordMap& record) {
+    switch (let.fn) {
+    case LetSpec::Fn::Scale: {
+        if (let.args.empty())
+            return {};
+        const Variant v = record.get(let.args[0]);
+        if (!v.is_numeric())
+            return {};
+        return Variant(v.to_double() * let.parameter);
+    }
+    case LetSpec::Fn::Truncate: {
+        if (let.args.empty() || let.parameter <= 0.0)
+            return {};
+        const Variant v = record.get(let.args[0]);
+        if (!v.is_numeric())
+            return {};
+        return Variant(std::floor(v.to_double() / let.parameter) * let.parameter);
+    }
+    case LetSpec::Fn::Ratio: {
+        if (let.args.size() < 2)
+            return {};
+        const Variant a = record.get(let.args[0]);
+        const Variant b = record.get(let.args[1]);
+        if (!a.is_numeric() || !b.is_numeric() || b.to_double() == 0.0)
+            return {};
+        return Variant(a.to_double() / b.to_double());
+    }
+    case LetSpec::Fn::First: {
+        for (const std::string& arg : let.args) {
+            Variant v = record.get(arg);
+            if (!v.empty())
+                return v;
+        }
+        return {};
+    }
+    }
+    return {};
+}
+
+void apply_lets(const std::vector<LetSpec>& lets, RecordMap& record) {
+    for (const LetSpec& let : lets) {
+        Variant v = evaluate_let(let, record);
+        if (!v.empty())
+            record.set(let.target, v);
+    }
+}
+
+} // namespace calib

@@ -1,0 +1,20 @@
+// Evaluation of LET terms (derived attributes).
+#pragma once
+
+#include "queryspec.hpp"
+
+#include "../common/recordmap.hpp"
+
+#include <vector>
+
+namespace calib {
+
+/// Compute the value of one LET term for \a record; Empty when the
+/// sources are missing or non-numeric (for numeric functions).
+Variant evaluate_let(const LetSpec& let, const RecordMap& record);
+
+/// Append every LET term's value (when computable) to \a record.
+/// Terms are evaluated in order, so later terms may use earlier targets.
+void apply_lets(const std::vector<LetSpec>& lets, RecordMap& record);
+
+} // namespace calib

@@ -1,0 +1,146 @@
+#include "processor.hpp"
+
+#include <algorithm>
+
+namespace calib {
+
+QueryProcessor::QueryProcessor(QuerySpec spec)
+    : spec_(std::move(spec)), registry_(std::make_unique<AttributeRegistry>()) {
+    if (spec_.has_aggregation()) {
+        AggregationConfig cfg = spec_.aggregation;
+        // GROUP BY without AGGREGATE: default to count (record frequency),
+        // so a bare "GROUP BY function" query is meaningful.
+        if (cfg.ops.empty())
+            cfg.ops.push_back(AggOpConfig{AggOp::Count, "", ""});
+        db_.emplace(std::move(cfg), registry_.get());
+    }
+}
+
+void QueryProcessor::add(const RecordMap& record) {
+    ++in_;
+    if (spec_.lets.empty()) {
+        if (!filters_match(spec_.filters, record))
+            return;
+        ++kept_;
+        if (db_)
+            db_->process_offline(record);
+        else
+            passthrough_.push_back(record);
+        return;
+    }
+    // derived attributes are computed before filtering and aggregation
+    RecordMap derived = record;
+    apply_lets(spec_.lets, derived);
+    if (!filters_match(spec_.filters, derived))
+        return;
+    ++kept_;
+    if (db_)
+        db_->process_offline(derived);
+    else
+        passthrough_.push_back(std::move(derived));
+}
+
+void QueryProcessor::add(const std::vector<RecordMap>& records) {
+    for (const RecordMap& r : records)
+        add(r);
+}
+
+void QueryProcessor::merge(QueryProcessor& other) {
+    in_ += other.in_;
+    kept_ += other.kept_;
+    if (db_ && other.db_) {
+        // registries differ; go through the name-based serialized form
+        db_->merge_serialized(other.db_->serialize());
+    } else {
+        passthrough_.insert(passthrough_.end(), other.passthrough_.begin(),
+                            other.passthrough_.end());
+    }
+}
+
+std::vector<std::byte> QueryProcessor::serialize_partial() const {
+    if (db_)
+        return db_->serialize();
+    // no aggregation: serialize raw records
+    std::vector<std::byte> buf;
+    ByteWriter w(buf);
+    w.put(static_cast<std::uint32_t>(0x0CA11B0Fu));
+    w.put(static_cast<std::uint64_t>(in_));
+    w.put(static_cast<std::uint32_t>(passthrough_.size()));
+    for (const RecordMap& r : passthrough_) {
+        w.put(static_cast<std::uint32_t>(r.size()));
+        for (const auto& [name, value] : r) {
+            w.put_string(name);
+            w.put_variant(value);
+        }
+    }
+    return buf;
+}
+
+void QueryProcessor::merge_serialized(std::span<const std::byte> data) {
+    if (db_) {
+        db_->merge_serialized(data);
+        return;
+    }
+    ByteReader r(data);
+    if (r.get<std::uint32_t>() != 0x0CA11B0Fu)
+        throw std::runtime_error("QueryProcessor: bad record-buffer magic");
+    in_ += r.get<std::uint64_t>();
+    const auto n = r.get<std::uint32_t>();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        RecordMap rec;
+        const auto fields = r.get<std::uint32_t>();
+        for (std::uint32_t f = 0; f < fields; ++f) {
+            const std::string_view name = r.get_string();
+            rec.append(name, r.get_variant());
+        }
+        passthrough_.push_back(std::move(rec));
+        ++kept_;
+    }
+}
+
+void QueryProcessor::sort_records(std::vector<RecordMap>& records) const {
+    if (spec_.sort.empty())
+        return;
+    std::stable_sort(records.begin(), records.end(),
+                     [this](const RecordMap& a, const RecordMap& b) {
+                         for (const SortSpec& s : spec_.sort) {
+                             const Variant va = a.get(s.attribute);
+                             const Variant vb = b.get(s.attribute);
+                             const int c      = va.compare(vb);
+                             if (c != 0)
+                                 return s.descending ? c > 0 : c < 0;
+                         }
+                         return false;
+                     });
+}
+
+const std::vector<RecordMap>& QueryProcessor::result() {
+    if (result_)
+        return *result_;
+    std::vector<RecordMap> out = db_ ? db_->flush() : std::move(passthrough_);
+    sort_records(out);
+    if (spec_.limit > 0 && out.size() > spec_.limit)
+        out.resize(spec_.limit);
+    result_ = std::move(out);
+    return *result_;
+}
+
+void QueryProcessor::write(std::ostream& os) {
+    format_records(os, result(), spec_);
+}
+
+std::vector<RecordMap> run_query(std::string_view query,
+                                 const std::vector<RecordMap>& records) {
+    QueryProcessor proc(parse_calql(query));
+    proc.add(records);
+    return proc.result();
+}
+
+void run_query(std::string_view query, const std::vector<RecordMap>& records,
+               std::ostream& os) {
+    QueryProcessor proc(parse_calql(query));
+    proc.add(records);
+    proc.write(os);
+}
+
+} // namespace calib

@@ -1,0 +1,77 @@
+// QueryProcessor: the offline record-processing pipeline
+// (paper §IV-C, local stage): filter -> aggregate -> sort -> limit -> format.
+//
+// Records are streamed in with add(); the aggregation is a streaming
+// reduction, so memory use is proportional to the number of unique keys,
+// not the number of input records.
+#pragma once
+
+#include "calql.hpp"
+#include "filter.hpp"
+#include "formatter.hpp"
+#include "let.hpp"
+#include "queryspec.hpp"
+
+#include "../aggregate/aggregation_db.hpp"
+#include "../common/attribute.hpp"
+#include "../common/recordmap.hpp"
+
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+namespace calib {
+
+class QueryProcessor {
+public:
+    explicit QueryProcessor(QuerySpec spec);
+
+    QueryProcessor(QueryProcessor&&) noexcept = default;
+
+    /// Stream one input record through the pipeline.
+    void add(const RecordMap& record);
+    void add(const std::vector<RecordMap>& records);
+
+    /// Merge the partial aggregation state of another processor running the
+    /// same query (cross-process reduction, paper §IV-C). Without
+    /// aggregation, appends the other processor's records.
+    void merge(QueryProcessor& other);
+
+    /// Serialized partial state for tree-based reduction across ranks.
+    std::vector<std::byte> serialize_partial() const;
+    void merge_serialized(std::span<const std::byte> data);
+
+    /// Finish the query: flush, sort, apply LIMIT. Idempotent.
+    const std::vector<RecordMap>& result();
+
+    /// Finish and render with the spec's formatter.
+    void write(std::ostream& os);
+
+    const QuerySpec& spec() const noexcept { return spec_; }
+
+    /// Number of records seen (pre-filter) and kept (post-filter).
+    std::uint64_t num_records_in() const noexcept { return in_; }
+    std::uint64_t num_records_kept() const noexcept { return kept_; }
+
+private:
+    void sort_records(std::vector<RecordMap>& records) const;
+
+    QuerySpec spec_;
+    std::unique_ptr<AttributeRegistry> registry_;
+    std::optional<AggregationDB> db_;
+    std::vector<RecordMap> passthrough_;
+    std::optional<std::vector<RecordMap>> result_;
+    std::uint64_t in_   = 0;
+    std::uint64_t kept_ = 0;
+};
+
+/// One-shot helper: run \a query over \a records and return the output.
+std::vector<RecordMap> run_query(std::string_view query,
+                                 const std::vector<RecordMap>& records);
+
+/// One-shot helper: run \a query over \a records and render to \a os.
+void run_query(std::string_view query, const std::vector<RecordMap>& records,
+               std::ostream& os);
+
+} // namespace calib

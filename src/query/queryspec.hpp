@@ -1,0 +1,99 @@
+// QuerySpec: the parsed form of an aggregation/query description
+// (paper §III-B). Produced by the CalQL parser, consumed by the query
+// processor, the online aggregation service, and the report formatters.
+#pragma once
+
+#include "../aggregate/ops.hpp"
+#include "../common/variant.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace calib {
+
+/// One WHERE condition.
+struct FilterSpec {
+    enum class Op {
+        Exist,    ///< attribute present:            WHERE attr
+        NotExist, ///< attribute absent:             WHERE not(attr)
+        Eq,       ///< attr = value
+        Ne,       ///< attr != value
+        Lt,       ///< attr < value
+        Le,       ///< attr <= value
+        Gt,       ///< attr > value
+        Ge        ///< attr >= value
+    };
+
+    std::string attribute;
+    Op op = Op::Exist;
+    Variant value;
+
+    bool operator==(const FilterSpec& rhs) const {
+        return attribute == rhs.attribute && op == rhs.op && value == rhs.value;
+    }
+};
+
+/// One LET term: a derived attribute computed per record before
+/// filtering and aggregation (the expressiveness Cube's derived-metric
+/// language offers offline, available in both query stages here).
+struct LetSpec {
+    enum class Fn {
+        Scale,    ///< scale(attr, factor)     — numeric multiply
+        Truncate, ///< truncate(attr, width)   — floor to a bucket boundary
+        Ratio,    ///< ratio(a, b)             — a / b where both present
+        First,    ///< first(a, b, ...)        — first present attribute
+    };
+
+    std::string target; ///< name of the derived attribute
+    Fn fn = Fn::Scale;
+    std::vector<std::string> args; ///< source attribute labels
+    double parameter = 1.0;        ///< factor/width for scale/truncate
+
+    bool operator==(const LetSpec& rhs) const {
+        return target == rhs.target && fn == rhs.fn && args == rhs.args &&
+               parameter == rhs.parameter;
+    }
+};
+
+/// One ORDER BY term.
+struct SortSpec {
+    std::string attribute;
+    bool descending = false;
+
+    bool operator==(const SortSpec& rhs) const {
+        return attribute == rhs.attribute && descending == rhs.descending;
+    }
+};
+
+/// A complete query: filters -> aggregation -> projection -> sort -> format.
+struct QuerySpec {
+    AggregationConfig aggregation;
+
+    /// Output columns in order; empty = all columns.
+    std::vector<std::string> select;
+
+    /// Derived attributes, computed per record before WHERE and AGGREGATE.
+    std::vector<LetSpec> lets;
+
+    /// Conjunction of conditions (all must hold).
+    std::vector<FilterSpec> filters;
+
+    std::vector<SortSpec> sort;
+
+    /// "table", "csv", "json", "expand", or "tree".
+    std::string format = "table";
+
+    /// Maximum number of output records; 0 = unlimited.
+    std::size_t limit = 0;
+
+    /// Display-name overrides (attribute -> column title).
+    std::unordered_map<std::string, std::string> aliases;
+
+    bool has_aggregation() const {
+        return !aggregation.ops.empty() || !aggregation.key.attributes.empty() ||
+               aggregation.key.all;
+    }
+};
+
+} // namespace calib

@@ -1,0 +1,127 @@
+// Source-code annotation API (paper §III-B, Listing 1).
+//
+//   calib::mark_begin("function", "foo");     // push region value
+//   calib::mark_end("function", "foo");       // pop
+//   calib::mark_set("iteration#mainloop", i); // set a value attribute
+//
+// or the RAII / object forms:
+//
+//   calib::Annotation kernel("kernel");
+//   kernel.begin("advec-cell"); ...; kernel.end();
+//   { calib::ScopeAnnotation s("region", "init"); ... }
+//
+// plus convenience macros CALIB_MARK_FUNCTION / CALIB_MARK_BEGIN / ...
+#pragma once
+
+#include "caliper.hpp"
+
+#include "../common/attribute.hpp"
+#include "../common/variant.hpp"
+
+#include <string_view>
+
+namespace calib {
+
+/// Handle for one annotation attribute; creation resolves (or defines) the
+/// attribute once, so repeated begin/end calls avoid name lookups.
+class Annotation {
+public:
+    explicit Annotation(std::string_view name, std::uint32_t properties = prop::nested)
+        : name_(intern(name)), properties_(properties) {}
+
+    Annotation& begin(const Variant& value) {
+        Caliper& c = Caliper::instance();
+        resolve(c, value.type());
+        c.begin(attr_, value);
+        return *this;
+    }
+
+    Annotation& set(const Variant& value) {
+        Caliper& c = Caliper::instance();
+        resolve(c, value.type());
+        c.set(attr_, value);
+        return *this;
+    }
+
+    void end() {
+        if (attr_.valid())
+            Caliper::instance().end(attr_);
+    }
+
+    const Attribute& attribute() const noexcept { return attr_; }
+
+    /// RAII region guard: ends the annotation at scope exit.
+    class Guard {
+    public:
+        explicit Guard(Annotation& ann) : ann_(ann) {}
+        ~Guard() { ann_.end(); }
+        Guard(const Guard&)            = delete;
+        Guard& operator=(const Guard&) = delete;
+
+    private:
+        Annotation& ann_;
+    };
+
+private:
+    void resolve(Caliper& c, Variant::Type type) {
+        if (!attr_.valid())
+            attr_ = c.create_attribute(name_, type, properties_);
+    }
+
+    const char* name_;
+    std::uint32_t properties_;
+    Attribute attr_;
+};
+
+/// RAII scope annotation: begin on construction, end on destruction.
+class ScopeAnnotation {
+public:
+    ScopeAnnotation(std::string_view attr, const Variant& value) : ann_(attr) {
+        ann_.begin(value);
+    }
+    ~ScopeAnnotation() { ann_.end(); }
+    ScopeAnnotation(const ScopeAnnotation&)            = delete;
+    ScopeAnnotation& operator=(const ScopeAnnotation&) = delete;
+
+private:
+    Annotation ann_;
+};
+
+// -- free-function API (Listing 1 style) -------------------------------------
+
+/// Push \a value onto the \a attr_name blackboard stack.
+inline void mark_begin(std::string_view attr_name, const Variant& value) {
+    Caliper& c = Caliper::instance();
+    c.begin(c.create_attribute(attr_name, value.type(), prop::nested), value);
+}
+
+/// Pop the innermost value of \a attr_name. The \a value parameter is
+/// accepted for symmetry with Listing 1 and checked in debug logs only.
+inline void mark_end(std::string_view attr_name, const Variant& = Variant()) {
+    Caliper& c  = Caliper::instance();
+    Attribute a = c.find_attribute(attr_name);
+    if (a.valid())
+        c.end(a);
+}
+
+/// Overwrite the (single) value of a value-semantics attribute.
+inline void mark_set(std::string_view attr_name, const Variant& value) {
+    Caliper& c = Caliper::instance();
+    c.set(c.create_attribute(attr_name, value.type(), prop::as_value), value);
+}
+
+} // namespace calib
+
+#define CALIB_CONCAT_(a, b) a##b
+#define CALIB_CONCAT(a, b) CALIB_CONCAT_(a, b)
+
+/// Annotate the enclosing scope as region \a name under attribute "function".
+#define CALIB_MARK_FUNCTION \
+    ::calib::ScopeAnnotation CALIB_CONCAT(calib_scope_, __LINE__)("function", __func__)
+
+#define CALIB_MARK_BEGIN(attr, value) ::calib::mark_begin((attr), (value))
+#define CALIB_MARK_END(attr) ::calib::mark_end((attr))
+
+/// Annotate the enclosing scope with attribute/value.
+#define CALIB_SCOPE(attr, value) \
+    ::calib::ScopeAnnotation CALIB_CONCAT(calib_scope_, __LINE__)((attr), (value))

@@ -1,0 +1,310 @@
+#include "caliper.hpp"
+
+#include "../common/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace calib {
+
+namespace {
+
+/// Thread-local handle; the ThreadData itself is owned by the runtime so
+/// it outlives the thread (its buffered data may be flushed later).
+struct ThreadHandle {
+    ThreadData* data = nullptr;
+    ~ThreadHandle();
+};
+
+thread_local ThreadHandle t_handle;
+
+std::atomic<bool> g_runtime_alive{false};
+
+ThreadHandle::~ThreadHandle() {
+    if (data && g_runtime_alive.load(std::memory_order_acquire)) {
+        // mark the thread gone under the list lock so the sampler never
+        // signals an exited thread
+        std::lock_guard<std::mutex> lock(Caliper::instance().thread_list_mutex());
+        data->index = -data->index - 2; // negative = exited
+    }
+    data = nullptr;
+}
+
+} // namespace
+
+Caliper::Caliper() {
+    register_builtin_services();
+    active_ = std::make_shared<const std::vector<Channel*>>();
+    g_runtime_alive.store(true, std::memory_order_release);
+}
+
+Caliper& Caliper::instance() {
+    static Caliper c;
+    return c;
+}
+
+// ---------------------------------------------------------------------------
+// channels
+
+Channel* Caliper::create_channel(const std::string& name, const RuntimeConfig& config) {
+    std::lock_guard<std::mutex> lock(channel_mutex_);
+    auto channel = std::make_unique<Channel>(channels_.size(), name, config);
+    Channel* ptr = channel.get();
+    channels_.push_back(std::move(channel));
+
+    ServiceRegistry::instance().instantiate(*this, *ptr,
+                                            config.get("services.enable", ""));
+
+    auto active = std::make_shared<std::vector<Channel*>>();
+    for (const auto& ch : channels_)
+        if (ch->active())
+            active->push_back(ch.get());
+    std::atomic_store(&active_, std::shared_ptr<const std::vector<Channel*>>(active));
+    channel_epoch_.fetch_add(1, std::memory_order_release);
+    return ptr;
+}
+
+void Caliper::close_channel(Channel* channel) {
+    if (!channel)
+        return;
+    for (const auto& cb : channel->finish_cbs)
+        cb(*this, *channel);
+
+    std::lock_guard<std::mutex> lock(channel_mutex_);
+    channel->set_active(false);
+    auto active = std::make_shared<std::vector<Channel*>>();
+    for (const auto& ch : channels_)
+        if (ch->active())
+            active->push_back(ch.get());
+    std::atomic_store(&active_, std::shared_ptr<const std::vector<Channel*>>(active));
+    channel_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+Channel* Caliper::find_channel(const std::string& name) {
+    std::lock_guard<std::mutex> lock(channel_mutex_);
+    for (const auto& ch : channels_)
+        if (ch->name() == name)
+            return ch.get();
+    return nullptr;
+}
+
+std::shared_ptr<const std::vector<Channel*>> Caliper::active_channels() const {
+    return std::atomic_load(&active_);
+}
+
+// ---------------------------------------------------------------------------
+// threads
+
+ThreadData& Caliper::register_thread() {
+    auto td       = std::make_unique<ThreadData>();
+    td->os_thread = pthread_self();
+    ThreadData* p = td.get();
+
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    p->index = static_cast<int>(threads_.size());
+    p->label = std::to_string(p->index);
+    threads_.push_back(std::move(td));
+    return *p;
+}
+
+ThreadData& Caliper::thread_data() {
+    if (!t_handle.data)
+        t_handle.data = &register_thread();
+    return *t_handle.data;
+}
+
+ThreadData* Caliper::maybe_thread_data() noexcept {
+    return t_handle.data;
+}
+
+void Caliper::set_thread_label(const std::string& label) {
+    thread_data().label = label;
+}
+
+void Caliper::visit_live_threads(const std::function<void(ThreadData&)>& fn) {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    for (const auto& td : threads_)
+        if (td->index >= 0)
+            fn(*td);
+}
+
+std::vector<ThreadData*> Caliper::threads() {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    std::vector<ThreadData*> out;
+    out.reserve(threads_.size());
+    for (const auto& td : threads_)
+        out.push_back(td.get());
+    return out;
+}
+
+const std::vector<Channel*>& Caliper::channels_for(ThreadData& td) {
+    const std::uint64_t epoch = channel_epoch_.load(std::memory_order_acquire);
+    if (td.cached_channel_epoch != epoch) {
+        td.cached_channels      = *active_channels();
+        td.cached_channel_epoch = epoch;
+    }
+    return td.cached_channels;
+}
+
+// ---------------------------------------------------------------------------
+// blackboard updates
+
+void Caliper::begin(const Attribute& attr, const Variant& value) {
+    ThreadData& td = thread_data();
+    td.in_update   = 1;
+    for (Channel* ch : channels_for(td))
+        for (const auto& cb : ch->pre_begin_cbs)
+            cb(*this, *ch, td, attr, value);
+    td.stack_for(attr.id()).push_back(value);
+    td.in_update = 0;
+}
+
+void Caliper::end(const Attribute& attr) {
+    ThreadData& td = thread_data();
+    auto& stack    = td.stack_for(attr.id());
+    if (stack.empty()) {
+        log_warn() << "end(" << attr.name_view() << ") without matching begin";
+        return;
+    }
+    td.in_update = 1;
+    for (Channel* ch : channels_for(td))
+        for (const auto& cb : ch->pre_end_cbs)
+            cb(*this, *ch, td, attr, stack.back());
+    stack.pop_back();
+    td.in_update = 0;
+}
+
+void Caliper::set(const Attribute& attr, const Variant& value) {
+    ThreadData& td = thread_data();
+    td.in_update   = 1;
+    for (Channel* ch : channels_for(td))
+        for (const auto& cb : ch->pre_set_cbs)
+            cb(*this, *ch, td, attr, value);
+    auto& stack = td.stack_for(attr.id());
+    if (stack.empty())
+        stack.push_back(value);
+    else
+        stack.back() = value;
+    td.in_update = 0;
+}
+
+Variant Caliper::current(const Attribute& attr) {
+    ThreadData& td = thread_data();
+    if (attr.id() >= td.blackboard.size())
+        return {};
+    const auto& stack = td.blackboard[attr.id()];
+    return stack.empty() ? Variant() : stack.back();
+}
+
+std::size_t Caliper::depth(const Attribute& attr) {
+    ThreadData& td = thread_data();
+    if (attr.id() >= td.blackboard.size())
+        return 0;
+    return td.blackboard[attr.id()].size();
+}
+
+// ---------------------------------------------------------------------------
+// snapshots
+
+void Caliper::capture_blackboard(ThreadData& td, SnapshotRecord& rec) {
+    for (id_t attr = 0; attr < td.blackboard.size(); ++attr) {
+        const auto& stack = td.blackboard[attr];
+        if (!stack.empty())
+            rec.append(attr, stack.back());
+    }
+}
+
+void Caliper::pull_snapshot(SnapshotRecord& out) {
+    capture_blackboard(thread_data(), out);
+}
+
+void Caliper::process_snapshot(Channel* channel, ThreadData& td,
+                               ThreadChannelState& state, SnapshotRecord& rec,
+                               bool from_signal) {
+    (void)from_signal;
+    for (const auto& cb : channel->snapshot_cbs)
+        cb(*this, *channel, td, state, rec);
+    capture_blackboard(td, rec);
+    for (const auto& cb : channel->process_cbs)
+        cb(*this, *channel, td, state, rec);
+    ++state.num_snapshots;
+}
+
+void Caliper::push_snapshot(Channel* channel, const SnapshotRecord* trigger) {
+    ThreadData& td = thread_data();
+    if (channel) {
+        SnapshotRecord rec;
+        if (trigger)
+            for (const Entry& e : *trigger)
+                rec.append(e);
+        process_snapshot(channel, td, td.channel_state(channel->id()), rec, false);
+        return;
+    }
+    for (Channel* ch : channels_for(td)) {
+        SnapshotRecord rec;
+        if (trigger)
+            for (const Entry& e : *trigger)
+                rec.append(e);
+        process_snapshot(ch, td, td.channel_state(ch->id()), rec, false);
+    }
+}
+
+void Caliper::push_snapshot_from_signal(ThreadData& td) {
+    if (td.in_update) {
+        ++td.dropped_samples;
+        return;
+    }
+    // use the thread's cached channel list verbatim: refreshing it could
+    // allocate, which is not allowed in signal context
+    for (Channel* ch : td.cached_channels) {
+        if (!ch->active() || ch->id() >= td.channels.size())
+            continue; // state not initialized on this thread yet
+        SnapshotRecord rec;
+        process_snapshot(ch, td, td.channels[ch->id()], rec, true);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// flushing
+
+void Caliper::flush_thread(Channel* channel, const Channel::FlushFn& sink) {
+    if (!channel)
+        return;
+    ThreadData& td            = thread_data();
+    ThreadChannelState& state = td.channel_state(channel->id());
+    for (const auto& cb : channel->flush_cbs)
+        cb(*this, *channel, td, state, sink);
+}
+
+void Caliper::flush_thread(Channel* channel) {
+    if (!channel)
+        return;
+    std::vector<RecordMap> records;
+    flush_thread(channel, [&records](RecordMap&& r) { records.push_back(std::move(r)); });
+    ThreadData& td = thread_data();
+    for (const auto& cb : channel->flush_sink_cbs)
+        cb(*this, *channel, td, records);
+    td.channel_state(channel->id()).flushed = true;
+}
+
+void Caliper::release_thread_states(Channel* channel) {
+    if (!channel)
+        return;
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    for (const auto& td : threads_)
+        if (channel->id() < td->channels.size())
+            td->channels[channel->id()] = ThreadChannelState{};
+}
+
+void Caliper::flush_all(Channel* channel, const Channel::FlushFn& sink) {
+    if (!channel)
+        return;
+    for (ThreadData* td : threads()) {
+        if (channel->id() >= td->channels.size())
+            continue;
+        for (const auto& cb : channel->flush_cbs)
+            cb(*this, *channel, *td, td->channels[channel->id()], sink);
+    }
+}
+
+} // namespace calib

@@ -1,0 +1,114 @@
+// Channels: one active measurement configuration (paper §IV-A). A channel
+// owns a runtime-config profile and the callback lists through which the
+// enabled services cooperate (Figure 2's snapshot-processing workflow):
+//
+//   pre_begin / pre_end / pre_set : fired before a blackboard update
+//   snapshot                      : add measurement entries to a snapshot
+//   process_snapshot              : consume a completed snapshot
+//   flush                         : emit buffered results as records
+//
+// Services are independent building blocks registered by name; the channel
+// instantiates the ones listed in its profile's services.enable key.
+#pragma once
+
+#include "config.hpp"
+#include "threadstate.hpp"
+
+#include "../common/attribute.hpp"
+#include "../common/recordmap.hpp"
+#include "../common/snapshot.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace calib {
+
+class Caliper;
+class Channel;
+
+/// A service attaches callbacks to a channel at registration time.
+using ServiceRegisterFn = std::function<void(Caliper&, Channel&)>;
+
+class Channel {
+public:
+    using FlushFn = std::function<void(RecordMap&&)>;
+
+    using UpdateCb   = std::function<void(Caliper&, Channel&, ThreadData&,
+                                        const Attribute&, const Variant&)>;
+    using SnapshotCb = std::function<void(Caliper&, Channel&, ThreadData&,
+                                          ThreadChannelState&, SnapshotRecord&)>;
+    using ProcessCb  = std::function<void(Caliper&, Channel&, ThreadData&,
+                                         ThreadChannelState&, const SnapshotRecord&)>;
+    using FlushCb    = std::function<void(Caliper&, Channel&, ThreadData&,
+                                       ThreadChannelState&, const FlushFn&)>;
+    using FinishCb   = std::function<void(Caliper&, Channel&)>;
+
+    Channel(std::size_t id, std::string name, RuntimeConfig config)
+        : id_(id), name_(std::move(name)), config_(std::move(config)) {}
+
+    std::size_t id() const noexcept { return id_; }
+    const std::string& name() const noexcept { return name_; }
+    const RuntimeConfig& config() const noexcept { return config_; }
+
+    bool active() const noexcept { return active_; }
+    void set_active(bool a) noexcept { active_ = a; }
+
+    /// Services enabled on this channel (canonical order).
+    const std::vector<std::string>& services() const noexcept { return services_; }
+
+    // callback lists (populated by services; invoked by Caliper)
+    std::vector<UpdateCb> pre_begin_cbs;
+    std::vector<UpdateCb> pre_end_cbs;
+    std::vector<UpdateCb> pre_set_cbs;
+    std::vector<SnapshotCb> snapshot_cbs;
+    std::vector<ProcessCb> process_cbs;
+    std::vector<FlushCb> flush_cbs;
+    /// Consume the records produced by a thread flush (e.g. the recorder
+    /// writing a per-process output file).
+    std::vector<std::function<void(Caliper&, Channel&, ThreadData&,
+                                   const std::vector<RecordMap>&)>>
+        flush_sink_cbs;
+    std::vector<FinishCb> finish_cbs; ///< fired when the channel is destroyed
+
+    /// Channel-level metadata written as dataset globals by the recorder.
+    std::map<std::string, Variant> metadata;
+
+private:
+    friend class Caliper;
+    friend class ServiceRegistry;
+
+    std::size_t id_;
+    std::string name_;
+    RuntimeConfig config_;
+    std::vector<std::string> services_;
+    bool active_ = true;
+};
+
+/// Global service registry. Built-in services self-register; users can add
+/// custom services before creating channels.
+class ServiceRegistry {
+public:
+    static ServiceRegistry& instance();
+
+    void add(const std::string& name, int priority, ServiceRegisterFn fn);
+
+    /// Instantiate \a names (comma list) on \a channel in priority order.
+    /// Unknown service names are reported and skipped.
+    void instantiate(Caliper& c, Channel& channel, const std::string& names);
+
+    std::vector<std::string> available() const;
+
+private:
+    struct Entry {
+        int priority;
+        ServiceRegisterFn fn;
+    };
+    std::map<std::string, Entry> services_;
+};
+
+/// Register all built-in services (idempotent).
+void register_builtin_services();
+
+} // namespace calib

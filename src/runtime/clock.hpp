@@ -1,0 +1,21 @@
+// Monotonic clock helper. clock_gettime(CLOCK_MONOTONIC) is
+// async-signal-safe, so this may be called from the sampling handler.
+#pragma once
+
+#include <cstdint>
+#include <ctime>
+
+namespace calib {
+
+inline std::uint64_t now_ns() noexcept {
+    timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+inline double ns_to_us(std::uint64_t ns) noexcept {
+    return static_cast<double>(ns) * 1e-3;
+}
+
+} // namespace calib

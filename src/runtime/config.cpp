@@ -1,0 +1,113 @@
+#include "config.hpp"
+
+#include "../common/util.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+extern char** environ;
+
+namespace calib {
+
+RuntimeConfig RuntimeConfig::from_env(const char* prefix) {
+    RuntimeConfig cfg;
+    const std::string_view pfx(prefix);
+    for (char** env = environ; *env; ++env) {
+        const std::string_view entry(*env);
+        if (!entry.starts_with(pfx))
+            continue;
+        const std::size_t eq = entry.find('=');
+        if (eq == std::string_view::npos)
+            continue;
+        // CALI_SERVICES_ENABLE -> services.enable
+        std::string key;
+        for (char c : entry.substr(pfx.size(), eq - pfx.size()))
+            key += c == '_' ? '.' : static_cast<char>(std::tolower(c));
+        cfg.set(key, entry.substr(eq + 1));
+    }
+    return cfg;
+}
+
+RuntimeConfig RuntimeConfig::from_string(std::string_view text) {
+    RuntimeConfig cfg;
+    std::istringstream is{std::string(text)};
+    std::string line;
+    while (std::getline(is, line)) {
+        const std::string_view t = util::trim(line);
+        if (t.empty() || t[0] == '#')
+            continue;
+        const std::size_t eq = t.find('=');
+        if (eq == std::string_view::npos)
+            throw std::runtime_error("config line missing '=': " + std::string(t));
+        cfg.set(util::trim(t.substr(0, eq)), util::trim(t.substr(eq + 1)));
+    }
+    return cfg;
+}
+
+RuntimeConfig RuntimeConfig::from_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open config file " + path);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    return from_string(buf.str());
+}
+
+void RuntimeConfig::set(std::string_view key, std::string_view value) {
+    values_[std::string(key)] = std::string(value);
+}
+
+std::string RuntimeConfig::get(std::string_view key, std::string_view fallback) const {
+    auto it = values_.find(std::string(key));
+    return it != values_.end() ? it->second : std::string(fallback);
+}
+
+std::optional<std::string> RuntimeConfig::find(std::string_view key) const {
+    auto it = values_.find(std::string(key));
+    return it != values_.end() ? std::optional(it->second) : std::nullopt;
+}
+
+long RuntimeConfig::get_int(std::string_view key, long fallback) const {
+    auto v = find(key);
+    if (!v)
+        return fallback;
+    try {
+        return std::stol(*v);
+    } catch (...) {
+        return fallback;
+    }
+}
+
+double RuntimeConfig::get_double(std::string_view key, double fallback) const {
+    auto v = find(key);
+    if (!v)
+        return fallback;
+    try {
+        return std::stod(*v);
+    } catch (...) {
+        return fallback;
+    }
+}
+
+bool RuntimeConfig::get_bool(std::string_view key, bool fallback) const {
+    auto v = find(key);
+    if (!v)
+        return fallback;
+    return *v == "1" || util::iequals(*v, "true") || util::iequals(*v, "yes") ||
+           util::iequals(*v, "on");
+}
+
+bool RuntimeConfig::contains(std::string_view key) const {
+    return values_.count(std::string(key)) > 0;
+}
+
+RuntimeConfig RuntimeConfig::merged_with(const RuntimeConfig& other) const {
+    RuntimeConfig out = *this;
+    for (const auto& [k, v] : other.values_)
+        out.values_[k] = v;
+    return out;
+}
+
+} // namespace calib

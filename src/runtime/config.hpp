@@ -1,0 +1,60 @@
+// Runtime configuration profiles (paper §IV-A: "Users specify which
+// building blocks to use in a runtime configuration profile, either in a
+// configuration file or environment variables").
+//
+// A profile is a flat key=value map. Well-known keys:
+//
+//   services.enable        comma list: event,timer,aggregate,trace,recorder,sampler
+//   aggregate.key          comma list of attributes, or "*" (everything)
+//   aggregate.ops          e.g. "count,sum(time.duration)"
+//   aggregate.query        full CalQL text (overrides key/ops; WHERE supported)
+//   aggregate.prealloc     entries to preallocate per thread DB (default 1024)
+//   trace.reserve          snapshot capacity hint for the trace buffer
+//   recorder.filename      output path; %r is replaced by the rank/thread label
+//   sampler.frequency      sampling frequency in Hz (default 100)
+//   sampler.mode           "cooperative" (default) or "signal"
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace calib {
+
+class RuntimeConfig {
+public:
+    RuntimeConfig() = default;
+    RuntimeConfig(std::initializer_list<std::pair<const std::string, std::string>> kv)
+        : values_(kv) {}
+
+    /// Read CALI_-prefixed environment variables: CALI_SERVICES_ENABLE
+    /// becomes "services.enable", etc.
+    static RuntimeConfig from_env(const char* prefix = "CALI_");
+
+    /// Parse "key=value" lines ('#' comments, blank lines ignored).
+    static RuntimeConfig from_string(std::string_view text);
+
+    /// Load a profile file in from_string() syntax.
+    static RuntimeConfig from_file(const std::string& path);
+
+    void set(std::string_view key, std::string_view value);
+
+    std::string get(std::string_view key, std::string_view fallback = "") const;
+    std::optional<std::string> find(std::string_view key) const;
+    long get_int(std::string_view key, long fallback) const;
+    double get_double(std::string_view key, double fallback) const;
+    bool get_bool(std::string_view key, bool fallback) const;
+
+    bool contains(std::string_view key) const;
+
+    /// Overlay \a other on top of this profile (other wins).
+    RuntimeConfig merged_with(const RuntimeConfig& other) const;
+
+    const std::map<std::string, std::string>& values() const { return values_; }
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace calib

@@ -1,0 +1,135 @@
+// On-line event aggregation service (paper §IV-B, Figure 2).
+//
+// Maintains one AggregationDB per monitored thread (no locks on the
+// snapshot path). The aggregation scheme is read from the channel's
+// runtime-config profile:
+//
+//   aggregate.query   full CalQL text ("AGGREGATE ... GROUP BY ... WHERE ...")
+//   aggregate.ops     operator list, e.g. "count,sum(time.duration)"
+//   aggregate.key     comma list of key attributes, or "*"
+//   aggregate.prealloc  preallocated entries per thread DB (default 1024)
+//
+// At flush, each thread's database is emitted as one output record per
+// unique aggregation key.
+#include "aggregate_config.hpp"
+
+#include "../caliper.hpp"
+#include "../channel.hpp"
+
+#include "../../common/log.hpp"
+#include "../../query/calql.hpp"
+
+#include <memory>
+
+namespace calib {
+
+AggregationConfig read_aggregate_config(const RuntimeConfig& config,
+                                        std::vector<FilterSpec>* filters,
+                                        std::size_t* prealloc) {
+    AggregationConfig aggregation;
+
+    if (auto query = config.find("aggregate.query")) {
+        try {
+            QuerySpec spec = parse_calql(*query);
+            aggregation    = spec.aggregation;
+            if (filters)
+                *filters = spec.filters;
+        } catch (const CalQLError& e) {
+            log_error() << "aggregate.query parse error: " << e.what();
+        }
+    } else {
+        aggregation = AggregationConfig::parse(
+            config.get("aggregate.ops", "count,sum(time.duration)"),
+            config.get("aggregate.key", "*"));
+    }
+    if (aggregation.ops.empty())
+        aggregation.ops.push_back(AggOpConfig{AggOp::Count, "", ""});
+
+    if (prealloc)
+        *prealloc =
+            static_cast<std::size_t>(config.get_int("aggregate.prealloc", 1024));
+    return aggregation;
+}
+
+std::size_t flush_cross_thread(Caliper& c, Channel* channel,
+                               const std::function<void(RecordMap&&)>& sink) {
+    if (!channel)
+        return 0;
+    AggregationDB merged(read_aggregate_config(channel->config()), &c.registry());
+    for (ThreadData* td : c.threads()) {
+        if (channel->id() >= td->channels.size())
+            continue;
+        if (const AggregationDB* db = td->channels[channel->id()].aggregation.get())
+            merged.merge(*db);
+    }
+    merged.flush(sink);
+    return merged.size();
+}
+
+namespace {
+
+struct AggregateServiceConfig {
+    AggregationConfig aggregation;
+    std::vector<FilterSpec> filters;
+    std::size_t prealloc = 1024;
+};
+
+std::shared_ptr<AggregateServiceConfig> read_config(const RuntimeConfig& config) {
+    auto out         = std::make_shared<AggregateServiceConfig>();
+    out->aggregation = read_aggregate_config(config, &out->filters, &out->prealloc);
+    return out;
+}
+
+} // namespace
+
+void register_aggregate_service();
+
+void register_aggregate_service() {
+    ServiceRegistry::instance().add(
+        "aggregate", /*priority=*/30, [](Caliper&, Channel& channel) {
+            auto cfg = read_config(channel.config());
+
+            auto ensure_state = [cfg](Caliper& c, Channel& ch, ThreadData& td) {
+                ThreadChannelState& state = td.channel_state(ch.id());
+                if (!state.aggregation) {
+                    state.aggregation = std::make_unique<AggregationDB>(
+                        cfg->aggregation, &c.registry());
+                    state.aggregation->reserve(cfg->prealloc);
+                    if (!cfg->filters.empty())
+                        state.aggregation_filter = std::make_unique<SnapshotFilter>(
+                            cfg->filters, &c.registry());
+                }
+            };
+
+            // Initialize per-thread state eagerly on blackboard updates, so
+            // the asynchronous sampler's signal handler never has to
+            // allocate (paper §IV-B: async-signal safety).
+            auto init_cb = [ensure_state](Caliper& c, Channel& ch, ThreadData& td,
+                                          const Attribute&, const Variant&) {
+                ensure_state(c, ch, td);
+            };
+            channel.pre_begin_cbs.push_back(init_cb);
+            channel.pre_set_cbs.push_back(init_cb);
+
+            channel.process_cbs.push_back(
+                [ensure_state](Caliper& c, Channel& ch, ThreadData& td,
+                               ThreadChannelState& state, const SnapshotRecord& rec) {
+                    if (!state.aggregation)
+                        ensure_state(c, ch, td);
+                    if (state.aggregation_filter &&
+                        !state.aggregation_filter->matches(rec))
+                        return;
+                    state.aggregation->process(rec);
+                });
+
+            channel.flush_cbs.push_back(
+                [](Caliper&, Channel&, ThreadData&, ThreadChannelState& state,
+                   const Channel::FlushFn& sink) {
+                    if (state.aggregation)
+                        state.aggregation->flush(
+                            [&sink](RecordMap&& r) { sink(std::move(r)); });
+                });
+        });
+}
+
+} // namespace calib

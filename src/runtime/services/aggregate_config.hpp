@@ -1,0 +1,34 @@
+// Shared parsing of the aggregate service's runtime configuration
+// (used by the service itself and by the online cross-process reduction).
+#pragma once
+
+#include "../config.hpp"
+
+#include "../../aggregate/ops.hpp"
+#include "../../common/recordmap.hpp"
+#include "../../query/queryspec.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace calib {
+
+/// Parse aggregate.query / aggregate.ops / aggregate.key from \a config
+/// into an aggregation scheme; optional out-parameters receive the WHERE
+/// filters and the preallocation hint.
+AggregationConfig read_aggregate_config(const RuntimeConfig& config,
+                                        std::vector<FilterSpec>* filters = nullptr,
+                                        std::size_t* prealloc = nullptr);
+
+class Caliper;
+class Channel;
+
+/// Merge *all* threads' aggregation databases of \a channel and flush the
+/// combined result — cross-thread aggregation at runtime, which the paper
+/// lists as requiring a post-processing step (§IV-B); here it is a single
+/// in-memory merge. Only safe when the monitored threads are quiescent.
+/// Returns the number of merged output records.
+std::size_t flush_cross_thread(Caliper& c, Channel* channel,
+                               const std::function<void(RecordMap&&)>& sink);
+
+} // namespace calib

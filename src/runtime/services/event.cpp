@@ -1,0 +1,95 @@
+// Event service: triggers a snapshot on every annotation event
+// (begin/end of a region, set of a value attribute) — the paper's
+// synchronous "event mode" snapshot trigger (§V-B).
+//
+// Snapshots fire *before* the blackboard update: a begin-snapshot captures
+// the time spent in the enclosing state, an end-snapshot captures the time
+// spent in the region being closed (which is still on the blackboard).
+//
+// Config:
+//   event.enable_set   also trigger on set() updates (default true)
+//   event.trigger      comma list of attribute labels; when present, only
+//                      events on these attributes trigger snapshots
+#include "../caliper.hpp"
+#include "../channel.hpp"
+
+#include "../../common/util.hpp"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace calib {
+
+namespace {
+
+/// Attribute whitelist with lazily resolved ids (names may be registered
+/// after the channel is created). Shared across threads: resolution uses
+/// atomics with idempotent stores, so no locks appear on the event path.
+class TriggerList {
+public:
+    explicit TriggerList(const std::string& names) {
+        for (std::string_view tok : util::split(names, ',')) {
+            tok = util::trim(tok);
+            if (!tok.empty())
+                names_.emplace_back(tok);
+        }
+        ids_ = std::vector<std::atomic<id_t>>(names_.size());
+        for (auto& id : ids_)
+            id.store(invalid_id, std::memory_order_relaxed);
+    }
+
+    bool empty() const noexcept { return names_.empty(); }
+
+    bool matches(Caliper& c, const Attribute& attr) {
+        const std::size_t gen = c.registry().generation();
+        if (gen != generation_.load(std::memory_order_acquire)) {
+            for (std::size_t i = 0; i < names_.size(); ++i)
+                if (ids_[i].load(std::memory_order_relaxed) == invalid_id) {
+                    Attribute a = c.registry().find(names_[i]);
+                    if (a.valid())
+                        ids_[i].store(a.id(), std::memory_order_relaxed);
+                }
+            generation_.store(gen, std::memory_order_release);
+        }
+        for (const auto& id : ids_)
+            if (id.load(std::memory_order_relaxed) == attr.id())
+                return true;
+        return false;
+    }
+
+private:
+    std::vector<std::string> names_;
+    std::vector<std::atomic<id_t>> ids_;
+    std::atomic<std::size_t> generation_{static_cast<std::size_t>(-1)};
+};
+
+} // namespace
+
+void register_event_service();
+
+void register_event_service() {
+    ServiceRegistry::instance().add(
+        "event", /*priority=*/20, [](Caliper&, Channel& channel) {
+            const bool on_set = channel.config().get_bool("event.enable_set", true);
+            auto trigger_list = std::make_shared<TriggerList>(
+                channel.config().get("event.trigger", ""));
+
+            auto trigger = [trigger_list](Caliper& c, Channel& ch, ThreadData&,
+                                          const Attribute& attr, const Variant&) {
+                if (attr.is_hidden())
+                    return;
+                if (!trigger_list->empty() && !trigger_list->matches(c, attr))
+                    return;
+                c.push_snapshot(&ch);
+            };
+
+            channel.pre_begin_cbs.push_back(trigger);
+            channel.pre_end_cbs.push_back(trigger);
+            if (on_set)
+                channel.pre_set_cbs.push_back(trigger);
+        });
+}
+
+} // namespace calib

@@ -1,0 +1,85 @@
+// Path service: exports the *full nesting stack* of selected attributes as
+// a '/'-joined path attribute — the classic per-thread call-path profile
+// dimension of traditional profilers (paper §VII), expressed as just
+// another key:value attribute in our model.
+//
+// For an attribute "function" with stack [main, solve, kernel], every
+// snapshot gains "function.path" = "main/solve/kernel". Grouping by the
+// path attribute yields a call-path profile; FORMAT tree renders it.
+//
+// Config:
+//   path.attributes   comma list of nested attributes to export
+//                     (default "function")
+#include "../caliper.hpp"
+#include "../channel.hpp"
+
+#include "../../common/util.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace calib {
+
+namespace {
+
+struct PathExport {
+    std::string source;  ///< nested attribute to fold
+    Attribute source_attr;
+    Attribute path_attr; ///< "<source>.path"
+};
+
+} // namespace
+
+void register_path_service();
+
+void register_path_service() {
+    ServiceRegistry::instance().add(
+        "path", /*priority=*/14, [](Caliper& c, Channel& channel) {
+            auto exports = std::make_shared<std::vector<PathExport>>();
+            // keep the config string alive: split() returns views into it
+            const std::string attr_list =
+                channel.config().get("path.attributes", "function");
+            for (std::string_view tok : util::split(attr_list, ',')) {
+                tok = util::trim(tok);
+                if (tok.empty())
+                    continue;
+                PathExport e;
+                e.source    = std::string(tok);
+                e.path_attr = c.create_attribute(e.source + ".path",
+                                                 Variant::Type::String,
+                                                 prop::as_value);
+                exports->push_back(std::move(e));
+            }
+
+            // resolve sources that already exist; late-created attributes
+            // are looked up per snapshot (the shared export table must not
+            // be mutated from the per-thread snapshot path)
+            for (PathExport& e : *exports)
+                e.source_attr = c.registry().find(e.source);
+
+            channel.snapshot_cbs.push_back(
+                [exports](Caliper& c, Channel&, ThreadData& td, ThreadChannelState&,
+                          SnapshotRecord& rec) {
+                    for (const PathExport& e : *exports) {
+                        const Attribute src = e.source_attr.valid()
+                                                  ? e.source_attr
+                                                  : c.registry().find(e.source);
+                        if (!src.valid() || src.id() >= td.blackboard.size())
+                            continue;
+                        const auto& stack = td.blackboard[src.id()];
+                        if (stack.empty())
+                            continue;
+                        std::string path;
+                        for (const Variant& v : stack) {
+                            if (!path.empty())
+                                path += '/';
+                            path += v.to_string();
+                        }
+                        rec.append(e.path_attr.id(), Variant(path));
+                    }
+                });
+        });
+}
+
+} // namespace calib

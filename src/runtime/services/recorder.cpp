@@ -1,0 +1,61 @@
+// Recorder service: writes flushed records to a .cali stream file, one
+// file per flushing thread (matching Caliper's per-process datasets,
+// paper §IV-A).
+//
+// Config:
+//   recorder.filename   output path; "%r" is replaced with the thread/rank
+//                       label (default "calib-%r.cali")
+//   recorder.directory  optional output directory prefix
+#include "../caliper.hpp"
+#include "../channel.hpp"
+
+#include "../../common/log.hpp"
+#include "../../io/caliwriter.hpp"
+
+#include <fstream>
+
+namespace calib {
+
+namespace {
+
+std::string make_filename(const RuntimeConfig& config, const std::string& label) {
+    std::string pattern = config.get("recorder.filename", "calib-%r.cali");
+    const std::string dir = config.get("recorder.directory", "");
+    if (!dir.empty())
+        pattern = dir + "/" + pattern;
+    const std::size_t pos = pattern.find("%r");
+    if (pos != std::string::npos)
+        pattern.replace(pos, 2, label);
+    return pattern;
+}
+
+} // namespace
+
+void register_recorder_service();
+
+void register_recorder_service() {
+    ServiceRegistry::instance().add(
+        "recorder", /*priority=*/50, [](Caliper&, Channel& channel) {
+            channel.flush_sink_cbs.push_back(
+                [](Caliper&, Channel& ch, ThreadData& td,
+                   const std::vector<RecordMap>& records) {
+                    const std::string path = make_filename(ch.config(), td.label);
+                    std::ofstream os(path);
+                    if (!os) {
+                        log_error() << "recorder: cannot open " << path;
+                        return;
+                    }
+                    CaliWriter writer(os);
+                    writer.write_global("cali.channel", Variant(ch.name()));
+                    writer.write_global("cali.thread", Variant(td.label));
+                    for (const auto& [name, value] : ch.metadata)
+                        writer.write_global(name, value);
+                    for (const RecordMap& r : records)
+                        writer.write_record(r);
+                    log_debug() << "recorder: wrote " << writer.num_records()
+                                << " records to " << path;
+                });
+        });
+}
+
+} // namespace calib

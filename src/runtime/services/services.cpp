@@ -1,0 +1,98 @@
+// Service registry and built-in service registration.
+//
+// Services are independent building blocks (paper §IV-A) registered by
+// name with a priority that fixes their callback ordering on a channel:
+// measurement providers (timer) run before trigger services (sampler,
+// event), which run before processing services (aggregate, trace), which
+// run before output services (recorder).
+#include "../channel.hpp"
+#include "../caliper.hpp"
+
+#include "../../common/log.hpp"
+#include "../../common/util.hpp"
+
+#include <algorithm>
+#include <mutex>
+
+namespace calib {
+
+ServiceRegistry& ServiceRegistry::instance() {
+    static ServiceRegistry reg;
+    return reg;
+}
+
+void ServiceRegistry::add(const std::string& name, int priority, ServiceRegisterFn fn) {
+    services_[name] = Entry{priority, std::move(fn)};
+}
+
+void ServiceRegistry::instantiate(Caliper& c, Channel& channel,
+                                  const std::string& names) {
+    struct Pick {
+        int priority;
+        std::string name;
+        const ServiceRegisterFn* fn;
+    };
+    std::vector<Pick> picks;
+
+    for (std::string_view tok : util::split(names, ',')) {
+        tok = util::trim(tok);
+        if (tok.empty())
+            continue;
+        auto it = services_.find(std::string(tok));
+        if (it == services_.end()) {
+            log_warn() << "unknown service '" << tok << "' requested on channel '"
+                       << channel.name() << "'";
+            continue;
+        }
+        picks.push_back({it->second.priority, it->first, &it->second.fn});
+    }
+
+    std::sort(picks.begin(), picks.end(),
+              [](const Pick& a, const Pick& b) { return a.priority < b.priority; });
+
+    for (const Pick& p : picks) {
+        (*p.fn)(c, channel);
+        channel.services_.push_back(p.name);
+        log_debug() << "registered service '" << p.name << "' on channel '"
+                    << channel.name() << "'";
+    }
+}
+
+std::vector<std::string> ServiceRegistry::available() const {
+    std::vector<std::string> out;
+    for (const auto& [name, entry] : services_)
+        out.push_back(name);
+    return out;
+}
+
+// defined in the individual service translation units
+void register_timer_service();
+void register_event_service();
+void register_sampler_service();
+void register_aggregate_service();
+void register_trace_service();
+void register_recorder_service();
+void register_report_service();
+void register_textlog_service();
+void register_cycles_service();
+void register_memusage_service();
+void register_path_service();
+
+void register_builtin_services() {
+    static std::once_flag once;
+    std::call_once(once, [] {
+        register_timer_service();
+        register_cycles_service();
+        register_memusage_service();
+        register_path_service();
+        register_sampler_service();
+        register_event_service();
+        register_aggregate_service();
+        register_trace_service();
+        register_textlog_service();
+        register_recorder_service();
+        register_report_service();
+    });
+}
+
+} // namespace calib

@@ -1,0 +1,91 @@
+// Timer service: contributes time measurement values to snapshots.
+//
+//   time.duration            microseconds since the previous snapshot on
+//                            this thread. Summing time.duration grouped by
+//                            region attributes yields *exclusive* time per
+//                            region, because every begin/end event starts a
+//                            new segment (paper §V-B, §VI).
+//   time.inclusive.duration  on end events: microseconds since the matching
+//                            begin (inclusive region time).
+//   time.offset              microseconds since this thread's first snapshot
+//                            (enabled with timer.offset=true; useful for
+//                            traces).
+#include "../caliper.hpp"
+#include "../channel.hpp"
+#include "../clock.hpp"
+
+namespace calib {
+
+namespace {
+
+struct TimerAttributes {
+    Attribute duration;
+    Attribute inclusive;
+    Attribute offset;
+};
+
+TimerAttributes create_timer_attributes(Caliper& c) {
+    const std::uint32_t props = prop::as_value | prop::aggregatable | prop::skip_key;
+    return TimerAttributes{
+        c.create_attribute("time.duration", Variant::Type::Double, props),
+        c.create_attribute("time.inclusive.duration", Variant::Type::Double, props),
+        c.create_attribute("time.offset", Variant::Type::Double, props),
+    };
+}
+
+} // namespace
+
+void register_timer_service();
+
+void register_timer_service() {
+    ServiceRegistry::instance().add(
+        "timer", /*priority=*/10, [](Caliper& c, Channel& channel) {
+            const TimerAttributes attrs = create_timer_attributes(c);
+            const bool with_offset      = channel.config().get_bool("timer.offset", false);
+
+            channel.pre_begin_cbs.push_back(
+                [id = channel.id()](Caliper&, Channel&, ThreadData& td,
+                                    const Attribute& attr, const Variant&) {
+                    if (attr.is_nested())
+                        td.channel_state(id).timer.begin_stack.push_back(now_ns());
+                });
+
+            channel.pre_end_cbs.push_back(
+                [id = channel.id()](Caliper&, Channel&, ThreadData& td,
+                                    const Attribute& attr, const Variant&) {
+                    if (!attr.is_nested())
+                        return;
+                    TimerState& t = td.channel_state(id).timer;
+                    if (t.begin_stack.empty())
+                        return;
+                    t.pending_inclusive_ns   = now_ns() - t.begin_stack.back();
+                    t.has_pending_inclusive  = true;
+                    t.begin_stack.pop_back();
+                });
+
+            channel.snapshot_cbs.push_back(
+                [attrs, with_offset](Caliper&, Channel&, ThreadData&,
+                                     ThreadChannelState& state, SnapshotRecord& rec) {
+                    TimerState& t          = state.timer;
+                    const std::uint64_t ts = now_ns();
+                    if (t.last_snapshot_ns == 0)
+                        t.last_snapshot_ns = ts; // first snapshot: duration 0
+                    rec.append(attrs.duration.id(),
+                               Variant(ns_to_us(ts - t.last_snapshot_ns)));
+                    if (with_offset) {
+                        if (t.first_snapshot_ns == 0)
+                            t.first_snapshot_ns = ts;
+                        rec.append(attrs.offset.id(),
+                                   Variant(ns_to_us(ts - t.first_snapshot_ns)));
+                    }
+                    t.last_snapshot_ns = ts;
+                    if (t.has_pending_inclusive) {
+                        rec.append(attrs.inclusive.id(),
+                                   Variant(ns_to_us(t.pending_inclusive_ns)));
+                        t.has_pending_inclusive = false;
+                    }
+                });
+        });
+}
+
+} // namespace calib

@@ -1,0 +1,65 @@
+// Trace service: stores every snapshot record verbatim in a per-thread
+// buffer (the paper's "tracing" configuration, used as the aggregation
+// baseline in §V-B). Flush converts the buffered snapshots to offline
+// records.
+//
+// Config:
+//   trace.reserve   snapshot capacity hint per thread (default 65536)
+#include "../caliper.hpp"
+#include "../channel.hpp"
+
+namespace calib {
+
+void register_trace_service();
+
+void register_trace_service() {
+    ServiceRegistry::instance().add(
+        "trace", /*priority=*/40, [](Caliper&, Channel& channel) {
+            const std::size_t reserve = static_cast<std::size_t>(
+                channel.config().get_int("trace.reserve", 65536));
+
+            auto ensure_state = [reserve](ThreadChannelState& state) {
+                if (!state.trace) {
+                    state.trace = std::make_unique<TraceBuffer>();
+                    state.trace->reserve(reserve);
+                }
+            };
+
+            // eager per-thread buffer setup on blackboard updates, so the
+            // signal sampler appends into preallocated storage
+            auto init_cb = [ensure_state](Caliper&, Channel& ch, ThreadData& td,
+                                          const Attribute&, const Variant&) {
+                ensure_state(td.channel_state(ch.id()));
+            };
+            channel.pre_begin_cbs.push_back(init_cb);
+            channel.pre_set_cbs.push_back(init_cb);
+
+            channel.process_cbs.push_back(
+                [ensure_state](Caliper&, Channel&, ThreadData&,
+                               ThreadChannelState& state, const SnapshotRecord& rec) {
+                    ensure_state(state);
+                    state.trace->append(rec);
+                });
+
+            channel.flush_cbs.push_back(
+                [](Caliper& c, Channel&, ThreadData&, ThreadChannelState& state,
+                   const Channel::FlushFn& sink) {
+                    if (!state.trace)
+                        return;
+                    const AttributeRegistry& registry = c.registry();
+                    for (std::size_t i = 0; i < state.trace->size(); ++i) {
+                        auto [entries, n] = state.trace->get(i);
+                        RecordMap out;
+                        out.reserve(n);
+                        for (std::size_t e = 0; e < n; ++e) {
+                            const Attribute a = registry.get(entries[e].attribute);
+                            if (a.valid())
+                                out.append(a.name(), entries[e].value);
+                        }
+                        sink(std::move(out));
+                    }
+                });
+        });
+}
+
+} // namespace calib

@@ -1,0 +1,147 @@
+// cali-query: the serial off-line query and analysis tool (paper §IV-C).
+//
+//   cali-query -q "AGGREGATE sum(time.duration) GROUP BY kernel" a.cali b.cali
+//
+// Reads one or more calib stream files, streams their records through the
+// query pipeline (filter -> aggregate -> sort -> format), and prints the
+// result.
+#include "../calib.hpp"
+#include "../io/jsonreader.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace {
+
+void usage() {
+    std::puts(
+        "usage: cali-query [options] <file.cali>...\n"
+        "\n"
+        "options:\n"
+        "  -q, --query <calql>   query expression (default: FORMAT table)\n"
+        "  -o, --output <file>   write the report to <file> instead of stdout\n"
+        "  -j, --json-input      inputs are JSON record arrays (FORMAT json output)\n"
+        "  -G, --with-globals    join each file's globals (e.g. mpi.rank) onto\n"
+        "                        every record of that file\n"
+        "  -s, --stats           print input/output record counts to stderr\n"
+        "  -h, --help            show this message\n"
+        "\n"
+        "query language clauses:\n"
+        "  SELECT col,...  AGGREGATE op(attr),...  GROUP BY attr,...|*\n"
+        "  LET x=scale|truncate|ratio|first(...)   WHERE cond,...\n"
+        "  ORDER BY attr [DESC]  FORMAT table|csv|json|expand|tree  LIMIT n");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string query;
+    std::string output;
+    bool stats        = false;
+    bool json_input   = false;
+    bool with_globals = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-q" || arg == "--query") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            query = argv[i];
+        } else if (arg == "-o" || arg == "--output") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            output = argv[i];
+        } else if (arg == "-s" || arg == "--stats") {
+            stats = true;
+        } else if (arg == "-j" || arg == "--json-input") {
+            json_input = true;
+        } else if (arg == "-G" || arg == "--with-globals") {
+            with_globals = true;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "cali-query: unknown option %s\n", arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    if (files.empty()) {
+        usage();
+        return 2;
+    }
+
+    try {
+        calib::QueryProcessor proc(calib::parse_calql(query));
+        for (const std::string& file : files) {
+            if (json_input) {
+                std::ifstream is(file);
+                if (!is)
+                    throw std::runtime_error("cannot open " + file);
+                std::ostringstream text;
+                text << is.rdbuf();
+                for (const calib::RecordMap& r :
+                     calib::read_json_records(text.str()))
+                    proc.add(r);
+            } else if (with_globals) {
+                // two passes: globals may appear anywhere in the stream
+                calib::RecordMap globals;
+                std::vector<calib::RecordMap> records;
+                calib::CaliReader::read_file(
+                    file,
+                    [&records](calib::RecordMap&& r) {
+                        records.push_back(std::move(r));
+                    },
+                    &globals);
+                for (calib::RecordMap& r : records) {
+                    for (const auto& [name, value] : globals)
+                        if (!r.contains(name))
+                            r.append(name, value);
+                    proc.add(r);
+                }
+            } else {
+                calib::CaliReader::read_file(
+                    file, [&proc](calib::RecordMap&& r) { proc.add(r); });
+            }
+        }
+
+        if (output.empty()) {
+            proc.write(std::cout);
+        } else {
+            std::ofstream os(output);
+            if (!os) {
+                std::fprintf(stderr, "cali-query: cannot open %s\n", output.c_str());
+                return 1;
+            }
+            proc.write(os);
+        }
+        if (stats)
+            std::fprintf(stderr,
+                         "cali-query: %llu records in, %llu kept, %zu out\n",
+                         static_cast<unsigned long long>(proc.num_records_in()),
+                         static_cast<unsigned long long>(proc.num_records_kept()),
+                         proc.result().size());
+    } catch (const calib::CalQLError& e) {
+        std::fprintf(stderr, "cali-query: query error at position %zu: %s\n",
+                     e.position(), e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "cali-query: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# End-to-end CLI pipeline test: run the instrumented mini-app, query the
+# per-rank output files with the serial and the parallel query tool, and
+# check the results are consistent.
+#
+# usage: cli_pipeline.sh <clever-run> <cali-query> <mpi-caliquery> <paradis-gen>
+set -euo pipefail
+
+CLEVER_RUN=$1
+CALI_QUERY=$2
+MPI_CALIQUERY=$3
+PARADIS_GEN=$4
+CALI_STAT=$5
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+cd "$workdir"
+
+echo "== clever-run: profile run, 2 ranks =="
+"$CLEVER_RUN" -n 2 --steps 6 --nx 64 --ny 32 \
+    -P "services.enable=event,timer,aggregate,recorder
+aggregate.key=*
+recorder.filename=clever-%r.cali"
+
+test -s clever-0.cali || { echo "missing clever-0.cali"; exit 1; }
+test -s clever-1.cali || { echo "missing clever-1.cali"; exit 1; }
+
+echo "== cali-query: kernel profile =="
+"$CALI_QUERY" -q "AGGREGATE sum(count),sum(sum#time.duration) GROUP BY kernel
+                  ORDER BY kernel FORMAT csv" clever-*.cali > serial.csv
+grep -q "advec-cell" serial.csv
+grep -q "calc-dt" serial.csv
+
+echo "== mpi-caliquery: same query through the tree reduction =="
+"$MPI_CALIQUERY" -n 2 -q "AGGREGATE sum(count),sum(sum#time.duration)
+                          GROUP BY kernel ORDER BY kernel FORMAT csv" \
+    clever-*.cali > parallel.csv
+
+diff serial.csv parallel.csv || { echo "serial and parallel results differ"; exit 1; }
+
+echo "== cali-query: WHERE/LET clauses on the same data =="
+"$CALI_QUERY" -q "LET t=scale(sum#time.duration,0.001)
+                  AGGREGATE sum(t) AS ms WHERE not(mpi.function)
+                  GROUP BY amr.level ORDER BY amr.level" clever-*.cali > amr.txt
+lines=$(grep -c . amr.txt)
+test "$lines" -ge 4 || { echo "expected >=4 lines (header + 3 levels), got $lines"; exit 1; }
+
+echo "== cali-stat: attribute inventory =="
+"$CALI_STAT" -g clever-*.cali > stat.txt
+grep -q "kernel" stat.txt
+grep -q "amr.level" stat.txt
+grep -q "cali.channel" stat.txt
+
+echo "== FORMAT json -> --json-input round trip =="
+"$CALI_QUERY" -q "AGGREGATE sum(count) GROUP BY kernel FORMAT json" \
+    clever-*.cali > kernels.json
+"$CALI_QUERY" --json-input \
+    -q "AGGREGATE sum(sum#count) GROUP BY kernel ORDER BY kernel FORMAT csv" \
+    kernels.json > fromjson.csv
+grep -q "advec-cell" fromjson.csv
+
+echo "== --with-globals joins per-file metadata onto records =="
+"$CALI_QUERY" --with-globals \
+    -q "AGGREGATE count GROUP BY cali.thread ORDER BY cali.thread FORMAT csv" \
+    clever-*.cali > globals.csv
+# two ranks -> two groups keyed by the per-file 'cali.thread' global
+groups=$(tail -n +2 globals.csv | grep -c .)
+test "$groups" -eq 2 || { echo "expected 2 global-keyed groups, got $groups"; exit 1; }
+
+echo "== paradis-gen + 85-record evaluation query =="
+"$PARADIS_GEN" -n 4 -o pd >/dev/null
+out=$("$MPI_CALIQUERY" -n 2 -q "AGGREGATE sum(time.inclusive.duration)
+                                GROUP BY kernel,mpi.function FORMAT csv" pd/*.cali \
+      | tail -n +2 | grep -c .)
+test "$out" -eq 85 || { echo "expected 85 output records, got $out"; exit 1; }
+
+echo "== error handling =="
+if "$CALI_QUERY" -q "THIS IS NOT CALQL" clever-0.cali 2>/dev/null; then
+    echo "bad query must fail"; exit 1
+fi
+if "$CALI_QUERY" -q "FORMAT table" /nonexistent.cali 2>/dev/null; then
+    echo "missing file must fail"; exit 1
+fi
+
+echo "cli_pipeline: all checks passed"

@@ -1,0 +1,108 @@
+#include "common/attribute.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace calib;
+
+TEST(Attribute, InvalidByDefault) {
+    Attribute a;
+    EXPECT_FALSE(a.valid());
+    EXPECT_EQ(a.id(), invalid_id);
+}
+
+TEST(AttributeRegistry, CreateAssignsDenseIds) {
+    AttributeRegistry reg;
+    Attribute a = reg.create("first", Variant::Type::String);
+    Attribute b = reg.create("second", Variant::Type::Int);
+    EXPECT_EQ(a.id(), 0u);
+    EXPECT_EQ(b.id(), 1u);
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(AttributeRegistry, CreateIsIdempotent) {
+    AttributeRegistry reg;
+    Attribute a = reg.create("attr", Variant::Type::String, prop::nested);
+    // re-creation with different type/properties returns the original
+    Attribute b = reg.create("attr", Variant::Type::Int, prop::as_value);
+    EXPECT_EQ(a.id(), b.id());
+    EXPECT_EQ(b.type(), Variant::Type::String);
+    EXPECT_TRUE(b.is_nested());
+    EXPECT_FALSE(b.is_value());
+}
+
+TEST(AttributeRegistry, FindByName) {
+    AttributeRegistry reg;
+    reg.create("present", Variant::Type::Double);
+    EXPECT_TRUE(reg.find("present").valid());
+    EXPECT_FALSE(reg.find("absent").valid());
+}
+
+TEST(AttributeRegistry, GetById) {
+    AttributeRegistry reg;
+    Attribute a = reg.create("x", Variant::Type::Int);
+    EXPECT_EQ(reg.get(a.id()).name_view(), "x");
+    EXPECT_FALSE(reg.get(999).valid());
+}
+
+TEST(AttributeRegistry, Properties) {
+    AttributeRegistry reg;
+    Attribute a = reg.create("metric", Variant::Type::Double,
+                             prop::as_value | prop::aggregatable | prop::skip_key);
+    EXPECT_TRUE(a.is_value());
+    EXPECT_TRUE(a.is_aggregatable());
+    EXPECT_TRUE(a.skip_in_key());
+    EXPECT_FALSE(a.is_nested());
+    EXPECT_FALSE(a.is_hidden());
+}
+
+TEST(AttributeRegistry, GenerationTracksCreation) {
+    AttributeRegistry reg;
+    EXPECT_EQ(reg.generation(), 0u);
+    reg.create("a", Variant::Type::Int);
+    EXPECT_EQ(reg.generation(), 1u);
+    reg.create("a", Variant::Type::Int); // duplicate: no change
+    EXPECT_EQ(reg.generation(), 1u);
+    reg.create("b", Variant::Type::Int);
+    EXPECT_EQ(reg.generation(), 2u);
+}
+
+TEST(AttributeRegistry, AllReturnsEverything) {
+    AttributeRegistry reg;
+    reg.create("a", Variant::Type::Int);
+    reg.create("b", Variant::Type::String);
+    auto all = reg.all();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].name_view(), "a");
+    EXPECT_EQ(all[1].name_view(), "b");
+}
+
+TEST(AttributeRegistry, ConcurrentCreateSameName) {
+    AttributeRegistry reg;
+    constexpr int n_threads = 8;
+    std::vector<id_t> ids(n_threads, invalid_id);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t)
+        threads.emplace_back([&reg, &ids, t] {
+            for (int i = 0; i < 200; ++i)
+                ids[t] = reg.create("contested-" + std::to_string(i % 10),
+                                    Variant::Type::Int)
+                             .id();
+        });
+    for (auto& t : threads)
+        t.join();
+    EXPECT_EQ(reg.size(), 10u);
+    // all threads converged on valid ids
+    for (id_t id : ids)
+        EXPECT_LT(id, 10u);
+}
+
+TEST(AttributeRegistry, InternedNamePointersStable) {
+    AttributeRegistry reg;
+    const char* name = reg.create("stable", Variant::Type::Int).name();
+    for (int i = 0; i < 1000; ++i)
+        reg.create("filler-" + std::to_string(i), Variant::Type::Int);
+    EXPECT_EQ(reg.find("stable").name(), name);
+}

@@ -1,0 +1,247 @@
+// CalQL parser tests: the paper's example queries, clause matrix, error
+// handling, and round-tripping through to_calql().
+#include "query/calql.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace calib;
+
+TEST(CalQL, PaperSection3Example) {
+    QuerySpec spec = parse_calql("AGGREGATE count, sum(time) "
+                                 "GROUP BY function, loop.iteration");
+    ASSERT_EQ(spec.aggregation.ops.size(), 2u);
+    EXPECT_EQ(spec.aggregation.ops[0].op, AggOp::Count);
+    EXPECT_EQ(spec.aggregation.ops[1].op, AggOp::Sum);
+    EXPECT_EQ(spec.aggregation.ops[1].attribute, "time");
+    EXPECT_EQ(spec.aggregation.key.attributes,
+              (std::vector<std::string>{"function", "loop.iteration"}));
+    EXPECT_TRUE(spec.filters.empty());
+}
+
+TEST(CalQL, PaperSection6KernelProfile) {
+    // §VI-B first stage: AGGREGATE count GROUP BY kernel
+    QuerySpec spec = parse_calql("AGGREGATE count GROUP BY kernel");
+    ASSERT_EQ(spec.aggregation.ops.size(), 1u);
+    EXPECT_EQ(spec.aggregation.ops[0].op, AggOp::Count);
+    EXPECT_EQ(spec.aggregation.key.attributes, (std::vector<std::string>{"kernel"}));
+}
+
+TEST(CalQL, PaperAggregateCountAlias) {
+    // §VI-B second stage: sum(aggregate.count) maps to our "count" column
+    QuerySpec spec = parse_calql("AGGREGATE sum(aggregate.count) GROUP BY kernel");
+    ASSERT_EQ(spec.aggregation.ops.size(), 1u);
+    EXPECT_EQ(spec.aggregation.ops[0].attribute, "count");
+}
+
+TEST(CalQL, PaperBareAttributeAggregate) {
+    // §VI-C: AGGREGATE count, time.duration (bare attribute implies sum)
+    QuerySpec spec =
+        parse_calql("AGGREGATE count, time.duration GROUP BY mpi.function");
+    ASSERT_EQ(spec.aggregation.ops.size(), 2u);
+    EXPECT_EQ(spec.aggregation.ops[1].op, AggOp::Sum);
+    EXPECT_EQ(spec.aggregation.ops[1].attribute, "time.duration");
+}
+
+TEST(CalQL, PaperWhereNotClause) {
+    // §VI-E: AGGREGATE sum(time.duration) WHERE not(mpi.function)
+    //        GROUP BY amr.level, iteration#mainloop
+    QuerySpec spec = parse_calql("AGGREGATE sum(time.duration) "
+                                 "WHERE not(mpi.function) "
+                                 "GROUP BY amr.level,iteration#mainloop");
+    ASSERT_EQ(spec.filters.size(), 1u);
+    EXPECT_EQ(spec.filters[0].op, FilterSpec::Op::NotExist);
+    EXPECT_EQ(spec.filters[0].attribute, "mpi.function");
+    EXPECT_EQ(spec.aggregation.key.attributes,
+              (std::vector<std::string>{"amr.level", "iteration#mainloop"}));
+}
+
+TEST(CalQL, LineContinuationBackslash) {
+    // the paper's listings wrap clauses with trailing backslashes
+    QuerySpec spec = parse_calql("AGGREGATE count, sum(time.duration)\n"
+                                 "GROUP BY function, annotation, amr.level, \\\n"
+                                 "  kernel, iteration#mainloop, \\\n"
+                                 "  mpi.rank, mpi.function");
+    EXPECT_EQ(spec.aggregation.key.attributes.size(), 7u);
+}
+
+TEST(CalQL, GroupByStar) {
+    QuerySpec spec = parse_calql("AGGREGATE count GROUP BY *");
+    EXPECT_TRUE(spec.aggregation.key.all);
+}
+
+TEST(CalQL, ClausesInAnyOrder) {
+    QuerySpec spec = parse_calql(
+        "FORMAT csv GROUP BY k WHERE a=1 AGGREGATE sum(t) ORDER BY k LIMIT 5");
+    EXPECT_EQ(spec.format, "csv");
+    EXPECT_EQ(spec.limit, 5u);
+    EXPECT_EQ(spec.sort.size(), 1u);
+    EXPECT_EQ(spec.filters.size(), 1u);
+    EXPECT_EQ(spec.aggregation.ops.size(), 1u);
+}
+
+TEST(CalQL, KeywordsCaseInsensitive) {
+    QuerySpec spec = parse_calql("aggregate COUNT group by K order BY K desc");
+    EXPECT_EQ(spec.aggregation.ops[0].op, AggOp::Count);
+    ASSERT_EQ(spec.sort.size(), 1u);
+    EXPECT_TRUE(spec.sort[0].descending);
+}
+
+TEST(CalQL, WhereComparisons) {
+    QuerySpec spec = parse_calql(
+        "WHERE a=1, b!=2, c<3, d<=4, e>5, f>=6, g, not(h), s=\"hello world\"");
+    ASSERT_EQ(spec.filters.size(), 9u);
+    EXPECT_EQ(spec.filters[0].op, FilterSpec::Op::Eq);
+    EXPECT_EQ(spec.filters[0].value, Variant(1));
+    EXPECT_EQ(spec.filters[1].op, FilterSpec::Op::Ne);
+    EXPECT_EQ(spec.filters[2].op, FilterSpec::Op::Lt);
+    EXPECT_EQ(spec.filters[3].op, FilterSpec::Op::Le);
+    EXPECT_EQ(spec.filters[4].op, FilterSpec::Op::Gt);
+    EXPECT_EQ(spec.filters[5].op, FilterSpec::Op::Ge);
+    EXPECT_EQ(spec.filters[6].op, FilterSpec::Op::Exist);
+    EXPECT_EQ(spec.filters[7].op, FilterSpec::Op::NotExist);
+    EXPECT_EQ(spec.filters[8].value, Variant("hello world"));
+}
+
+TEST(CalQL, WhereAndKeyword) {
+    QuerySpec spec = parse_calql("WHERE a=1 AND b=2");
+    EXPECT_EQ(spec.filters.size(), 2u);
+}
+
+TEST(CalQL, SelectWithAggregationFunction) {
+    QuerySpec spec = parse_calql("SELECT kernel, sum(time) GROUP BY kernel");
+    EXPECT_EQ(spec.select, (std::vector<std::string>{"kernel", "sum#time"}));
+    ASSERT_EQ(spec.aggregation.ops.size(), 1u) << "SELECT sum() implies AGGREGATE";
+}
+
+TEST(CalQL, AliasWithAs) {
+    QuerySpec spec =
+        parse_calql("SELECT kernel AS Kernel, sum(time) AS \"Total time\" "
+                    "GROUP BY kernel");
+    // plain columns keep their name and gain a display alias...
+    EXPECT_EQ(spec.aliases.at("kernel"), "Kernel");
+    // ...while an aggregation alias *renames* the output column itself
+    // (consistent with AGGREGATE ... AS)
+    ASSERT_EQ(spec.aggregation.ops.size(), 1u);
+    EXPECT_EQ(spec.aggregation.ops[0].alias, "Total time");
+    EXPECT_EQ(spec.select, (std::vector<std::string>{"kernel", "Total time"}));
+}
+
+TEST(CalQL, AggregateAlias) {
+    QuerySpec spec = parse_calql("AGGREGATE sum(x) AS total GROUP BY k");
+    EXPECT_EQ(spec.aggregation.ops[0].alias, "total");
+    EXPECT_EQ(spec.aggregation.ops[0].result_label(), "total");
+}
+
+TEST(CalQL, DuplicateOpsDeduplicated) {
+    QuerySpec spec = parse_calql("SELECT sum(t) AGGREGATE sum(t), count");
+    EXPECT_EQ(spec.aggregation.ops.size(), 2u);
+}
+
+TEST(CalQL, AttributeNamesWithSpecialCharacters) {
+    QuerySpec spec = parse_calql(
+        "AGGREGATE sum(sum#time.duration) GROUP BY iteration#mainloop, path/to:x");
+    EXPECT_EQ(spec.aggregation.ops[0].attribute, "sum#time.duration");
+    EXPECT_EQ(spec.aggregation.key.attributes[1], "path/to:x");
+}
+
+TEST(CalQL, KernelNamesWithDashes) {
+    QuerySpec spec = parse_calql("WHERE kernel=advec-cell");
+    EXPECT_EQ(spec.filters[0].value, Variant("advec-cell"));
+}
+
+TEST(CalQL, NegativeNumberValues) {
+    QuerySpec spec = parse_calql("WHERE x>-5");
+    EXPECT_EQ(spec.filters[0].value, Variant(-5));
+}
+
+TEST(CalQL, FloatValues) {
+    QuerySpec spec = parse_calql("WHERE t>=2.5");
+    EXPECT_EQ(spec.filters[0].value.type(), Variant::Type::Double);
+}
+
+TEST(CalQL, EmptyQueryIsValid) {
+    QuerySpec spec = parse_calql("");
+    EXPECT_FALSE(spec.has_aggregation());
+    EXPECT_TRUE(spec.select.empty());
+    EXPECT_EQ(spec.format, "table");
+}
+
+TEST(CalQL, AllFormats) {
+    for (const char* fmt : {"table", "csv", "json", "expand", "tree"})
+        EXPECT_EQ(parse_calql(std::string("FORMAT ") + fmt).format, fmt);
+}
+
+// --- error cases --------------------------------------------------------------
+
+TEST(CalQLErrors, UnknownClause) {
+    EXPECT_THROW(parse_calql("FROBNICATE x"), CalQLError);
+}
+
+TEST(CalQLErrors, UnknownOperator) {
+    EXPECT_THROW(parse_calql("AGGREGATE median(x)"), CalQLError);
+}
+
+TEST(CalQLErrors, MissingCloseParen) {
+    EXPECT_THROW(parse_calql("AGGREGATE sum(x"), CalQLError);
+}
+
+TEST(CalQLErrors, GroupWithoutBy) {
+    EXPECT_THROW(parse_calql("GROUP kernel"), CalQLError);
+}
+
+TEST(CalQLErrors, OrderWithoutBy) {
+    EXPECT_THROW(parse_calql("ORDER kernel"), CalQLError);
+}
+
+TEST(CalQLErrors, UnterminatedString) {
+    EXPECT_THROW(parse_calql("WHERE a=\"unterminated"), CalQLError);
+}
+
+TEST(CalQLErrors, UnknownFormat) {
+    EXPECT_THROW(parse_calql("FORMAT pdf"), CalQLError);
+}
+
+TEST(CalQLErrors, NegativeLimit) {
+    EXPECT_THROW(parse_calql("LIMIT -3"), CalQLError);
+}
+
+TEST(CalQLErrors, StrayBang) {
+    EXPECT_THROW(parse_calql("WHERE a ! b"), CalQLError);
+}
+
+TEST(CalQLErrors, PositionIsReported) {
+    try {
+        parse_calql("AGGREGATE count BADCLAUSE x");
+        FAIL() << "expected CalQLError";
+    } catch (const CalQLError& e) {
+        EXPECT_EQ(e.position(), 16u);
+    }
+}
+
+// --- round-trip ------------------------------------------------------------------
+
+class CalQLRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CalQLRoundTrip, ToCalqlParsesBackEquivalently) {
+    const QuerySpec a = parse_calql(GetParam());
+    const QuerySpec b = parse_calql(to_calql(a));
+    EXPECT_EQ(a.aggregation.ops, b.aggregation.ops);
+    EXPECT_EQ(a.aggregation.key, b.aggregation.key);
+    EXPECT_EQ(a.select, b.select);
+    EXPECT_EQ(a.filters, b.filters);
+    EXPECT_EQ(a.sort, b.sort);
+    EXPECT_EQ(a.format, b.format);
+    EXPECT_EQ(a.limit, b.limit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CalQLRoundTrip,
+    ::testing::Values(
+        "AGGREGATE count GROUP BY kernel",
+        "AGGREGATE count,sum(time.duration) GROUP BY function,loop.iteration",
+        "AGGREGATE sum(time.duration) WHERE not(mpi.function) GROUP BY amr.level",
+        "SELECT kernel,sum(t) AS total GROUP BY kernel ORDER BY total DESC LIMIT 10",
+        "AGGREGATE count GROUP BY * FORMAT json",
+        "WHERE a=1,b!=2,c<3,d>=4,e FORMAT csv",
+        "AGGREGATE min(x),max(x),avg(x),variance(x),histogram(x) GROUP BY k",
+        ""));

@@ -1,0 +1,112 @@
+// C API + cross-thread merged flush tests.
+#include "capi/calib_c.h"
+
+#include "calib.hpp"
+#include "runtime/services/aggregate_config.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace calib;
+using calib::test::find_record;
+
+TEST(CApi, VersionString) {
+    EXPECT_STREQ(calib_version(), "1.0.0");
+}
+
+TEST(CApi, AnnotationsFlowThroughChannels) {
+    const int id = calib_channel_create("capi-test",
+                                        "services.enable=event,aggregate\n"
+                                        "aggregate.key=capi.fn,capi.iter\n"
+                                        "aggregate.ops=count,sum(capi.metric)\n");
+    ASSERT_GE(id, 0);
+
+    for (int i = 0; i < 3; ++i) {
+        calib_set_int("capi.iter", i);
+        calib_begin_string("capi.fn", "c_function");
+        calib_set_double("capi.metric", 1.5);
+        calib_end("capi.fn");
+    }
+
+    // fetch the records through the C++ side before closing
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.find_channel("capi-test");
+    ASSERT_NE(channel, nullptr);
+    std::vector<RecordMap> out;
+    c.flush_thread(channel, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    EXPECT_EQ(calib_channel_close(id), 0);
+
+    double fn_count = 0;
+    for (const RecordMap& r : out)
+        if (r.get("capi.fn") == Variant("c_function"))
+            fn_count += r.get("count").to_double();
+    EXPECT_EQ(fn_count, 6.0) << "set(metric) + end events inside the region, x3";
+}
+
+TEST(CApi, IntRegionsAndExplicitSnapshot) {
+    const int id = calib_channel_create("capi-snap",
+                                        "services.enable=trace\n");
+    ASSERT_GE(id, 0);
+    calib_begin_int("capi.phase", 7);
+    calib_snapshot(); // trace has no event service: only explicit snapshots
+    calib_end("capi.phase");
+
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.find_channel("capi-snap");
+    std::vector<RecordMap> out;
+    c.flush_thread(channel, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    calib_channel_close(id);
+
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("capi.phase").to_int(), 7);
+}
+
+TEST(CApi, InvalidInputsAreSafe) {
+    EXPECT_EQ(calib_channel_create("bad", "not a config"), -1);
+    EXPECT_EQ(calib_channel_flush(-1), -1);
+    EXPECT_EQ(calib_channel_flush(9999), -1);
+    EXPECT_EQ(calib_channel_close(9999), -1);
+    calib_end("never.begun"); // must not crash
+}
+
+TEST(CApi, ThreadLabel) {
+    calib_set_thread_label("c-thread");
+    EXPECT_EQ(Caliper::instance().thread_data().label, "c-thread");
+}
+
+TEST(CrossThreadFlush, MergesAllThreadDatabases) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "xthread", RuntimeConfig{{"services.enable", "event,aggregate"},
+                                 {"aggregate.key", "xt.fn"},
+                                 {"aggregate.ops", "count"}});
+
+    constexpr int n_threads = 4;
+    constexpr int n_events  = 25;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t)
+        threads.emplace_back([] {
+            Annotation fn("xt.fn");
+            for (int i = 0; i < n_events; ++i) {
+                fn.begin(Variant("shared-region"));
+                fn.end();
+            }
+        });
+    for (auto& t : threads)
+        t.join();
+
+    std::vector<RecordMap> merged;
+    const std::size_t entries = flush_cross_thread(
+        c, channel, [&merged](RecordMap&& r) { merged.push_back(std::move(r)); });
+    c.close_channel(channel);
+
+    // cross-thread merge: ONE row per key, with the grand total —
+    // unlike flush_all, which emits one row per (key, thread)
+    EXPECT_EQ(entries, merged.size());
+    const RecordMap row = find_record(merged, "xt.fn", Variant("shared-region"));
+    ASSERT_FALSE(row.empty());
+    EXPECT_EQ(row.get("count").to_uint(),
+              static_cast<std::uint64_t>(n_threads) * n_events);
+}

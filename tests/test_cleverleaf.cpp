@@ -1,0 +1,379 @@
+// CleverLeaf-sim tests: hydro kernel physics sanity, AMR tagging and
+// clustering invariants, and the instrumented driver end-to-end.
+#include "apps/cleverleaf/amr.hpp"
+#include "apps/cleverleaf/driver.hpp"
+#include "apps/cleverleaf/hydro.hpp"
+
+#include "calib.hpp"
+#include "mpisim/runtime.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <mutex>
+
+using namespace calib;
+using namespace calib::clever;
+
+namespace {
+
+Patch make_patch(int nx = 32, int ny = 16) {
+    Patch p(0, 0, 0, nx, ny, 7.0 / nx, 3.0 / ny);
+    init_triple_point(p, 7.0, 3.0);
+    kernel_ideal_gas(p);
+    return p;
+}
+
+bool all_finite(const Patch& p) {
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i)
+            if (!std::isfinite(p.rho.at(i, j)) || !std::isfinite(p.energy.at(i, j)) ||
+                !std::isfinite(p.mx.at(i, j)) || !std::isfinite(p.my.at(i, j)))
+                return false;
+    return true;
+}
+
+void step_patch(Patch& p, double dt) {
+    kernel_ideal_gas(p);
+    kernel_viscosity(p);
+    compute_fluxes(p);
+    kernel_advec_cell(p, dt);
+    kernel_advec_mom(p, dt);
+    kernel_reset(p);
+}
+
+} // namespace
+
+TEST(Hydro, TriplePointInitialCondition) {
+    Patch p = make_patch();
+    // left driver region: high pressure
+    EXPECT_DOUBLE_EQ(p.rho.at(0, 0), 1.0);
+    EXPECT_GT(p.pressure.at(0, 0), 0.9);
+    // bottom-right: dense, low pressure
+    EXPECT_DOUBLE_EQ(p.rho.at(p.nx - 1, 0), 1.0);
+    EXPECT_LT(p.pressure.at(p.nx - 1, 0), 0.2);
+    // top-right: light
+    EXPECT_DOUBLE_EQ(p.rho.at(p.nx - 1, p.ny - 1), 0.125);
+}
+
+TEST(Hydro, IdealGasProducesPositivePressure) {
+    Patch p = make_patch();
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i) {
+            EXPECT_GT(p.pressure.at(i, j), 0.0);
+            EXPECT_GT(p.soundspeed.at(i, j), 0.0);
+        }
+}
+
+TEST(Hydro, CalcDtPositiveAndCflBounded) {
+    Patch p = make_patch();
+    const double dt = kernel_calc_dt(p);
+    EXPECT_GT(dt, 0.0);
+    // CFL: a sound wave must not cross a full cell in one step
+    const double cmax = std::sqrt(1.4 * 1.0 / 0.125); // fastest material
+    EXPECT_LT(dt * cmax / p.dx, 1.0);
+}
+
+TEST(Hydro, MassIsConservedWithReflectiveBounds) {
+    Patch p = make_patch();
+    double mass0 = 0;
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i)
+            mass0 += p.rho.at(i, j);
+
+    for (int s = 0; s < 20; ++s)
+        step_patch(p, kernel_calc_dt(p));
+
+    double mass1 = 0;
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i)
+            mass1 += p.rho.at(i, j);
+    EXPECT_NEAR(mass1, mass0, 1e-9 * mass0)
+        << "clamped-stencil boundaries are flux-reflective";
+    EXPECT_TRUE(all_finite(p));
+}
+
+TEST(Hydro, ShockDevelopsMotion) {
+    Patch p = make_patch(64, 32);
+    for (int s = 0; s < 30; ++s)
+        step_patch(p, kernel_calc_dt(p));
+    double max_speed = 0;
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i)
+            max_speed = std::max(max_speed, std::abs(p.mx.at(i, j)));
+    EXPECT_GT(max_speed, 1e-3) << "pressure jump must drive a shock";
+}
+
+TEST(Hydro, LongRunStaysStable) {
+    Patch p = make_patch(48, 24);
+    for (int s = 0; s < 200; ++s)
+        step_patch(p, kernel_calc_dt(p));
+    EXPECT_TRUE(all_finite(p));
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i)
+            EXPECT_GT(p.rho.at(i, j), 0.0);
+}
+
+TEST(Hydro, DiagnosticKernelsAccumulate) {
+    Patch p = make_patch();
+    // develop a velocity field first; at t=0 everything is at rest and
+    // the PdV work is legitimately zero
+    for (int s = 0; s < 5; ++s)
+        step_patch(p, kernel_calc_dt(p));
+    kernel_ideal_gas(p);
+    kernel_pdv(p, 0.01);
+    kernel_accelerate(p, 0.01);
+    EXPECT_NE(p.pdv_work, 0.0);
+    EXPECT_GT(p.accel_sum, 0.0);
+}
+
+TEST(Hydro, RevertRestoresDoubleBuffer) {
+    Patch p = make_patch();
+    kernel_revert(p);
+    EXPECT_DOUBLE_EQ(p.rho_new.at(3, 3), p.rho.at(3, 3));
+}
+
+TEST(Amr, TagsFollowDensityGradients) {
+    Patch p = make_patch(64, 32);
+    AmrConfig cfg;
+    auto tags = tag_cells(p, cfg);
+    ASSERT_EQ(tags.size(), p.cells());
+    // the vertical material interface at x = W/7 must be tagged
+    const int interface_i = p.nx / 7;
+    int tagged_near_interface = 0, tagged_far = 0;
+    for (int j = 0; j < p.ny; ++j)
+        for (int di = -1; di <= 1; ++di)
+            tagged_near_interface +=
+                tags[static_cast<std::size_t>(j) * p.nx + interface_i + di];
+    // a region away from both interfaces (x-interface at nx/7, y-interface
+    // at ny/2) must be untagged at t=0
+    for (int j = p.ny / 8; j < 3 * p.ny / 8; ++j)
+        for (int i = 5 * p.nx / 8; i < 7 * p.nx / 8; ++i)
+            tagged_far += tags[static_cast<std::size_t>(j) * p.nx + i];
+    EXPECT_GT(tagged_near_interface, 0);
+    EXPECT_EQ(tagged_far, 0) << "smooth regions are not tagged at t=0";
+}
+
+TEST(Amr, BufferGrowsTaggedRegion) {
+    std::vector<std::uint8_t> tags(100, 0);
+    tags[5 * 10 + 5] = 1;
+    buffer_tags(tags, 10, 10, 2);
+    int count = 0;
+    for (auto t : tags)
+        count += t;
+    EXPECT_EQ(count, 25) << "5x5 block around the single tag";
+}
+
+TEST(Amr, ClusterBoxesCoverAllTags) {
+    Patch p = make_patch(64, 32);
+    AmrConfig cfg;
+    auto tags = tag_cells(p, cfg);
+    buffer_tags(tags, p.nx, p.ny, cfg.tag_buffer);
+    auto boxes = cluster_tags(tags, p.nx, p.ny, cfg);
+    ASSERT_FALSE(boxes.empty());
+
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i) {
+            if (!tags[static_cast<std::size_t>(j) * p.nx + i])
+                continue;
+            bool covered = false;
+            for (const Box& b : boxes)
+                if (i >= b.x0 && i < b.x1 && j >= b.y0 && j < b.y1)
+                    covered = true;
+            EXPECT_TRUE(covered) << "tag (" << i << "," << j << ") uncovered";
+        }
+    for (const Box& b : boxes) {
+        EXPECT_LE(b.width(), cfg.max_patch_size);
+        EXPECT_LE(b.height(), cfg.max_patch_size);
+        EXPECT_FALSE(b.empty());
+    }
+}
+
+TEST(Amr, ClusterOfNothingIsEmpty) {
+    std::vector<std::uint8_t> tags(64, 0);
+    EXPECT_TRUE(cluster_tags(tags, 8, 8, AmrConfig{}).empty());
+}
+
+TEST(Amr, HierarchyRefinesInterfaceRegion) {
+    auto base = std::make_unique<Patch>(0, 0, 0, 64, 32, 7.0 / 64, 3.0 / 32);
+    init_triple_point(*base, 7.0, 3.0);
+    kernel_ideal_gas(*base);
+
+    AmrConfig cfg;
+    Hierarchy mesh(std::move(base), cfg);
+    const std::size_t created = mesh.regrid();
+    EXPECT_GT(created, 0u);
+    EXPECT_EQ(mesh.num_levels(), 3);
+    EXPECT_GT(mesh.cells_on_level(1), 0u);
+    // refinement ratio 2: fine patches have double resolution
+    const Patch& fine = *mesh.level(1)[0];
+    EXPECT_DOUBLE_EQ(fine.dx * 2, mesh.level(0)[0]->dx);
+    EXPECT_EQ(fine.level, 1);
+    // injected values are finite and positive
+    EXPECT_GT(fine.rho.at(0, 0), 0.0);
+}
+
+TEST(Driver, RunsAndConservesSanity) {
+    CleverConfig config;
+    config.nx       = 64;
+    config.ny       = 32;
+    config.steps    = 8;
+    config.annotate = false; // no channel: pure physics run
+
+    std::mutex m;
+    std::vector<CleverStats> stats;
+    simmpi::run(2, [&](simmpi::Comm& comm) {
+        CleverStats s = run_rank(comm, config);
+        std::lock_guard<std::mutex> lock(m);
+        stats.push_back(s);
+    });
+    ASSERT_EQ(stats.size(), 2u);
+    for (const CleverStats& s : stats) {
+        EXPECT_EQ(s.steps, 8);
+        EXPECT_GT(s.checksum, 0.0);
+        EXPECT_TRUE(std::isfinite(s.checksum));
+        EXPECT_GT(s.cell_updates, 0u);
+        EXPECT_GT(s.sim_time, 0.0);
+    }
+}
+
+TEST(Driver, ProducesAllSevenAttributes) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "clever-test", RuntimeConfig{{"services.enable", "event,timer,aggregate"},
+                                     {"aggregate.key", "*"}});
+
+    CleverConfig config;
+    config.nx    = 64;
+    config.ny    = 32;
+    config.steps = 6;
+
+    std::mutex m;
+    std::vector<RecordMap> all;
+    simmpi::run(2, [&](simmpi::Comm& comm) {
+        run_rank(comm, config);
+        std::vector<RecordMap> mine;
+        c.flush_thread(channel,
+                       [&mine](RecordMap&& r) { mine.push_back(std::move(r)); });
+        std::lock_guard<std::mutex> lock(m);
+        for (RecordMap& r : mine)
+            all.push_back(std::move(r));
+    });
+    c.close_channel(channel);
+
+    ASSERT_FALSE(all.empty());
+    // the paper's seven attributes all appear in the profile
+    for (const char* attr : {"function", "annotation", "kernel", "amr.level",
+                             "iteration#mainloop", "mpi.rank", "mpi.function"}) {
+        bool found = false;
+        for (const RecordMap& r : all)
+            if (r.contains(attr))
+                found = true;
+        EXPECT_TRUE(found) << "missing attribute: " << attr;
+    }
+
+    // expected kernels present
+    for (const char* kernel : {"ideal-gas", "viscosity", "calc-dt", "advec-cell",
+                               "advec-mom", "pdv", "accelerate", "reset"}) {
+        bool found = false;
+        for (const RecordMap& r : all)
+            if (r.get("kernel") == Variant(kernel))
+                found = true;
+        EXPECT_TRUE(found) << "missing kernel: " << kernel;
+    }
+
+    // both ranks contributed
+    bool rank0 = false, rank1 = false;
+    for (const RecordMap& r : all) {
+        if (r.get("mpi.rank") == Variant(0))
+            rank0 = true;
+        if (r.get("mpi.rank") == Variant(1))
+            rank1 = true;
+    }
+    EXPECT_TRUE(rank0);
+    EXPECT_TRUE(rank1);
+
+    // AMR levels 0..2 all did work
+    for (int level = 0; level < 3; ++level) {
+        double level_count = 0;
+        for (const RecordMap& r : all)
+            if (r.get("amr.level") == Variant(level))
+                level_count += r.get("count").to_double();
+        EXPECT_GT(level_count, 0.0) << "level " << level;
+    }
+}
+
+TEST(Driver, ImbalanceKnobSkewsRankZero) {
+    CleverConfig config;
+    config.nx        = 64;
+    config.ny        = 32;
+    config.steps     = 4;
+    config.annotate  = false;
+    config.imbalance = 3.0;
+    // runs without error; the knob only adds extra work on rank 0
+    simmpi::run(2, [&](simmpi::Comm& comm) { run_rank(comm, config); });
+    SUCCEED();
+}
+
+TEST(Hydro, EnergyIsConservedWithReflectiveBounds) {
+    Patch p = make_patch();
+    double e0 = 0;
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i)
+            e0 += p.energy.at(i, j);
+    for (int s = 0; s < 20; ++s)
+        step_patch(p, kernel_calc_dt(p));
+    double e1 = 0;
+    for (int j = 0; j < p.ny; ++j)
+        for (int i = 0; i < p.nx; ++i)
+            e1 += p.energy.at(i, j);
+    EXPECT_NEAR(e1, e0, 1e-9 * e0) << "total energy flux through walls is zero";
+}
+
+TEST(Amr, RepeatedRegridIsStable) {
+    auto base = std::make_unique<Patch>(0, 0, 0, 64, 32, 7.0 / 64, 3.0 / 32);
+    init_triple_point(*base, 7.0, 3.0);
+    kernel_ideal_gas(*base);
+    AmrConfig cfg;
+    Hierarchy mesh(std::move(base), cfg);
+
+    // regrid repeatedly while advancing level 0: patch counts stay sane
+    // and all fine patches stay finite
+    for (int step = 0; step < 12; ++step) {
+        Patch& l0 = *mesh.level(0)[0];
+        kernel_ideal_gas(l0);
+        kernel_viscosity(l0);
+        compute_fluxes(l0);
+        const double dt = kernel_calc_dt(l0);
+        kernel_advec_cell(l0, dt);
+        kernel_advec_mom(l0, dt);
+        kernel_reset(l0);
+        if (step % 3 == 0)
+            mesh.regrid();
+        for (int l = 1; l < mesh.num_levels(); ++l) {
+            EXPECT_LT(mesh.level(l).size(), 200u) << "patch explosion at step " << step;
+            for (const auto& patch : mesh.level(l))
+                EXPECT_TRUE(std::isfinite(patch->rho.at(0, 0)));
+        }
+    }
+    EXPECT_GT(mesh.cells_on_level(1), 0u);
+}
+
+TEST(Amr, FinePatchesStayInsideParentBounds) {
+    auto base = std::make_unique<Patch>(0, 0, 16, 64, 32, 7.0 / 64, 3.0 / 32);
+    init_triple_point(*base, 7.0, 3.0);
+    kernel_ideal_gas(*base);
+    AmrConfig cfg;
+    Hierarchy mesh(std::move(base), cfg);
+    mesh.regrid();
+
+    const Patch& coarse = *mesh.level(0)[0];
+    for (const auto& fine : mesh.level(1)) {
+        const int r = cfg.refinement_ratio;
+        EXPECT_GE(fine->x0, coarse.x0 * r);
+        EXPECT_GE(fine->y0, coarse.y0 * r);
+        EXPECT_LE(fine->x0 + fine->nx, (coarse.x0 + coarse.nx) * r);
+        EXPECT_LE(fine->y0 + fine->ny, (coarse.y0 + coarse.ny) * r);
+    }
+}

@@ -1,0 +1,82 @@
+#include "runtime/config.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+using calib::RuntimeConfig;
+
+TEST(RuntimeConfig, FromStringParsesLines) {
+    RuntimeConfig cfg = RuntimeConfig::from_string(
+        "services.enable = event,timer\n"
+        "# a comment\n"
+        "\n"
+        "aggregate.key=function,loop\n");
+    EXPECT_EQ(cfg.get("services.enable"), "event,timer");
+    EXPECT_EQ(cfg.get("aggregate.key"), "function,loop");
+}
+
+TEST(RuntimeConfig, FromStringRejectsMalformed) {
+    EXPECT_THROW(RuntimeConfig::from_string("not a key value pair\n"),
+                 std::runtime_error);
+}
+
+TEST(RuntimeConfig, GetWithFallback) {
+    RuntimeConfig cfg;
+    EXPECT_EQ(cfg.get("missing", "fallback"), "fallback");
+    cfg.set("present", "value");
+    EXPECT_EQ(cfg.get("present", "fallback"), "value");
+}
+
+TEST(RuntimeConfig, TypedGetters) {
+    RuntimeConfig cfg = RuntimeConfig::from_string(
+        "int=42\ndouble=2.5\nbool1=true\nbool2=off\nbad=xyz\n");
+    EXPECT_EQ(cfg.get_int("int", 0), 42);
+    EXPECT_EQ(cfg.get_int("missing", 7), 7);
+    EXPECT_EQ(cfg.get_int("bad", 7), 7);
+    EXPECT_DOUBLE_EQ(cfg.get_double("double", 0), 2.5);
+    EXPECT_TRUE(cfg.get_bool("bool1", false));
+    EXPECT_FALSE(cfg.get_bool("bool2", true));
+    EXPECT_TRUE(cfg.get_bool("missing", true));
+}
+
+TEST(RuntimeConfig, FindAndContains) {
+    RuntimeConfig cfg{{"a", "1"}};
+    EXPECT_TRUE(cfg.contains("a"));
+    EXPECT_FALSE(cfg.contains("b"));
+    EXPECT_EQ(cfg.find("a").value(), "1");
+    EXPECT_FALSE(cfg.find("b").has_value());
+}
+
+TEST(RuntimeConfig, MergedWithOverlays) {
+    RuntimeConfig base{{"a", "1"}, {"b", "2"}};
+    RuntimeConfig over{{"b", "20"}, {"c", "30"}};
+    RuntimeConfig merged = base.merged_with(over);
+    EXPECT_EQ(merged.get("a"), "1");
+    EXPECT_EQ(merged.get("b"), "20");
+    EXPECT_EQ(merged.get("c"), "30");
+}
+
+TEST(RuntimeConfig, FromEnvMapsUnderscoreToDot) {
+    ::setenv("CALIXX_SERVICES_ENABLE", "event,trace", 1);
+    ::setenv("CALIXX_AGGREGATE_KEY", "*", 1);
+    RuntimeConfig cfg = RuntimeConfig::from_env("CALIXX_");
+    EXPECT_EQ(cfg.get("services.enable"), "event,trace");
+    EXPECT_EQ(cfg.get("aggregate.key"), "*");
+    ::unsetenv("CALIXX_SERVICES_ENABLE");
+    ::unsetenv("CALIXX_AGGREGATE_KEY");
+}
+
+TEST(RuntimeConfig, FromFile) {
+    calib::test::TempDir dir("config");
+    const std::string path = dir.file("profile.conf");
+    {
+        std::ofstream os(path);
+        os << "recorder.filename=out-%r.cali\n";
+    }
+    RuntimeConfig cfg = RuntimeConfig::from_file(path);
+    EXPECT_EQ(cfg.get("recorder.filename"), "out-%r.cali");
+    EXPECT_THROW(RuntimeConfig::from_file("/nonexistent.conf"), std::runtime_error);
+}

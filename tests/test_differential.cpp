@@ -1,0 +1,248 @@
+// Differential oracle test: random record streams and random aggregation
+// schemes, evaluated both by the production query pipeline and by an
+// independent brute-force reference implementation (ordered maps, naive
+// accumulators, no hashing, no streaming). Any divergence is a bug in one
+// of them — the implementations share no code beyond Variant/RecordMap.
+#include "io/calireader.hpp"
+#include "io/caliwriter.hpp"
+#include "query/processor.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <sstream>
+
+using namespace calib;
+
+namespace {
+
+// --- random workload + scheme generation ----------------------------------------
+
+struct Scheme {
+    std::vector<std::string> key;
+    bool with_count = false, with_sum = false, with_min = false, with_max = false;
+    // optional equality filter
+    bool filtered = false;
+    std::string filter_attr;
+    Variant filter_value;
+
+    std::string to_query() const {
+        std::string q = "AGGREGATE ";
+        bool first    = true;
+        auto add      = [&](const std::string& term) {
+            if (!first)
+                q += ',';
+            first = false;
+            q += term;
+        };
+        if (with_count)
+            add("count");
+        if (with_sum)
+            add("sum(metric)");
+        if (with_min)
+            add("min(metric)");
+        if (with_max)
+            add("max(metric)");
+        if (filtered) {
+            q += " WHERE " + filter_attr + "=";
+            q += filter_value.is_string() ? "\"" + filter_value.to_string() + "\""
+                                          : filter_value.to_string();
+        }
+        q += " GROUP BY ";
+        for (std::size_t i = 0; i < key.size(); ++i) {
+            if (i)
+                q += ',';
+            q += key[i];
+        }
+        return q;
+    }
+};
+
+const char* dim_names[] = {"function", "kernel", "rank", "iter"};
+
+std::vector<RecordMap> random_records(std::mt19937_64& rng, int n) {
+    std::vector<RecordMap> out;
+    for (int i = 0; i < n; ++i) {
+        RecordMap r;
+        // each dimension present with probability ~7/8, small value universe
+        if (rng() % 8)
+            r.append("function", Variant("fn" + std::to_string(rng() % 4)));
+        if (rng() % 8)
+            r.append("kernel", Variant("k" + std::to_string(rng() % 3)));
+        if (rng() % 8)
+            r.append("rank", Variant(static_cast<long long>(rng() % 4)));
+        if (rng() % 8)
+            r.append("iter", Variant(static_cast<long long>(rng() % 5)));
+        if (rng() % 8)
+            r.append("metric",
+                     Variant(static_cast<long long>(rng() % 1000) - 500));
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+Scheme random_scheme(std::mt19937_64& rng) {
+    Scheme s;
+    for (const char* dim : dim_names)
+        if (rng() % 2)
+            s.key.emplace_back(dim);
+    if (s.key.empty())
+        s.key.emplace_back(dim_names[rng() % 4]);
+    s.with_count = rng() % 2;
+    s.with_sum   = rng() % 2;
+    s.with_min   = rng() % 2;
+    s.with_max   = rng() % 2;
+    if (!s.with_count && !s.with_sum && !s.with_min && !s.with_max)
+        s.with_count = true;
+    if (rng() % 3 == 0) {
+        s.filtered    = true;
+        s.filter_attr = dim_names[rng() % 4];
+        if (s.filter_attr == "rank" || s.filter_attr == "iter")
+            s.filter_value = Variant(static_cast<long long>(rng() % 4));
+        else if (s.filter_attr == "function")
+            s.filter_value = Variant("fn" + std::to_string(rng() % 4));
+        else
+            s.filter_value = Variant("k" + std::to_string(rng() % 3));
+    }
+    return s;
+}
+
+// --- brute-force reference --------------------------------------------------------
+
+struct RefAccumulator {
+    std::uint64_t count = 0;
+    long long sum       = 0;
+    bool has_metric     = false;
+    long long min       = 0;
+    long long max       = 0;
+
+    void update(const RecordMap& r) {
+        ++count;
+        const Variant m = r.get("metric");
+        if (m.empty())
+            return;
+        const long long v = m.to_int();
+        if (!has_metric) {
+            has_metric = true;
+            sum = v;
+            min = v;
+            max = v;
+        } else {
+            sum += v;
+            min = std::min(min, v);
+            max = std::max(max, v);
+        }
+    }
+};
+
+/// Canonical key: "name=value|name=value|..." with absent dims marked.
+std::string ref_key(const Scheme& s, const RecordMap& r) {
+    std::string key;
+    for (const std::string& dim : s.key) {
+        key += dim;
+        key += '=';
+        key += r.contains(dim) ? r.get(dim).to_string() : std::string("<absent>");
+        key += '|';
+    }
+    return key;
+}
+
+std::map<std::string, RefAccumulator> reference_aggregate(
+    const Scheme& s, const std::vector<RecordMap>& records) {
+    std::map<std::string, RefAccumulator> groups;
+    for (const RecordMap& r : records) {
+        if (s.filtered) {
+            if (!r.contains(s.filter_attr))
+                continue;
+            const Variant v = r.get(s.filter_attr);
+            // match the engine's coercion: numerics by value, else text
+            const bool equal =
+                (v.is_numeric() && s.filter_value.is_numeric())
+                    ? v.compare(s.filter_value) == 0
+                    : v.to_string() == s.filter_value.to_string();
+            if (!equal)
+                continue;
+        }
+        groups[ref_key(s, r)].update(r);
+    }
+    return groups;
+}
+
+} // namespace
+
+class Differential : public ::testing::TestWithParam<int> {};
+
+TEST_P(Differential, PipelineMatchesBruteForce) {
+    std::mt19937_64 rng(GetParam() * 0x9e3779b9ull + 12345);
+
+    for (int round = 0; round < 20; ++round) {
+        const auto records = random_records(rng, 300);
+        const Scheme s     = random_scheme(rng);
+
+        const auto reference = reference_aggregate(s, records);
+        const auto actual    = run_query(s.to_query(), records);
+
+        ASSERT_EQ(actual.size(), reference.size())
+            << "group count mismatch for query: " << s.to_query();
+
+        for (const RecordMap& row : actual) {
+            const std::string key = ref_key(s, row);
+            auto it               = reference.find(key);
+            ASSERT_NE(it, reference.end())
+                << "unexpected group " << key << " for " << s.to_query();
+            const RefAccumulator& ref = it->second;
+
+            if (s.with_count)
+                EXPECT_EQ(row.get("count").to_uint(), ref.count)
+                    << key << " | " << s.to_query();
+            if (s.with_sum) {
+                if (ref.has_metric)
+                    EXPECT_EQ(row.get("sum#metric").to_int(), ref.sum)
+                        << key << " | " << s.to_query();
+                else
+                    EXPECT_FALSE(row.contains("sum#metric"));
+            }
+            if (s.with_min && ref.has_metric)
+                EXPECT_EQ(row.get("min#metric").to_int(), ref.min)
+                    << key << " | " << s.to_query();
+            if (s.with_max && ref.has_metric)
+                EXPECT_EQ(row.get("max#metric").to_int(), ref.max)
+                    << key << " | " << s.to_query();
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Differential, ::testing::Range(1, 11));
+
+TEST(DifferentialIO, SurvivesCaliStreamRoundTrip) {
+    // the differential property must also hold after writing the records
+    // to the stream format and reading them back
+    std::mt19937_64 rng(777);
+    const auto records = random_records(rng, 200);
+    const Scheme s     = random_scheme(rng);
+
+    std::ostringstream os;
+    {
+        CaliWriter writer(os);
+        for (const RecordMap& r : records)
+            writer.write_record(r);
+    }
+    std::istringstream is(os.str());
+    const auto restored = CaliReader::read_all(is);
+    ASSERT_EQ(restored.size(), records.size());
+
+    const auto direct    = run_query(s.to_query(), records);
+    const auto roundtrip = run_query(s.to_query(), restored);
+    ASSERT_EQ(direct.size(), roundtrip.size()) << s.to_query();
+    for (const RecordMap& row : direct) {
+        bool found = false;
+        for (const RecordMap& other : roundtrip)
+            if (other == row)
+                found = true;
+        EXPECT_TRUE(found) << s.to_query();
+    }
+}

@@ -1,0 +1,235 @@
+// Edge-case and robustness tests across the stack: overflow handling,
+// odd values, mid-run channel creation, parser fuzzing, and IO limits.
+#include "calib.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+using namespace calib;
+using calib::test::find_record;
+using calib::test::record;
+
+// --- snapshot capacity -----------------------------------------------------------
+
+TEST(EdgeCases, BlackboardWiderThanSnapshotCapacity) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "edge-wide", RuntimeConfig{{"services.enable", "event,aggregate"},
+                                   {"aggregate.key", "edge.wide.0"},
+                                   {"aggregate.ops", "count"}});
+    // push more distinct attributes than a snapshot can hold
+    std::vector<Annotation> annotations;
+    annotations.reserve(SnapshotRecord::max_entries + 8);
+    for (std::size_t i = 0; i < SnapshotRecord::max_entries + 8; ++i)
+        annotations.emplace_back("edge.wide." + std::to_string(i));
+    for (std::size_t i = 0; i < annotations.size(); ++i)
+        annotations[i].begin(Variant(static_cast<long long>(i)));
+    for (auto it = annotations.rbegin(); it != annotations.rend(); ++it)
+        it->end();
+
+    // the run must complete without corruption; excess entries are dropped
+    std::vector<RecordMap> out;
+    c.flush_thread(channel, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    c.close_channel(channel);
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(EdgeCases, OfflineRecordWiderThanSnapshotCapacity) {
+    RecordMap wide;
+    for (std::size_t i = 0; i < SnapshotRecord::max_entries + 16; ++i)
+        wide.append("col" + std::to_string(i), Variant(static_cast<long long>(i)));
+    // must not crash; the aggregation processes the first max_entries
+    auto out = run_query("AGGREGATE count GROUP BY col0", {wide});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("count").to_uint(), 1u);
+}
+
+// --- odd values --------------------------------------------------------------------
+
+TEST(EdgeCases, NanAndInfinityThroughKernels) {
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    auto out         = run_query("AGGREGATE min(v),max(v),count GROUP BY k",
+                                 {record({{"k", Variant(1)}, {"v", Variant(1.0)}}),
+                                  record({{"k", Variant(1)}, {"v", Variant(nan)}}),
+                                  record({{"k", Variant(1)}, {"v", Variant(inf)}})});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("count").to_uint(), 3u);
+    EXPECT_EQ(out[0].get("min#v").to_double(), 1.0);
+    EXPECT_EQ(out[0].get("max#v").to_double(), inf);
+}
+
+TEST(EdgeCases, EmptyStringKeyValueIsAGroup) {
+    auto out = run_query("AGGREGATE count GROUP BY k",
+                         {record({{"k", Variant("")}}),
+                          record({{"k", Variant("x")}}),
+                          record({{"other", Variant(1)}})});
+    // "" is a value; a missing attribute is a *different* group
+    EXPECT_EQ(out.size(), 3u);
+    EXPECT_EQ(find_record(out, "k", Variant("")).get("count").to_uint(), 1u);
+}
+
+TEST(EdgeCases, UnicodeAndLongValuesThroughIO) {
+    const std::string unicode = "kernel-\xE2\x88\x91\xC3\xA9\xF0\x9F\x94\xA5";
+    const std::string long_value(5000, 'v');
+    const std::string long_name(300, 'n');
+
+    std::ostringstream os;
+    {
+        CaliWriter writer(os);
+        writer.write_record(record({{unicode.c_str(), Variant(long_value)},
+                                    {long_name.c_str(), Variant(unicode)}}));
+    }
+    std::istringstream is(os.str());
+    auto records = CaliReader::read_all(is);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].get(unicode).as_string(), long_value);
+    EXPECT_EQ(records[0].get(long_name).as_string(), unicode);
+}
+
+TEST(EdgeCases, DuplicateAttributeNamesInRecord) {
+    RecordMap r;
+    r.append("dup", Variant(1));
+    r.append("dup", Variant(2));
+    std::ostringstream os;
+    {
+        CaliWriter writer(os);
+        writer.write_record(r);
+    }
+    std::istringstream is(os.str());
+    auto records = CaliReader::read_all(is);
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].size(), 2u) << "duplicates survive the round trip";
+}
+
+// --- runtime behaviour ----------------------------------------------------------------
+
+TEST(EdgeCases, ChannelCreatedMidMeasurementSeesOnlyLaterEvents) {
+    Caliper& c = Caliper::instance();
+    Annotation fn("edge.mid");
+
+    Channel* early = c.create_channel(
+        "edge-early", RuntimeConfig{{"services.enable", "event,aggregate"},
+                                    {"aggregate.key", "edge.mid"},
+                                    {"aggregate.ops", "count"}});
+    fn.begin(Variant("a"));
+    fn.end();
+
+    Channel* late = c.create_channel(
+        "edge-late", RuntimeConfig{{"services.enable", "event,aggregate"},
+                                   {"aggregate.key", "edge.mid"},
+                                   {"aggregate.ops", "count"}});
+    fn.begin(Variant("a"));
+    fn.end();
+
+    auto count_of = [&c](Channel* ch) {
+        double total = 0;
+        c.flush_thread(ch, [&total](RecordMap&& r) {
+            total += r.get("count").to_double();
+        });
+        return total;
+    };
+    EXPECT_EQ(count_of(early), 4.0);
+    EXPECT_EQ(count_of(late), 2.0) << "per-thread channel cache must refresh";
+    c.close_channel(early);
+    c.close_channel(late);
+}
+
+TEST(EdgeCases, ReusedChannelNamesAreDistinctChannels) {
+    Caliper& c  = Caliper::instance();
+    Channel* c1 = c.create_channel("edge-reuse", RuntimeConfig{});
+    Channel* c2 = c.create_channel("edge-reuse", RuntimeConfig{});
+    EXPECT_NE(c1, c2);
+    EXPECT_NE(c1->id(), c2->id());
+    c.close_channel(c1);
+    c.close_channel(c2);
+}
+
+TEST(EdgeCases, DeeplyNestedRegions) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "edge-deep", RuntimeConfig{{"services.enable", "event,aggregate"},
+                                   {"aggregate.key", "edge.deep"},
+                                   {"aggregate.ops", "count,max(edge.depth)"}});
+    Annotation fn("edge.deep");
+    Annotation depth("edge.depth", prop::as_value | prop::aggregatable);
+    constexpr int n = 500;
+    for (int i = 0; i < n; ++i) {
+        depth.set(Variant(i));
+        fn.begin(Variant("level"));
+    }
+    for (int i = 0; i < n; ++i)
+        fn.end();
+
+    std::vector<RecordMap> out;
+    c.flush_thread(channel, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    c.close_channel(channel);
+    RecordMap level = find_record(out, "edge.deep", Variant("level"));
+    EXPECT_EQ(level.get("max#edge.depth").to_int(), n - 1);
+}
+
+// --- query pipeline ---------------------------------------------------------------------
+
+TEST(EdgeCases, LimitZeroMeansUnlimited) {
+    std::vector<RecordMap> records;
+    for (int i = 0; i < 10; ++i)
+        records.push_back(record({{"k", Variant(i)}}));
+    EXPECT_EQ(run_query("AGGREGATE count GROUP BY k LIMIT 0", records).size(), 10u);
+}
+
+TEST(EdgeCases, SortWithMissingAttributePutsEmptiesFirst) {
+    auto out = run_query("ORDER BY v",
+                         {record({{"v", Variant(2)}}), record({{"x", Variant(0)}}),
+                          record({{"v", Variant(1)}})});
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_FALSE(out[0].contains("v")) << "Empty sorts before numeric types";
+    EXPECT_EQ(out[1].get("v").to_int(), 1);
+    EXPECT_EQ(out[2].get("v").to_int(), 2);
+}
+
+TEST(EdgeCases, CalqlFuzzNeverCrashes) {
+    // deterministic garbage: parse must either succeed or throw CalQLError
+    std::mt19937_64 rng(2026);
+    const std::string alphabet =
+        "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+        " \t(),=<>!*#./\"'\\-+";
+    int parsed = 0, rejected = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::string query;
+        const std::size_t len = rng() % 60;
+        for (std::size_t i = 0; i < len; ++i)
+            query += alphabet[rng() % alphabet.size()];
+        try {
+            (void)parse_calql(query);
+            ++parsed;
+        } catch (const CalQLError&) {
+            ++rejected;
+        }
+        // any other exception type escapes and fails the test
+    }
+    EXPECT_GT(rejected, 0);
+    EXPECT_GT(parsed, 0) << "the empty-ish inputs parse fine";
+}
+
+TEST(EdgeCases, CalqlKeywordsAsAttributeNames) {
+    // quoted strings allow even clause keywords as attribute labels
+    QuerySpec spec = parse_calql("AGGREGATE sum(\"select\") GROUP BY \"where\"");
+    EXPECT_EQ(spec.aggregation.ops[0].attribute, "select");
+    EXPECT_EQ(spec.aggregation.key.attributes[0], "where");
+}
+
+TEST(EdgeCases, AggregationOfThousandsOfGroupsThroughPipeline) {
+    std::vector<RecordMap> records;
+    for (int i = 0; i < 20000; ++i)
+        records.push_back(
+            record({{"k", Variant(i % 3000)}, {"v", Variant(1)}}));
+    auto out = run_query("AGGREGATE count,sum(v) GROUP BY k", records);
+    EXPECT_EQ(out.size(), 3000u);
+    double total = 0;
+    for (const RecordMap& r : out)
+        total += r.get("sum#v").to_double();
+    EXPECT_EQ(total, 20000.0);
+}

@@ -1,0 +1,90 @@
+#include "query/filter.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace calib;
+using calib::test::record;
+
+TEST(Filter, ExistAndNotExist) {
+    const RecordMap r = record({{"kernel", Variant("adv")}, {"t", Variant(1)}});
+    EXPECT_TRUE(filter_matches({"kernel", FilterSpec::Op::Exist, {}}, r));
+    EXPECT_FALSE(filter_matches({"missing", FilterSpec::Op::Exist, {}}, r));
+    EXPECT_TRUE(filter_matches({"missing", FilterSpec::Op::NotExist, {}}, r));
+    EXPECT_FALSE(filter_matches({"kernel", FilterSpec::Op::NotExist, {}}, r));
+}
+
+TEST(Filter, EqualityWithTypeCoercion) {
+    const RecordMap r = record({{"iter", Variant(4)}, {"name", Variant("x")}});
+    EXPECT_TRUE(filter_matches({"iter", FilterSpec::Op::Eq, Variant(4)}, r));
+    EXPECT_TRUE(filter_matches({"iter", FilterSpec::Op::Eq, Variant(4.0)}, r));
+    EXPECT_TRUE(filter_matches({"iter", FilterSpec::Op::Eq, Variant("4")}, r))
+        << "string \"4\" matches numeric 4 via textual coercion";
+    EXPECT_FALSE(filter_matches({"iter", FilterSpec::Op::Eq, Variant(5)}, r));
+    EXPECT_TRUE(filter_matches({"name", FilterSpec::Op::Eq, Variant("x")}, r));
+}
+
+TEST(Filter, OrderingComparisons) {
+    const RecordMap r = record({{"t", Variant(10.0)}});
+    EXPECT_TRUE(filter_matches({"t", FilterSpec::Op::Lt, Variant(11)}, r));
+    EXPECT_FALSE(filter_matches({"t", FilterSpec::Op::Lt, Variant(10)}, r));
+    EXPECT_TRUE(filter_matches({"t", FilterSpec::Op::Le, Variant(10)}, r));
+    EXPECT_TRUE(filter_matches({"t", FilterSpec::Op::Gt, Variant(9.5)}, r));
+    EXPECT_TRUE(filter_matches({"t", FilterSpec::Op::Ge, Variant(10)}, r));
+    EXPECT_TRUE(filter_matches({"t", FilterSpec::Op::Ne, Variant(3)}, r));
+}
+
+TEST(Filter, ComparisonOnMissingAttributeFails) {
+    const RecordMap r = record({{"a", Variant(1)}});
+    EXPECT_FALSE(filter_matches({"b", FilterSpec::Op::Eq, Variant(1)}, r));
+    EXPECT_FALSE(filter_matches({"b", FilterSpec::Op::Ne, Variant(1)}, r))
+        << "comparisons never match absent attributes (not-exists is explicit)";
+}
+
+TEST(Filter, ConjunctionSemantics) {
+    const RecordMap r = record({{"a", Variant(1)}, {"b", Variant(2)}});
+    std::vector<FilterSpec> both = {{"a", FilterSpec::Op::Eq, Variant(1)},
+                                    {"b", FilterSpec::Op::Eq, Variant(2)}};
+    EXPECT_TRUE(filters_match(both, r));
+    both[1].value = Variant(3);
+    EXPECT_FALSE(filters_match(both, r));
+    EXPECT_TRUE(filters_match({}, r)) << "empty filter list matches everything";
+}
+
+TEST(SnapshotFilter, MatchesResolvedAttributes) {
+    AttributeRegistry registry;
+    const Attribute kernel = registry.create("kernel", Variant::Type::String);
+    const Attribute mpifn  = registry.create("mpi.function", Variant::Type::String);
+
+    SnapshotFilter filter({{"mpi.function", FilterSpec::Op::NotExist, {}}}, &registry);
+
+    SnapshotRecord with_mpi;
+    with_mpi.append(kernel.id(), Variant("k"));
+    with_mpi.append(mpifn.id(), Variant("MPI_Barrier"));
+    SnapshotRecord without_mpi;
+    without_mpi.append(kernel.id(), Variant("k"));
+
+    EXPECT_FALSE(filter.matches(with_mpi));
+    EXPECT_TRUE(filter.matches(without_mpi));
+}
+
+TEST(SnapshotFilter, LazyResolutionAcrossAttributeCreation) {
+    AttributeRegistry registry;
+    SnapshotFilter filter({{"late", FilterSpec::Op::Eq, Variant(7)}}, &registry);
+
+    SnapshotRecord empty;
+    EXPECT_FALSE(filter.matches(empty)) << "attribute doesn't exist yet";
+
+    const Attribute late = registry.create("late", Variant::Type::Int);
+    SnapshotRecord rec;
+    rec.append(late.id(), Variant(7));
+    EXPECT_TRUE(filter.matches(rec)) << "resolution picks up the new attribute";
+}
+
+TEST(SnapshotFilter, EmptyFilterMatchesAll) {
+    AttributeRegistry registry;
+    SnapshotFilter filter({}, &registry);
+    SnapshotRecord rec;
+    EXPECT_TRUE(filter.empty());
+    EXPECT_TRUE(filter.matches(rec));
+}

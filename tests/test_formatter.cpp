@@ -1,0 +1,155 @@
+#include "query/calql.hpp"
+#include "query/formatter.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace calib;
+using calib::test::record;
+
+namespace {
+
+std::vector<RecordMap> sample_records() {
+    return {
+        record({{"function", Variant("foo")}, {"count", Variant(3ull)},
+                {"sum#time", Variant(40LL)}}),
+        record({{"function", Variant("bar")}, {"count", Variant(1ull)},
+                {"sum#time", Variant(10LL)}}),
+        record({{"count", Variant(2ull)}, {"sum#time", Variant(20LL)}}),
+    };
+}
+
+std::string render(const char* query, const std::vector<RecordMap>& records) {
+    std::ostringstream os;
+    format_records(os, records, parse_calql(query));
+    return os.str();
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> lines;
+    std::istringstream is(text);
+    std::string line;
+    while (std::getline(is, line))
+        lines.push_back(line);
+    return lines;
+}
+
+} // namespace
+
+TEST(OutputColumns, SelectListWins) {
+    QuerySpec spec = parse_calql("SELECT count,function");
+    auto cols      = output_columns(sample_records(), spec);
+    EXPECT_EQ(cols, (std::vector<std::string>{"count", "function"}));
+}
+
+TEST(OutputColumns, KeyThenResultsThenExtras) {
+    QuerySpec spec = parse_calql("AGGREGATE count,sum(time) GROUP BY function");
+    auto records   = sample_records();
+    records[0].append("extra", Variant(1));
+    auto cols = output_columns(records, spec);
+    EXPECT_EQ(cols, (std::vector<std::string>{"function", "count", "sum#time",
+                                              "extra"}));
+}
+
+TEST(OutputColumns, DropsAllEmptyColumns) {
+    QuerySpec spec = parse_calql("AGGREGATE count,sum(missing) GROUP BY function");
+    auto cols      = output_columns(sample_records(), spec);
+    EXPECT_EQ(std::count(cols.begin(), cols.end(), "sum#missing"), 0);
+}
+
+TEST(TableFormat, AlignsAndOrders) {
+    const std::string out =
+        render("AGGREGATE count,sum(time) GROUP BY function", sample_records());
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 4u);
+    // header names all present
+    EXPECT_NE(lines[0].find("function"), std::string::npos);
+    EXPECT_NE(lines[0].find("count"), std::string::npos);
+    EXPECT_NE(lines[0].find("sum#time"), std::string::npos);
+    // numeric columns right-aligned: the '3' of count lines up under header end
+    const std::size_t count_end = lines[0].find("count") + 5;
+    EXPECT_EQ(lines[1][count_end - 1], '3');
+    // record with no function value renders an empty cell
+    EXPECT_EQ(lines[3].find("foo"), std::string::npos);
+}
+
+TEST(TableFormat, AliasChangesHeader) {
+    const std::string out = render(
+        "SELECT function AS Name, count AS Hits GROUP BY function", sample_records());
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("Hits"), std::string::npos);
+    EXPECT_EQ(out.find("function"), std::string::npos);
+}
+
+TEST(CsvFormat, EscapesAndQuotes) {
+    auto records = std::vector<RecordMap>{
+        record({{"name", Variant("has,comma")}, {"v", Variant(1)}}),
+        record({{"name", Variant("has\"quote")}, {"v", Variant(2)}}),
+    };
+    const std::string out = render("SELECT name,v FORMAT csv", records);
+    const auto lines      = lines_of(out);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "name,v");
+    EXPECT_EQ(lines[1], "\"has,comma\",1");
+    EXPECT_EQ(lines[2], "\"has\"\"quote\",2");
+}
+
+TEST(JsonFormat, TypedValuesAndEscapes) {
+    auto records = std::vector<RecordMap>{
+        record({{"s", Variant("a\"b")}, {"i", Variant(42)}, {"d", Variant(1.5)}})};
+    const std::string out = render("FORMAT json", records);
+    EXPECT_NE(out.find("\"s\": \"a\\\"b\""), std::string::npos);
+    EXPECT_NE(out.find("\"i\": 42"), std::string::npos);
+    EXPECT_NE(out.find("\"d\": 1.5"), std::string::npos);
+    EXPECT_EQ(out.front(), '[');
+}
+
+TEST(JsonFormat, OmitsAbsentAttributes) {
+    const std::string out = render("FORMAT json", sample_records());
+    // the third record has no "function" key at all
+    const auto lines = lines_of(out);
+    EXPECT_EQ(lines[3].find("function"), std::string::npos);
+}
+
+TEST(ExpandFormat, KeyValueLines) {
+    const std::string out =
+        render("SELECT function,count FORMAT expand", sample_records());
+    const auto lines = lines_of(out);
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "function=foo,count=3");
+    EXPECT_EQ(lines[2], "count=2") << "absent attributes omitted";
+}
+
+TEST(TreeFormat, IndentsByPathDepth) {
+    auto records = std::vector<RecordMap>{
+        record({{"path", Variant("main")}, {"t", Variant(100)}}),
+        record({{"path", Variant("main/foo")}, {"t", Variant(60)}}),
+        record({{"path", Variant("main/foo/bar")}, {"t", Variant(20)}}),
+        record({{"path", Variant("main/baz")}, {"t", Variant(15)}}),
+    };
+    const std::string out = render("SELECT path,t FORMAT tree", records);
+    const auto lines      = lines_of(out);
+    ASSERT_EQ(lines.size(), 5u);
+    EXPECT_EQ(lines[1].find("main"), 0u);
+    EXPECT_EQ(lines[2].find("  baz"), 0u) << "children indented and sorted";
+    EXPECT_EQ(lines[3].find("  foo"), 0u);
+    EXPECT_EQ(lines[4].find("    bar"), 0u);
+}
+
+TEST(FormatDispatch, TableIsDefault) {
+    std::ostringstream os;
+    QuerySpec spec;
+    format_records(os, sample_records(), spec);
+    EXPECT_FALSE(os.str().empty());
+}
+
+TEST(FormatDispatch, EmptyRecordSetProducesHeaderOnlyOrNothing) {
+    std::ostringstream os;
+    format_records(os, {}, parse_calql("AGGREGATE count GROUP BY k"));
+    EXPECT_TRUE(os.str().empty()) << "no columns appear in any record";
+    std::ostringstream os2;
+    format_records(os2, {}, parse_calql("SELECT a,b FORMAT csv"));
+    EXPECT_EQ(os2.str(), "a,b\n") << "explicit SELECT keeps the header";
+}

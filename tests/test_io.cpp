@@ -1,0 +1,178 @@
+// calib stream format: writer/reader round trips, escaping, globals,
+// snapshot writing, malformed-input errors, and multi-file datasets.
+#include "io/calireader.hpp"
+#include "io/caliwriter.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace calib;
+using calib::test::record;
+
+namespace {
+
+std::vector<RecordMap> round_trip(const std::vector<RecordMap>& records,
+                                  RecordMap* globals = nullptr) {
+    std::ostringstream os;
+    CaliWriter writer(os);
+    for (const RecordMap& r : records)
+        writer.write_record(r);
+    std::istringstream is(os.str());
+    return CaliReader::read_all(is, globals);
+}
+
+} // namespace
+
+TEST(CaliStream, BasicRoundTrip) {
+    auto in = std::vector<RecordMap>{
+        record({{"function", Variant("main")}, {"count", Variant(3ull)}}),
+        record({{"function", Variant("foo")}, {"time", Variant(2.5)}}),
+    };
+    auto out = round_trip(in);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].get("function"), Variant("main"));
+    EXPECT_EQ(out[0].get("count").to_uint(), 3u);
+    EXPECT_DOUBLE_EQ(out[1].get("time").as_double(), 2.5);
+}
+
+TEST(CaliStream, PreservesValueTypes) {
+    auto out = round_trip({record({{"i", Variant(-42)},
+                                   {"u", Variant(99ull)},
+                                   {"d", Variant(3.25)},
+                                   {"s", Variant("text")},
+                                   {"b", Variant(true)}})});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("i").type(), Variant::Type::Int);
+    EXPECT_EQ(out[0].get("u").type(), Variant::Type::UInt);
+    EXPECT_EQ(out[0].get("d").type(), Variant::Type::Double);
+    EXPECT_EQ(out[0].get("s").type(), Variant::Type::String);
+    EXPECT_EQ(out[0].get("b").type(), Variant::Type::Bool);
+    EXPECT_EQ(out[0].get("i").as_int(), -42);
+}
+
+TEST(CaliStream, EscapesSpecialCharacters) {
+    auto out = round_trip({record({{"messy", Variant("a,b=c\\d\ne")},
+                                   {"attr,with=specials", Variant("v")}})});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("messy").as_string(), "a,b=c\\d\ne");
+    EXPECT_EQ(out[0].get("attr,with=specials"), Variant("v"));
+}
+
+TEST(CaliStream, TypeDriftFallsBackGracefully) {
+    // same attribute first int, later double: reader recovers the double
+    auto out = round_trip({record({{"v", Variant(1)}}),
+                           record({{"v", Variant(2.5)}})});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].get("v").to_int(), 1);
+    EXPECT_DOUBLE_EQ(out[1].get("v").to_double(), 2.5);
+}
+
+TEST(CaliStream, GlobalsAreSeparate) {
+    std::ostringstream os;
+    CaliWriter writer(os);
+    writer.write_global("mpi.rank", Variant(7));
+    writer.write_record(record({{"a", Variant(1)}}));
+    EXPECT_EQ(writer.num_records(), 1u);
+
+    RecordMap globals;
+    std::istringstream is(os.str());
+    auto records = CaliReader::read_all(is, &globals);
+    EXPECT_EQ(records.size(), 1u);
+    EXPECT_EQ(globals.get("mpi.rank").to_int(), 7);
+}
+
+TEST(CaliStream, WriteSnapshotResolvesNames) {
+    AttributeRegistry registry;
+    const Attribute fn = registry.create("function", Variant::Type::String);
+    const Attribute t  = registry.create("time", Variant::Type::Double);
+
+    SnapshotRecord snap;
+    snap.append(fn.id(), Variant("kernel_a"));
+    snap.append(t.id(), Variant(1.5));
+
+    std::ostringstream os;
+    CaliWriter writer(os);
+    writer.write_snapshot(registry, snap);
+
+    std::istringstream is(os.str());
+    auto out = CaliReader::read_all(is);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("function"), Variant("kernel_a"));
+    EXPECT_DOUBLE_EQ(out[0].get("time").as_double(), 1.5);
+}
+
+TEST(CaliStream, EmptyStreamGivesNoRecords) {
+    std::istringstream is("#calib-stream v1\n");
+    EXPECT_TRUE(CaliReader::read_all(is).empty());
+}
+
+TEST(CaliStream, SkipsCommentsAndBlankLines) {
+    std::istringstream is("#calib-stream v1\n\n# comment\nA,0,a,int,0\nR,0=5\n");
+    auto out = CaliReader::read_all(is);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("a").to_int(), 5);
+}
+
+TEST(CaliStream, ErrorOnUndefinedAttribute) {
+    std::istringstream is("R,7=5\n");
+    EXPECT_THROW(CaliReader::read_all(is), std::runtime_error);
+}
+
+TEST(CaliStream, ErrorOnMalformedLines) {
+    for (const char* text : {"X,0=1\n", "R;0=1\n", "A,0\n", "R,0:5\nA,0,a,int,0\n"}) {
+        std::istringstream is(text);
+        EXPECT_THROW(CaliReader::read_all(is), std::runtime_error) << text;
+    }
+}
+
+TEST(CaliStream, ByteCountTracksOutput) {
+    std::ostringstream os;
+    CaliWriter writer(os);
+    writer.write_record(record({{"a", Variant(1)}}));
+    EXPECT_EQ(writer.num_bytes(), os.str().size());
+}
+
+TEST(CaliFile, ReadWriteThroughFilesystem) {
+    calib::test::TempDir dir("io");
+    const std::string path = dir.file("test.cali");
+    {
+        std::ofstream os(path);
+        CaliWriter writer(os);
+        for (int i = 0; i < 100; ++i)
+            writer.write_record(record({{"i", Variant(i)}, {"sq", Variant(i * i)}}));
+    }
+    auto records = CaliReader::read_file(path);
+    ASSERT_EQ(records.size(), 100u);
+    EXPECT_EQ(records[99].get("sq").to_int(), 99 * 99);
+
+    // streaming variant sees the same records
+    std::size_t streamed = 0;
+    CaliReader::read_file(path, [&streamed](RecordMap&&) { ++streamed; });
+    EXPECT_EQ(streamed, 100u);
+}
+
+TEST(CaliFile, MissingFileThrows) {
+    EXPECT_THROW(CaliReader::read_file("/nonexistent/path.cali"), std::runtime_error);
+}
+
+TEST(Dataset, LoadsMultipleFilesWithGlobals) {
+    calib::test::TempDir dir("dataset");
+    std::vector<std::string> paths;
+    for (int rank = 0; rank < 3; ++rank) {
+        const std::string path = dir.file("rank-" + std::to_string(rank) + ".cali");
+        std::ofstream os(path);
+        CaliWriter writer(os);
+        writer.write_global("mpi.rank", Variant(rank));
+        writer.write_record(record({{"rank", Variant(rank)}}));
+        writer.write_record(record({{"rank", Variant(rank)}}));
+        paths.push_back(path);
+    }
+    Dataset ds = Dataset::load(paths);
+    EXPECT_EQ(ds.records.size(), 6u);
+    ASSERT_EQ(ds.globals.size(), 3u);
+    EXPECT_EQ(ds.globals[1].get("mpi.rank").to_int(), 1);
+    EXPECT_EQ(ds.globals[2].get("cali.file"), Variant(paths[2]));
+}

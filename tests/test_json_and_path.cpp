@@ -1,0 +1,178 @@
+// Tests for the JSON record reader and the call-path export service.
+#include "calib.hpp"
+#include "io/jsonreader.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace calib;
+using calib::test::find_record;
+
+// --- JSON reader --------------------------------------------------------------
+
+TEST(JsonReader, ParsesFlatObjects) {
+    auto records = read_json_records(
+        R"([{"kernel": "advec", "count": 3, "t": 1.5, "on": true}])");
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].get("kernel"), Variant("advec"));
+    EXPECT_EQ(records[0].get("count"), Variant(3LL));
+    EXPECT_DOUBLE_EQ(records[0].get("t").as_double(), 1.5);
+    EXPECT_TRUE(records[0].get("on").as_bool());
+}
+
+TEST(JsonReader, EmptyArrayAndObjects) {
+    EXPECT_TRUE(read_json_records("[]").empty());
+    EXPECT_TRUE(read_json_records(" [ ] ").empty());
+    auto records = read_json_records("[{}, {}]");
+    EXPECT_EQ(records.size(), 2u);
+}
+
+TEST(JsonReader, NullValuesAreDropped) {
+    auto records = read_json_records(R"([{"a": null, "b": 1}])");
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_FALSE(records[0].contains("a"));
+    EXPECT_TRUE(records[0].contains("b"));
+}
+
+TEST(JsonReader, StringEscapes) {
+    auto records = read_json_records(R"([{"s": "a\"b\\c\ndA"}])");
+    EXPECT_EQ(records[0].get("s").as_string(), "a\"b\\c\ndA");
+}
+
+TEST(JsonReader, NegativeAndExponentNumbers) {
+    auto records = read_json_records(R"([{"i": -42, "d": 2.5e3}])");
+    EXPECT_EQ(records[0].get("i").as_int(), -42);
+    EXPECT_DOUBLE_EQ(records[0].get("d").as_double(), 2500.0);
+}
+
+TEST(JsonReader, MalformedInputsThrow) {
+    for (const char* bad :
+         {"", "{", "[{\"a\" 1}]", "[{\"a\": }]", "[{\"a\": 1},]x",
+          "[{\"a\": \"unterminated}]", "[1, 2]extra"}) {
+        EXPECT_THROW(read_json_records(bad), std::runtime_error) << bad;
+    }
+}
+
+TEST(JsonReader, RoundTripsWithJsonFormatter) {
+    std::vector<RecordMap> in;
+    RecordMap r1;
+    r1.append("kernel", Variant("k,with\"specials"));
+    r1.append("count", Variant(7LL));
+    in.push_back(r1);
+    RecordMap r2;
+    r2.append("t", Variant(0.125));
+    in.push_back(r2);
+
+    std::ostringstream os;
+    QuerySpec spec;
+    spec.format = "json";
+    format_records(os, in, spec);
+
+    auto out = read_json_records(os.str());
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].get("kernel"), Variant("k,with\"specials"));
+    EXPECT_EQ(out[0].get("count").to_int(), 7);
+    EXPECT_DOUBLE_EQ(out[1].get("t").as_double(), 0.125);
+}
+
+// --- path service ----------------------------------------------------------------
+
+namespace {
+
+std::vector<RecordMap> flush_records(Channel* channel) {
+    std::vector<RecordMap> out;
+    Caliper::instance().flush_thread(
+        channel, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    return out;
+}
+
+} // namespace
+
+TEST(PathService, ExportsNestingStackAsPath) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "path-test", RuntimeConfig{{"services.enable", "path,event,aggregate"},
+                                   {"path.attributes", "pt.fn"},
+                                   {"aggregate.key", "pt.fn.path"},
+                                   {"aggregate.ops", "count"}});
+    Annotation fn("pt.fn");
+    fn.begin(Variant("main"));
+    fn.begin(Variant("solve"));
+    fn.begin(Variant("kernel"));
+    fn.end();
+    fn.end();
+    fn.end();
+
+    auto out = flush_records(channel);
+    c.close_channel(channel);
+
+    EXPECT_FALSE(
+        find_record(out, "pt.fn.path", Variant("main/solve/kernel")).empty());
+    EXPECT_FALSE(find_record(out, "pt.fn.path", Variant("main/solve")).empty());
+    EXPECT_FALSE(find_record(out, "pt.fn.path", Variant("main")).empty());
+}
+
+TEST(PathService, CallPathProfileCounts) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "path-prof", RuntimeConfig{{"services.enable", "path,event,aggregate"},
+                                   {"path.attributes", "pp.fn"},
+                                   {"aggregate.key", "pp.fn.path"},
+                                   {"aggregate.ops", "count"}});
+    Annotation fn("pp.fn");
+    fn.begin(Variant("main"));
+    for (int i = 0; i < 3; ++i) {
+        fn.begin(Variant("leaf"));
+        fn.end();
+    }
+    fn.end();
+
+    auto out = flush_records(channel);
+    c.close_channel(channel);
+
+    // each leaf call: begin event sees "main", end event sees "main/leaf"
+    const RecordMap leaf = find_record(out, "pp.fn.path", Variant("main/leaf"));
+    EXPECT_EQ(leaf.get("count").to_uint(), 3u);
+}
+
+TEST(PathService, MultipleSourceAttributes) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "path-multi", RuntimeConfig{{"services.enable", "path,event,trace"},
+                                    {"path.attributes", "pm.a,pm.b"}});
+    Annotation a("pm.a"), b("pm.b");
+    a.begin(Variant("x"));
+    b.begin(Variant(1));
+    b.begin(Variant(2));
+    b.end();
+    b.end();
+    a.end();
+
+    auto out = flush_records(channel);
+    c.close_channel(channel);
+
+    bool found = false;
+    for (const RecordMap& r : out)
+        if (r.get("pm.a.path") == Variant("x") && r.get("pm.b.path") == Variant("1/2"))
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(PathService, TreeFormatRendersCallPaths) {
+    // end-to-end: call-path profile rendered with FORMAT tree
+    std::vector<RecordMap> profile;
+    for (const char* path : {"main", "main/a", "main/a/b", "main/c"}) {
+        RecordMap r;
+        r.append("fn.path", Variant(path));
+        r.append("count", Variant(1ull));
+        profile.push_back(r);
+    }
+    std::ostringstream os;
+    run_query("SELECT fn.path,count FORMAT tree", profile, os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("\nmain"), std::string::npos);
+    EXPECT_NE(text.find("\n  a"), std::string::npos);
+    EXPECT_NE(text.find("\n    b"), std::string::npos);
+}

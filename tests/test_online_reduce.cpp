@@ -1,0 +1,114 @@
+// Online cross-process aggregation: merging per-rank aggregation
+// databases up a binomial tree in memory must equal the offline
+// two-stage path (flush per rank, re-aggregate), for any rank count and
+// root (paper §VI-F: multiple ways to obtain the same end result).
+#include "mpisim/online_reduce.hpp"
+
+#include "calib.hpp"
+#include "mpisim/wrapper.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+
+using namespace calib;
+using calib::test::find_record;
+
+namespace {
+
+/// Deterministic per-rank annotation workload.
+void workload(int rank) {
+    Annotation fn("or.fn");
+    Annotation metric("or.metric", prop::as_value | prop::aggregatable);
+    for (int i = 0; i < 10 + rank; ++i) {
+        metric.set(Variant((rank + 1) * 10));
+        fn.begin(Variant("region-" + std::to_string(i % 3)));
+        fn.end();
+    }
+}
+
+struct ReduceResult {
+    std::vector<RecordMap> online;  ///< merged at the root, in memory
+    std::vector<RecordMap> offline; ///< per-rank flushes, re-aggregated
+};
+
+ReduceResult run_and_reduce(int nprocs, int root) {
+    Caliper& c       = Caliper::instance();
+    static int serial = 0;
+    Channel* channel = c.create_channel(
+        "online-reduce-" + std::to_string(serial++),
+        RuntimeConfig{{"services.enable", "event,aggregate"},
+                      {"aggregate.key", "or.fn"},
+                      {"aggregate.ops", "count,sum(or.metric)"}});
+
+    ReduceResult result;
+    std::mutex m;
+    std::vector<RecordMap> per_rank_flushes;
+
+    simmpi::run(nprocs, [&](simmpi::Comm& comm) {
+        workload(comm.rank());
+        // offline path: flush this rank's profile
+        std::vector<RecordMap> mine;
+        c.flush_thread(channel,
+                       [&mine](RecordMap&& r) { mine.push_back(std::move(r)); });
+        // online path: in-memory tree reduction
+        auto merged = simmpi::reduce_channel(comm, channel, root);
+
+        std::lock_guard<std::mutex> lock(m);
+        for (RecordMap& r : mine)
+            per_rank_flushes.push_back(std::move(r));
+        if (comm.rank() == root)
+            result.online = std::move(merged);
+        else
+            EXPECT_TRUE(merged.empty()) << "non-root ranks return nothing";
+    });
+    c.close_channel(channel);
+
+    // offline second stage over the per-rank profiles
+    result.offline = run_query(
+        "AGGREGATE sum(count) AS count, sum(sum#or.metric) AS \"sum#or.metric\" "
+        "GROUP BY or.fn",
+        per_rank_flushes);
+    return result;
+}
+
+} // namespace
+
+class OnlineReduce : public ::testing::TestWithParam<int> {};
+
+TEST_P(OnlineReduce, EqualsOfflineTwoStage) {
+    const int nprocs     = GetParam();
+    const ReduceResult r = run_and_reduce(nprocs, 0);
+
+    ASSERT_EQ(r.online.size(), r.offline.size());
+    for (const RecordMap& off : r.offline) {
+        const RecordMap on = find_record(r.online, "or.fn", off.get("or.fn"));
+        EXPECT_EQ(on.get("count").to_uint(), off.get("count").to_uint())
+            << "key " << off.get("or.fn").to_string();
+        EXPECT_DOUBLE_EQ(on.get("sum#or.metric").to_double(),
+                         off.get("sum#or.metric").to_double());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, OnlineReduce,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13));
+
+TEST(OnlineReduceRoot, NonZeroRootReceivesResult) {
+    const ReduceResult r = run_and_reduce(4, 2);
+    ASSERT_FALSE(r.online.empty());
+    ASSERT_EQ(r.online.size(), r.offline.size());
+}
+
+TEST(OnlineReduceTotals, CountsMatchEventTotals) {
+    const int nprocs     = 3;
+    const ReduceResult r = run_and_reduce(nprocs, 0);
+    // total events: per rank, (10 + rank) iterations x (1 set + 2 events)
+    std::uint64_t expected = 0;
+    for (int rank = 0; rank < nprocs; ++rank)
+        expected += static_cast<std::uint64_t>(10 + rank) * 3;
+    double total = 0;
+    for (const RecordMap& rec : r.online)
+        total += rec.get("count").to_double();
+    EXPECT_EQ(total, static_cast<double>(expected));
+}

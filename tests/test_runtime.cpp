@@ -1,0 +1,318 @@
+// Caliper runtime tests: blackboard semantics, snapshot contents, and the
+// event/timer/aggregate/trace/recorder service stack on a single thread.
+//
+// All tests share the process-global Caliper instance; each test creates
+// its own uniquely-named channel and closes it before returning.
+#include "calib.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace calib;
+using calib::test::find_record;
+
+namespace {
+
+/// RAII channel: closes on destruction.
+struct TestChannel {
+    TestChannel(const std::string& name, const RuntimeConfig& cfg)
+        : channel(Caliper::instance().create_channel(name, cfg)) {}
+    ~TestChannel() { Caliper::instance().close_channel(channel); }
+    Channel* operator->() const { return channel; }
+    Channel* get() const { return channel; }
+    Channel* channel;
+};
+
+std::vector<RecordMap> flush_records(Channel* channel) {
+    std::vector<RecordMap> out;
+    Caliper::instance().flush_thread(
+        channel, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    return out;
+}
+
+} // namespace
+
+TEST(Blackboard, BeginEndNesting) {
+    Caliper& c        = Caliper::instance();
+    const Attribute a = c.create_attribute("bb.region", Variant::Type::String);
+
+    EXPECT_TRUE(c.current(a).empty());
+    c.begin(a, Variant("outer"));
+    EXPECT_EQ(c.current(a), Variant("outer"));
+    c.begin(a, Variant("inner"));
+    EXPECT_EQ(c.current(a), Variant("inner"));
+    EXPECT_EQ(c.depth(a), 2u);
+    c.end(a);
+    EXPECT_EQ(c.current(a), Variant("outer"));
+    c.end(a);
+    EXPECT_TRUE(c.current(a).empty());
+    EXPECT_EQ(c.depth(a), 0u);
+}
+
+TEST(Blackboard, EndWithoutBeginIsSafe) {
+    Caliper& c        = Caliper::instance();
+    const Attribute a = c.create_attribute("bb.unbalanced", Variant::Type::String);
+    c.end(a); // must not crash or corrupt
+    EXPECT_EQ(c.depth(a), 0u);
+}
+
+TEST(Blackboard, SetOverwritesTop) {
+    Caliper& c        = Caliper::instance();
+    const Attribute a = c.create_attribute("bb.value", Variant::Type::Int,
+                                           prop::as_value);
+    c.set(a, Variant(1));
+    c.set(a, Variant(2));
+    EXPECT_EQ(c.current(a), Variant(2));
+    EXPECT_EQ(c.depth(a), 1u);
+}
+
+TEST(Blackboard, PullSnapshotCapturesInnermostValues) {
+    Caliper& c        = Caliper::instance();
+    const Attribute r = c.create_attribute("bb.snap.region", Variant::Type::String);
+    const Attribute i = c.create_attribute("bb.snap.iter", Variant::Type::Int,
+                                           prop::as_value);
+    c.begin(r, Variant("a"));
+    c.begin(r, Variant("b"));
+    c.set(i, Variant(17));
+
+    SnapshotRecord snap;
+    c.pull_snapshot(snap);
+    EXPECT_EQ(snap.get(r.id()), Variant("b"));
+    EXPECT_EQ(snap.get(i.id()), Variant(17));
+
+    c.end(r);
+    c.end(r);
+}
+
+TEST(Runtime, EventAggregationCountsAnnotationEvents) {
+    TestChannel ch("evt-agg", RuntimeConfig{
+                                  {"services.enable", "event,aggregate"},
+                                  {"aggregate.key", "test.fn"},
+                                  {"aggregate.ops", "count"},
+                              });
+    Annotation fn("test.fn");
+    for (int i = 0; i < 3; ++i) {
+        fn.begin(Variant("work"));
+        fn.end();
+    }
+
+    auto out = flush_records(ch.get());
+    // begin-snapshots (before push: no value) and end-snapshots (value set)
+    RecordMap in_work = find_record(out, "test.fn", Variant("work"));
+    EXPECT_EQ(in_work.get("count"), Variant(3ull)) << "one end event per region";
+    double total = 0;
+    for (const RecordMap& r : out)
+        total += r.get("count").to_double();
+    EXPECT_EQ(total, 6.0) << "3 begin + 3 end events";
+}
+
+TEST(Runtime, TimerProducesPlausibleDurations) {
+    TestChannel ch("evt-timer", RuntimeConfig{
+                                    {"services.enable", "event,timer,aggregate"},
+                                    {"aggregate.key", "test.timed"},
+                                    {"aggregate.ops", "count,sum(time.duration),"
+                                                      "sum(time.inclusive.duration)"},
+                                });
+    Annotation fn("test.timed");
+    fn.begin(Variant("spin"));
+    // burn a little time so durations are strictly positive
+    volatile double x = 0;
+    for (int i = 0; i < 100000; ++i)
+        x = x + i * 0.5;
+    fn.end();
+
+    auto out = flush_records(ch.get());
+    RecordMap in_spin = find_record(out, "test.timed", Variant("spin"));
+    ASSERT_FALSE(in_spin.empty());
+    EXPECT_GT(in_spin.get("sum#time.duration").to_double(), 0.0);
+    EXPECT_GE(in_spin.get("sum#time.inclusive.duration").to_double(),
+              in_spin.get("sum#time.duration").to_double() * 0.99)
+        << "inclusive time covers the exclusive segment";
+}
+
+TEST(Runtime, TraceStoresEverySnapshot) {
+    TestChannel ch("evt-trace", RuntimeConfig{
+                                    {"services.enable", "event,trace"},
+                                });
+    Annotation fn("test.traced");
+    for (int i = 0; i < 5; ++i) {
+        fn.begin(Variant(i));
+        fn.end();
+    }
+    auto out = flush_records(ch.get());
+    EXPECT_EQ(out.size(), 10u) << "one trace record per begin/end event";
+    // end-event records carry the region value
+    int with_value = 0;
+    for (const RecordMap& r : out)
+        if (r.contains("test.traced"))
+            ++with_value;
+    EXPECT_EQ(with_value, 5);
+}
+
+TEST(Runtime, SetEventsTriggerSnapshots) {
+    TestChannel ch("evt-set", RuntimeConfig{
+                                  {"services.enable", "event,trace"},
+                              });
+    Annotation iter("test.seti", prop::as_value);
+    iter.set(Variant(1));
+    iter.set(Variant(2));
+    EXPECT_EQ(flush_records(ch.get()).size(), 2u);
+}
+
+TEST(Runtime, SetEventsCanBeDisabled) {
+    TestChannel ch("evt-noset", RuntimeConfig{
+                                    {"services.enable", "event,trace"},
+                                    {"event.enable_set", "false"},
+                                });
+    Annotation iter("test.noseti", prop::as_value);
+    iter.set(Variant(1));
+    iter.set(Variant(2));
+    EXPECT_TRUE(flush_records(ch.get()).empty());
+}
+
+TEST(Runtime, AggregateQueryConfigWithWhere) {
+    TestChannel ch("evt-query",
+                   RuntimeConfig{
+                       {"services.enable", "event,aggregate"},
+                       {"aggregate.query",
+                        "AGGREGATE count WHERE not(test.excluded) GROUP BY test.kept"},
+                   });
+    Annotation kept("test.kept"), excluded("test.excluded");
+
+    kept.begin(Variant("visible"));
+    kept.end();
+    excluded.begin(Variant("hidden"));
+    kept.begin(Variant("visible")); // while excluded is on the blackboard
+    kept.end();
+    excluded.end();
+
+    auto out = flush_records(ch.get());
+    double total = 0;
+    for (const RecordMap& r : out) {
+        EXPECT_FALSE(r.contains("test.excluded"));
+        total += r.get("count").to_double();
+    }
+    // counted: first begin, first end, and excluded.begin (whose snapshot
+    // fires *before* the excluded region lands on the blackboard)
+    EXPECT_EQ(total, 3.0) << "events inside the excluded region filtered out";
+}
+
+TEST(Runtime, ClosedChannelStopsProcessing) {
+    auto* channel =
+        Caliper::instance().create_channel("evt-closed", RuntimeConfig{
+                                                             {"services.enable",
+                                                              "event,trace"},
+                                                         });
+    Annotation fn("test.closed");
+    fn.begin(Variant(1));
+    fn.end();
+    auto before = flush_records(channel);
+    EXPECT_EQ(before.size(), 2u);
+
+    Caliper::instance().close_channel(channel);
+    fn.begin(Variant(2));
+    fn.end();
+    EXPECT_EQ(flush_records(channel).size(), 2u) << "no new snapshots after close";
+}
+
+TEST(Runtime, TwoChannelsIndependentSchemes) {
+    TestChannel by_fn("multi-a", RuntimeConfig{
+                                     {"services.enable", "event,aggregate"},
+                                     {"aggregate.key", "test.multi.fn"},
+                                     {"aggregate.ops", "count"},
+                                 });
+    TestChannel by_iter("multi-b", RuntimeConfig{
+                                       {"services.enable", "event,aggregate"},
+                                       {"aggregate.key", "test.multi.iter"},
+                                       {"aggregate.ops", "count"},
+                                   });
+    Annotation fn("test.multi.fn");
+    Annotation iter("test.multi.iter", prop::as_value);
+    for (int i = 0; i < 2; ++i) {
+        iter.set(Variant(i));
+        fn.begin(Variant("f"));
+        fn.end();
+    }
+    auto a = flush_records(by_fn.get());
+    auto b = flush_records(by_iter.get());
+    EXPECT_FALSE(find_record(a, "test.multi.fn", Variant("f")).empty());
+    EXPECT_FALSE(find_record(b, "test.multi.iter", Variant(1)).empty());
+}
+
+TEST(Runtime, PushSnapshotWithTriggerEntries) {
+    TestChannel ch("trigger", RuntimeConfig{
+                                  {"services.enable", "trace"},
+                              });
+    Caliper& c = Caliper::instance();
+    const Attribute t =
+        c.create_attribute("test.trigger", Variant::Type::Int, prop::as_value);
+    SnapshotRecord trigger;
+    trigger.append(t.id(), Variant(99));
+    c.push_snapshot(ch.get(), &trigger);
+
+    auto out = flush_records(ch.get());
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("test.trigger"), Variant(99));
+}
+
+TEST(Runtime, RecorderWritesPerThreadFile) {
+    calib::test::TempDir dir("recorder");
+    TestChannel ch("rec", RuntimeConfig{
+                              {"services.enable", "event,aggregate,recorder"},
+                              {"aggregate.key", "test.rec"},
+                              {"aggregate.ops", "count"},
+                              {"recorder.filename", "out-%r.cali"},
+                              {"recorder.directory", dir.str()},
+                          });
+    Caliper& c = Caliper::instance();
+    c.set_thread_label("main");
+
+    Annotation fn("test.rec");
+    fn.begin(Variant("r"));
+    fn.end();
+    c.flush_thread(ch.get()); // recorder sink path
+
+    auto records = CaliReader::read_file(dir.file("out-main.cali"));
+    EXPECT_FALSE(records.empty());
+    EXPECT_FALSE(find_record(records, "test.rec", Variant("r")).empty());
+}
+
+TEST(Runtime, ServiceListAndUnknownServiceTolerated) {
+    TestChannel ch("svc", RuntimeConfig{
+                              {"services.enable", "event,bogus-service,trace"},
+                          });
+    EXPECT_EQ(ch->services(), (std::vector<std::string>{"event", "trace"}));
+    EXPECT_FALSE(ServiceRegistry::instance().available().empty());
+}
+
+TEST(Runtime, FindChannelByName) {
+    TestChannel ch("findable", RuntimeConfig{});
+    EXPECT_EQ(Caliper::instance().find_channel("findable"), ch.get());
+    EXPECT_EQ(Caliper::instance().find_channel("no-such-channel"), nullptr);
+}
+
+TEST(Runtime, EventTriggerWhitelist) {
+    TestChannel ch("evt-trigger", RuntimeConfig{
+                                      {"services.enable", "event,trace"},
+                                      {"event.trigger", "trig.wanted"},
+                                  });
+    Annotation wanted("trig.wanted"), ignored("trig.ignored");
+    wanted.begin(Variant(1));
+    ignored.begin(Variant(2)); // not in the trigger list: no snapshot
+    ignored.end();
+    wanted.end();
+    EXPECT_EQ(flush_records(ch.get()).size(), 2u)
+        << "only trig.wanted events trigger snapshots";
+}
+
+TEST(Runtime, EventTriggerResolvesLateAttributes) {
+    // the trigger attribute is created *after* the channel
+    TestChannel ch("evt-trigger-late", RuntimeConfig{
+                                           {"services.enable", "event,trace"},
+                                           {"event.trigger", "trig.late"},
+                                       });
+    Annotation late("trig.late");
+    late.begin(Variant("x"));
+    late.end();
+    EXPECT_EQ(flush_records(ch.get()).size(), 2u);
+}

@@ -1,0 +1,165 @@
+// Multi-thread runtime tests: per-thread blackboards and aggregation
+// databases (paper §IV-B), per-thread flushes, and an annotation storm.
+#include "calib.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace calib;
+using calib::test::find_record;
+
+namespace {
+
+std::vector<RecordMap> flush_calling_thread(Channel* channel) {
+    std::vector<RecordMap> out;
+    Caliper::instance().flush_thread(
+        channel, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    return out;
+}
+
+} // namespace
+
+TEST(RuntimeThreads, BlackboardsAreThreadLocal) {
+    Caliper& c        = Caliper::instance();
+    const Attribute a = c.create_attribute("mt.region", Variant::Type::String);
+
+    c.begin(a, Variant("main-value"));
+    Variant seen_in_thread;
+    std::thread t([&] { seen_in_thread = Caliper::instance().current(a); });
+    t.join();
+    c.end(a);
+
+    EXPECT_TRUE(seen_in_thread.empty())
+        << "another thread must not see this thread's blackboard";
+}
+
+TEST(RuntimeThreads, PerThreadAggregationDatabases) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "mt-agg", RuntimeConfig{{"services.enable", "event,aggregate"},
+                                {"aggregate.key", "mt.fn,mt.tid"},
+                                {"aggregate.ops", "count"}});
+
+    constexpr int n_threads = 4;
+    constexpr int n_events  = 100;
+    std::mutex mutex;
+    std::vector<std::vector<RecordMap>> per_thread(n_threads);
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t)
+        threads.emplace_back([t, channel, &mutex, &per_thread] {
+            Annotation fn("mt.fn");
+            Annotation tid("mt.tid", prop::as_value);
+            tid.set(Variant(t));
+            for (int i = 0; i < n_events; ++i) {
+                fn.begin(Variant("work"));
+                fn.end();
+            }
+            auto records = flush_calling_thread(channel);
+            std::lock_guard<std::mutex> lock(mutex);
+            per_thread[t] = std::move(records);
+        });
+    for (auto& t : threads)
+        t.join();
+
+    // each thread flushed only its own events: count for (work, t) == n_events
+    for (int t = 0; t < n_threads; ++t) {
+        double work_count = 0;
+        for (const RecordMap& r : per_thread[t]) {
+            if (r.get("mt.fn") == Variant("work")) {
+                EXPECT_EQ(r.get("mt.tid").to_int(), t)
+                    << "thread " << t << " saw another thread's key";
+                work_count += r.get("count").to_double();
+            }
+        }
+        EXPECT_EQ(work_count, static_cast<double>(n_events));
+    }
+    c.close_channel(channel);
+}
+
+TEST(RuntimeThreads, FlushAllSeesEveryThread) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "mt-flushall", RuntimeConfig{{"services.enable", "event,aggregate"},
+                                     {"aggregate.key", "mt.fa"},
+                                     {"aggregate.ops", "count"}});
+
+    constexpr int n_threads = 3;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t)
+        threads.emplace_back([] {
+            Annotation fn("mt.fa");
+            fn.begin(Variant("x"));
+            fn.end();
+        });
+    for (auto& t : threads)
+        t.join();
+
+    std::vector<RecordMap> all;
+    c.flush_all(channel, [&all](RecordMap&& r) { all.push_back(std::move(r)); });
+    double total = 0;
+    for (const RecordMap& r : all)
+        if (r.get("mt.fa") == Variant("x"))
+            total += r.get("count").to_double();
+    EXPECT_EQ(total, static_cast<double>(n_threads));
+    c.close_channel(channel);
+}
+
+TEST(RuntimeThreads, AnnotationStormIsRaceFree) {
+    // concurrent attribute creation + annotation + aggregation on many
+    // threads; run under TSan to check for races
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "mt-storm", RuntimeConfig{{"services.enable", "event,timer,aggregate"},
+                                  {"aggregate.key", "*"}});
+
+    constexpr int n_threads = 8;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < n_threads; ++t)
+        threads.emplace_back([t] {
+            for (int i = 0; i < 200; ++i) {
+                Annotation fn("storm.fn" + std::to_string(i % 5));
+                fn.begin(Variant(t * 1000 + i));
+                Annotation inner("storm.inner");
+                inner.begin(Variant("deep"));
+                inner.end();
+                fn.end();
+            }
+        });
+    for (auto& t : threads)
+        t.join();
+
+    std::vector<RecordMap> all;
+    c.flush_all(channel, [&all](RecordMap&& r) { all.push_back(std::move(r)); });
+    double total = 0;
+    for (const RecordMap& r : all)
+        total += r.get("count").to_double();
+    EXPECT_EQ(total, n_threads * 200.0 * 4) << "4 events per iteration";
+    c.close_channel(channel);
+}
+
+TEST(RuntimeThreads, ThreadLabelsIndependent) {
+    Caliper& c = Caliper::instance();
+    c.set_thread_label("label-main");
+    std::string other_label;
+    std::thread t([&other_label] {
+        Caliper& c = Caliper::instance();
+        c.set_thread_label("label-worker");
+        other_label = c.thread_data().label;
+    });
+    t.join();
+    EXPECT_EQ(c.thread_data().label, "label-main");
+    EXPECT_EQ(other_label, "label-worker");
+}
+
+TEST(RuntimeThreads, ThreadRegistryTracksThreads) {
+    Caliper& c                = Caliper::instance();
+    const std::size_t before = c.threads().size();
+    std::thread t([] { Caliper::instance().thread_data(); });
+    t.join();
+    EXPECT_EQ(c.threads().size(), before + 1);
+}

@@ -1,0 +1,146 @@
+// Tests for the report, textlog, cycles, and memusage services.
+#include "calib.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+using namespace calib;
+using calib::test::find_record;
+
+namespace {
+
+std::vector<RecordMap> flush_records(Channel* channel) {
+    std::vector<RecordMap> out;
+    Caliper::instance().flush_thread(
+        channel, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    return out;
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream is(path);
+    std::stringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+TEST(CyclesService, CountsCpuCycles) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "cyc", RuntimeConfig{{"services.enable", "cycles,event,aggregate"},
+                             {"aggregate.key", "cyc.fn"},
+                             {"aggregate.ops", "count,sum(cycles.duration)"}});
+    Annotation fn("cyc.fn");
+    fn.begin(Variant("work"));
+    volatile double x = 0;
+    for (int i = 0; i < 200000; ++i)
+        x = x + i;
+    fn.end();
+
+    auto out = flush_records(channel);
+    c.close_channel(channel);
+    RecordMap work = find_record(out, "cyc.fn", Variant("work"));
+    ASSERT_FALSE(work.empty());
+    // 200k additions must consume a decidedly nonzero number of cycles
+    EXPECT_GT(work.get("sum#cycles.duration").to_double(), 10000.0);
+}
+
+TEST(MemusageService, ReportsHighwaterMark) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "mem", RuntimeConfig{{"services.enable", "memusage,event,aggregate"},
+                             {"aggregate.key", "mem.fn"},
+                             {"aggregate.ops", "max(mem.highwater.kb)"}});
+    Annotation fn("mem.fn");
+    fn.begin(Variant("alloc"));
+    std::vector<double> ballast(4 << 20, 1.0); // ~32 MiB
+    fn.end();
+
+    auto out = flush_records(channel);
+    c.close_channel(channel);
+    RecordMap alloc = find_record(out, "mem.fn", Variant("alloc"));
+    ASSERT_FALSE(alloc.empty());
+    EXPECT_GT(alloc.get("max#mem.highwater.kb").to_double(), 1000.0)
+        << "peak RSS is at least a megabyte";
+    EXPECT_GT(ballast[123], 0.0);
+}
+
+TEST(TextlogService, WritesEventLines) {
+    test::TempDir dir("textlog");
+    const std::string path = dir.file("events.log");
+
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "tlog", RuntimeConfig{{"services.enable", "event,textlog"},
+                              {"textlog.filename", path}});
+    c.set_thread_label("tester");
+    Annotation fn("tlog.fn");
+    fn.begin(Variant("logged-region"));
+    fn.end();
+    c.close_channel(channel);
+
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("calib[tester]"), std::string::npos);
+    EXPECT_NE(text.find("tlog.fn=logged-region"), std::string::npos);
+}
+
+TEST(ReportService, PrintsQueryResultOnClose) {
+    test::TempDir dir("report");
+    const std::string path = dir.file("report.txt");
+
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "rep", RuntimeConfig{
+                   {"services.enable", "event,timer,aggregate,report"},
+                   {"aggregate.key", "rep.fn"},
+                   // second-stage aggregation: sum the online counts
+                   {"report.query",
+                    "SELECT rep.fn,sum(count) AS hits WHERE rep.fn GROUP BY rep.fn"},
+                   {"report.filename", path},
+               });
+    Annotation fn("rep.fn");
+    for (int i = 0; i < 3; ++i) {
+        fn.begin(Variant("reported"));
+        fn.end();
+    }
+    c.close_channel(channel); // triggers the report
+
+    const std::string text = slurp(path);
+    EXPECT_NE(text.find("report: channel 'rep'"), std::string::npos);
+    EXPECT_NE(text.find("reported"), std::string::npos);
+    EXPECT_NE(text.find("3"), std::string::npos);
+}
+
+TEST(ReportService, SurvivesBadQuery) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "rep-bad", RuntimeConfig{{"services.enable", "event,aggregate,report"},
+                                 {"aggregate.key", "*"},
+                                 {"report.query", "THIS IS NOT CALQL"},
+                                 {"report.filename", "stderr"}});
+    Annotation fn("repbad.fn");
+    fn.begin(Variant(1));
+    fn.end();
+    c.close_channel(channel); // must not throw
+    SUCCEED();
+}
+
+TEST(CyclesService, MonotoneAcrossSnapshots) {
+    Caliper& c       = Caliper::instance();
+    Channel* channel = c.create_channel(
+        "cyc2", RuntimeConfig{{"services.enable", "cycles,event,trace"}});
+    Annotation fn("cyc2.fn");
+    for (int i = 0; i < 5; ++i) {
+        fn.begin(Variant(i));
+        fn.end();
+    }
+    auto out = flush_records(channel);
+    c.close_channel(channel);
+    ASSERT_EQ(out.size(), 10u);
+    for (const RecordMap& r : out)
+        EXPECT_GE(r.get("cycles.duration").to_double(), 0.0);
+}

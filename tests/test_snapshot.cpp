@@ -1,0 +1,92 @@
+#include "common/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace calib;
+
+TEST(SnapshotRecord, StartsEmpty) {
+    SnapshotRecord r;
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.dropped(), 0u);
+}
+
+TEST(SnapshotRecord, AppendAndGet) {
+    SnapshotRecord r;
+    r.append(3, Variant(42));
+    r.append(1, Variant("foo"));
+    EXPECT_EQ(r.size(), 2u);
+    EXPECT_EQ(r.get(3), Variant(42));
+    EXPECT_EQ(r.get(1), Variant("foo"));
+    EXPECT_TRUE(r.get(99).empty());
+}
+
+TEST(SnapshotRecord, ContainsChecksAttribute) {
+    SnapshotRecord r;
+    r.append(5, Variant(1));
+    EXPECT_TRUE(r.contains(5));
+    EXPECT_FALSE(r.contains(6));
+}
+
+TEST(SnapshotRecord, SetOverwritesOrAppends) {
+    SnapshotRecord r;
+    r.set(1, Variant(10));
+    r.set(1, Variant(20));
+    EXPECT_EQ(r.size(), 1u);
+    EXPECT_EQ(r.get(1), Variant(20));
+    r.set(2, Variant(30));
+    EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(SnapshotRecord, OverflowDropsAndCounts) {
+    SnapshotRecord r;
+    for (std::size_t i = 0; i < SnapshotRecord::max_entries + 10; ++i)
+        r.append(static_cast<id_t>(i), Variant(static_cast<int>(i)));
+    EXPECT_EQ(r.size(), SnapshotRecord::max_entries);
+    EXPECT_EQ(r.dropped(), 10u);
+}
+
+TEST(SnapshotRecord, IterationInInsertionOrder) {
+    SnapshotRecord r;
+    r.append(7, Variant(1));
+    r.append(2, Variant(2));
+    r.append(9, Variant(3));
+    std::vector<id_t> ids;
+    for (const Entry& e : r)
+        ids.push_back(e.attribute);
+    EXPECT_EQ(ids, (std::vector<id_t>{7, 2, 9}));
+}
+
+TEST(SnapshotRecord, SortOrdersById) {
+    SnapshotRecord r;
+    r.append(7, Variant(1));
+    r.append(2, Variant(2));
+    r.append(9, Variant(3));
+    r.sort();
+    EXPECT_EQ(r[0].attribute, 2u);
+    EXPECT_EQ(r[1].attribute, 7u);
+    EXPECT_EQ(r[2].attribute, 9u);
+}
+
+TEST(SnapshotRecord, ClearResets) {
+    SnapshotRecord r;
+    r.append(1, Variant(1));
+    r.clear();
+    EXPECT_TRUE(r.empty());
+    EXPECT_EQ(r.dropped(), 0u);
+}
+
+TEST(SnapshotRecord, DuplicateAttributesAllowed) {
+    // append (unlike set) keeps duplicates; get returns the first
+    SnapshotRecord r;
+    r.append(4, Variant(1));
+    r.append(4, Variant(2));
+    EXPECT_EQ(r.size(), 2u);
+    EXPECT_EQ(r.get(4), Variant(1));
+}
+
+TEST(Entry, Equality) {
+    EXPECT_EQ(Entry(1, Variant(2)), Entry(1, Variant(2)));
+    EXPECT_FALSE(Entry(1, Variant(2)) == Entry(1, Variant(3)));
+    EXPECT_FALSE(Entry(1, Variant(2)) == Entry(2, Variant(2)));
+}

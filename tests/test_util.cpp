@@ -1,0 +1,110 @@
+#include "common/util.hpp"
+
+#include <gtest/gtest.h>
+
+using namespace calib::util;
+
+TEST(Split, Basic) {
+    auto parts = split("a,b,c", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Split, KeepsEmptyFields) {
+    auto parts = split(",a,,b,", ',');
+    ASSERT_EQ(parts.size(), 5u);
+    EXPECT_EQ(parts[0], "");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[4], "");
+}
+
+TEST(Split, SingleField) {
+    auto parts = split("solo", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "solo");
+}
+
+TEST(SplitEscaped, HonorsEscapedSeparator) {
+    auto parts = split_escaped("a\\,b,c", ',');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0], "a\\,b") << "escape sequence preserved for unescape()";
+    EXPECT_EQ(parts[1], "c");
+}
+
+TEST(SplitEscaped, EscapedBackslash) {
+    auto parts = split_escaped("a\\\\,b", ',');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(unescape(parts[0]), "a\\");
+}
+
+TEST(EscapeUnescape, RoundTrip) {
+    const std::string cases[] = {
+        "plain", "with,comma", "with=equals", "back\\slash", "new\nline",
+        "",      "all,of=it\\together\nnow", "trailing\\"};
+    for (const std::string& s : cases) {
+        const std::string esc = escape(s, ",=");
+        EXPECT_EQ(unescape(esc), s) << "case: " << s;
+        // escaped form must not contain raw separators or newlines
+        for (std::size_t i = 0; i < esc.size(); ++i) {
+            if (esc[i] == '\\') {
+                ++i;
+                continue;
+            }
+            EXPECT_NE(esc[i], ',');
+            EXPECT_NE(esc[i], '\n');
+        }
+    }
+}
+
+TEST(EscapeUnescape, FieldsSurviveSplitRoundTrip) {
+    const std::string fields[] = {"a,b", "c\\d", "e\nf", "plain"};
+    std::string joined;
+    for (const std::string& f : fields) {
+        if (!joined.empty())
+            joined += ',';
+        joined += escape(f, ",");
+    }
+    auto parts = split_escaped(joined, ',');
+    ASSERT_EQ(parts.size(), 4u);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(unescape(parts[i]), fields[i]);
+}
+
+TEST(Trim, Whitespace) {
+    EXPECT_EQ(trim("  abc  "), "abc");
+    EXPECT_EQ(trim("abc"), "abc");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("\t x \n"), "x");
+}
+
+TEST(IEquals, CaseInsensitive) {
+    EXPECT_TRUE(iequals("GROUP", "group"));
+    EXPECT_TRUE(iequals("GrOuP", "gRoUp"));
+    EXPECT_FALSE(iequals("group", "groups"));
+    EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(ToLower, Basic) {
+    EXPECT_EQ(to_lower("AbC123"), "abc123");
+}
+
+TEST(LooksNumeric, Recognition) {
+    EXPECT_TRUE(looks_numeric("123"));
+    EXPECT_TRUE(looks_numeric("-4.5"));
+    EXPECT_TRUE(looks_numeric("+7"));
+    EXPECT_TRUE(looks_numeric("1e9"));
+    EXPECT_TRUE(looks_numeric("2.5E-3"));
+    EXPECT_FALSE(looks_numeric(""));
+    EXPECT_FALSE(looks_numeric("abc"));
+    EXPECT_FALSE(looks_numeric("12x"));
+    EXPECT_FALSE(looks_numeric("-"));
+    EXPECT_FALSE(looks_numeric("1.2.3"));
+}
+
+TEST(FormatBytes, Units) {
+    EXPECT_EQ(format_bytes(512), "512.0 B");
+    EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+    EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MiB");
+}

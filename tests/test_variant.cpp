@@ -1,0 +1,155 @@
+#include "common/variant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using calib::Variant;
+
+TEST(Variant, DefaultIsEmpty) {
+    Variant v;
+    EXPECT_TRUE(v.empty());
+    EXPECT_EQ(v.type(), Variant::Type::Empty);
+    EXPECT_FALSE(v.is_numeric());
+    EXPECT_EQ(v.to_string(), "");
+}
+
+TEST(Variant, IntConstructionAndAccess) {
+    Variant v(42);
+    EXPECT_EQ(v.type(), Variant::Type::Int);
+    EXPECT_TRUE(v.is_numeric());
+    EXPECT_EQ(v.as_int(), 42);
+    EXPECT_EQ(v.to_double(), 42.0);
+    EXPECT_EQ(v.to_string(), "42");
+}
+
+TEST(Variant, NegativeInt) {
+    Variant v(-17LL);
+    EXPECT_EQ(v.as_int(), -17);
+    EXPECT_EQ(v.to_uint(), 0u) << "negative clamps to 0 in unsigned conversion";
+}
+
+TEST(Variant, UIntConstruction) {
+    Variant v(18446744073709551615ull);
+    EXPECT_EQ(v.type(), Variant::Type::UInt);
+    EXPECT_EQ(v.as_uint(), 18446744073709551615ull);
+}
+
+TEST(Variant, DoubleConstruction) {
+    Variant v(2.5);
+    EXPECT_EQ(v.type(), Variant::Type::Double);
+    EXPECT_DOUBLE_EQ(v.as_double(), 2.5);
+    EXPECT_EQ(v.to_int(), 2);
+}
+
+TEST(Variant, BoolConstruction) {
+    EXPECT_TRUE(Variant(true).as_bool());
+    EXPECT_FALSE(Variant(false).as_bool());
+    EXPECT_EQ(Variant(true).to_string(), "true");
+    EXPECT_EQ(Variant(true).to_double(), 1.0);
+}
+
+TEST(Variant, StringInterning) {
+    Variant a("hello");
+    Variant b(std::string("hello"));
+    EXPECT_EQ(a.type(), Variant::Type::String);
+    // interned: identical strings share the pointer
+    EXPECT_EQ(a.as_cstr(), b.as_cstr());
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.as_string(), "hello");
+}
+
+TEST(Variant, EmptyStringIsNotEmptyVariant) {
+    Variant v("");
+    EXPECT_FALSE(v.empty());
+    EXPECT_TRUE(v.is_string());
+    EXPECT_FALSE(v.to_bool());
+}
+
+TEST(Variant, EqualityIsTypeStrict) {
+    EXPECT_NE(Variant(1), Variant(1.0));
+    EXPECT_NE(Variant(1), Variant("1"));
+    EXPECT_EQ(Variant(1), Variant(1));
+}
+
+TEST(Variant, CompareNumericAcrossTypes) {
+    EXPECT_EQ(Variant(1).compare(Variant(1.0)), 0);
+    EXPECT_LT(Variant(1).compare(Variant(2u)), 0);
+    EXPECT_GT(Variant(3.5).compare(Variant(3)), 0);
+}
+
+TEST(Variant, CompareStringsLexicographic) {
+    EXPECT_LT(Variant("abc").compare(Variant("abd")), 0);
+    EXPECT_EQ(Variant("x").compare(Variant("x")), 0);
+    EXPECT_GT(Variant("zz").compare(Variant("za")), 0);
+}
+
+TEST(Variant, CompareLargeIntegersExactly) {
+    // values not representable exactly in double must still compare correctly
+    const long long a = (1LL << 62) + 1;
+    const long long b = (1LL << 62) + 2;
+    EXPECT_LT(Variant(a).compare(Variant(b)), 0);
+}
+
+TEST(Variant, ParseTyped) {
+    EXPECT_EQ(Variant::parse(Variant::Type::Int, "123").as_int(), 123);
+    EXPECT_EQ(Variant::parse(Variant::Type::Int, "-5").as_int(), -5);
+    EXPECT_TRUE(Variant::parse(Variant::Type::Int, "12x").empty());
+    EXPECT_DOUBLE_EQ(Variant::parse(Variant::Type::Double, "2.5e3").as_double(), 2500.0);
+    EXPECT_TRUE(Variant::parse(Variant::Type::Double, "abc").empty());
+    EXPECT_TRUE(Variant::parse(Variant::Type::Bool, "true").as_bool());
+    EXPECT_FALSE(Variant::parse(Variant::Type::Bool, "0").as_bool());
+    EXPECT_EQ(Variant::parse(Variant::Type::String, "abc").as_string(), "abc");
+    EXPECT_EQ(Variant::parse(Variant::Type::UInt, "99").as_uint(), 99u);
+    EXPECT_TRUE(Variant::parse(Variant::Type::UInt, "-1").empty());
+}
+
+TEST(Variant, ParseGuess) {
+    EXPECT_EQ(Variant::parse_guess("42").type(), Variant::Type::Int);
+    EXPECT_EQ(Variant::parse_guess("42.5").type(), Variant::Type::Double);
+    EXPECT_EQ(Variant::parse_guess("true").type(), Variant::Type::Bool);
+    EXPECT_EQ(Variant::parse_guess("foo").type(), Variant::Type::String);
+    EXPECT_EQ(Variant::parse_guess("").type(), Variant::Type::String);
+    EXPECT_EQ(Variant::parse_guess("1e9").type(), Variant::Type::Double);
+}
+
+TEST(Variant, ToStringRoundTripsDoubles) {
+    const double values[] = {0.0, 1.5, -3.25, 1e-9, 123456.789};
+    for (double d : values) {
+        Variant v(d);
+        Variant parsed = Variant::parse(Variant::Type::Double, v.to_string());
+        EXPECT_DOUBLE_EQ(parsed.as_double(), d);
+    }
+}
+
+TEST(Variant, HashDistinguishesTypesAndValues) {
+    EXPECT_NE(Variant(1).hash(), Variant(2).hash());
+    EXPECT_NE(Variant(1).hash(), Variant(1.0).hash());
+    EXPECT_NE(Variant("a").hash(), Variant("b").hash());
+    EXPECT_EQ(Variant("same").hash(), Variant("same").hash());
+    EXPECT_EQ(Variant(7).hash(), Variant(7).hash());
+}
+
+TEST(Variant, TypeNames) {
+    EXPECT_STREQ(Variant::type_name(Variant::Type::Int), "int");
+    EXPECT_EQ(Variant::type_from_name("double"), Variant::Type::Double);
+    EXPECT_EQ(Variant::type_from_name("bogus"), Variant::Type::Empty);
+    // round-trip all types
+    for (auto t : {Variant::Type::Bool, Variant::Type::Int, Variant::Type::UInt,
+                   Variant::Type::Double, Variant::Type::String})
+        EXPECT_EQ(Variant::type_from_name(Variant::type_name(t)), t);
+}
+
+TEST(Variant, TruthinessConversions) {
+    EXPECT_TRUE(Variant(1).to_bool());
+    EXPECT_FALSE(Variant(0).to_bool());
+    EXPECT_TRUE(Variant(0.5).to_bool());
+    EXPECT_TRUE(Variant("x").to_bool());
+    EXPECT_FALSE(Variant().to_bool());
+}
+
+TEST(Variant, OrderingOperatorMatchesCompare) {
+    EXPECT_TRUE(Variant(1) < Variant(2));
+    EXPECT_FALSE(Variant(2) < Variant(1));
+    EXPECT_TRUE(Variant("a") < Variant("b"));
+}
