@@ -1,0 +1,99 @@
+// Parallel query engine throughput: records/sec of the full offline
+// pipeline (read -> parse -> aggregate -> merge) at 1/2/4/8 worker
+// threads over a generated multi-file ParaDiS-sim dataset.
+//
+// Emits the measurement as JSON to stdout and to BENCH_parallel_query.json
+// (perf trajectory). Speedups are relative to the 1-thread serial path;
+// on a single-core machine expect ~1.0 across the board.
+//
+// Environment knobs:
+//   CALIB_BENCH_PQ_FILES   input files            (default 8)
+//   CALIB_BENCH_PQ_REPS    repetitions per point  (default 3; best is kept)
+#include "apps/paradis/generator.hpp"
+#include "bench_common.hpp"
+#include "engine/parallel_processor.hpp"
+#include "runtime/clock.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace calib;
+using namespace calib::bench;
+
+int main() {
+    const int nfiles = env_int("CALIB_BENCH_PQ_FILES", 8);
+    const int reps   = env_int("CALIB_BENCH_PQ_REPS", 3);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "calib-bench-pq-data").string();
+
+    paradis::ParadisConfig dataset_config;
+    std::printf("# parallel query engine: generating %d files x %d records...\n",
+                nfiles, dataset_config.records_per_file);
+    const std::vector<std::string> files =
+        paradis::generate_dataset(dir, nfiles, dataset_config);
+
+    const QuerySpec spec = parse_calql(
+        "AGGREGATE sum(time.inclusive.duration),count GROUP BY kernel,mpi.function");
+
+    const std::size_t thread_counts[] = {1, 2, 4, 8};
+    double baseline_s = 0;
+    std::uint64_t records = 0;
+    std::string reference; // 1-thread rendering, for the identity check
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"parallel_query\",\n"
+         << "  \"hardware_concurrency\": "
+         << engine::ThreadPool::default_threads() << ",\n"
+         << "  \"files\": " << nfiles << ",\n  \"results\": [";
+
+    std::printf("%8s %12s %16s %10s %10s\n", "threads", "wall (s)", "records/sec",
+                "speedup", "identical");
+    bool first = true;
+    for (std::size_t t : thread_counts) {
+        double best_s = 0;
+        std::string out;
+        std::uint64_t in = 0;
+        for (int rep = 0; rep < reps; ++rep) {
+            engine::EngineOptions opts;
+            opts.threads = t;
+            engine::ParallelQueryProcessor eng(spec, opts);
+            const std::uint64_t t0 = now_ns();
+            QueryProcessor& proc   = eng.run(files);
+            proc.result(); // include the finish step in the measurement
+            const double wall_s = static_cast<double>(now_ns() - t0) * 1e-9;
+            if (rep == 0 || wall_s < best_s)
+                best_s = wall_s;
+            in = proc.num_records_in();
+            if (rep == 0) {
+                std::ostringstream os;
+                proc.write(os);
+                out = os.str();
+            }
+        }
+        if (t == 1) {
+            baseline_s = best_s;
+            records    = in;
+            reference  = out;
+        }
+        const bool identical = out == reference;
+        const double rps     = static_cast<double>(in) / best_s;
+        const double speedup = baseline_s / best_s;
+        std::printf("%8zu %12.5f %16.0f %10.2f %10s\n", t, best_s, rps, speedup,
+                    identical ? "yes" : "NO");
+        json << (first ? "" : ",") << "\n    {\"threads\": " << t
+             << ", \"wall_s\": " << best_s << ", \"records_per_sec\": " << rps
+             << ", \"speedup\": " << speedup
+             << ", \"identical_output\": " << (identical ? "true" : "false")
+             << "}";
+        first = false;
+    }
+    json << "\n  ],\n  \"records\": " << records << "\n}\n";
+
+    std::printf("\n%s", json.str().c_str());
+    std::ofstream("BENCH_parallel_query.json") << json.str();
+    std::printf("# wrote BENCH_parallel_query.json\n");
+
+    std::filesystem::remove_all(dir);
+    return 0;
+}

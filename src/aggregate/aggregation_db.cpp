@@ -301,6 +301,7 @@ std::vector<RecordMap> AggregationDB::flush() const {
 
 void AggregationDB::merge(const AggregationDB& other) {
     assert(config_.ops.size() == other.config_.ops.size());
+    reserve(entries_.size() + other.entries_.size());
     for (std::size_t e = 0; e < other.entries_.size(); ++e) {
         const EntryRec& rec = other.entries_[e];
         const Entry* key    = other.key_arena_.data() + rec.key_offset;
@@ -310,6 +311,37 @@ void AggregationDB::merge(const AggregationDB& other) {
                                 other.entry_state(e, i));
     }
     processed_ += other.processed_;
+}
+
+void AggregationDB::merge(AggregationDB&& other) {
+    assert(config_.ops.size() == other.config_.ops.size());
+    assert(registry_ == other.registry_);
+    if (other.entries_.empty()) {
+        processed_ += other.processed_;
+        other.clear();
+        return;
+    }
+    if (entries_.empty()) {
+        // steal the arenas wholesale — no key copies, no rehashing
+        key_arena_.swap(other.key_arena_);
+        state_arena_.swap(other.state_arena_);
+        entries_.swap(other.entries_);
+        table_.swap(other.table_);
+        key_ids_.swap(other.key_ids_);
+        op_ids_.swap(other.op_ids_);
+        op_fallback_ids_.swap(other.op_fallback_ids_);
+        implicit_skip_.swap(other.implicit_skip_);
+        std::swap(resolved_generation_, other.resolved_generation_);
+        std::swap(fully_resolved_, other.fully_resolved_);
+        processed_ += other.processed_;
+        stats_.lookups += other.stats_.lookups;
+        stats_.collisions += other.stats_.collisions;
+        stats_.inserts += other.stats_.inserts;
+        other.clear();
+        return;
+    }
+    merge(static_cast<const AggregationDB&>(other));
+    other.clear();
 }
 
 std::vector<std::byte> AggregationDB::serialize() const {
@@ -346,6 +378,7 @@ void AggregationDB::merge_serialized(std::span<const std::byte> data) {
         throw std::runtime_error("AggregationDB: op-count mismatch in merge");
     const auto nprocessed = r.get<std::uint64_t>();
     const auto nentries   = r.get<std::uint32_t>();
+    reserve(entries_.size() + nentries);
 
     // scratch for one deserialized kernel state (largest op state)
     std::uint64_t scratch[kernel::histogram_bins + 4];

@@ -71,6 +71,13 @@ public:
     /// must use the same AggregationConfig and the same registry.
     void merge(const AggregationDB& other);
 
+    /// Destructive merge: like merge(const&), but an empty destination
+    /// steals \a other's arenas wholesale instead of copying them — the
+    /// common case in a pairwise reduction tree, where half the merges at
+    /// every level target a freshly-drained database. \a other is empty
+    /// afterwards.
+    void merge(AggregationDB&& other);
+
     /// Serialize all entries (attribute labels by name, so the buffer is
     /// meaningful across registries).
     std::vector<std::byte> serialize() const;

@@ -16,6 +16,11 @@
 
 #include "io/calireader.hpp" // IWYU pragma: export
 #include "io/caliwriter.hpp" // IWYU pragma: export
+#include "io/jsonreader.hpp" // IWYU pragma: export
+
+#include "engine/morsel.hpp"             // IWYU pragma: export
+#include "engine/parallel_processor.hpp" // IWYU pragma: export
+#include "engine/thread_pool.hpp"        // IWYU pragma: export
 
 #include "runtime/annotation.hpp" // IWYU pragma: export
 #include "runtime/caliper.hpp"    // IWYU pragma: export

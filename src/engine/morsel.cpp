@@ -1,0 +1,39 @@
+#include "morsel.hpp"
+
+#include "../io/calireader.hpp"
+
+namespace calib::engine {
+
+std::vector<Morsel> make_morsels(const std::vector<std::string>& files,
+                                 const MorselOptions& opts) {
+    std::vector<Morsel> morsels;
+
+    if (opts.json_input) {
+        for (const std::string& f : files)
+            morsels.push_back({Morsel::Kind::JsonFile, f, 0, UINT64_MAX});
+        return morsels;
+    }
+
+    if (files.size() != 1) {
+        for (const std::string& f : files)
+            morsels.push_back({Morsel::Kind::CaliFile, f, 0, UINT64_MAX});
+        return morsels;
+    }
+
+    // single file: split into record ranges when it is large enough to
+    // matter; the pre-scan is a plain line count
+    const std::string& file   = files.front();
+    const std::uint64_t total = CaliReader::count_records(file);
+    const std::uint64_t chunk = opts.records_per_morsel > 0 ? opts.records_per_morsel
+                                                            : UINT64_MAX;
+    if (total <= chunk) {
+        morsels.push_back({Morsel::Kind::CaliFile, file, 0, UINT64_MAX});
+        return morsels;
+    }
+    for (std::uint64_t begin = 0; begin < total; begin += chunk)
+        morsels.push_back({Morsel::Kind::CaliRange, file, begin,
+                           begin + chunk < total ? begin + chunk : total});
+    return morsels;
+}
+
+} // namespace calib::engine

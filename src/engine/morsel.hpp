@@ -1,0 +1,44 @@
+// Morsel-driven input splitting for the parallel query engine.
+//
+// A morsel is one independently processable unit of query input. The split
+// policy depends only on the input set (never on the worker count), so the
+// phase-2 merge structure — and therefore the output bytes — are identical
+// for every thread count:
+//
+//   - multi-file input: one morsel per file (parallel I/O + parse),
+//   - a single dominating file: record-range chunks of ~64K records; every
+//     worker scans the stream but only materializes records in its range,
+//   - JSON inputs: one morsel per file (the array parser cannot skip).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calib::engine {
+
+struct Morsel {
+    enum class Kind {
+        CaliFile,  ///< a whole .cali stream file
+        CaliRange, ///< records [begin, end) of a .cali stream file
+        JsonFile,  ///< a whole JSON record-array file
+    };
+
+    Kind kind = Kind::CaliFile;
+    std::string path;
+    std::uint64_t begin = 0; ///< first record index (CaliRange)
+    std::uint64_t end   = UINT64_MAX; ///< one past the last record index
+};
+
+struct MorselOptions {
+    bool json_input = false;
+    /// Target records per range morsel when a single file is split.
+    std::uint64_t records_per_morsel = 65536;
+};
+
+/// Split \a files into morsels. A single .cali file is pre-scanned (cheap
+/// line count) to size its record ranges; everything else maps 1:1.
+std::vector<Morsel> make_morsels(const std::vector<std::string>& files,
+                                 const MorselOptions& opts = {});
+
+} // namespace calib::engine

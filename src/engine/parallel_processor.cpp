@@ -1,0 +1,162 @@
+#include "parallel_processor.hpp"
+
+#include "thread_pool.hpp"
+
+#include "../io/calireader.hpp"
+#include "../io/jsonreader.hpp"
+
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace calib::engine {
+
+namespace {
+
+void join_globals(RecordMap& record, const RecordMap& globals) {
+    for (const auto& [name, value] : globals)
+        if (!record.contains(name))
+            record.append(name, value);
+}
+
+/// Per-morsel partial state produced in phase 1.
+struct Partial {
+    std::unique_ptr<QueryProcessor> proc;
+    /// Early-flushed aggregation buffers, in flush order.
+    std::vector<std::vector<std::byte>> flushed;
+};
+
+} // namespace
+
+ParallelQueryProcessor::ParallelQueryProcessor(QuerySpec spec, EngineOptions opts)
+    : opts_(opts), root_(std::move(spec), &registry_) {}
+
+QueryProcessor& ParallelQueryProcessor::run(const std::vector<std::string>& files) {
+    const std::size_t threads =
+        opts_.threads > 0 ? opts_.threads : ThreadPool::default_threads();
+
+    if (threads <= 1) {
+        // exact serial path: no morsel pre-scan, no pool
+        stats_.threads = 1;
+        stats_.morsels = files.size();
+        run_serial(files);
+        return root_;
+    }
+
+    const std::vector<Morsel> morsels =
+        make_morsels(files, {opts_.json_input, opts_.records_per_morsel});
+    stats_.morsels = morsels.size();
+    if (morsels.size() <= 1) {
+        stats_.threads = 1;
+        run_serial(files);
+        return root_;
+    }
+
+    stats_.threads = threads < morsels.size() ? threads : morsels.size();
+    run_parallel(morsels, stats_.threads);
+    return root_;
+}
+
+void ParallelQueryProcessor::run_serial(const std::vector<std::string>& files) {
+    for (const std::string& file : files) {
+        if (opts_.json_input) {
+            std::ifstream is(file);
+            if (!is)
+                throw std::runtime_error("cannot open " + file);
+            read_json_records(is, [this](RecordMap&& r) { root_.add(r); });
+        } else if (opts_.with_globals) {
+            // globals may appear anywhere in the stream, so records are
+            // buffered until the file is fully scanned
+            RecordMap globals;
+            std::vector<RecordMap> records;
+            CaliReader::read_file(
+                file, [&records](RecordMap&& r) { records.push_back(std::move(r)); },
+                &globals);
+            for (RecordMap& r : records) {
+                join_globals(r, globals);
+                root_.add(r);
+            }
+        } else {
+            CaliReader::read_file(file, [this](RecordMap&& r) { root_.add(r); });
+        }
+    }
+}
+
+void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
+                                          std::size_t threads) {
+    const std::size_t n = morsels.size();
+    std::vector<Partial> partials(n);
+    for (Partial& p : partials)
+        p.proc = std::make_unique<QueryProcessor>(root_.spec(), &registry_);
+
+    // the pool is declared after the state its tasks reference, so its
+    // destructor (which joins the workers) runs first
+    ThreadPool pool(threads);
+
+    // phase 1: one task per morsel, each filling its own partial
+    std::vector<std::future<void>> futures;
+    futures.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        futures.push_back(pool.submit([this, &m = morsels[i], &p = partials[i]] {
+            QueryProcessor& proc = *p.proc;
+            auto feed            = [this, &proc, &p](RecordMap&& r) {
+                proc.add(r);
+                if (opts_.max_partial_entries > 0 &&
+                    proc.aggregation_entries() > opts_.max_partial_entries) {
+                    std::vector<std::byte> buf = proc.take_partial();
+                    if (!buf.empty())
+                        p.flushed.push_back(std::move(buf));
+                }
+            };
+            if (m.kind == Morsel::Kind::JsonFile) {
+                std::ifstream is(m.path);
+                if (!is)
+                    throw std::runtime_error("cannot open " + m.path);
+                read_json_records(is, feed);
+            } else if (opts_.with_globals) {
+                RecordMap globals;
+                std::vector<RecordMap> records;
+                CaliReader::read_file_range(
+                    m.path, m.begin, m.end,
+                    [&records](RecordMap&& r) { records.push_back(std::move(r)); },
+                    &globals);
+                for (RecordMap& r : records) {
+                    join_globals(r, globals);
+                    feed(std::move(r));
+                }
+            } else {
+                CaliReader::read_file_range(m.path, m.begin, m.end, feed);
+            }
+        }));
+    }
+    wait_all(futures);
+
+    for (const Partial& p : partials) {
+        stats_.early_flushes += p.flushed.size();
+        for (const std::vector<std::byte>& buf : p.flushed)
+            stats_.early_flush_bytes += buf.size();
+    }
+
+    // phase 2: pairwise reduction tree over adjacent partials. Merging
+    // neighbor i+stride into i keeps passthrough records in morsel (=input)
+    // order, and the tree shape depends only on the morsel count — never on
+    // the thread count.
+    for (std::size_t stride = 1; stride < n; stride *= 2) {
+        std::vector<std::future<void>> level;
+        for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+            level.push_back(pool.submit([&a = partials[i], &b = partials[i + stride]] {
+                a.proc->merge(std::move(*b.proc));
+            }));
+        }
+        wait_all(level);
+    }
+
+    root_.merge(std::move(*partials[0].proc));
+    // early-flushed buffers fold in last, in morsel order (deterministic)
+    for (Partial& p : partials)
+        for (const std::vector<std::byte>& buf : p.flushed)
+            root_.merge_serialized(buf);
+}
+
+} // namespace calib::engine

@@ -1,0 +1,77 @@
+// The parallel query engine: morsel-driven, two-phase execution of one
+// QuerySpec over a set of input files.
+//
+//   phase 1  workers pull morsels and run the full record pipeline
+//            (read -> LET -> filter -> aggregate) into thread-local
+//            partial QueryProcessors sharing one attribute registry;
+//   phase 2  partials are combined with a pairwise reduction tree
+//            (id-based move merges — no serialization), then the driver
+//            finishes: canonical order -> ORDER BY -> LIMIT -> FORMAT.
+//
+// Output bytes are identical to the serial path for every thread count:
+// the morsel split and the merge-tree shape depend only on the input set,
+// and aggregated rows are re-sorted canonically before formatting (see
+// QueryProcessor::result()). docs/ENGINE.md has the full argument.
+//
+// An adaptive escape hatch bounds worker memory on high-cardinality keys:
+// when a partial database exceeds max_partial_entries, it is serialized
+// and cleared (early flush); the buffers are folded back in after the
+// reduction, in morsel order, so determinism is unaffected.
+#pragma once
+
+#include "morsel.hpp"
+
+#include "../common/attribute.hpp"
+#include "../query/processor.hpp"
+#include "../query/queryspec.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calib::engine {
+
+struct EngineOptions {
+    /// Worker threads; 0 = hardware concurrency. 1 runs the exact serial
+    /// path (no morsel split, no pool).
+    std::size_t threads = 0;
+    bool json_input     = false;
+    /// Join each file's globals (e.g. mpi.rank) onto its records.
+    bool with_globals = false;
+    /// Target records per range morsel when a single file is split.
+    std::uint64_t records_per_morsel = 65536;
+    /// Early-flush a worker partial exceeding this many aggregation
+    /// entries (0 disables).
+    std::size_t max_partial_entries = 1u << 20;
+};
+
+struct EngineStats {
+    std::size_t threads           = 0; ///< workers actually used
+    std::size_t morsels           = 0;
+    std::size_t early_flushes     = 0;
+    std::uint64_t early_flush_bytes = 0;
+};
+
+class ParallelQueryProcessor {
+public:
+    explicit ParallelQueryProcessor(QuerySpec spec, EngineOptions opts = {});
+
+    /// Execute the query over \a files (single-shot). Returns the root
+    /// processor, ready for result() / write().
+    QueryProcessor& run(const std::vector<std::string>& files);
+
+    QueryProcessor& processor() noexcept { return root_; }
+    const EngineStats& stats() const noexcept { return stats_; }
+
+private:
+    void run_serial(const std::vector<std::string>& files);
+    void run_parallel(const std::vector<Morsel>& morsels, std::size_t threads);
+
+    EngineOptions opts_;
+    AttributeRegistry registry_; // shared by all partials; before root_
+    QueryProcessor root_;
+    EngineStats stats_;
+};
+
+} // namespace calib::engine

@@ -1,0 +1,71 @@
+#include "thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+namespace calib::engine {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0)
+        threads = default_threads();
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { worker(); });
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_)
+        w.join();
+}
+
+std::size_t ThreadPool::default_threads() noexcept {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+    std::packaged_task<void()> wrapped(std::move(task));
+    std::future<void> result = wrapped.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(wrapped));
+    }
+    cv_.notify_one();
+    return result;
+}
+
+void ThreadPool::worker() {
+    while (true) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop_ set and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the task's future
+    }
+}
+
+void wait_all(std::vector<std::future<void>>& futures) {
+    std::exception_ptr first;
+    for (std::future<void>& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace calib::engine

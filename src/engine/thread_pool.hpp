@@ -1,0 +1,57 @@
+// A fixed-size worker pool with a shared task queue, used by the parallel
+// query engine (and reusable by any other subsystem that needs intra-process
+// task parallelism).
+//
+// Tasks are submitted as std::function<void()> and return a std::future<void>
+// that rethrows any exception the task threw — workers never swallow errors.
+// The destructor drains the queue: every task submitted before destruction
+// runs to completion, then the workers join.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace calib::engine {
+
+class ThreadPool {
+public:
+    /// \param threads worker count; 0 = default_threads()
+    explicit ThreadPool(std::size_t threads = 0);
+
+    /// Drains all queued tasks, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&)            = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    std::size_t size() const noexcept { return workers_.size(); }
+
+    /// Enqueue a task. The returned future becomes ready when the task
+    /// finishes; future.get() rethrows any exception the task threw.
+    std::future<void> submit(std::function<void()> task);
+
+    /// std::thread::hardware_concurrency(), clamped to at least 1.
+    static std::size_t default_threads() noexcept;
+
+private:
+    void worker();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::packaged_task<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/// Wait for every future, then rethrow the first stored exception (if any).
+/// All tasks complete even when an early one fails, so partially-written
+/// shared state is never abandoned mid-flight.
+void wait_all(std::vector<std::future<void>>& futures);
+
+} // namespace calib::engine

@@ -28,9 +28,15 @@ Variant parse_value(const LocalAttr& attr, const std::string& text) {
 } // namespace
 
 void CaliReader::read(std::istream& is, const RecordSink& sink, RecordMap* globals) {
+    read_range(is, 0, UINT64_MAX, sink, globals);
+}
+
+void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
+                            const RecordSink& sink, RecordMap* globals) {
     std::unordered_map<std::uint32_t, LocalAttr> attrs;
     std::string line;
-    std::size_t lineno = 0;
+    std::size_t lineno        = 0;
+    std::uint64_t record_index = 0;
 
     auto fail = [&lineno](const std::string& msg) {
         throw std::runtime_error("calib-stream line " + std::to_string(lineno) + ": " +
@@ -47,6 +53,12 @@ void CaliReader::read(std::istream& is, const RecordSink& sink, RecordMap* globa
         const char kind = line[0];
         if (line.size() >= 2 && line[1] != ',')
             fail("malformed line");
+        // records outside the requested range are counted but not parsed
+        if (kind == 'R') {
+            const std::uint64_t index = record_index++;
+            if (index < begin || index >= end)
+                continue;
+        }
         // a bare "R" is a legal empty record (snapshot with no entries)
         const std::string_view rest =
             line.size() >= 2 ? std::string_view(line).substr(2) : std::string_view();
@@ -107,6 +119,27 @@ void CaliReader::read_file(const std::string& path, const RecordSink& sink,
     if (!is)
         throw std::runtime_error("cannot open " + path);
     read(is, sink, globals);
+}
+
+void CaliReader::read_file_range(const std::string& path, std::uint64_t begin,
+                                 std::uint64_t end, const RecordSink& sink,
+                                 RecordMap* globals) {
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    read_range(is, begin, end, sink, globals);
+}
+
+std::uint64_t CaliReader::count_records(const std::string& path) {
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    std::uint64_t n = 0;
+    std::string line;
+    while (std::getline(is, line))
+        if (!line.empty() && line[0] == 'R')
+            ++n;
+    return n;
 }
 
 Dataset Dataset::load(const std::vector<std::string>& paths) {

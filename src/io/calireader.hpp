@@ -1,9 +1,15 @@
 // Reader for the calib stream format (see caliwriter.hpp). Produces
 // name-based offline records (RecordMap) ready for the query engine.
+//
+// All entry points are stateless and safe to call concurrently from
+// multiple threads (string interning and attribute registries synchronize
+// internally), which the parallel query engine relies on: each worker
+// opens its own stream over its morsel of the input.
 #pragma once
 
 #include "../common/recordmap.hpp"
 
+#include <cstdint>
 #include <functional>
 #include <istream>
 #include <string>
@@ -30,6 +36,21 @@ public:
     /// Stream records from a file (avoids materializing the record vector).
     static void read_file(const std::string& path, const RecordSink& sink,
                           RecordMap* globals = nullptr);
+
+    /// Stream only records with index in [\a begin, \a end) into \a sink
+    /// (record indices count 'R' lines in stream order). The whole stream
+    /// is still scanned — attribute definitions and globals can appear
+    /// anywhere — but records outside the range are skipped without
+    /// parsing their fields. Used for record-range morsels.
+    static void read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
+                           const RecordSink& sink, RecordMap* globals = nullptr);
+
+    static void read_file_range(const std::string& path, std::uint64_t begin,
+                                std::uint64_t end, const RecordSink& sink,
+                                RecordMap* globals = nullptr);
+
+    /// Number of records in a file (a plain line scan; no field parsing).
+    static std::uint64_t count_records(const std::string& path);
 };
 
 /// A loaded multi-file dataset (e.g. one file per MPI rank).

@@ -4,39 +4,40 @@
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
+#include <streambuf>
 #include <string>
 
 namespace calib {
 
 namespace {
 
+// Pulls characters off the stream one record at a time, so arbitrarily
+// large inputs parse in bounded memory (the largest single object).
 class JsonParser {
 public:
-    explicit JsonParser(std::string_view text) : text_(text) {}
+    explicit JsonParser(std::istream& is) : is_(is) {}
 
-    std::vector<RecordMap> parse_records() {
-        std::vector<RecordMap> out;
+    void parse_records(const std::function<void(RecordMap&&)>& sink) {
         skip_ws();
         expect('[');
         skip_ws();
         if (peek() == ']') {
-            ++pos_;
-            return out;
-        }
-        while (true) {
-            out.push_back(parse_object());
-            skip_ws();
-            const char c = next();
-            if (c == ']')
-                break;
-            if (c != ',')
-                fail("expected ',' or ']' after object");
-            skip_ws();
+            next();
+        } else {
+            while (true) {
+                sink(parse_object());
+                skip_ws();
+                const char c = next();
+                if (c == ']')
+                    break;
+                if (c != ',')
+                    fail("expected ',' or ']' after object");
+                skip_ws();
+            }
         }
         skip_ws();
-        if (pos_ != text_.size())
+        if (peek() != '\0')
             fail("trailing content after the record array");
-        return out;
     }
 
 private:
@@ -45,20 +46,24 @@ private:
                                  "): " + msg);
     }
 
-    char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+    char peek() {
+        const int c = is_.peek();
+        return c == std::char_traits<char>::eof() ? '\0' : static_cast<char>(c);
+    }
     char next() {
-        if (pos_ >= text_.size())
+        const int c = is_.get();
+        if (c == std::char_traits<char>::eof())
             fail("unexpected end of input");
-        return text_[pos_++];
+        ++pos_;
+        return static_cast<char>(c);
     }
     void expect(char c) {
         if (next() != c)
             fail(std::string("expected '") + c + "'");
     }
     void skip_ws() {
-        while (pos_ < text_.size() &&
-               std::isspace(static_cast<unsigned char>(text_[pos_])))
-            ++pos_;
+        while (std::isspace(static_cast<unsigned char>(peek())))
+            next();
     }
 
     std::string parse_string() {
@@ -133,24 +138,23 @@ private:
             return {};
         }
         // number
-        const std::size_t start = pos_;
+        std::string token;
         if (peek() == '-' || peek() == '+')
-            ++pos_;
+            token += next();
         bool is_double = false;
-        while (pos_ < text_.size()) {
-            const char d = text_[pos_];
+        while (true) {
+            const char d = peek();
             if (std::isdigit(static_cast<unsigned char>(d))) {
-                ++pos_;
+                token += next();
             } else if (d == '.' || d == 'e' || d == 'E' || d == '+' || d == '-') {
                 is_double = true;
-                ++pos_;
+                token += next();
             } else {
                 break;
             }
         }
-        if (pos_ == start)
+        if (token.empty())
             fail("expected a value");
-        const std::string token(text_.substr(start, pos_ - start));
         if (!is_double) {
             errno = 0;
             const long long v = std::strtoll(token.c_str(), nullptr, 10);
@@ -172,7 +176,7 @@ private:
         RecordMap rec;
         skip_ws();
         if (peek() == '}') {
-            ++pos_;
+            next();
             return rec;
         }
         while (true) {
@@ -192,14 +196,36 @@ private:
         }
     }
 
-    std::string_view text_;
-    std::size_t pos_ = 0;
+    std::istream& is_;
+    std::size_t pos_ = 0; ///< bytes consumed, for error offsets
+};
+
+// Read-only streambuf view over in-memory text (no copy).
+class ViewBuf : public std::streambuf {
+public:
+    explicit ViewBuf(std::string_view text) {
+        char* p = const_cast<char*>(text.data());
+        setg(p, p, p + text.size());
+    }
 };
 
 } // namespace
 
+void read_json_records(std::istream& is,
+                       const std::function<void(RecordMap&&)>& sink) {
+    JsonParser(is).parse_records(sink);
+}
+
+std::vector<RecordMap> read_json_records(std::istream& is) {
+    std::vector<RecordMap> out;
+    read_json_records(is, [&out](RecordMap&& r) { out.push_back(std::move(r)); });
+    return out;
+}
+
 std::vector<RecordMap> read_json_records(std::string_view text) {
-    return JsonParser(text).parse_records();
+    ViewBuf buf(text);
+    std::istream is(&buf);
+    return read_json_records(is);
 }
 
 } // namespace calib

@@ -9,6 +9,8 @@
 
 #include "../common/recordmap.hpp"
 
+#include <functional>
+#include <istream>
 #include <string_view>
 #include <vector>
 
@@ -17,5 +19,12 @@ namespace calib {
 /// Parse a JSON array of flat objects into records.
 /// Throws std::runtime_error (with byte position) on malformed input.
 std::vector<RecordMap> read_json_records(std::string_view text);
+
+/// Streaming variants: records are parsed directly off the stream (one
+/// object at a time — the input is never slurped into memory) and handed
+/// to \a sink as they complete.
+void read_json_records(std::istream& is,
+                       const std::function<void(RecordMap&&)>& sink);
+std::vector<RecordMap> read_json_records(std::istream& is);
 
 } // namespace calib

@@ -1,5 +1,6 @@
 #include "treereduce.hpp"
 
+#include "../engine/parallel_processor.hpp"
 #include "../io/calireader.hpp"
 #include "../runtime/clock.hpp"
 
@@ -16,7 +17,7 @@ double seconds_since(std::uint64_t start_ns) {
 } // namespace
 
 QueryTimes parallel_query(const QuerySpec& spec, const std::vector<std::string>& files,
-                          int nprocs, std::vector<RecordMap>* result) {
+                          int nprocs, std::vector<RecordMap>* result, int threads) {
     QueryTimes times;
     times.nprocs = nprocs;
     std::mutex result_mutex;
@@ -27,12 +28,17 @@ QueryTimes parallel_query(const QuerySpec& spec, const std::vector<std::string>&
 
         const std::uint64_t t_start = now_ns();
 
-        // local stage: read + process this rank's share of the input files
-        QueryProcessor proc(spec);
+        // local stage: this rank's share of the input files goes through
+        // the intra-process engine (threads == 1 is the exact serial path)
+        std::vector<std::string> my_files;
         for (std::size_t i = rank; i < files.size();
              i += static_cast<std::size_t>(size))
-            CaliReader::read_file(files[i],
-                                  [&proc](RecordMap&& r) { proc.add(r); });
+            my_files.push_back(files[i]);
+
+        engine::EngineOptions eopts;
+        eopts.threads = threads > 0 ? static_cast<std::size_t>(threads) : 1;
+        engine::ParallelQueryProcessor local(spec, eopts);
+        QueryProcessor& proc = local.run(my_files);
 
         const double local_s = seconds_since(t_start);
         comm.barrier(); // separate the local and reduction phases cleanly

@@ -38,8 +38,11 @@ struct QueryTimes {
 
 /// Run \a spec over \a files distributed round-robin across \a nprocs
 /// rank-threads; the root's merged result lands in \a result (optional).
+/// \a threads > 1 runs each rank's local stage on the parallel query
+/// engine (engine::ParallelQueryProcessor) with that many workers.
 QueryTimes parallel_query(const QuerySpec& spec, const std::vector<std::string>& files,
-                          int nprocs, std::vector<RecordMap>* result = nullptr);
+                          int nprocs, std::vector<RecordMap>* result = nullptr,
+                          int threads = 1);
 
 /// Discrete-event weak-scaling model: every rank processes
 /// `files_per_rank` copies of \a representative_file; tree merges are

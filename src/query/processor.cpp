@@ -1,18 +1,30 @@
 #include "processor.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 namespace calib {
 
 QueryProcessor::QueryProcessor(QuerySpec spec)
-    : spec_(std::move(spec)), registry_(std::make_unique<AttributeRegistry>()) {
+    : spec_(std::move(spec)), owned_registry_(std::make_unique<AttributeRegistry>()),
+      registry_(owned_registry_.get()) {
     if (spec_.has_aggregation()) {
         AggregationConfig cfg = spec_.aggregation;
         // GROUP BY without AGGREGATE: default to count (record frequency),
         // so a bare "GROUP BY function" query is meaningful.
         if (cfg.ops.empty())
             cfg.ops.push_back(AggOpConfig{AggOp::Count, "", ""});
-        db_.emplace(std::move(cfg), registry_.get());
+        db_.emplace(std::move(cfg), registry_);
+    }
+}
+
+QueryProcessor::QueryProcessor(QuerySpec spec, AttributeRegistry* registry)
+    : spec_(std::move(spec)), registry_(registry) {
+    if (spec_.has_aggregation()) {
+        AggregationConfig cfg = spec_.aggregation;
+        if (cfg.ops.empty())
+            cfg.ops.push_back(AggOpConfig{AggOp::Count, "", ""});
+        db_.emplace(std::move(cfg), registry_);
     }
 }
 
@@ -55,6 +67,37 @@ void QueryProcessor::merge(QueryProcessor& other) {
         passthrough_.insert(passthrough_.end(), other.passthrough_.begin(),
                             other.passthrough_.end());
     }
+}
+
+void QueryProcessor::merge(QueryProcessor&& other) {
+    in_ += other.in_;
+    kept_ += other.kept_;
+    other.in_ = other.kept_ = 0;
+    if (db_ && other.db_) {
+        if (registry_ == other.registry_)
+            db_->merge(std::move(*other.db_));
+        else
+            db_->merge_serialized(other.db_->serialize());
+    } else {
+        passthrough_.insert(passthrough_.end(),
+                            std::make_move_iterator(other.passthrough_.begin()),
+                            std::make_move_iterator(other.passthrough_.end()));
+        other.passthrough_.clear();
+    }
+}
+
+std::size_t QueryProcessor::aggregation_entries() const noexcept {
+    return db_ ? db_->size() : 0;
+}
+
+std::vector<std::byte> QueryProcessor::take_partial() {
+    if (!db_ || db_->empty())
+        return {};
+    // the record count travels inside the buffer (db.processed_); in_/kept_
+    // stay here so they are counted exactly once
+    std::vector<std::byte> buf = db_->serialize();
+    db_->clear();
+    return buf;
 }
 
 std::vector<std::byte> QueryProcessor::serialize_partial() const {
@@ -114,10 +157,56 @@ void QueryProcessor::sort_records(std::vector<RecordMap>& records) const {
                      });
 }
 
+// Aggregated rows come out of the hash table in insertion order, which
+// depends on how the input was partitioned. Re-sorting them by their
+// name-sorted (name, value) field sequences yields an order determined only
+// by the row *contents* — so serial and parallel runs (any thread count)
+// emit identical bytes. User ORDER BY is applied afterwards with a stable
+// sort, preserving this canonical order among ties.
+void QueryProcessor::canonicalize_rows(std::vector<RecordMap>& records) const {
+    if (records.size() < 2)
+        return;
+    using FieldPtr = const RecordMap::value_type*;
+    std::vector<std::pair<std::vector<FieldPtr>, std::size_t>> keys;
+    keys.reserve(records.size());
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        std::vector<FieldPtr> fields;
+        fields.reserve(records[i].size());
+        for (const auto& field : records[i])
+            fields.push_back(&field);
+        // field order inside a record can differ across registries
+        // (attribute-id order); names are unique within a row
+        std::sort(fields.begin(), fields.end(), [](FieldPtr a, FieldPtr b) {
+            return std::strcmp(a->first, b->first) < 0;
+        });
+        keys.emplace_back(std::move(fields), i);
+    }
+    std::sort(keys.begin(), keys.end(), [](const auto& a, const auto& b) {
+        const std::size_t n = std::min(a.first.size(), b.first.size());
+        for (std::size_t i = 0; i < n; ++i) {
+            const int c = std::strcmp(a.first[i]->first, b.first[i]->first);
+            if (c != 0)
+                return c < 0;
+            if (a.first[i]->second < b.first[i]->second)
+                return true;
+            if (b.first[i]->second < a.first[i]->second)
+                return false;
+        }
+        return a.first.size() < b.first.size();
+    });
+    std::vector<RecordMap> out;
+    out.reserve(records.size());
+    for (auto& [fields, index] : keys)
+        out.push_back(std::move(records[index]));
+    records = std::move(out);
+}
+
 const std::vector<RecordMap>& QueryProcessor::result() {
     if (result_)
         return *result_;
     std::vector<RecordMap> out = db_ ? db_->flush() : std::move(passthrough_);
+    if (db_)
+        canonicalize_rows(out);
     sort_records(out);
     if (spec_.limit > 0 && out.size() > spec_.limit)
         out.resize(spec_.limit);

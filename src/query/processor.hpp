@@ -27,6 +27,12 @@ class QueryProcessor {
 public:
     explicit QueryProcessor(QuerySpec spec);
 
+    /// Processor over an external (shared) attribute registry. Processors
+    /// sharing one registry agree on attribute ids, so their partial
+    /// aggregations merge by id without serialization (parallel engine,
+    /// phase 2). \a registry must outlive the processor.
+    QueryProcessor(QuerySpec spec, AttributeRegistry* registry);
+
     QueryProcessor(QueryProcessor&&) noexcept = default;
 
     /// Stream one input record through the pipeline.
@@ -38,9 +44,23 @@ public:
     /// aggregation, appends the other processor's records.
     void merge(QueryProcessor& other);
 
+    /// Destructive merge: id-based (no serialization round-trip) when both
+    /// processors share one registry; record buffers are moved, not copied.
+    void merge(QueryProcessor&& other);
+
     /// Serialized partial state for tree-based reduction across ranks.
     std::vector<std::byte> serialize_partial() const;
     void merge_serialized(std::span<const std::byte> data);
+
+    /// Number of aggregation entries held (0 without aggregation). The
+    /// parallel engine's early-flush check watches this.
+    std::size_t aggregation_entries() const noexcept;
+
+    /// Early flush: serialize the partial aggregation state and clear it,
+    /// bounding worker memory on high-cardinality keys. Returns an empty
+    /// buffer when there is no aggregation (or nothing to flush); record
+    /// counts stay on the processor.
+    std::vector<std::byte> take_partial();
 
     /// Finish the query: flush, sort, apply LIMIT. Idempotent.
     const std::vector<RecordMap>& result();
@@ -56,9 +76,11 @@ public:
 
 private:
     void sort_records(std::vector<RecordMap>& records) const;
+    void canonicalize_rows(std::vector<RecordMap>& records) const;
 
     QuerySpec spec_;
-    std::unique_ptr<AttributeRegistry> registry_;
+    std::unique_ptr<AttributeRegistry> owned_registry_;
+    AttributeRegistry* registry_;
     std::optional<AggregationDB> db_;
     std::vector<RecordMap> passthrough_;
     std::optional<std::vector<RecordMap>> result_;

@@ -6,12 +6,10 @@
 // query pipeline (filter -> aggregate -> sort -> format), and prints the
 // result.
 #include "../calib.hpp"
-#include "../io/jsonreader.hpp"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
-#include <sstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,6 +23,8 @@ void usage() {
         "options:\n"
         "  -q, --query <calql>   query expression (default: FORMAT table)\n"
         "  -o, --output <file>   write the report to <file> instead of stdout\n"
+        "  -t, --threads <n>     worker threads (default: hardware concurrency;\n"
+        "                        1 = serial; output is identical for any n)\n"
         "  -j, --json-input      inputs are JSON record arrays (FORMAT json output)\n"
         "  -G, --with-globals    join each file's globals (e.g. mpi.rank) onto\n"
         "                        every record of that file\n"
@@ -42,6 +42,7 @@ void usage() {
 int main(int argc, char** argv) {
     std::string query;
     std::string output;
+    long threads      = 0; // 0 = hardware concurrency
     bool stats        = false;
     bool json_input   = false;
     bool with_globals = false;
@@ -63,6 +64,18 @@ int main(int argc, char** argv) {
                 return 2;
             }
             output = argv[i];
+        } else if (arg == "-t" || arg == "--threads") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            threads = std::strtol(argv[i], nullptr, 10);
+            if (threads < 1) {
+                std::fprintf(stderr, "cali-query: invalid thread count '%s'\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg == "-s" || arg == "--stats") {
             stats = true;
         } else if (arg == "-j" || arg == "--json-input") {
@@ -86,38 +99,14 @@ int main(int argc, char** argv) {
     }
 
     try {
-        calib::QueryProcessor proc(calib::parse_calql(query));
-        for (const std::string& file : files) {
-            if (json_input) {
-                std::ifstream is(file);
-                if (!is)
-                    throw std::runtime_error("cannot open " + file);
-                std::ostringstream text;
-                text << is.rdbuf();
-                for (const calib::RecordMap& r :
-                     calib::read_json_records(text.str()))
-                    proc.add(r);
-            } else if (with_globals) {
-                // two passes: globals may appear anywhere in the stream
-                calib::RecordMap globals;
-                std::vector<calib::RecordMap> records;
-                calib::CaliReader::read_file(
-                    file,
-                    [&records](calib::RecordMap&& r) {
-                        records.push_back(std::move(r));
-                    },
-                    &globals);
-                for (calib::RecordMap& r : records) {
-                    for (const auto& [name, value] : globals)
-                        if (!r.contains(name))
-                            r.append(name, value);
-                    proc.add(r);
-                }
-            } else {
-                calib::CaliReader::read_file(
-                    file, [&proc](calib::RecordMap&& r) { proc.add(r); });
-            }
-        }
+        calib::engine::EngineOptions eopts;
+        eopts.threads      = static_cast<std::size_t>(threads);
+        eopts.json_input   = json_input;
+        eopts.with_globals = with_globals;
+
+        calib::engine::ParallelQueryProcessor engine(calib::parse_calql(query),
+                                                     eopts);
+        calib::QueryProcessor& proc = engine.run(files);
 
         if (output.empty()) {
             proc.write(std::cout);
@@ -131,10 +120,12 @@ int main(int argc, char** argv) {
         }
         if (stats)
             std::fprintf(stderr,
-                         "cali-query: %llu records in, %llu kept, %zu out\n",
+                         "cali-query: %llu records in, %llu kept, %zu out "
+                         "(%zu threads, %zu morsels)\n",
                          static_cast<unsigned long long>(proc.num_records_in()),
                          static_cast<unsigned long long>(proc.num_records_kept()),
-                         proc.result().size());
+                         proc.result().size(), engine.stats().threads,
+                         engine.stats().morsels);
     } catch (const calib::CalQLError& e) {
         std::fprintf(stderr, "cali-query: query error at position %zu: %s\n",
                      e.position(), e.what());

@@ -15,7 +15,8 @@
 
 int main(int argc, char** argv) {
     std::string query;
-    int nprocs = 4;
+    int nprocs   = 4;
+    int threads  = 1;
     bool timings = false;
     std::vector<std::string> files;
 
@@ -31,8 +32,17 @@ int main(int argc, char** argv) {
             nprocs = std::atoi(argv[i]);
         } else if (arg == "-t" || arg == "--timings") {
             timings = true;
+        } else if (arg == "--threads") {
+            // note: -t is taken by --timings here; the short form lives on
+            // cali-query only
+            if (++i >= argc)
+                return std::fprintf(stderr, "missing argument for --threads\n"), 2;
+            threads = std::atoi(argv[i]);
+            if (threads < 1)
+                return std::fprintf(stderr, "invalid --threads value\n"), 2;
         } else if (arg == "-h" || arg == "--help") {
-            std::puts("usage: mpi-caliquery [-n nprocs] [-t] -q <calql> <file>...");
+            std::puts("usage: mpi-caliquery [-n nprocs] [--threads m] [-t] "
+                      "-q <calql> <file>...");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "mpi-caliquery: unknown option %s\n", arg.c_str());
@@ -42,7 +52,8 @@ int main(int argc, char** argv) {
         }
     }
     if (files.empty() || nprocs < 1) {
-        std::puts("usage: mpi-caliquery [-n nprocs] [-t] -q <calql> <file>...");
+        std::puts("usage: mpi-caliquery [-n nprocs] [--threads m] [-t] "
+                  "-q <calql> <file>...");
         return 2;
     }
 
@@ -50,7 +61,7 @@ int main(int argc, char** argv) {
         const calib::QuerySpec spec = calib::parse_calql(query);
         std::vector<calib::RecordMap> result;
         const calib::simmpi::QueryTimes times =
-            calib::simmpi::parallel_query(spec, files, nprocs, &result);
+            calib::simmpi::parallel_query(spec, files, nprocs, &result, threads);
 
         calib::format_records(std::cout, result, spec);
         if (timings)

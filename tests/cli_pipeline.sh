@@ -38,6 +38,14 @@ echo "== mpi-caliquery: same query through the tree reduction =="
 
 diff serial.csv parallel.csv || { echo "serial and parallel results differ"; exit 1; }
 
+echo "== cali-query: -t 4 output is byte-identical to -t 1 =="
+"$CALI_QUERY" -t 1 -q "AGGREGATE sum(count),sum(sum#time.duration) GROUP BY kernel
+                       ORDER BY kernel FORMAT csv" clever-*.cali > t1.csv
+"$CALI_QUERY" -t 4 -q "AGGREGATE sum(count),sum(sum#time.duration) GROUP BY kernel
+                       ORDER BY kernel FORMAT csv" clever-*.cali > t4.csv
+diff t1.csv t4.csv || { echo "-t 1 and -t 4 results differ"; exit 1; }
+diff serial.csv t4.csv || { echo "default and -t 4 results differ"; exit 1; }
+
 echo "== cali-query: WHERE/LET clauses on the same data =="
 "$CALI_QUERY" -q "LET t=scale(sum#time.duration,0.001)
                   AGGREGATE sum(t) AS ms WHERE not(mpi.function)

@@ -1,0 +1,385 @@
+// Tests for the parallel query engine: thread pool semantics, morsel
+// splitting, and — most importantly — byte-identity of the parallel and
+// serial paths for every output format and thread count.
+#include "engine/morsel.hpp"
+#include "engine/parallel_processor.hpp"
+#include "engine/thread_pool.hpp"
+
+#include "io/calireader.hpp"
+#include "io/caliwriter.hpp"
+#include "query/calql.hpp"
+
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+using namespace calib;
+using namespace calib::engine;
+using calib::test::TempDir;
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4u);
+
+    std::atomic<int> counter{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([&counter] { ++counter; }));
+    wait_all(futures);
+    EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+    ThreadPool pool(2);
+    std::future<void> ok   = pool.submit([] {});
+    std::future<void> boom = pool.submit([] {
+        throw std::runtime_error("task failed");
+    });
+    EXPECT_NO_THROW(ok.get());
+    EXPECT_THROW(boom.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitAllRethrowsFirstFailureAfterAllComplete) {
+    ThreadPool pool(2);
+    std::atomic<int> completed{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 16; ++i)
+        futures.push_back(pool.submit([&completed, i] {
+            if (i == 3)
+                throw std::runtime_error("boom");
+            ++completed;
+        }));
+    EXPECT_THROW(wait_all(futures), std::runtime_error);
+    // every non-throwing task still ran to completion
+    EXPECT_EQ(completed.load(), 15);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue) {
+    std::atomic<int> counter{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&counter] { ++counter; });
+        // no explicit wait: the destructor must run every queued task
+    }
+    EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
+    EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+// ------------------------------------------------------------------- Morsels
+
+namespace {
+
+/// Write a .cali file with \a nrecords records over four kernels, an
+/// integer metric, and a unique per-record id.
+void write_cali(const std::string& path, int nrecords, int offset = 0,
+                const char* rank = nullptr) {
+    static const char* kernels[] = {"advec", "pdv", "accel", "flux"};
+    std::ofstream os(path);
+    CaliWriter w(os);
+    if (rank)
+        w.write_global("mpi.rank", Variant(rank));
+    for (int i = 0; i < nrecords; ++i) {
+        RecordMap r;
+        r.append("kernel", Variant(kernels[i % 4]));
+        r.append("count", Variant(static_cast<long long>(i % 7 + 1)));
+        r.append("id", Variant(static_cast<long long>(offset + i)));
+        w.write_record(r);
+    }
+}
+
+std::string run_engine(const std::string& query,
+                       const std::vector<std::string>& files, EngineOptions opts,
+                       EngineStats* stats = nullptr) {
+    ParallelQueryProcessor eng(parse_calql(query), opts);
+    std::ostringstream os;
+    eng.run(files).write(os);
+    if (stats)
+        *stats = eng.stats();
+    return os.str();
+}
+
+} // namespace
+
+TEST(Morsel, OneMorselPerFileForMultiFileInput) {
+    TempDir dir("morsel-multi");
+    write_cali(dir.file("a.cali"), 10);
+    write_cali(dir.file("b.cali"), 10);
+
+    auto morsels = make_morsels({dir.file("a.cali"), dir.file("b.cali")}, {});
+    ASSERT_EQ(morsels.size(), 2u);
+    EXPECT_EQ(morsels[0].kind, Morsel::Kind::CaliFile);
+    EXPECT_EQ(morsels[0].path, dir.file("a.cali"));
+    EXPECT_EQ(morsels[1].path, dir.file("b.cali"));
+}
+
+TEST(Morsel, SingleLargeFileSplitsIntoRanges) {
+    TempDir dir("morsel-range");
+    write_cali(dir.file("big.cali"), 1000);
+
+    MorselOptions opts;
+    opts.records_per_morsel = 300;
+    auto morsels            = make_morsels({dir.file("big.cali")}, opts);
+    ASSERT_EQ(morsels.size(), 4u);
+    for (const Morsel& m : morsels)
+        EXPECT_EQ(m.kind, Morsel::Kind::CaliRange);
+    EXPECT_EQ(morsels[0].begin, 0u);
+    EXPECT_EQ(morsels[0].end, 300u);
+    EXPECT_EQ(morsels[3].begin, 900u);
+    EXPECT_EQ(morsels[3].end, 1000u);
+}
+
+TEST(Morsel, SmallSingleFileStaysWhole) {
+    TempDir dir("morsel-small");
+    write_cali(dir.file("small.cali"), 10);
+    auto morsels = make_morsels({dir.file("small.cali")}, {});
+    ASSERT_EQ(morsels.size(), 1u);
+    EXPECT_EQ(morsels[0].kind, Morsel::Kind::CaliFile);
+}
+
+TEST(Morsel, CountRecords) {
+    TempDir dir("morsel-count");
+    write_cali(dir.file("n.cali"), 137);
+    EXPECT_EQ(CaliReader::count_records(dir.file("n.cali")), 137u);
+}
+
+TEST(Morsel, RangeReaderStillSeesAllGlobals) {
+    TempDir dir("morsel-globals");
+    write_cali(dir.file("g.cali"), 20, 0, "7");
+
+    RecordMap globals;
+    std::size_t n = 0;
+    CaliReader::read_file_range(dir.file("g.cali"), 5, 10,
+                                [&n](RecordMap&&) { ++n; }, &globals);
+    EXPECT_EQ(n, 5u);
+    EXPECT_EQ(globals.get("mpi.rank"), Variant("7"));
+}
+
+// ------------------------------------------ parallel == serial (byte-exact)
+
+namespace {
+
+const char* const kFormats[] = {"table", "csv", "json", "expand", "tree"};
+const std::size_t kThreadCounts[] = {2, 4, 8};
+
+/// Assert that \a query over \a files renders identically at 1/2/4/8
+/// threads, and return the serial rendering.
+std::string expect_identical(const std::string& query,
+                             const std::vector<std::string>& files,
+                             EngineOptions opts = {}) {
+    opts.threads             = 1;
+    const std::string serial = run_engine(query, files, opts);
+    for (std::size_t t : kThreadCounts) {
+        opts.threads = t;
+        EXPECT_EQ(serial, run_engine(query, files, opts))
+            << "output differs at " << t << " threads for: " << query;
+    }
+    return serial;
+}
+
+} // namespace
+
+TEST(ParallelDifferential, AggregationAcrossFilesAllFormats) {
+    TempDir dir("par-agg");
+    std::vector<std::string> files;
+    for (int f = 0; f < 5; ++f) {
+        files.push_back(dir.file("r" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 200, f * 200);
+    }
+    for (const char* fmt : kFormats) {
+        const std::string out = expect_identical(
+            "AGGREGATE sum(count),count GROUP BY kernel FORMAT " +
+                std::string(fmt),
+            files);
+        EXPECT_NE(out.find("advec"), std::string::npos) << fmt;
+    }
+}
+
+TEST(ParallelDifferential, SingleFileRangeMorselsAllFormats) {
+    TempDir dir("par-range");
+    write_cali(dir.file("big.cali"), 1200);
+
+    EngineOptions opts;
+    opts.records_per_morsel = 100; // 12 range morsels
+    for (const char* fmt : kFormats)
+        expect_identical("AGGREGATE sum(count),min(id),max(id) GROUP BY kernel "
+                         "ORDER BY kernel FORMAT " +
+                             std::string(fmt),
+                         {dir.file("big.cali")}, opts);
+}
+
+TEST(ParallelDifferential, EmptyInput) {
+    TempDir dir("par-empty");
+    write_cali(dir.file("e0.cali"), 0);
+    write_cali(dir.file("e1.cali"), 0);
+    for (const char* fmt : kFormats)
+        expect_identical("AGGREGATE sum(count) GROUP BY kernel FORMAT " +
+                             std::string(fmt),
+                         {dir.file("e0.cali"), dir.file("e1.cali")});
+}
+
+TEST(ParallelDifferential, SingleRecordInput) {
+    TempDir dir("par-one");
+    write_cali(dir.file("one.cali"), 1);
+    write_cali(dir.file("zero.cali"), 0);
+    for (const char* fmt : kFormats)
+        expect_identical("AGGREGATE sum(count) GROUP BY kernel FORMAT " +
+                             std::string(fmt),
+                         {dir.file("one.cali"), dir.file("zero.cali")});
+}
+
+TEST(ParallelDifferential, HighCardinalityGroupByStar) {
+    TempDir dir("par-star");
+    std::vector<std::string> files;
+    for (int f = 0; f < 4; ++f) {
+        files.push_back(dir.file("s" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 250, f * 250); // every record a unique group
+    }
+    const std::string out =
+        expect_identical("AGGREGATE sum(count) GROUP BY * FORMAT csv", files);
+    // 4 x 250 unique ids -> 1000 output rows + header
+    EXPECT_EQ(static_cast<int>(std::count(out.begin(), out.end(), '\n')), 1001);
+}
+
+TEST(ParallelDifferential, PassthroughKeepsInputOrder) {
+    TempDir dir("par-pass");
+    std::vector<std::string> files;
+    for (int f = 0; f < 4; ++f) {
+        files.push_back(dir.file("p" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 50, f * 50);
+    }
+    // no aggregation: records must come out in input (morsel) order
+    expect_identical("SELECT kernel,count,id FORMAT csv", files);
+    expect_identical("SELECT kernel,id WHERE count>3 FORMAT csv", files);
+}
+
+TEST(ParallelDifferential, LetFilterOrderLimit) {
+    TempDir dir("par-calql");
+    std::vector<std::string> files;
+    for (int f = 0; f < 3; ++f) {
+        files.push_back(dir.file("q" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 120, f * 120);
+    }
+    expect_identical("LET c2=scale(count,2) AGGREGATE sum(c2),avg(count) "
+                     "WHERE count>1 GROUP BY kernel ORDER BY kernel DESC "
+                     "FORMAT csv LIMIT 3",
+                     files);
+}
+
+TEST(ParallelDifferential, WithGlobalsJoin) {
+    TempDir dir("par-glob");
+    std::vector<std::string> files;
+    for (int f = 0; f < 3; ++f) {
+        files.push_back(dir.file("g" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 60, f * 60, std::to_string(f).c_str());
+    }
+    EngineOptions opts;
+    opts.with_globals = true;
+    const std::string out = expect_identical(
+        "AGGREGATE sum(count) GROUP BY mpi.rank ORDER BY mpi.rank FORMAT csv",
+        files, opts);
+    // one group per file-global rank + header
+    EXPECT_EQ(static_cast<int>(std::count(out.begin(), out.end(), '\n')), 4);
+}
+
+TEST(ParallelDifferential, JsonInput) {
+    TempDir dir("par-json");
+    std::vector<std::string> files;
+    for (int f = 0; f < 2; ++f) {
+        files.push_back(dir.file("j" + std::to_string(f) + ".json"));
+        std::ofstream os(files.back());
+        os << "[";
+        for (int i = 0; i < 40; ++i)
+            os << (i ? "," : "") << "{\"kernel\":\"k" << i % 3
+               << "\",\"count\":" << i % 5 + 1 << "}";
+        os << "]";
+    }
+    EngineOptions opts;
+    opts.json_input = true;
+    expect_identical("AGGREGATE sum(count) GROUP BY kernel ORDER BY kernel "
+                     "FORMAT csv",
+                     files, opts);
+}
+
+// ---------------------------------------------------------------- early flush
+
+TEST(EarlyFlush, BoundsPartialsWithoutChangingResults) {
+    TempDir dir("early-flush");
+    std::vector<std::string> files;
+    for (int f = 0; f < 4; ++f) {
+        files.push_back(dir.file("h" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 300, f * 300); // unique ids: high cardinality
+    }
+    const std::string query = "AGGREGATE sum(count) GROUP BY * FORMAT csv";
+
+    EngineOptions plain;
+    plain.threads            = 1;
+    const std::string serial = run_engine(query, files, plain);
+
+    EngineOptions flushing;
+    flushing.threads             = 4;
+    flushing.max_partial_entries = 16; // force many flushes
+    EngineStats stats;
+    const std::string flushed = run_engine(query, files, flushing, &stats);
+
+    EXPECT_EQ(serial, flushed);
+    EXPECT_GT(stats.early_flushes, 0u);
+    EXPECT_GT(stats.early_flush_bytes, 0u);
+}
+
+TEST(EarlyFlush, RecordCountsSurviveFlushing) {
+    TempDir dir("early-counts");
+    std::vector<std::string> files;
+    for (int f = 0; f < 2; ++f) {
+        files.push_back(dir.file("c" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 200, f * 200);
+    }
+    EngineOptions opts;
+    opts.threads             = 2;
+    opts.max_partial_entries = 8;
+    ParallelQueryProcessor eng(
+        parse_calql("AGGREGATE count GROUP BY * FORMAT csv"), opts);
+    QueryProcessor& proc = eng.run(files);
+    EXPECT_EQ(proc.num_records_in(), 400u);
+    EXPECT_EQ(proc.num_records_kept(), 400u);
+    EXPECT_EQ(proc.result().size(), 400u); // unique ids -> 1 row per record
+}
+
+// ------------------------------------------------------------- engine stats
+
+TEST(EngineStats, ReportsThreadsAndMorsels) {
+    TempDir dir("stats");
+    std::vector<std::string> files;
+    for (int f = 0; f < 3; ++f) {
+        files.push_back(dir.file("m" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 20, f * 20);
+    }
+    EngineOptions opts;
+    opts.threads = 8;
+    EngineStats stats;
+    run_engine("AGGREGATE sum(count) GROUP BY kernel FORMAT csv", files, opts,
+               &stats);
+    EXPECT_EQ(stats.morsels, 3u);
+    EXPECT_EQ(stats.threads, 3u); // clamped to the morsel count
+}
+
+TEST(EngineStats, WorkerErrorsPropagateToCaller) {
+    TempDir dir("err");
+    write_cali(dir.file("ok.cali"), 10);
+    EngineOptions opts;
+    opts.threads = 2;
+    ParallelQueryProcessor eng(parse_calql("FORMAT csv"), opts);
+    EXPECT_THROW(eng.run({dir.file("ok.cali"), dir.file("missing.cali")}),
+                 std::runtime_error);
+}
