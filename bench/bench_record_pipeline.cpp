@@ -1,0 +1,152 @@
+// Offline record pipeline throughput: records/sec of the single-thread
+// read -> LET/WHERE -> aggregate path, comparing
+//
+//   name path  — legacy per-record resolution: the reader emits name-based
+//                RecordMaps and the processor resolves every attribute of
+//                every record against the registry (process_offline shim);
+//   id path    — resolve-once pipeline: the reader resolves each attribute
+//                name once at its definition line and streams id-based
+//                records straight into the aggregation database.
+//
+// Both paths run the same query over the same generated ParaDiS-sim
+// dataset and must render byte-identical output. Emits the measurement as
+// JSON to stdout and to BENCH_record_pipeline.json (perf trajectory).
+//
+// Environment knobs:
+//   CALIB_BENCH_RP_FILES   input files            (default 4)
+//   CALIB_BENCH_RP_REPS    repetitions per path   (default 3; best is kept)
+#include "apps/paradis/generator.hpp"
+#include "bench_common.hpp"
+#include "io/calireader.hpp"
+#include "query/calql.hpp"
+#include "query/processor.hpp"
+#include "runtime/clock.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace calib;
+using namespace calib::bench;
+
+namespace {
+
+struct Measurement {
+    double wall_s = 0;
+    std::uint64_t records = 0;
+    std::string output;
+};
+
+Measurement run_name_path(const QuerySpec& spec,
+                          const std::vector<std::string>& files) {
+    Measurement m;
+    const std::uint64_t t0 = now_ns();
+    QueryProcessor proc(spec);
+    for (const std::string& file : files)
+        CaliReader::read_file(file,
+                              [&proc](RecordMap&& r) { proc.add(r); });
+    std::ostringstream os;
+    proc.write(os);
+    m.wall_s  = static_cast<double>(now_ns() - t0) * 1e-9;
+    m.records = proc.num_records_in();
+    m.output  = os.str();
+    return m;
+}
+
+Measurement run_id_path(const QuerySpec& spec,
+                        const std::vector<std::string>& files,
+                        CaliReader::ReaderStats* stats = nullptr) {
+    Measurement m;
+    const std::uint64_t t0 = now_ns();
+    QueryProcessor proc(spec);
+    for (const std::string& file : files)
+        CaliReader::read_file(file, *proc.registry(),
+                              [&proc](IdRecord&& r) { proc.add(std::move(r)); },
+                              nullptr, stats);
+    std::ostringstream os;
+    proc.write(os);
+    m.wall_s  = static_cast<double>(now_ns() - t0) * 1e-9;
+    m.records = proc.num_records_in();
+    m.output  = os.str();
+    return m;
+}
+
+template <typename Fn> Measurement best_of(int reps, Fn&& run) {
+    Measurement best;
+    for (int i = 0; i < reps; ++i) {
+        Measurement m = run();
+        if (i == 0 || m.wall_s < best.wall_s)
+            best.wall_s = m.wall_s;
+        if (i == 0) {
+            best.records = m.records;
+            best.output  = std::move(m.output);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int main() {
+    const int nfiles = env_int("CALIB_BENCH_RP_FILES", 4);
+    const int reps   = env_int("CALIB_BENCH_RP_REPS", 3);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "calib-bench-rp-data").string();
+
+    paradis::ParadisConfig dataset_config;
+    std::printf("# record pipeline: generating %d files x %d records...\n",
+                nfiles, dataset_config.records_per_file);
+    const std::vector<std::string> files =
+        paradis::generate_dataset(dir, nfiles, dataset_config);
+
+    const QuerySpec spec = parse_calql(
+        "AGGREGATE sum(time.inclusive.duration),count GROUP BY kernel,mpi.function");
+
+    const Measurement name_path =
+        best_of(reps, [&] { return run_name_path(spec, files); });
+
+    CaliReader::ReaderStats stats; // accumulated over reps; ratios below use it
+    const Measurement id_path =
+        best_of(reps, [&] { return run_id_path(spec, files, &stats); });
+
+    const bool identical  = name_path.output == id_path.output;
+    const double name_rps = static_cast<double>(name_path.records) / name_path.wall_s;
+    const double id_rps   = static_cast<double>(id_path.records) / id_path.wall_s;
+    const double speedup  = name_path.wall_s / id_path.wall_s;
+    // resolutions per entry on the id path (resolve-once contract: ≪ 1)
+    const double res_per_entry =
+        static_cast<double>(stats.name_resolutions) / static_cast<double>(stats.entries);
+
+    std::printf("%12s %12s %16s %10s\n", "path", "wall (s)", "records/sec",
+                "speedup");
+    std::printf("%12s %12.5f %16.0f %10s\n", "name", name_path.wall_s, name_rps, "1.00");
+    std::printf("%12s %12.5f %16.0f %10.2f\n", "id", id_path.wall_s, id_rps, speedup);
+    std::printf("# identical output: %s\n", identical ? "yes" : "NO");
+    std::printf("# reader: %llu records, %llu entries, %llu name resolutions "
+                "(%.6f per entry)\n",
+                static_cast<unsigned long long>(stats.records),
+                static_cast<unsigned long long>(stats.entries),
+                static_cast<unsigned long long>(stats.name_resolutions),
+                res_per_entry);
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"record_pipeline\",\n"
+         << "  \"files\": " << nfiles << ",\n"
+         << "  \"records\": " << id_path.records << ",\n  \"results\": [\n"
+         << "    {\"path\": \"name\", \"wall_s\": " << name_path.wall_s
+         << ", \"records_per_sec\": " << name_rps << ", \"speedup\": 1.0},\n"
+         << "    {\"path\": \"id\", \"wall_s\": " << id_path.wall_s
+         << ", \"records_per_sec\": " << id_rps << ", \"speedup\": " << speedup
+         << "}\n  ],\n"
+         << "  \"identical_output\": " << (identical ? "true" : "false") << ",\n"
+         << "  \"reader_name_resolutions\": " << stats.name_resolutions << ",\n"
+         << "  \"reader_entries\": " << stats.entries << ",\n"
+         << "  \"resolutions_per_entry\": " << res_per_entry << "\n}\n";
+
+    std::printf("\n%s", json.str().c_str());
+    std::ofstream("BENCH_record_pipeline.json") << json.str();
+    std::printf("# wrote BENCH_record_pipeline.json\n");
+
+    std::filesystem::remove_all(dir);
+    return identical ? 0 : 1;
+}

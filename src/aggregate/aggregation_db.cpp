@@ -30,6 +30,13 @@ bool keys_equal(const Entry* a, const Entry* b, std::size_t len) {
     return true;
 }
 
+const Variant* find_entry(std::span<const Entry> record, id_t attribute) {
+    for (const Entry& e : record)
+        if (e.attribute == attribute)
+            return &e.value;
+    return nullptr;
+}
+
 } // namespace
 
 AggregationDB::AggregationDB(AggregationConfig config, AttributeRegistry* registry)
@@ -137,8 +144,12 @@ bool AggregationDB::skip_in_implicit_key(id_t attr) {
     return flag != 0;
 }
 
-void AggregationDB::process(const SnapshotRecord& record) {
+void AggregationDB::process(std::span<const Entry> record) {
     resolve_ids();
+
+    // mirror snapshot capacity: entries beyond max_entries are dropped
+    if (record.size() > SnapshotRecord::max_entries)
+        record = record.first(SnapshotRecord::max_entries);
 
     Entry key[SnapshotRecord::max_entries];
     std::size_t key_len = 0;
@@ -153,7 +164,9 @@ void AggregationDB::process(const SnapshotRecord& record) {
     } else {
         for (std::size_t i = 0; i < key_ids_.size(); ++i) {
             const id_t attr = key_ids_[i];
-            const Variant v = attr == invalid_id ? Variant() : record.get(attr);
+            const Variant* found =
+                attr == invalid_id ? nullptr : find_entry(record, attr);
+            const Variant v = found ? *found : Variant();
             // canonicalize: an absent key attribute always contributes the
             // same (invalid_id, empty) entry, so groups do not depend on
             // when the attribute was first defined
@@ -242,18 +255,19 @@ const std::uint64_t* AggregationDB::entry_state(std::size_t entry_index,
            op_state_offsets_[op_index];
 }
 
-void AggregationDB::update_ops(std::size_t entry_index, const SnapshotRecord& record) {
+void AggregationDB::update_ops(std::size_t entry_index, std::span<const Entry> record) {
     for (std::size_t i = 0; i < config_.ops.size(); ++i) {
         const AggOp op = config_.ops[i].op;
         if (agg_op_is_nullary(op)) {
             kernel::state_update(op, entry_state(entry_index, i), Variant());
             continue;
         }
-        Variant v = op_ids_[i] != invalid_id ? record.get(op_ids_[i]) : Variant();
-        if (v.empty() && op_fallback_ids_[i] != invalid_id)
-            v = record.get(op_fallback_ids_[i]);
-        if (!v.empty())
-            kernel::state_update(op, entry_state(entry_index, i), v);
+        const Variant* v =
+            op_ids_[i] != invalid_id ? find_entry(record, op_ids_[i]) : nullptr;
+        if ((!v || v->empty()) && op_fallback_ids_[i] != invalid_id)
+            v = find_entry(record, op_fallback_ids_[i]);
+        if (v && !v->empty())
+            kernel::state_update(op, entry_state(entry_index, i), *v);
     }
 }
 

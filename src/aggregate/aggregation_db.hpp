@@ -18,6 +18,7 @@
 #include "ops.hpp"
 
 #include "../common/attribute.hpp"
+#include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
 #include "../common/snapshot.hpp"
 
@@ -44,11 +45,24 @@ public:
     /// snapshot-processing path free of reallocations until exceeded).
     void reserve(std::size_t entries);
 
-    /// Fold one snapshot record into the database (streaming reduction).
-    void process(const SnapshotRecord& record);
+    /// Fold one record — a flat sequence of (attribute-id, value) entries —
+    /// into the database (streaming reduction). Entries beyond
+    /// SnapshotRecord::max_entries are ignored (mirroring snapshot
+    /// capacity, so the online and offline paths agree).
+    void process(std::span<const Entry> record);
 
-    /// Fold one offline (name-based) record: attributes are resolved or
-    /// created in the registry, then processed like a snapshot.
+    /// Fold one snapshot record into the database.
+    void process(const SnapshotRecord& record) {
+        process(std::span<const Entry>(record.begin(), record.size()));
+    }
+
+    /// Fold one id-based offline record (resolve-once reader output).
+    void process(const IdRecord& record) { process(record.span()); }
+
+    /// Compatibility shim for name-based callers: attributes are resolved
+    /// or created in the registry per record, then processed like a
+    /// snapshot. The id-based pipeline (readers emitting IdRecords into
+    /// process()) replaces this on the hot path; prefer it for bulk data.
     void process_offline(const RecordMap& record);
 
     /// Number of aggregation entries (unique keys seen).
@@ -111,7 +125,7 @@ private:
     bool skip_in_implicit_key(id_t attr);
     std::size_t find_or_insert(const Entry* key, std::size_t key_len, std::uint64_t hash);
     void grow_table(std::size_t min_slots);
-    void update_ops(std::size_t entry_index, const SnapshotRecord& record);
+    void update_ops(std::size_t entry_index, std::span<const Entry> record);
     std::uint64_t* entry_state(std::size_t entry_index, std::size_t op_index);
     const std::uint64_t* entry_state(std::size_t entry_index, std::size_t op_index) const;
 

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "common/attribute.hpp"   // IWYU pragma: export
+#include "common/idrecord.hpp"    // IWYU pragma: export
 #include "common/recordmap.hpp"   // IWYU pragma: export
 #include "common/snapshot.hpp"    // IWYU pragma: export
 #include "common/variant.hpp"     // IWYU pragma: export

@@ -38,23 +38,25 @@ public:
         entries_.emplace_back(n, value);
     }
 
+    /// First entry for \a name, or nullptr (one scan for presence + value).
+    const Variant* find(std::string_view name) const {
+        for (const auto& [en, ev] : entries_)
+            if (name_equal(name, en))
+                return &ev;
+        return nullptr;
+    }
+
     /// First value for \a name, or an empty Variant.
     Variant get(std::string_view name) const {
-        for (const auto& [en, ev] : entries_)
-            if (name == en)
-                return ev;
-        return {};
+        const Variant* v = find(name);
+        return v ? *v : Variant();
     }
 
-    bool contains(std::string_view name) const {
-        for (const auto& [en, ev] : entries_)
-            if (name == en)
-                return true;
-        return false;
-    }
+    bool contains(std::string_view name) const { return find(name) != nullptr; }
 
     void remove(std::string_view name) {
-        std::erase_if(entries_, [&](const value_type& e) { return name == e.first; });
+        std::erase_if(entries_,
+                      [&](const value_type& e) { return name_equal(name, e.first); });
     }
 
     std::size_t size() const noexcept { return entries_.size(); }
@@ -79,6 +81,15 @@ public:
     }
 
 private:
+    /// Stored names are interned, so a lookup name that is itself an
+    /// interned pointer (the common case: attribute names flow around as
+    /// `const char*`) matches on pointer identity without touching the
+    /// characters. Same data pointer + NUL at name.size() ⇔ same content.
+    static bool name_equal(std::string_view name, const char* interned) noexcept {
+        return name.data() == interned ? interned[name.size()] == '\0'
+                                       : name == interned;
+    }
+
     std::vector<value_type> entries_;
 };
 

@@ -55,20 +55,22 @@ public:
         append(attribute, value);
     }
 
-    /// First value recorded for \a attribute, or an empty Variant.
-    Variant get(id_t attribute) const noexcept {
+    /// First entry for \a attribute, or nullptr (one scan for
+    /// presence + value).
+    const Entry* find(id_t attribute) const noexcept {
         for (std::size_t i = 0; i < size_; ++i)
             if (entries_[i].attribute == attribute)
-                return entries_[i].value;
-        return {};
+                return &entries_[i];
+        return nullptr;
     }
 
-    bool contains(id_t attribute) const noexcept {
-        for (std::size_t i = 0; i < size_; ++i)
-            if (entries_[i].attribute == attribute)
-                return true;
-        return false;
+    /// First value recorded for \a attribute, or an empty Variant.
+    Variant get(id_t attribute) const noexcept {
+        const Entry* e = find(attribute);
+        return e ? e->value : Variant();
     }
+
+    bool contains(id_t attribute) const noexcept { return find(attribute) != nullptr; }
 
     std::size_t size() const noexcept { return size_; }
     bool empty() const noexcept { return size_ == 0; }

@@ -14,10 +14,10 @@ namespace calib::engine {
 
 namespace {
 
-void join_globals(RecordMap& record, const RecordMap& globals) {
-    for (const auto& [name, value] : globals)
-        if (!record.contains(name))
-            record.append(name, value);
+void join_globals(IdRecord& record, const IdRecord& globals) {
+    for (const Entry& g : globals)
+        if (!record.contains(g.attribute))
+            record.append(g);
 }
 
 /// Per-morsel partial state produced in phase 1.
@@ -64,21 +64,24 @@ void ParallelQueryProcessor::run_serial(const std::vector<std::string>& files) {
             std::ifstream is(file);
             if (!is)
                 throw std::runtime_error("cannot open " + file);
-            read_json_records(is, [this](RecordMap&& r) { root_.add(r); });
+            read_json_records(is, registry_,
+                              [this](IdRecord&& r) { root_.add(std::move(r)); });
         } else if (opts_.with_globals) {
             // globals may appear anywhere in the stream, so records are
             // buffered until the file is fully scanned
-            RecordMap globals;
-            std::vector<RecordMap> records;
+            IdRecord globals;
+            std::vector<IdRecord> records;
             CaliReader::read_file(
-                file, [&records](RecordMap&& r) { records.push_back(std::move(r)); },
+                file, registry_,
+                [&records](IdRecord&& r) { records.push_back(std::move(r)); },
                 &globals);
-            for (RecordMap& r : records) {
+            for (IdRecord& r : records) {
                 join_globals(r, globals);
-                root_.add(r);
+                root_.add(std::move(r));
             }
         } else {
-            CaliReader::read_file(file, [this](RecordMap&& r) { root_.add(r); });
+            CaliReader::read_file(file, registry_,
+                                  [this](IdRecord&& r) { root_.add(std::move(r)); });
         }
     }
 }
@@ -100,8 +103,8 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
     for (std::size_t i = 0; i < n; ++i) {
         futures.push_back(pool.submit([this, &m = morsels[i], &p = partials[i]] {
             QueryProcessor& proc = *p.proc;
-            auto feed            = [this, &proc, &p](RecordMap&& r) {
-                proc.add(r);
+            auto feed            = [this, &proc, &p](IdRecord&& r) {
+                proc.add(std::move(r));
                 if (opts_.max_partial_entries > 0 &&
                     proc.aggregation_entries() > opts_.max_partial_entries) {
                     std::vector<std::byte> buf = proc.take_partial();
@@ -113,20 +116,20 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
                 std::ifstream is(m.path);
                 if (!is)
                     throw std::runtime_error("cannot open " + m.path);
-                read_json_records(is, feed);
+                read_json_records(is, registry_, feed);
             } else if (opts_.with_globals) {
-                RecordMap globals;
-                std::vector<RecordMap> records;
+                IdRecord globals;
+                std::vector<IdRecord> records;
                 CaliReader::read_file_range(
-                    m.path, m.begin, m.end,
-                    [&records](RecordMap&& r) { records.push_back(std::move(r)); },
+                    m.path, m.begin, m.end, registry_,
+                    [&records](IdRecord&& r) { records.push_back(std::move(r)); },
                     &globals);
-                for (RecordMap& r : records) {
+                for (IdRecord& r : records) {
                     join_globals(r, globals);
                     feed(std::move(r));
                 }
             } else {
-                CaliReader::read_file_range(m.path, m.begin, m.end, feed);
+                CaliReader::read_file_range(m.path, m.begin, m.end, registry_, feed);
             }
         }));
     }

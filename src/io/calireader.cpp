@@ -3,6 +3,7 @@
 #include "../common/util.hpp"
 #include "../common/variant.hpp"
 
+#include <charconv>
 #include <fstream>
 #include <stdexcept>
 #include <unordered_map>
@@ -11,36 +12,77 @@ namespace calib {
 
 namespace {
 
+/// Resolved attribute definition: the stream-local id maps straight to a
+/// registry id, so record fields never touch the attribute name again.
 struct LocalAttr {
-    const char* name; // interned
+    id_t id;
     Variant::Type type;
 };
 
-Variant parse_value(const LocalAttr& attr, const std::string& text) {
-    Variant v = Variant::parse(attr.type, text);
+/// Iterate ','-separated fields, honoring backslash escapes of the
+/// separator; keeps empty fields. Field views point into \a s with escape
+/// sequences intact (split_escaped semantics without the allocations).
+template <typename Fn>
+void for_each_field(std::string_view s, Fn&& fn) {
+    std::size_t start = 0;
+    bool esc          = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (esc)
+            esc = false;
+        else if (s[i] == '\\')
+            esc = true;
+        else if (s[i] == ',') {
+            fn(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    fn(s.substr(start));
+}
+
+/// Undo escapes only when the field actually contains one; the scratch
+/// buffer is reused across fields so the common case allocates nothing.
+std::string_view unescaped(std::string_view field, std::string& scratch) {
+    if (field.find('\\') == std::string_view::npos)
+        return field;
+    scratch = util::unescape(field);
+    return scratch;
+}
+
+Variant parse_value(Variant::Type type, std::string_view text) {
+    Variant v = Variant::parse(type, text);
     if (v.empty() && !text.empty())
         v = Variant::parse_guess(text); // type drifted within the stream
-    if (v.empty() && attr.type == Variant::Type::String)
-        v = Variant(std::string_view(text));
+    if (v.empty() && type == Variant::Type::String)
+        v = Variant(text);
     return v;
 }
 
 } // namespace
 
-void CaliReader::read(std::istream& is, const RecordSink& sink, RecordMap* globals) {
-    read_range(is, 0, UINT64_MAX, sink, globals);
+void CaliReader::read(std::istream& is, AttributeRegistry& registry,
+                      const IdSink& sink, IdRecord* globals, ReaderStats* stats) {
+    read_range(is, 0, UINT64_MAX, registry, sink, globals, stats);
 }
 
 void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
-                            const RecordSink& sink, RecordMap* globals) {
+                            AttributeRegistry& registry, const IdSink& sink,
+                            IdRecord* globals, ReaderStats* stats) {
     std::unordered_map<std::uint32_t, LocalAttr> attrs;
-    std::string line;
-    std::size_t lineno        = 0;
+    std::string line, scratch;
+    std::size_t lineno         = 0;
     std::uint64_t record_index = 0;
 
     auto fail = [&lineno](const std::string& msg) {
         throw std::runtime_error("calib-stream line " + std::to_string(lineno) + ": " +
                                  msg);
+    };
+
+    auto parse_local_id = [&fail](std::string_view text) {
+        std::uint32_t id = 0;
+        const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), id);
+        if (ec != std::errc() || ptr == text.data())
+            fail("malformed attribute id");
+        return id;
     };
 
     while (std::getline(is, line)) {
@@ -64,39 +106,96 @@ void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t
             line.size() >= 2 ? std::string_view(line).substr(2) : std::string_view();
 
         if (kind == 'A') {
-            auto fields = util::split_escaped(rest, ',');
-            if (fields.size() < 3)
+            // resolve the attribute name here, once per definition line —
+            // every record field below is a pure integer lookup
+            std::string_view fields[3];
+            std::size_t nfields = 0;
+            for_each_field(rest, [&](std::string_view f) {
+                if (nfields < 3)
+                    fields[nfields] = f;
+                ++nfields;
+            });
+            if (nfields < 3)
                 fail("malformed attribute definition");
-            const std::uint32_t id = static_cast<std::uint32_t>(std::stoul(fields[0]));
-            LocalAttr attr;
-            attr.name = intern(util::unescape(fields[1]));
-            attr.type = Variant::type_from_name(fields[2]);
-            attrs[id] = attr;
+            const std::uint32_t local = parse_local_id(fields[0]);
+            const Variant::Type type  = Variant::type_from_name(fields[2]);
+            const Attribute attribute =
+                registry.create(unescaped(fields[1], scratch), type);
+            if (stats)
+                ++stats->name_resolutions;
+            attrs[local] = LocalAttr{attribute.id(), type};
         } else if (kind == 'R' || kind == 'G') {
-            RecordMap rec;
-            for (const std::string& field : util::split_escaped(rest, ',')) {
-                if (field.empty())
-                    continue;
+            IdRecord rec;
+            bool bad = false;
+            for_each_field(rest, [&](std::string_view field) {
+                if (field.empty() || bad)
+                    return;
                 const std::size_t eq = field.find('=');
-                if (eq == std::string::npos)
-                    fail("missing '=' in record field");
-                const std::uint32_t id =
-                    static_cast<std::uint32_t>(std::stoul(field.substr(0, eq)));
-                auto it = attrs.find(id);
+                if (eq == std::string_view::npos) {
+                    bad = true;
+                    return;
+                }
+                const std::uint32_t local = parse_local_id(field.substr(0, eq));
+                auto it                   = attrs.find(local);
                 if (it == attrs.end())
-                    fail("record references undefined attribute " + std::to_string(id));
-                rec.append(it->second.name,
-                           parse_value(it->second, util::unescape(field.substr(eq + 1))));
-            }
-            if (kind == 'R')
+                    fail("record references undefined attribute " +
+                         std::to_string(local));
+                rec.append(it->second.id,
+                           parse_value(it->second.type,
+                                       unescaped(field.substr(eq + 1), scratch)));
+            });
+            if (bad)
+                fail("missing '=' in record field");
+            if (kind == 'R') {
+                if (stats) {
+                    ++stats->records;
+                    stats->entries += rec.size();
+                }
                 sink(std::move(rec));
-            else if (globals)
-                for (const auto& [name, value] : rec)
-                    globals->append(name, value);
+            } else if (globals) {
+                for (const Entry& e : rec)
+                    globals->append(e);
+            }
         } else {
             fail(std::string("unknown line kind '") + kind + "'");
         }
     }
+}
+
+void CaliReader::read_file(const std::string& path, AttributeRegistry& registry,
+                           const IdSink& sink, IdRecord* globals, ReaderStats* stats) {
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    read(is, registry, sink, globals, stats);
+}
+
+void CaliReader::read_file_range(const std::string& path, std::uint64_t begin,
+                                 std::uint64_t end, AttributeRegistry& registry,
+                                 const IdSink& sink, IdRecord* globals,
+                                 ReaderStats* stats) {
+    std::ifstream is(path);
+    if (!is)
+        throw std::runtime_error("cannot open " + path);
+    read_range(is, begin, end, registry, sink, globals, stats);
+}
+
+// -- name-based compatibility wrappers --------------------------------------
+
+void CaliReader::read(std::istream& is, const RecordSink& sink, RecordMap* globals) {
+    read_range(is, 0, UINT64_MAX, sink, globals);
+}
+
+void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
+                            const RecordSink& sink, RecordMap* globals) {
+    AttributeRegistry registry; // private dictionary, names restored below
+    IdRecord g;
+    read_range(is, begin, end, registry,
+               [&](IdRecord&& rec) { sink(to_recordmap(rec, registry)); },
+               globals ? &g : nullptr);
+    if (globals)
+        for (const Entry& e : g)
+            globals->append(registry.get(e.attribute).name(), e.value);
 }
 
 std::vector<RecordMap> CaliReader::read_all(std::istream& is, RecordMap* globals) {

@@ -1,5 +1,12 @@
-// Reader for the calib stream format (see caliwriter.hpp). Produces
-// name-based offline records (RecordMap) ready for the query engine.
+// Reader for the calib stream format (see caliwriter.hpp).
+//
+// The primary entry points resolve attribute names against a caller-
+// provided AttributeRegistry *once per attribute definition* — a name that
+// repeats across thousands of records costs one registry lookup total —
+// and emit id-based records (IdRecord) straight into the query pipeline.
+// The name-based RecordMap API remains as a compatibility wrapper over
+// the same parser (it resolves through a private registry and converts
+// each record back to names).
 //
 // All entry points are stateless and safe to call concurrently from
 // multiple threads (string interning and attribute registries synchronize
@@ -7,6 +14,8 @@
 // opens its own stream over its morsel of the input.
 #pragma once
 
+#include "../common/attribute.hpp"
+#include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
 
 #include <cstdint>
@@ -20,10 +29,47 @@ namespace calib {
 class CaliReader {
 public:
     using RecordSink = std::function<void(RecordMap&&)>;
+    using IdSink     = std::function<void(IdRecord&&)>;
 
-    /// Stream records from \a is into \a sink; dataset globals (if any)
-    /// accumulate into \a globals. Throws std::runtime_error on a
-    /// malformed stream.
+    /// Resolve-once accounting: how much name handling a read performed.
+    /// The id-based pipeline's invariant is name_resolutions ≪ entries
+    /// (one resolution per attribute *definition*, not per record).
+    struct ReaderStats {
+        std::uint64_t records          = 0; ///< records delivered to the sink
+        std::uint64_t entries          = 0; ///< record fields delivered
+        std::uint64_t name_resolutions = 0; ///< registry lookups performed
+    };
+
+    // -- id-based entry points (resolve-once; the query hot path) ----------
+
+    /// Stream id-based records from \a is into \a sink; attribute names
+    /// resolve through \a registry at their definition line. Dataset
+    /// globals (if any) accumulate into \a globals. Throws
+    /// std::runtime_error on a malformed stream.
+    static void read(std::istream& is, AttributeRegistry& registry,
+                     const IdSink& sink, IdRecord* globals = nullptr,
+                     ReaderStats* stats = nullptr);
+
+    /// Stream only records with index in [\a begin, \a end) into \a sink
+    /// (record indices count 'R' lines in stream order). The whole stream
+    /// is still scanned — attribute definitions and globals can appear
+    /// anywhere — but records outside the range are skipped without
+    /// parsing their fields. Used for record-range morsels.
+    static void read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
+                           AttributeRegistry& registry, const IdSink& sink,
+                           IdRecord* globals = nullptr, ReaderStats* stats = nullptr);
+
+    static void read_file(const std::string& path, AttributeRegistry& registry,
+                          const IdSink& sink, IdRecord* globals = nullptr,
+                          ReaderStats* stats = nullptr);
+
+    static void read_file_range(const std::string& path, std::uint64_t begin,
+                                std::uint64_t end, AttributeRegistry& registry,
+                                const IdSink& sink, IdRecord* globals = nullptr,
+                                ReaderStats* stats = nullptr);
+
+    // -- name-based entry points (compatibility wrappers) -------------------
+
     static void read(std::istream& is, const RecordSink& sink,
                      RecordMap* globals = nullptr);
 
@@ -37,11 +83,6 @@ public:
     static void read_file(const std::string& path, const RecordSink& sink,
                           RecordMap* globals = nullptr);
 
-    /// Stream only records with index in [\a begin, \a end) into \a sink
-    /// (record indices count 'R' lines in stream order). The whole stream
-    /// is still scanned — attribute definitions and globals can appear
-    /// anywhere — but records outside the range are skipped without
-    /// parsing their fields. Used for record-range morsels.
     static void read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
                            const RecordSink& sink, RecordMap* globals = nullptr);
 

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <streambuf>
 #include <string>
+#include <unordered_map>
 
 namespace calib {
 
@@ -13,11 +14,15 @@ namespace {
 
 // Pulls characters off the stream one record at a time, so arbitrarily
 // large inputs parse in bounded memory (the largest single object).
+// Object keys resolve to attribute ids through a per-parser dictionary:
+// each distinct key costs one registry lookup per stream, not per record.
 class JsonParser {
 public:
-    explicit JsonParser(std::istream& is) : is_(is) {}
+    JsonParser(std::istream& is, AttributeRegistry& registry,
+               CaliReader::ReaderStats* stats)
+        : is_(is), registry_(registry), stats_(stats) {}
 
-    void parse_records(const std::function<void(RecordMap&&)>& sink) {
+    void parse_records(const std::function<void(IdRecord&&)>& sink) {
         skip_ws();
         expect('[');
         skip_ws();
@@ -25,7 +30,12 @@ public:
             next();
         } else {
             while (true) {
-                sink(parse_object());
+                IdRecord rec = parse_object();
+                if (stats_) {
+                    ++stats_->records;
+                    stats_->entries += rec.size();
+                }
+                sink(std::move(rec));
                 skip_ws();
                 const char c = next();
                 if (c == ']')
@@ -170,10 +180,22 @@ private:
                 fail("bad literal");
     }
 
-    RecordMap parse_object() {
+    id_t resolve_key(const std::string& key) {
+        auto [it, fresh] = key_ids_.try_emplace(key, invalid_id);
+        if (fresh) {
+            // first sighting in this stream: one registry resolution;
+            // JSON carries no type declarations, so keys default to String
+            it->second = registry_.create(key, Variant::Type::String).id();
+            if (stats_)
+                ++stats_->name_resolutions;
+        }
+        return it->second;
+    }
+
+    IdRecord parse_object() {
         skip_ws();
         expect('{');
-        RecordMap rec;
+        IdRecord rec;
         skip_ws();
         if (peek() == '}') {
             next();
@@ -186,7 +208,7 @@ private:
             expect(':');
             Variant value = parse_value();
             if (!value.empty())
-                rec.append(key, value);
+                rec.append(resolve_key(key), value);
             skip_ws();
             const char c = next();
             if (c == '}')
@@ -197,6 +219,9 @@ private:
     }
 
     std::istream& is_;
+    AttributeRegistry& registry_;
+    CaliReader::ReaderStats* stats_;
+    std::unordered_map<std::string, id_t> key_ids_; ///< per-stream dictionary
     std::size_t pos_ = 0; ///< bytes consumed, for error offsets
 };
 
@@ -211,9 +236,17 @@ public:
 
 } // namespace
 
+void read_json_records(std::istream& is, AttributeRegistry& registry,
+                       const std::function<void(IdRecord&&)>& sink,
+                       CaliReader::ReaderStats* stats) {
+    JsonParser(is, registry, stats).parse_records(sink);
+}
+
 void read_json_records(std::istream& is,
                        const std::function<void(RecordMap&&)>& sink) {
-    JsonParser(is).parse_records(sink);
+    AttributeRegistry registry; // private dictionary, names restored below
+    read_json_records(is, registry,
+                      [&](IdRecord&& rec) { sink(to_recordmap(rec, registry)); });
 }
 
 std::vector<RecordMap> read_json_records(std::istream& is) {

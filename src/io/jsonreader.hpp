@@ -5,9 +5,18 @@
 // Supports the subset the JSON formatter emits: an array of flat objects
 // with string / number / bool / null values. Lets query pipelines consume
 // reports produced by other tools (or by calib itself).
+//
+// The id-based entry points resolve each distinct object key against the
+// caller's AttributeRegistry once per stream (a per-parser dictionary
+// caches the resolution), emitting IdRecords for the query hot path. The
+// RecordMap API remains as a compatibility wrapper.
 #pragma once
 
+#include "../common/attribute.hpp"
+#include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
+
+#include "calireader.hpp" // CaliReader::ReaderStats
 
 #include <functional>
 #include <istream>
@@ -16,13 +25,19 @@
 
 namespace calib {
 
-/// Parse a JSON array of flat objects into records.
-/// Throws std::runtime_error (with byte position) on malformed input.
+/// Streaming id-based parse: records are parsed directly off the stream
+/// (one object at a time — the input is never slurped into memory), keys
+/// resolve through \a registry once per distinct name, and completed
+/// records go to \a sink. Throws std::runtime_error (with byte position)
+/// on malformed input.
+void read_json_records(std::istream& is, AttributeRegistry& registry,
+                       const std::function<void(IdRecord&&)>& sink,
+                       CaliReader::ReaderStats* stats = nullptr);
+
+/// Parse a JSON array of flat objects into name-based records.
 std::vector<RecordMap> read_json_records(std::string_view text);
 
-/// Streaming variants: records are parsed directly off the stream (one
-/// object at a time — the input is never slurped into memory) and handed
-/// to \a sink as they complete.
+/// Streaming name-based variants (compatibility wrappers).
 void read_json_records(std::istream& is,
                        const std::function<void(RecordMap&&)>& sink);
 std::vector<RecordMap> read_json_records(std::istream& is);

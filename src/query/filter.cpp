@@ -43,9 +43,9 @@ bool apply_op(FilterSpec::Op op, bool present, const Variant& value,
 } // namespace
 
 bool filter_matches(const FilterSpec& filter, const RecordMap& record) {
-    const bool present = record.contains(filter.attribute);
-    return apply_op(filter.op, present,
-                    present ? record.get(filter.attribute) : Variant(), filter.value);
+    // one scan resolves presence and value together
+    const Variant* v = record.find(filter.attribute);
+    return apply_op(filter.op, v != nullptr, v ? *v : Variant(), filter.value);
 }
 
 bool filters_match(const std::vector<FilterSpec>& filters, const RecordMap& record) {
@@ -79,12 +79,18 @@ void SnapshotFilter::resolve() {
     fully_resolved_ = all;
 }
 
-bool SnapshotFilter::matches(const SnapshotRecord& record) {
+bool SnapshotFilter::matches(std::span<const Entry> record) {
     resolve();
     for (std::size_t i = 0; i < filters_.size(); ++i) {
-        const bool present = ids_[i] != invalid_id && record.contains(ids_[i]);
-        const Variant v    = present ? record.get(ids_[i]) : Variant();
-        if (!apply_op(filters_[i].op, present, v, filters_[i].value))
+        const Entry* e = nullptr;
+        if (ids_[i] != invalid_id)
+            for (const Entry& candidate : record)
+                if (candidate.attribute == ids_[i]) {
+                    e = &candidate;
+                    break;
+                }
+        if (!apply_op(filters_[i].op, e != nullptr, e ? e->value : Variant(),
+                      filters_[i].value))
             return false;
     }
     return true;

@@ -5,9 +5,11 @@
 #include "queryspec.hpp"
 
 #include "../common/attribute.hpp"
+#include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
 #include "../common/snapshot.hpp"
 
+#include <span>
 #include <vector>
 
 namespace calib {
@@ -18,13 +20,20 @@ bool filter_matches(const FilterSpec& filter, const RecordMap& record);
 /// Evaluate a conjunction of conditions.
 bool filters_match(const std::vector<FilterSpec>& filters, const RecordMap& record);
 
-/// Online filter with id-resolved conditions; usable on the snapshot path.
+/// Filter with id-resolved conditions: conditions compile to attribute ids
+/// against one registry (lazily, so late-created attributes still bind),
+/// and evaluation is id compares — no string scans. Serves both the online
+/// snapshot path and the id-based offline pipeline.
 class SnapshotFilter {
 public:
     SnapshotFilter(std::vector<FilterSpec> filters, AttributeRegistry* registry);
 
     /// True when all conditions hold for \a record.
-    bool matches(const SnapshotRecord& record);
+    bool matches(std::span<const Entry> record);
+    bool matches(const SnapshotRecord& record) {
+        return matches(std::span<const Entry>(record.begin(), record.size()));
+    }
+    bool matches(const IdRecord& record) { return matches(record.span()); }
 
     bool empty() const noexcept { return filters_.empty(); }
 

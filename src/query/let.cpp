@@ -51,4 +51,93 @@ void apply_lets(const std::vector<LetSpec>& lets, RecordMap& record) {
     }
 }
 
+CompiledLets::CompiledLets(std::vector<LetSpec> lets, AttributeRegistry* registry)
+    : lets_(std::move(lets)), registry_(registry) {
+    target_ids_.assign(lets_.size(), invalid_id);
+    arg_ids_.resize(lets_.size());
+    for (std::size_t i = 0; i < lets_.size(); ++i)
+        arg_ids_[i].assign(lets_[i].args.size(), invalid_id);
+}
+
+void CompiledLets::resolve() {
+    if (fully_resolved_)
+        return;
+    const std::size_t gen = registry_->generation();
+    if (gen == resolved_generation_)
+        return;
+    // targets first: create() is idempotent, and a later term's argument
+    // may name an earlier term's target
+    for (std::size_t i = 0; i < lets_.size(); ++i)
+        if (target_ids_[i] == invalid_id)
+            target_ids_[i] =
+                registry_->create(lets_[i].target, Variant::Type::Double).id();
+    bool all = true;
+    for (std::size_t i = 0; i < lets_.size(); ++i) {
+        for (std::size_t k = 0; k < arg_ids_[i].size(); ++k) {
+            if (arg_ids_[i][k] == invalid_id) {
+                Attribute a = registry_->find(lets_[i].args[k]);
+                if (a.valid())
+                    arg_ids_[i][k] = a.id();
+                else
+                    all = false;
+            }
+        }
+    }
+    resolved_generation_ = registry_->generation(); // after target creation
+    fully_resolved_      = all;
+}
+
+Variant CompiledLets::evaluate(std::size_t term, const IdRecord& record) const {
+    const LetSpec& let           = lets_[term];
+    const std::vector<id_t>& ids = arg_ids_[term];
+    auto arg = [&](std::size_t k) -> Variant {
+        return ids[k] == invalid_id ? Variant() : record.get(ids[k]);
+    };
+    switch (let.fn) {
+    case LetSpec::Fn::Scale: {
+        if (ids.empty())
+            return {};
+        const Variant v = arg(0);
+        if (!v.is_numeric())
+            return {};
+        return Variant(v.to_double() * let.parameter);
+    }
+    case LetSpec::Fn::Truncate: {
+        if (ids.empty() || let.parameter <= 0.0)
+            return {};
+        const Variant v = arg(0);
+        if (!v.is_numeric())
+            return {};
+        return Variant(std::floor(v.to_double() / let.parameter) * let.parameter);
+    }
+    case LetSpec::Fn::Ratio: {
+        if (ids.size() < 2)
+            return {};
+        const Variant a = arg(0);
+        const Variant b = arg(1);
+        if (!a.is_numeric() || !b.is_numeric() || b.to_double() == 0.0)
+            return {};
+        return Variant(a.to_double() / b.to_double());
+    }
+    case LetSpec::Fn::First: {
+        for (std::size_t k = 0; k < ids.size(); ++k) {
+            Variant v = arg(k);
+            if (!v.empty())
+                return v;
+        }
+        return {};
+    }
+    }
+    return {};
+}
+
+void CompiledLets::apply(IdRecord& record) {
+    resolve();
+    for (std::size_t i = 0; i < lets_.size(); ++i) {
+        Variant v = evaluate(i, record);
+        if (!v.empty())
+            record.set(target_ids_[i], v);
+    }
+}
+
 } // namespace calib

@@ -3,6 +3,8 @@
 
 #include "queryspec.hpp"
 
+#include "../common/attribute.hpp"
+#include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
 
 #include <vector>
@@ -16,5 +18,31 @@ Variant evaluate_let(const LetSpec& let, const RecordMap& record);
 /// Append every LET term's value (when computable) to \a record.
 /// Terms are evaluated in order, so later terms may use earlier targets.
 void apply_lets(const std::vector<LetSpec>& lets, RecordMap& record);
+
+/// Id-compiled LET terms for the id-based offline pipeline: target and
+/// argument names resolve against one registry (targets are created on
+/// first use; arguments re-resolve lazily so late-created attributes still
+/// bind), and per-record evaluation is id compares only.
+class CompiledLets {
+public:
+    CompiledLets(std::vector<LetSpec> lets, AttributeRegistry* registry);
+
+    /// Apply every term (in order, so later terms see earlier targets)
+    /// to \a record; semantics match apply_lets() exactly.
+    void apply(IdRecord& record);
+
+    bool empty() const noexcept { return lets_.empty(); }
+
+private:
+    void resolve();
+    Variant evaluate(std::size_t term, const IdRecord& record) const;
+
+    std::vector<LetSpec> lets_;
+    AttributeRegistry* registry_;
+    std::vector<id_t> target_ids_;
+    std::vector<std::vector<id_t>> arg_ids_;
+    std::size_t resolved_generation_ = static_cast<std::size_t>(-1);
+    bool fully_resolved_             = false;
+};
 
 } // namespace calib

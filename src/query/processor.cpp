@@ -7,7 +7,8 @@ namespace calib {
 
 QueryProcessor::QueryProcessor(QuerySpec spec)
     : spec_(std::move(spec)), owned_registry_(std::make_unique<AttributeRegistry>()),
-      registry_(owned_registry_.get()) {
+      registry_(owned_registry_.get()), id_filter_(spec_.filters, registry_),
+      id_lets_(spec_.lets, registry_) {
     if (spec_.has_aggregation()) {
         AggregationConfig cfg = spec_.aggregation;
         // GROUP BY without AGGREGATE: default to count (record frequency),
@@ -19,13 +20,30 @@ QueryProcessor::QueryProcessor(QuerySpec spec)
 }
 
 QueryProcessor::QueryProcessor(QuerySpec spec, AttributeRegistry* registry)
-    : spec_(std::move(spec)), registry_(registry) {
+    : spec_(std::move(spec)), registry_(registry), id_filter_(spec_.filters, registry_),
+      id_lets_(spec_.lets, registry_) {
     if (spec_.has_aggregation()) {
         AggregationConfig cfg = spec_.aggregation;
         if (cfg.ops.empty())
             cfg.ops.push_back(AggOpConfig{AggOp::Count, "", ""});
         db_.emplace(std::move(cfg), registry_);
     }
+}
+
+void QueryProcessor::add(IdRecord&& record) {
+    ++in_;
+    // derived attributes are computed before filtering and aggregation
+    if (!id_lets_.empty())
+        id_lets_.apply(record);
+    if (!id_filter_.matches(record))
+        return;
+    ++kept_;
+    if (db_)
+        db_->process(record);
+    else
+        // passthrough rows surface verbatim in the output, so they go back
+        // to names here; aggregated rows stay id-based until flush()
+        passthrough_.push_back(to_recordmap(record, *registry_));
 }
 
 void QueryProcessor::add(const RecordMap& record) {

@@ -14,6 +14,7 @@
 
 #include "../aggregate/aggregation_db.hpp"
 #include "../common/attribute.hpp"
+#include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
 
 #include <memory>
@@ -35,7 +36,14 @@ public:
 
     QueryProcessor(QueryProcessor&&) noexcept = default;
 
-    /// Stream one input record through the pipeline.
+    /// Stream one id-based record through the pipeline (the hot path: the
+    /// record's attribute ids must come from registry()). LET terms and
+    /// WHERE conditions are evaluated in their id-compiled forms; no
+    /// per-record name resolution happens anywhere downstream.
+    void add(IdRecord&& record);
+
+    /// Stream one name-based record through the pipeline (compatibility
+    /// path; resolves attribute names per record).
     void add(const RecordMap& record);
     void add(const std::vector<RecordMap>& records);
 
@@ -70,6 +78,11 @@ public:
 
     const QuerySpec& spec() const noexcept { return spec_; }
 
+    /// The attribute dictionary this processor's id-based records are
+    /// resolved against. Readers feeding add(IdRecord&&) must resolve
+    /// names through this registry.
+    AttributeRegistry* registry() const noexcept { return registry_; }
+
     /// Number of records seen (pre-filter) and kept (post-filter).
     std::uint64_t num_records_in() const noexcept { return in_; }
     std::uint64_t num_records_kept() const noexcept { return kept_; }
@@ -81,6 +94,8 @@ private:
     QuerySpec spec_;
     std::unique_ptr<AttributeRegistry> owned_registry_;
     AttributeRegistry* registry_;
+    SnapshotFilter id_filter_; ///< id-compiled WHERE (shares registry_)
+    CompiledLets id_lets_;     ///< id-compiled LET (shares registry_)
     std::optional<AggregationDB> db_;
     std::vector<RecordMap> passthrough_;
     std::optional<std::vector<RecordMap>> result_;

@@ -70,20 +70,25 @@ int main(int argc, char** argv) {
     }
 
     try {
-        std::map<std::string, AttributeStats> attributes;
+        // id-based scan: the reader resolves each attribute name once, and
+        // the per-entry hot loop indexes a dense vector — no string hashing
+        calib::AttributeRegistry registry;
+        std::vector<AttributeStats> by_id;
         std::uint64_t records = 0, entries = 0;
 
         for (const std::string& file : files) {
-            calib::RecordMap globals;
+            calib::IdRecord globals;
             std::uint64_t file_records = 0;
             calib::CaliReader::read_file(
-                file,
-                [&](calib::RecordMap&& r) {
+                file, registry,
+                [&](calib::IdRecord&& r) {
                     ++records;
                     ++file_records;
-                    for (const auto& [name, value] : r) {
+                    for (const calib::Entry& e : r) {
                         ++entries;
-                        attributes[std::string(name)].update(value);
+                        if (e.attribute >= by_id.size())
+                            by_id.resize(e.attribute + 1);
+                        by_id[e.attribute].update(e.value);
                     }
                 },
                 &globals);
@@ -91,9 +96,17 @@ int main(int argc, char** argv) {
             std::printf("%s: %llu records\n", file.c_str(),
                         static_cast<unsigned long long>(file_records));
             if (show_globals)
-                for (const auto& [name, value] : globals)
-                    std::printf("    %s = %s\n", name, value.to_string().c_str());
+                for (const calib::Entry& e : globals)
+                    std::printf("    %s = %s\n", registry.get(e.attribute).name(),
+                                e.value.to_string().c_str());
         }
+
+        // restore names for the report, sorted as before (by name)
+        std::map<std::string, AttributeStats> attributes;
+        for (calib::id_t id = 0; id < by_id.size(); ++id)
+            if (by_id[id].occurrences > 0)
+                attributes.emplace(registry.get(id).name_view(),
+                                   std::move(by_id[id]));
 
         std::printf("\n%llu records, %llu entries, %zu attributes\n\n",
                     static_cast<unsigned long long>(records),

@@ -1,0 +1,291 @@
+// Id-based offline pipeline: equivalence of the resolve-once id path
+// (reader -> IdRecord -> AggregationDB::process) with the legacy
+// name-based shim (RecordMap -> process_offline), and the reader-side
+// resolve-once accounting (ReaderStats).
+#include "aggregate/aggregation_db.hpp"
+#include "io/calireader.hpp"
+#include "io/caliwriter.hpp"
+#include "io/jsonreader.hpp"
+#include "query/calql.hpp"
+#include "query/processor.hpp"
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace calib;
+using calib::test::record;
+
+namespace {
+
+std::string to_stream(const std::vector<RecordMap>& records) {
+    std::ostringstream os;
+    CaliWriter w(os);
+    for (const RecordMap& r : records)
+        w.write_record(r);
+    return os.str();
+}
+
+/// Legacy path: name-based records resolve attributes per record.
+std::string run_name_path(const std::string& query,
+                          const std::vector<RecordMap>& records) {
+    QueryProcessor proc(parse_calql(query));
+    proc.add(records);
+    std::ostringstream os;
+    proc.write(os);
+    return os.str();
+}
+
+/// Id path: the same records round-trip through a .cali stream and enter
+/// the processor as IdRecords resolved against its registry.
+std::string run_id_path(const std::string& query,
+                        const std::vector<RecordMap>& records) {
+    std::istringstream is(to_stream(records));
+    QueryProcessor proc(parse_calql(query));
+    CaliReader::read(is, *proc.registry(),
+                     [&proc](IdRecord&& r) { proc.add(std::move(r)); });
+    std::ostringstream os;
+    proc.write(os);
+    return os.str();
+}
+
+void expect_paths_agree(const std::string& query,
+                        const std::vector<RecordMap>& records) {
+    EXPECT_EQ(run_name_path(query, records), run_id_path(query, records))
+        << "query: " << query;
+}
+
+std::vector<RecordMap> sample_records() {
+    std::vector<RecordMap> rs;
+    const char* kernels[] = {"stress", "force", "collision", "remesh"};
+    for (int i = 0; i < 64; ++i) {
+        rs.push_back(record({{"kernel", Variant(kernels[i % 4])},
+                             {"rank", Variant(static_cast<long long>(i % 8))},
+                             {"time", Variant(0.25 + 0.5 * (i % 13))},
+                             {"bytes", Variant(static_cast<long long>(100 * i))}}));
+    }
+    return rs;
+}
+
+} // namespace
+
+// --- shim vs id-path equivalence over every kernel op -----------------------
+
+TEST(RecordPipeline, AllKernelOpsAgree) {
+    const auto rs = sample_records();
+    expect_paths_agree("AGGREGATE count GROUP BY kernel", rs);
+    expect_paths_agree("AGGREGATE sum(time) GROUP BY kernel", rs);
+    expect_paths_agree("AGGREGATE min(time) GROUP BY kernel", rs);
+    expect_paths_agree("AGGREGATE max(time) GROUP BY kernel", rs);
+    expect_paths_agree("AGGREGATE avg(time) GROUP BY kernel", rs);
+    expect_paths_agree("AGGREGATE variance(time) GROUP BY kernel", rs);
+    expect_paths_agree("AGGREGATE histogram(time) GROUP BY kernel", rs);
+    expect_paths_agree("AGGREGATE percent_total(time) GROUP BY kernel", rs);
+    expect_paths_agree(
+        "AGGREGATE count,sum(time),min(bytes),max(bytes),avg(time),"
+        "variance(time),histogram(bytes),percent_total(time) "
+        "GROUP BY kernel,rank FORMAT csv ORDER BY kernel,rank",
+        rs);
+}
+
+TEST(RecordPipeline, ImplicitKeyAgrees) {
+    expect_paths_agree("AGGREGATE count,sum(time) GROUP BY *", sample_records());
+}
+
+TEST(RecordPipeline, PassthroughAgrees) {
+    expect_paths_agree("WHERE kernel=stress FORMAT csv", sample_records());
+}
+
+// --- awkward attribute situations -------------------------------------------
+
+TEST(RecordPipeline, UnknownOpAttributeAgrees) {
+    // the aggregated attribute never appears in any record or registry
+    expect_paths_agree("AGGREGATE count,sum(no.such.metric) GROUP BY kernel",
+                       sample_records());
+}
+
+TEST(RecordPipeline, LateCreatedAttributeAgrees) {
+    // the op target and one key attribute only appear mid-stream, after the
+    // processor compiled its specs — exercises lazy id re-resolution
+    std::vector<RecordMap> rs;
+    for (int i = 0; i < 10; ++i)
+        rs.push_back(record({{"kernel", Variant("early")}, {"time", Variant(1.0)}}));
+    for (int i = 0; i < 10; ++i)
+        rs.push_back(record({{"kernel", Variant("late")},
+                             {"time", Variant(2.0)},
+                             {"energy", Variant(0.5 * i)},
+                             {"phase", Variant("extra")}}));
+    expect_paths_agree("AGGREGATE count,sum(energy) GROUP BY kernel,phase", rs);
+    expect_paths_agree("AGGREGATE avg(energy) GROUP BY *", rs);
+}
+
+TEST(RecordPipeline, AbsentKeyAttributeAgrees) {
+    // records missing a key attribute group under the absent key
+    std::vector<RecordMap> rs;
+    rs.push_back(record({{"kernel", Variant("a")}, {"time", Variant(1.0)}}));
+    rs.push_back(record({{"time", Variant(2.0)}}));
+    rs.push_back(record({{"kernel", Variant("a")}, {"time", Variant(4.0)}}));
+    rs.push_back(record({{"time", Variant(8.0)}}));
+    expect_paths_agree("AGGREGATE count,sum(time) GROUP BY kernel", rs);
+}
+
+TEST(RecordPipeline, LetAndWhereAgree) {
+    const auto rs = sample_records();
+    expect_paths_agree("LET ms=scale(time,1000.0) "
+                       "AGGREGATE sum(ms),count WHERE rank>2 GROUP BY kernel",
+                       rs);
+    expect_paths_agree("LET bucket=truncate(bytes,1000) "
+                       "AGGREGATE count GROUP BY bucket",
+                       rs);
+    expect_paths_agree("LET r=ratio(bytes,time) "
+                       "AGGREGATE max(r) WHERE kernel=force GROUP BY rank",
+                       rs);
+    expect_paths_agree("LET v=first(missing,time) "
+                       "AGGREGATE sum(v) GROUP BY kernel",
+                       rs);
+}
+
+// --- AggregationDB: process_offline shim vs process(IdRecord) ---------------
+
+TEST(RecordPipeline, DbShimMatchesIdPath) {
+    const auto rs = sample_records();
+    const AggregationConfig cfg = AggregationConfig::parse(
+        "count,sum(time),min(time),max(time),avg(time),variance(time),"
+        "histogram(bytes),percent_total(time)",
+        "kernel,rank");
+
+    AttributeRegistry registry;
+    AggregationDB via_shim(cfg, &registry);
+    AggregationDB via_ids(cfg, &registry);
+
+    for (const RecordMap& r : rs) {
+        via_shim.process_offline(r);
+        IdRecord id_rec;
+        for (const auto& [name, value] : r)
+            id_rec.append(registry.create(name, value.type()).id(), value);
+        via_ids.process(id_rec);
+    }
+
+    const std::vector<RecordMap> a = via_shim.flush();
+    const std::vector<RecordMap> b = via_ids.flush();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]) << "entry " << i;
+}
+
+// --- resolve-once accounting -------------------------------------------------
+
+TEST(RecordPipeline, CaliReaderResolvesNamesOncePerDefinition) {
+    const auto rs = sample_records(); // 64 records x 4 attributes
+    std::istringstream is(to_stream(rs));
+
+    AttributeRegistry registry;
+    CaliReader::ReaderStats stats;
+    std::uint64_t seen = 0;
+    CaliReader::read(is, registry, [&seen](IdRecord&&) { ++seen; }, nullptr,
+                     &stats);
+
+    EXPECT_EQ(seen, rs.size());
+    EXPECT_EQ(stats.records, rs.size());
+    EXPECT_EQ(stats.entries, 4 * rs.size());
+    // the resolve-once contract: one registry resolution per attribute
+    // *definition*, strictly fewer than one per entry
+    EXPECT_EQ(stats.name_resolutions, 4u);
+    EXPECT_LT(stats.name_resolutions, stats.entries);
+}
+
+TEST(RecordPipeline, JsonReaderResolvesKeysOncePerStream) {
+    std::istringstream is(R"([
+        {"kernel": "a", "time": 1.5},
+        {"kernel": "b", "time": 2.5, "rank": 3},
+        {"kernel": "a", "time": 4.5, "rank": 1}
+    ])");
+
+    AttributeRegistry registry;
+    CaliReader::ReaderStats stats;
+    std::vector<IdRecord> out;
+    read_json_records(is, registry,
+                      [&out](IdRecord&& r) { out.push_back(std::move(r)); },
+                      &stats);
+
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(stats.records, 3u);
+    EXPECT_EQ(stats.entries, 2u + 3u + 3u);
+    EXPECT_EQ(stats.name_resolutions, 3u); // kernel, time, rank
+    EXPECT_LT(stats.name_resolutions, stats.entries);
+}
+
+// --- id API vs name API produce identical records ---------------------------
+
+TEST(RecordPipeline, CaliIdAndNameApisAgree) {
+    const auto rs = sample_records();
+    const std::string stream = to_stream(rs);
+
+    std::istringstream is_name(stream);
+    const std::vector<RecordMap> by_name = CaliReader::read_all(is_name);
+
+    std::istringstream is_id(stream);
+    AttributeRegistry registry;
+    std::vector<RecordMap> by_id;
+    CaliReader::read(is_id, registry, [&](IdRecord&& r) {
+        by_id.push_back(to_recordmap(r, registry));
+    });
+
+    ASSERT_EQ(by_name.size(), by_id.size());
+    for (std::size_t i = 0; i < by_name.size(); ++i)
+        EXPECT_EQ(by_name[i], by_id[i]) << "record " << i;
+}
+
+TEST(RecordPipeline, JsonIdAndNameApisAgree) {
+    const std::string text = R"([{"a": 1, "b": "x"}, {"a": 2.5, "c": true}])";
+
+    const std::vector<RecordMap> by_name = read_json_records(text);
+
+    std::istringstream is(text);
+    AttributeRegistry registry;
+    std::vector<RecordMap> by_id;
+    read_json_records(is, registry, [&](IdRecord&& r) {
+        by_id.push_back(to_recordmap(r, registry));
+    });
+
+    ASSERT_EQ(by_name.size(), by_id.size());
+    for (std::size_t i = 0; i < by_name.size(); ++i)
+        EXPECT_EQ(by_name[i], by_id[i]) << "record " << i;
+}
+
+TEST(RecordPipeline, GlobalsThroughIdApi) {
+    std::ostringstream os;
+    CaliWriter w(os);
+    w.write_global("problem.size", Variant(4096ll));
+    w.write_global("run.id", Variant("exp-17"));
+    w.write_record(record({{"kernel", Variant("k")}, {"time", Variant(1.0)}}));
+
+    std::istringstream is(os.str());
+    AttributeRegistry registry;
+    IdRecord globals;
+    std::uint64_t records = 0;
+    CaliReader::read(is, registry, [&records](IdRecord&&) { ++records; },
+                     &globals);
+
+    EXPECT_EQ(records, 1u);
+    const RecordMap g = to_recordmap(globals, registry);
+    EXPECT_EQ(g.get("problem.size").to_int(), 4096);
+    EXPECT_EQ(g.get("run.id"), Variant("exp-17"));
+}
+
+// --- records wider than snapshot capacity -----------------------------------
+
+TEST(RecordPipeline, WideRecordTruncationMatchesShim) {
+    // both paths must agree on aggregation over records wider than
+    // SnapshotRecord::max_entries (the first max_entries are processed)
+    RecordMap wide;
+    wide.append("kernel", Variant("w"));
+    for (int i = 0; i < 80; ++i) {
+        const std::string name = "attr." + std::to_string(i);
+        wide.append(std::string_view(name), Variant(1.0 * i));
+    }
+    expect_paths_agree("AGGREGATE count,sum(attr.5) GROUP BY kernel", {wide});
+}
