@@ -18,6 +18,7 @@
 #include "apps/paradis/generator.hpp"
 #include "bench_common.hpp"
 #include "io/calireader.hpp"
+#include "obs/metrics.hpp"
 #include "query/calql.hpp"
 #include "query/processor.hpp"
 #include "runtime/clock.hpp"
@@ -54,15 +55,13 @@ Measurement run_name_path(const QuerySpec& spec,
 }
 
 Measurement run_id_path(const QuerySpec& spec,
-                        const std::vector<std::string>& files,
-                        CaliReader::ReaderStats* stats = nullptr) {
+                        const std::vector<std::string>& files) {
     Measurement m;
     const std::uint64_t t0 = now_ns();
     QueryProcessor proc(spec);
     for (const std::string& file : files)
         CaliReader::read_file(file, *proc.registry(),
-                              [&proc](IdRecord&& r) { proc.add(std::move(r)); },
-                              nullptr, stats);
+                              [&proc](IdRecord&& r) { proc.add(std::move(r)); });
     std::ostringstream os;
     proc.write(os);
     m.wall_s  = static_cast<double>(now_ns() - t0) * 1e-9;
@@ -105,9 +104,19 @@ int main() {
     const Measurement name_path =
         best_of(reps, [&] { return run_name_path(spec, files); });
 
-    CaliReader::ReaderStats stats; // accumulated over reps; ratios below use it
+    // resolve-once accounting comes from the "reader.*" metrics; enabling
+    // them costs one relaxed fetch_add per event, negligible vs. parsing
+    calib::obs::set_enabled(true);
+    const auto& mreg = calib::obs::MetricsRegistry::instance();
+    const std::int64_t res0     = mreg.value("reader.name_resolutions");
+    const std::int64_t entries0 = mreg.value("reader.entries");
     const Measurement id_path =
-        best_of(reps, [&] { return run_id_path(spec, files, &stats); });
+        best_of(reps, [&] { return run_id_path(spec, files); });
+    // accumulated over reps; the ratio below is rep-invariant
+    const std::int64_t name_resolutions =
+        mreg.value("reader.name_resolutions") - res0;
+    const std::int64_t entries = mreg.value("reader.entries") - entries0;
+    calib::obs::set_enabled(false);
 
     const bool identical  = name_path.output == id_path.output;
     const double name_rps = static_cast<double>(name_path.records) / name_path.wall_s;
@@ -115,19 +124,18 @@ int main() {
     const double speedup  = name_path.wall_s / id_path.wall_s;
     // resolutions per entry on the id path (resolve-once contract: ≪ 1)
     const double res_per_entry =
-        static_cast<double>(stats.name_resolutions) / static_cast<double>(stats.entries);
+        static_cast<double>(name_resolutions) / static_cast<double>(entries);
 
     std::printf("%12s %12s %16s %10s\n", "path", "wall (s)", "records/sec",
                 "speedup");
     std::printf("%12s %12.5f %16.0f %10s\n", "name", name_path.wall_s, name_rps, "1.00");
     std::printf("%12s %12.5f %16.0f %10.2f\n", "id", id_path.wall_s, id_rps, speedup);
     std::printf("# identical output: %s\n", identical ? "yes" : "NO");
-    std::printf("# reader: %llu records, %llu entries, %llu name resolutions "
+    std::printf("# reader: %llu records, %lld entries, %lld name resolutions "
                 "(%.6f per entry)\n",
-                static_cast<unsigned long long>(stats.records),
-                static_cast<unsigned long long>(stats.entries),
-                static_cast<unsigned long long>(stats.name_resolutions),
-                res_per_entry);
+                static_cast<unsigned long long>(id_path.records),
+                static_cast<long long>(entries),
+                static_cast<long long>(name_resolutions), res_per_entry);
 
     std::ostringstream json;
     json << "{\n  \"bench\": \"record_pipeline\",\n"
@@ -139,8 +147,8 @@ int main() {
          << ", \"records_per_sec\": " << id_rps << ", \"speedup\": " << speedup
          << "}\n  ],\n"
          << "  \"identical_output\": " << (identical ? "true" : "false") << ",\n"
-         << "  \"reader_name_resolutions\": " << stats.name_resolutions << ",\n"
-         << "  \"reader_entries\": " << stats.entries << ",\n"
+         << "  \"reader_name_resolutions\": " << name_resolutions << ",\n"
+         << "  \"reader_entries\": " << entries << ",\n"
          << "  \"resolutions_per_entry\": " << res_per_entry << "\n}\n";
 
     std::printf("\n%s", json.str().c_str());

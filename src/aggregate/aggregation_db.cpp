@@ -3,6 +3,7 @@
 #include "../common/bytebuf.hpp"
 #include "../common/hash.hpp"
 #include "../common/log.hpp"
+#include "../obs/metrics.hpp"
 
 #include <cassert>
 #include <cstring>
@@ -10,6 +11,16 @@
 namespace calib {
 
 namespace {
+
+// Global mirrors of the per-DB Stats: every AggregationDB instance (all
+// workers, online channels) feeds the same instruments, so --stats shows
+// whole-process hash-table behavior.
+obs::Counter aggdb_records("aggdb.records");
+obs::Counter aggdb_lookups("aggdb.lookups");
+obs::Counter aggdb_probe_steps("aggdb.probe_steps");
+obs::Counter aggdb_inserts("aggdb.inserts");
+obs::Counter aggdb_merges("aggdb.merges");
+obs::Timer aggdb_flush("aggdb.flush");
 
 constexpr std::size_t initial_table_slots = 256;
 constexpr std::uint32_t serialize_magic   = 0xCA11B0DBu;
@@ -178,6 +189,7 @@ void AggregationDB::process(std::span<const Entry> record) {
     const std::size_t index = find_or_insert(key, key_len, h);
     update_ops(index, record);
     ++processed_;
+    aggdb_records.add();
 }
 
 void AggregationDB::process_offline(const RecordMap& record) {
@@ -192,6 +204,7 @@ void AggregationDB::process_offline(const RecordMap& record) {
 std::size_t AggregationDB::find_or_insert(const Entry* key, std::size_t key_len,
                                           std::uint64_t hash) {
     ++stats_.lookups;
+    aggdb_lookups.add();
     const std::size_t mask = table_.size() - 1;
     std::size_t slot       = hash & mask;
 
@@ -204,11 +217,13 @@ std::size_t AggregationDB::find_or_insert(const Entry* key, std::size_t key_len,
             keys_equal(key_arena_.data() + e.key_offset, key, key_len))
             return stored - 1;
         ++stats_.collisions;
+        aggdb_probe_steps.add();
         slot = (slot + 1) & mask;
     }
 
     // insert
     ++stats_.inserts;
+    aggdb_inserts.add();
     EntryRec rec;
     rec.hash         = hash;
     rec.key_offset   = static_cast<std::uint32_t>(key_arena_.size());
@@ -279,6 +294,7 @@ std::size_t AggregationDB::bytes() const noexcept {
 }
 
 void AggregationDB::flush(const std::function<void(RecordMap&&)>& sink) const {
+    obs::Timer::Scope flush_scope(aggdb_flush);
     // percent_total denominators, one per configured op
     std::vector<double> denominators(config_.ops.size(), 0.0);
     for (std::size_t i = 0; i < config_.ops.size(); ++i) {
@@ -315,6 +331,7 @@ std::vector<RecordMap> AggregationDB::flush() const {
 
 void AggregationDB::merge(const AggregationDB& other) {
     assert(config_.ops.size() == other.config_.ops.size());
+    aggdb_merges.add();
     reserve(entries_.size() + other.entries_.size());
     for (std::size_t e = 0; e < other.entries_.size(); ++e) {
         const EntryRec& rec = other.entries_[e];
@@ -330,12 +347,15 @@ void AggregationDB::merge(const AggregationDB& other) {
 void AggregationDB::merge(AggregationDB&& other) {
     assert(config_.ops.size() == other.config_.ops.size());
     assert(registry_ == other.registry_);
+    // the fall-through path counts in merge(const&); count the fast paths here
     if (other.entries_.empty()) {
+        aggdb_merges.add();
         processed_ += other.processed_;
         other.clear();
         return;
     }
     if (entries_.empty()) {
+        aggdb_merges.add();
         // steal the arenas wholesale — no key copies, no rehashing
         key_arena_.swap(other.key_arena_);
         state_arena_.swap(other.state_arena_);

@@ -2,6 +2,10 @@
 // Umbrella header for the public API.
 #pragma once
 
+#include "obs/log.hpp"     // IWYU pragma: export
+#include "obs/metrics.hpp" // IWYU pragma: export
+#include "obs/report.hpp"  // IWYU pragma: export
+
 #include "common/attribute.hpp"   // IWYU pragma: export
 #include "common/idrecord.hpp"    // IWYU pragma: export
 #include "common/recordmap.hpp"   // IWYU pragma: export

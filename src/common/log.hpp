@@ -1,38 +1,6 @@
-// Minimal leveled logger. Verbosity is controlled programmatically or via
-// the CALIB_LOG_VERBOSITY environment variable (0=errors .. 3=debug).
+// The logger moved to the observability layer (src/obs/log.hpp) so it can
+// share the per-thread ids of the metrics subsystem. This forwarding
+// header keeps existing includes working.
 #pragma once
 
-#include <sstream>
-#include <string>
-
-namespace calib {
-
-class Log {
-public:
-    enum Level { Error = 0, Warn = 1, Info = 2, Debug = 3 };
-
-    explicit Log(Level level) : level_(level) {}
-    ~Log();
-
-    template <typename T>
-    Log& operator<<(const T& v) {
-        if (enabled(level_))
-            stream_ << v;
-        return *this;
-    }
-
-    static bool enabled(Level level);
-    static void set_verbosity(int level);
-    static int verbosity();
-
-private:
-    Level level_;
-    std::ostringstream stream_;
-};
-
-inline Log log_error() { return Log(Log::Error); }
-inline Log log_warn()  { return Log(Log::Warn); }
-inline Log log_info()  { return Log(Log::Info); }
-inline Log log_debug() { return Log(Log::Debug); }
-
-} // namespace calib
+#include "../obs/log.hpp"

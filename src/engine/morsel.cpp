@@ -1,8 +1,15 @@
 #include "morsel.hpp"
 
 #include "../io/calireader.hpp"
+#include "../obs/metrics.hpp"
 
 namespace calib::engine {
+
+namespace {
+obs::Counter engine_morsels("engine.morsels");
+// record count per morsel; only range morsels have a known size up front
+obs::Histogram engine_morsel_records("engine.morsel_records");
+} // namespace
 
 std::vector<Morsel> make_morsels(const std::vector<std::string>& files,
                                  const MorselOptions& opts) {
@@ -11,12 +18,14 @@ std::vector<Morsel> make_morsels(const std::vector<std::string>& files,
     if (opts.json_input) {
         for (const std::string& f : files)
             morsels.push_back({Morsel::Kind::JsonFile, f, 0, UINT64_MAX});
+        engine_morsels.add(morsels.size());
         return morsels;
     }
 
     if (files.size() != 1) {
         for (const std::string& f : files)
             morsels.push_back({Morsel::Kind::CaliFile, f, 0, UINT64_MAX});
+        engine_morsels.add(morsels.size());
         return morsels;
     }
 
@@ -28,11 +37,16 @@ std::vector<Morsel> make_morsels(const std::vector<std::string>& files,
                                                             : UINT64_MAX;
     if (total <= chunk) {
         morsels.push_back({Morsel::Kind::CaliFile, file, 0, UINT64_MAX});
+        engine_morsels.add(1);
+        engine_morsel_records.record(total);
         return morsels;
     }
-    for (std::uint64_t begin = 0; begin < total; begin += chunk)
-        morsels.push_back({Morsel::Kind::CaliRange, file, begin,
-                           begin + chunk < total ? begin + chunk : total});
+    for (std::uint64_t begin = 0; begin < total; begin += chunk) {
+        const std::uint64_t end = begin + chunk < total ? begin + chunk : total;
+        morsels.push_back({Morsel::Kind::CaliRange, file, begin, end});
+        engine_morsel_records.record(end - begin);
+    }
+    engine_morsels.add(morsels.size());
     return morsels;
 }
 

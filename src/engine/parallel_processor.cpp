@@ -4,15 +4,20 @@
 
 #include "../io/calireader.hpp"
 #include "../io/jsonreader.hpp"
+#include "../obs/metrics.hpp"
 
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 namespace calib::engine {
 
 namespace {
+
+obs::Counter engine_early_flushes("engine.early_flushes");
+obs::Counter engine_early_flush_bytes("engine.early_flush_bytes");
 
 void join_globals(IdRecord& record, const IdRecord& globals) {
     for (const Entry& g : globals)
@@ -44,8 +49,12 @@ QueryProcessor& ParallelQueryProcessor::run(const std::vector<std::string>& file
         return root_;
     }
 
-    const std::vector<Morsel> morsels =
-        make_morsels(files, {opts_.json_input, opts_.records_per_morsel});
+    std::optional<std::vector<Morsel>> planned;
+    {
+        obs::Phase plan_phase("plan");
+        planned = make_morsels(files, {opts_.json_input, opts_.records_per_morsel});
+    }
+    const std::vector<Morsel>& morsels = *planned;
     stats_.morsels = morsels.size();
     if (morsels.size() <= 1) {
         stats_.threads = 1;
@@ -98,6 +107,8 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
     ThreadPool pool(threads);
 
     // phase 1: one task per morsel, each filling its own partial
+    std::optional<obs::Phase> process_phase;
+    process_phase.emplace("process");
     std::vector<std::future<void>> futures;
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
@@ -134,17 +145,21 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
         }));
     }
     wait_all(futures);
+    process_phase.reset();
 
     for (const Partial& p : partials) {
         stats_.early_flushes += p.flushed.size();
         for (const std::vector<std::byte>& buf : p.flushed)
             stats_.early_flush_bytes += buf.size();
     }
+    engine_early_flushes.add(stats_.early_flushes);
+    engine_early_flush_bytes.add(stats_.early_flush_bytes);
 
     // phase 2: pairwise reduction tree over adjacent partials. Merging
     // neighbor i+stride into i keeps passthrough records in morsel (=input)
     // order, and the tree shape depends only on the morsel count — never on
     // the thread count.
+    obs::Phase merge_phase("merge");
     for (std::size_t stride = 1; stride < n; stride *= 2) {
         std::vector<std::future<void>> level;
         for (std::size_t i = 0; i + stride < n; i += 2 * stride) {

@@ -1,9 +1,19 @@
 #include "thread_pool.hpp"
 
+#include "../obs/metrics.hpp"
+
 #include <exception>
 #include <utility>
 
 namespace calib::engine {
+
+namespace {
+obs::Counter pool_tasks("pool.tasks");
+obs::Timer pool_queue_wait("pool.queue_wait");
+obs::Timer pool_busy("pool.busy");
+obs::Gauge pool_queue_depth("pool.queue_depth");
+obs::Gauge pool_active_workers("pool.active_workers");
+} // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
     if (threads == 0)
@@ -29,28 +39,63 @@ std::size_t ThreadPool::default_threads() noexcept {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
-    std::packaged_task<void()> wrapped(std::move(task));
-    std::future<void> result = wrapped.get_future();
+    QueuedTask item{std::packaged_task<void()>(std::move(task)),
+                    obs::enabled() ? obs::now_ns() : 0};
+    std::future<void> result = item.task.get_future();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(wrapped));
+        queue_.push_back(std::move(item));
+        pool_queue_depth.set(static_cast<std::int64_t>(queue_.size()));
     }
     cv_.notify_one();
     return result;
 }
 
+std::size_t ThreadPool::queue_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+std::size_t ThreadPool::active_workers() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return active_;
+}
+
+void ThreadPool::wait_idle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
 void ThreadPool::worker() {
     while (true) {
-        std::packaged_task<void()> task;
+        QueuedTask item;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
             if (queue_.empty())
                 return; // stop_ set and nothing left to drain
-            task = std::move(queue_.front());
+            item = std::move(queue_.front());
             queue_.pop_front();
+            ++active_;
+            pool_queue_depth.set(static_cast<std::int64_t>(queue_.size()));
+            pool_active_workers.set(static_cast<std::int64_t>(active_));
         }
-        task(); // exceptions land in the task's future
+        if (item.submit_ns)
+            pool_queue_wait.record(obs::now_ns() - item.submit_ns);
+        pool_tasks.add();
+        {
+            obs::Timer::Scope busy(pool_busy);
+            item.task(); // exceptions land in the task's future
+        }
+        bool idle;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --active_;
+            pool_active_workers.set(static_cast<std::int64_t>(active_));
+            idle = queue_.empty() && active_ == 0;
+        }
+        if (idle)
+            idle_cv_.notify_all();
     }
 }
 

@@ -6,10 +6,18 @@
 // that rethrows any exception the task threw — workers never swallow errors.
 // The destructor drains the queue: every task submitted before destruction
 // runs to completion, then the workers join.
+//
+// The pool is instrumented (obs metrics): "pool.tasks" counts executions,
+// "pool.queue_wait" / "pool.busy" time the submit-to-dequeue and run spans,
+// and the "pool.queue_depth" / "pool.active_workers" gauges expose live
+// occupancy — queue_depth()/active_workers()/wait_idle() read the same
+// state directly (no metrics enablement needed), so tests can wait on
+// pool quiescence instead of sleeping.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -36,17 +44,35 @@ public:
     /// finishes; future.get() rethrows any exception the task threw.
     std::future<void> submit(std::function<void()> task);
 
+    /// Tasks queued but not yet picked up by a worker.
+    std::size_t queue_depth() const;
+
+    /// Workers currently running a task.
+    std::size_t active_workers() const;
+
+    /// Block until the queue is empty and no worker is running a task.
+    /// Quiescence, not completion: a running task may submit more work
+    /// after this returns. Use the futures to wait on specific tasks.
+    void wait_idle();
+
     /// std::thread::hardware_concurrency(), clamped to at least 1.
     static std::size_t default_threads() noexcept;
 
 private:
+    struct QueuedTask {
+        std::packaged_task<void()> task;
+        std::uint64_t submit_ns = 0; ///< 0 when metrics were off at submit
+    };
+
     void worker();
 
     std::vector<std::thread> workers_;
-    std::deque<std::packaged_task<void()>> queue_;
-    std::mutex mutex_;
+    std::deque<QueuedTask> queue_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
-    bool stop_ = false;
+    std::condition_variable idle_cv_;
+    std::size_t active_ = 0;
+    bool stop_          = false;
 };
 
 /// Wait for every future, then rethrow the first stored exception (if any).

@@ -1,5 +1,7 @@
 #include "calireader.hpp"
 
+#include "reader_metrics.hpp"
+
 #include "../common/util.hpp"
 #include "../common/variant.hpp"
 
@@ -9,6 +11,14 @@
 #include <unordered_map>
 
 namespace calib {
+
+namespace iometrics {
+obs::Counter records("reader.records");
+obs::Counter entries("reader.entries");
+obs::Counter name_resolutions("reader.name_resolutions");
+obs::Counter bytes("reader.bytes");
+obs::Timer read_time("phase.read");
+} // namespace iometrics
 
 namespace {
 
@@ -60,17 +70,19 @@ Variant parse_value(Variant::Type type, std::string_view text) {
 } // namespace
 
 void CaliReader::read(std::istream& is, AttributeRegistry& registry,
-                      const IdSink& sink, IdRecord* globals, ReaderStats* stats) {
-    read_range(is, 0, UINT64_MAX, registry, sink, globals, stats);
+                      const IdSink& sink, IdRecord* globals) {
+    read_range(is, 0, UINT64_MAX, registry, sink, globals);
 }
 
 void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
                             AttributeRegistry& registry, const IdSink& sink,
-                            IdRecord* globals, ReaderStats* stats) {
+                            IdRecord* globals) {
     std::unordered_map<std::uint32_t, LocalAttr> attrs;
     std::string line, scratch;
     std::size_t lineno         = 0;
     std::uint64_t record_index = 0;
+    std::uint64_t nbytes       = 0;
+    obs::SpanTimer read_span(iometrics::read_time);
 
     auto fail = [&lineno](const std::string& msg) {
         throw std::runtime_error("calib-stream line " + std::to_string(lineno) + ": " +
@@ -87,6 +99,7 @@ void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t
 
     while (std::getline(is, line)) {
         ++lineno;
+        nbytes += line.size() + 1;
         if (line.empty())
             continue;
         if (line[0] == '#')
@@ -121,8 +134,7 @@ void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t
             const Variant::Type type  = Variant::type_from_name(fields[2]);
             const Attribute attribute =
                 registry.create(unescaped(fields[1], scratch), type);
-            if (stats)
-                ++stats->name_resolutions;
+            iometrics::name_resolutions.add();
             attrs[local] = LocalAttr{attribute.id(), type};
         } else if (kind == 'R' || kind == 'G') {
             IdRecord rec;
@@ -147,11 +159,11 @@ void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t
             if (bad)
                 fail("missing '=' in record field");
             if (kind == 'R') {
-                if (stats) {
-                    ++stats->records;
-                    stats->entries += rec.size();
-                }
+                iometrics::records.add();
+                iometrics::entries.add(rec.size());
+                read_span.pause(); // downstream filter/aggregate time is theirs
                 sink(std::move(rec));
+                read_span.resume();
             } else if (globals) {
                 for (const Entry& e : rec)
                     globals->append(e);
@@ -160,24 +172,24 @@ void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t
             fail(std::string("unknown line kind '") + kind + "'");
         }
     }
+    iometrics::bytes.add(nbytes);
 }
 
 void CaliReader::read_file(const std::string& path, AttributeRegistry& registry,
-                           const IdSink& sink, IdRecord* globals, ReaderStats* stats) {
+                           const IdSink& sink, IdRecord* globals) {
     std::ifstream is(path);
     if (!is)
         throw std::runtime_error("cannot open " + path);
-    read(is, registry, sink, globals, stats);
+    read(is, registry, sink, globals);
 }
 
 void CaliReader::read_file_range(const std::string& path, std::uint64_t begin,
                                  std::uint64_t end, AttributeRegistry& registry,
-                                 const IdSink& sink, IdRecord* globals,
-                                 ReaderStats* stats) {
+                                 const IdSink& sink, IdRecord* globals) {
     std::ifstream is(path);
     if (!is)
         throw std::runtime_error("cannot open " + path);
-    read_range(is, begin, end, registry, sink, globals, stats);
+    read_range(is, begin, end, registry, sink, globals);
 }
 
 // -- name-based compatibility wrappers --------------------------------------

@@ -31,24 +31,18 @@ public:
     using RecordSink = std::function<void(RecordMap&&)>;
     using IdSink     = std::function<void(IdRecord&&)>;
 
-    /// Resolve-once accounting: how much name handling a read performed.
-    /// The id-based pipeline's invariant is name_resolutions ≪ entries
-    /// (one resolution per attribute *definition*, not per record).
-    struct ReaderStats {
-        std::uint64_t records          = 0; ///< records delivered to the sink
-        std::uint64_t entries          = 0; ///< record fields delivered
-        std::uint64_t name_resolutions = 0; ///< registry lookups performed
-    };
-
     // -- id-based entry points (resolve-once; the query hot path) ----------
+    //
+    // Read accounting (records, entries, name resolutions, bytes) feeds the
+    // global "reader.*" instruments in the obs metrics registry; enable via
+    // obs::set_enabled() / CALIB_METRICS and read with cali-query --stats.
 
     /// Stream id-based records from \a is into \a sink; attribute names
     /// resolve through \a registry at their definition line. Dataset
     /// globals (if any) accumulate into \a globals. Throws
     /// std::runtime_error on a malformed stream.
     static void read(std::istream& is, AttributeRegistry& registry,
-                     const IdSink& sink, IdRecord* globals = nullptr,
-                     ReaderStats* stats = nullptr);
+                     const IdSink& sink, IdRecord* globals = nullptr);
 
     /// Stream only records with index in [\a begin, \a end) into \a sink
     /// (record indices count 'R' lines in stream order). The whole stream
@@ -57,16 +51,14 @@ public:
     /// parsing their fields. Used for record-range morsels.
     static void read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
                            AttributeRegistry& registry, const IdSink& sink,
-                           IdRecord* globals = nullptr, ReaderStats* stats = nullptr);
+                           IdRecord* globals = nullptr);
 
     static void read_file(const std::string& path, AttributeRegistry& registry,
-                          const IdSink& sink, IdRecord* globals = nullptr,
-                          ReaderStats* stats = nullptr);
+                          const IdSink& sink, IdRecord* globals = nullptr);
 
     static void read_file_range(const std::string& path, std::uint64_t begin,
                                 std::uint64_t end, AttributeRegistry& registry,
-                                const IdSink& sink, IdRecord* globals = nullptr,
-                                ReaderStats* stats = nullptr);
+                                const IdSink& sink, IdRecord* globals = nullptr);
 
     // -- name-based entry points (compatibility wrappers) -------------------
 

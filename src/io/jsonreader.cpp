@@ -1,5 +1,7 @@
 #include "jsonreader.hpp"
 
+#include "reader_metrics.hpp"
+
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
@@ -18,11 +20,11 @@ namespace {
 // each distinct key costs one registry lookup per stream, not per record.
 class JsonParser {
 public:
-    JsonParser(std::istream& is, AttributeRegistry& registry,
-               CaliReader::ReaderStats* stats)
-        : is_(is), registry_(registry), stats_(stats) {}
+    JsonParser(std::istream& is, AttributeRegistry& registry)
+        : is_(is), registry_(registry) {}
 
     void parse_records(const std::function<void(IdRecord&&)>& sink) {
+        obs::SpanTimer read_span(iometrics::read_time);
         skip_ws();
         expect('[');
         skip_ws();
@@ -31,11 +33,11 @@ public:
         } else {
             while (true) {
                 IdRecord rec = parse_object();
-                if (stats_) {
-                    ++stats_->records;
-                    stats_->entries += rec.size();
-                }
+                iometrics::records.add();
+                iometrics::entries.add(rec.size());
+                read_span.pause(); // downstream pipeline time is not read time
                 sink(std::move(rec));
+                read_span.resume();
                 skip_ws();
                 const char c = next();
                 if (c == ']')
@@ -48,6 +50,7 @@ public:
         skip_ws();
         if (peek() != '\0')
             fail("trailing content after the record array");
+        iometrics::bytes.add(pos_);
     }
 
 private:
@@ -186,8 +189,7 @@ private:
             // first sighting in this stream: one registry resolution;
             // JSON carries no type declarations, so keys default to String
             it->second = registry_.create(key, Variant::Type::String).id();
-            if (stats_)
-                ++stats_->name_resolutions;
+            iometrics::name_resolutions.add();
         }
         return it->second;
     }
@@ -220,7 +222,6 @@ private:
 
     std::istream& is_;
     AttributeRegistry& registry_;
-    CaliReader::ReaderStats* stats_;
     std::unordered_map<std::string, id_t> key_ids_; ///< per-stream dictionary
     std::size_t pos_ = 0; ///< bytes consumed, for error offsets
 };
@@ -237,9 +238,8 @@ public:
 } // namespace
 
 void read_json_records(std::istream& is, AttributeRegistry& registry,
-                       const std::function<void(IdRecord&&)>& sink,
-                       CaliReader::ReaderStats* stats) {
-    JsonParser(is, registry, stats).parse_records(sink);
+                       const std::function<void(IdRecord&&)>& sink) {
+    JsonParser(is, registry).parse_records(sink);
 }
 
 void read_json_records(std::istream& is,

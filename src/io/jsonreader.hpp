@@ -16,8 +16,6 @@
 #include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
 
-#include "calireader.hpp" // CaliReader::ReaderStats
-
 #include <functional>
 #include <istream>
 #include <string_view>
@@ -28,11 +26,11 @@ namespace calib {
 /// Streaming id-based parse: records are parsed directly off the stream
 /// (one object at a time — the input is never slurped into memory), keys
 /// resolve through \a registry once per distinct name, and completed
-/// records go to \a sink. Throws std::runtime_error (with byte position)
-/// on malformed input.
+/// records go to \a sink. Read accounting feeds the global "reader.*"
+/// instruments (see obs/metrics.hpp). Throws std::runtime_error (with
+/// byte position) on malformed input.
 void read_json_records(std::istream& is, AttributeRegistry& registry,
-                       const std::function<void(IdRecord&&)>& sink,
-                       CaliReader::ReaderStats* stats = nullptr);
+                       const std::function<void(IdRecord&&)>& sink);
 
 /// Parse a JSON array of flat objects into name-based records.
 std::vector<RecordMap> read_json_records(std::string_view text);

@@ -1,0 +1,23 @@
+// Shared reader instruments (defined in calireader.cpp). Both stream
+// readers feed the same counters, so "reader.*" reflects total input work
+// regardless of format:
+//
+//   reader.records           records delivered to the sink
+//   reader.entries           record fields delivered
+//   reader.name_resolutions  registry lookups (the resolve-once invariant:
+//                            one per attribute *definition*, not per record)
+//   reader.bytes             input bytes consumed
+//   phase.read               exclusive read time (sink calls excluded)
+#pragma once
+
+#include "../obs/metrics.hpp"
+
+namespace calib::iometrics {
+
+extern obs::Counter records;
+extern obs::Counter entries;
+extern obs::Counter name_resolutions;
+extern obs::Counter bytes;
+extern obs::Timer read_time;
+
+} // namespace calib::iometrics

@@ -2,6 +2,7 @@
 
 #include "../engine/parallel_processor.hpp"
 #include "../io/calireader.hpp"
+#include "../obs/metrics.hpp"
 #include "../runtime/clock.hpp"
 
 #include <mutex>
@@ -9,6 +10,10 @@
 namespace calib::simmpi {
 
 namespace {
+
+obs::Counter reduce_merges("reduce.merges");
+obs::Counter reduce_bytes("reduce.bytes");
+
 constexpr int tag_partial = 0x00ca11b;
 
 double seconds_since(std::uint64_t start_ns) {
@@ -52,6 +57,8 @@ QueryTimes parallel_query(const QuerySpec& spec, const std::vector<std::string>&
             }
             if (rank + step < size) {
                 Message m = comm.recv(rank + step, tag_partial);
+                reduce_merges.add();
+                reduce_bytes.add(m.payload.size());
                 proc.merge_serialized(m.payload);
             }
         }

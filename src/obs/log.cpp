@@ -1,0 +1,77 @@
+#include "log.hpp"
+
+#include "metrics.hpp" // obs::detail::thread_index for the [tN] tag
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace calib {
+
+namespace {
+
+std::atomic<int> g_verbosity{-1};
+std::mutex g_output_mutex;
+
+int parse_level(const char* text) {
+    if (std::strcmp(text, "error") == 0)
+        return Log::Error;
+    if (std::strcmp(text, "warn") == 0 || std::strcmp(text, "warning") == 0)
+        return Log::Warn;
+    if (std::strcmp(text, "info") == 0)
+        return Log::Info;
+    if (std::strcmp(text, "debug") == 0)
+        return Log::Debug;
+    char* end      = nullptr;
+    const long num = std::strtol(text, &end, 10);
+    if (end != text && *end == '\0')
+        return static_cast<int>(num);
+    return -1;
+}
+
+int init_verbosity() {
+    if (const char* env = std::getenv("CALIB_LOG")) {
+        const int level = parse_level(env);
+        if (level >= 0)
+            return level;
+        std::fprintf(stderr,
+                     "calib [warn]: unknown CALIB_LOG level '%s' "
+                     "(use error|warn|info|debug)\n",
+                     env);
+    }
+    if (const char* env = std::getenv("CALIB_LOG_VERBOSITY"))
+        return std::atoi(env);
+    return Log::Warn;
+}
+
+} // namespace
+
+Log::~Log() {
+    if (!enabled(level_))
+        return;
+    static const char* prefix[] = {"error", "warn", "info", "debug"};
+    std::lock_guard<std::mutex> lock(g_output_mutex);
+    std::fprintf(stderr, "calib [%s] [t%zu]: %s\n", prefix[level_],
+                 obs::detail::thread_index(), stream_.str().c_str());
+}
+
+bool Log::enabled(Level level) {
+    return static_cast<int>(level) <= verbosity();
+}
+
+void Log::set_verbosity(int level) {
+    g_verbosity.store(level, std::memory_order_relaxed);
+}
+
+int Log::verbosity() {
+    int v = g_verbosity.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = init_verbosity();
+        g_verbosity.store(v, std::memory_order_relaxed);
+    }
+    return v;
+}
+
+} // namespace calib

@@ -1,0 +1,46 @@
+// Leveled, thread-tagged logger for the whole stack.
+//
+// Verbosity comes from (first match wins):
+//   CALIB_LOG            error | warn | info | debug  (or a number 0..3)
+//   CALIB_LOG_VERBOSITY  0=errors .. 3=debug          (legacy numeric knob)
+//   default              warn
+//
+// Messages go to stderr as one line: "calib [level] [tN]: message", where
+// N is a small dense per-thread id (the same id the metrics shards use),
+// so interleaved multi-thread output stays attributable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace calib {
+
+class Log {
+public:
+    enum Level { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+    explicit Log(Level level) : level_(level) {}
+    ~Log();
+
+    template <typename T>
+    Log& operator<<(const T& v) {
+        if (enabled(level_))
+            stream_ << v;
+        return *this;
+    }
+
+    static bool enabled(Level level);
+    static void set_verbosity(int level);
+    static int verbosity();
+
+private:
+    Level level_;
+    std::ostringstream stream_;
+};
+
+inline Log log_error() { return Log(Log::Error); }
+inline Log log_warn()  { return Log(Log::Warn); }
+inline Log log_info()  { return Log(Log::Info); }
+inline Log log_debug() { return Log(Log::Debug); }
+
+} // namespace calib

@@ -1,0 +1,260 @@
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace calib::obs {
+
+// ---------------------------------------------------------------- enable flag
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+std::size_t thread_index_slow() noexcept {
+    static std::atomic<std::size_t> next{0};
+    return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace detail
+
+void set_enabled(bool on) noexcept {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool init_from_env() {
+    if (const char* env = std::getenv("CALIB_METRICS"))
+        if (*env != '\0' && std::strcmp(env, "0") != 0)
+            set_enabled(true);
+    return enabled();
+}
+
+// ----------------------------------------------------------------- instruments
+
+Counter::Counter(const char* name) : name_(name) {
+    MetricsRegistry::instance().add(Kind::Counter, name, this);
+}
+
+std::uint64_t Counter::value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const Shard& s : shards_)
+        sum += s.value.load(std::memory_order_relaxed);
+    return sum;
+}
+
+void Counter::reset() noexcept {
+    for (Shard& s : shards_)
+        s.value.store(0, std::memory_order_relaxed);
+}
+
+Gauge::Gauge(const char* name) : name_(name) {
+    MetricsRegistry::instance().add(Kind::Gauge, name, this);
+}
+
+Timer::Timer(const char* name) : name_(name) {
+    MetricsRegistry::instance().add(Kind::Timer, name, this);
+}
+
+std::uint64_t Timer::count() const noexcept {
+    std::uint64_t sum = 0;
+    for (const TimerShard& s : shards_)
+        sum += s.count.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t Timer::total_ns() const noexcept {
+    std::uint64_t sum = 0;
+    for (const TimerShard& s : shards_)
+        sum += s.total.load(std::memory_order_relaxed);
+    return sum;
+}
+
+std::uint64_t Timer::max_ns() const noexcept {
+    std::uint64_t max = 0;
+    for (const TimerShard& s : shards_)
+        max = std::max(max, s.max.load(std::memory_order_relaxed));
+    return max;
+}
+
+void Timer::reset() noexcept {
+    for (TimerShard& s : shards_) {
+        s.count.store(0, std::memory_order_relaxed);
+        s.total.store(0, std::memory_order_relaxed);
+        s.max.store(0, std::memory_order_relaxed);
+    }
+}
+
+Histogram::Histogram(const char* name) : name_(name) {
+    MetricsRegistry::instance().add(Kind::Histogram, name, this);
+}
+
+std::uint64_t Histogram::quantile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0)
+        return 0;
+    const double target = q * static_cast<double>(n);
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+        cumulative += buckets_[b].load(std::memory_order_relaxed);
+        if (static_cast<double>(cumulative) >= target)
+            // bucket b holds values < 2^b (bucket 0: the value 0)
+            return b == 0 ? 0 : (1ull << (b >= 64 ? 63 : b)) - 1;
+    }
+    return max();
+}
+
+void Histogram::reset() noexcept {
+    for (auto& b : buckets_)
+        b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------------- phases
+
+namespace {
+thread_local Phase* t_current_phase = nullptr;
+} // namespace
+
+Phase::Phase(const char* name) : parent_(t_current_phase) {
+    if (!enabled()) {
+        start_ = 0;
+        return;
+    }
+    if (parent_ && !parent_->path().empty()) {
+        path_.reserve(parent_->path().size() + 1 + std::strlen(name));
+        path_.append(parent_->path()).append(1, '/').append(name);
+    } else {
+        path_ = name;
+    }
+    t_current_phase = this;
+    start_          = now_ns(); // last, so path building is not timed
+}
+
+Phase::~Phase() {
+    if (!start_)
+        return;
+    const std::uint64_t elapsed = now_ns() - start_;
+    MetricsRegistry::instance().record_phase(path_, elapsed);
+    t_current_phase = parent_;
+}
+
+// ------------------------------------------------------------------ registry
+
+MetricsRegistry& MetricsRegistry::instance() {
+    static MetricsRegistry r;
+    return r;
+}
+
+void MetricsRegistry::add(Kind kind, const char* name, void* instrument) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    items_.push_back({kind, name, instrument});
+}
+
+namespace {
+
+Sample read_item(Kind kind, const char* name, void* instrument) {
+    Sample s;
+    s.name = name;
+    s.kind = kind;
+    switch (kind) {
+    case Kind::Counter:
+        s.value = static_cast<std::int64_t>(
+            static_cast<const Counter*>(instrument)->value());
+        s.count = static_cast<std::uint64_t>(s.value);
+        break;
+    case Kind::Gauge:
+        s.value = static_cast<const Gauge*>(instrument)->value();
+        break;
+    case Kind::Timer: {
+        const Timer* t = static_cast<const Timer*>(instrument);
+        s.count        = t->count();
+        s.total_ns     = t->total_ns();
+        s.max_ns       = t->max_ns();
+        break;
+    }
+    case Kind::Histogram: {
+        const Histogram* h = static_cast<const Histogram*>(instrument);
+        s.count            = h->count();
+        s.total_ns         = h->sum();
+        s.max_ns           = h->max();
+        s.p50              = h->quantile(0.50);
+        s.p90              = h->quantile(0.90);
+        s.p99              = h->quantile(0.99);
+        break;
+    }
+    }
+    return s;
+}
+
+} // namespace
+
+std::vector<Sample> MetricsRegistry::snapshot() const {
+    std::vector<Sample> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(items_.size());
+        for (const Item& item : items_)
+            out.push_back(read_item(item.kind, item.name, item.instrument));
+    }
+    // registration order is static-init order (arbitrary across TUs);
+    // sort by name for a deterministic report
+    std::sort(out.begin(), out.end(),
+              [](const Sample& a, const Sample& b) { return a.name < b.name; });
+    return out;
+}
+
+std::vector<PhaseSample> MetricsRegistry::phases() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return phase_table_;
+}
+
+std::optional<Sample> MetricsRegistry::find(std::string_view name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Item& item : items_)
+        if (name == item.name)
+            return read_item(item.kind, item.name, item.instrument);
+    return std::nullopt;
+}
+
+std::int64_t MetricsRegistry::value(std::string_view name) const {
+    const auto s = find(name);
+    return s ? s->value : 0;
+}
+
+void MetricsRegistry::reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Item& item : items_) {
+        switch (item.kind) {
+        case Kind::Counter:
+            static_cast<Counter*>(item.instrument)->reset();
+            break;
+        case Kind::Gauge:
+            static_cast<Gauge*>(item.instrument)->reset();
+            break;
+        case Kind::Timer:
+            static_cast<Timer*>(item.instrument)->reset();
+            break;
+        case Kind::Histogram:
+            static_cast<Histogram*>(item.instrument)->reset();
+            break;
+        }
+    }
+    phase_table_.clear();
+}
+
+void MetricsRegistry::record_phase(const std::string& path, std::uint64_t ns) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (PhaseSample& p : phase_table_) {
+        if (p.path == path) {
+            ++p.count;
+            p.total_ns += ns;
+            return;
+        }
+    }
+    phase_table_.push_back({path, 1, ns});
+}
+
+} // namespace calib::obs

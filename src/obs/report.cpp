@@ -1,0 +1,190 @@
+#include "report.hpp"
+
+#include "log.hpp"
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string_view>
+#include <vector>
+
+namespace calib::obs {
+
+namespace {
+
+constexpr std::string_view phase_timer_prefix = "phase.";
+
+/// Canonical pipeline order for the phase table; unknown phases sort after
+/// these, in first-recorded order.
+int phase_rank(std::string_view name) {
+    static constexpr std::string_view order[] = {
+        "parse", "plan",  "read",   "let",   "filter", "aggregate",
+        "merge", "reduce", "sort",  "format", "write",
+    };
+    // rank by the leaf name so nested paths ("process/merge") line up too
+    const std::size_t slash = name.rfind('/');
+    const std::string_view leaf =
+        slash == std::string_view::npos ? name : name.substr(slash + 1);
+    for (std::size_t i = 0; i < std::size(order); ++i)
+        if (leaf == order[i])
+            return static_cast<int>(i);
+    return static_cast<int>(std::size(order));
+}
+
+struct PhaseRow {
+    std::string name;
+    std::uint64_t count    = 0;
+    std::uint64_t total_ns = 0;
+};
+
+/// The unified phase view: scoped Phase records plus the stage Timers
+/// ("phase.read", "phase.filter", ...) that accumulate interleaved
+/// pipeline-stage time which no single scope can bracket.
+std::vector<PhaseRow> phase_rows(const std::vector<Sample>& samples,
+                                 const std::vector<PhaseSample>& phases) {
+    std::vector<PhaseRow> rows;
+    for (const PhaseSample& p : phases)
+        rows.push_back({p.path, p.count, p.total_ns});
+    for (const Sample& s : samples) {
+        if (s.kind != Kind::Timer ||
+            std::string_view(s.name).substr(0, phase_timer_prefix.size()) !=
+                phase_timer_prefix)
+            continue;
+        if (s.count == 0)
+            continue;
+        rows.push_back({s.name.substr(phase_timer_prefix.size()), s.count,
+                        s.total_ns});
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const PhaseRow& a, const PhaseRow& b) {
+                         return phase_rank(a.name) < phase_rank(b.name);
+                     });
+    return rows;
+}
+
+bool is_phase_timer(const Sample& s) {
+    return s.kind == Kind::Timer &&
+           std::string_view(s.name).substr(0, phase_timer_prefix.size()) ==
+               phase_timer_prefix;
+}
+
+double to_s(std::uint64_t ns) { return static_cast<double>(ns) * 1e-9; }
+double to_us(std::uint64_t ns) { return static_cast<double>(ns) * 1e-3; }
+
+} // namespace
+
+void write_stats_table(std::FILE* out) {
+    const auto samples = MetricsRegistry::instance().snapshot();
+    const auto rows    = phase_rows(samples, MetricsRegistry::instance().phases());
+
+    std::fprintf(out, "== calib self-profile ==\n");
+    std::fprintf(out, "%-28s %10s %12s\n", "phase", "count", "wall(s)");
+    for (const PhaseRow& r : rows)
+        std::fprintf(out, "  %-26s %10llu %12.6f\n", r.name.c_str(),
+                     static_cast<unsigned long long>(r.count), to_s(r.total_ns));
+
+    std::fprintf(out, "%-28s %22s\n", "counter", "value");
+    for (const Sample& s : samples)
+        if (s.kind == Kind::Counter && s.value != 0)
+            std::fprintf(out, "  %-26s %22lld\n", s.name.c_str(),
+                         static_cast<long long>(s.value));
+
+    std::fprintf(out, "%-28s %22s\n", "gauge", "value");
+    for (const Sample& s : samples)
+        if (s.kind == Kind::Gauge)
+            std::fprintf(out, "  %-26s %22lld\n", s.name.c_str(),
+                         static_cast<long long>(s.value));
+
+    std::fprintf(out, "%-28s %10s %12s %12s %12s\n", "timer", "count", "total(s)",
+                 "avg(us)", "max(us)");
+    for (const Sample& s : samples) {
+        if (s.kind != Kind::Timer || is_phase_timer(s) || s.count == 0)
+            continue;
+        std::fprintf(out, "  %-26s %10llu %12.6f %12.3f %12.3f\n", s.name.c_str(),
+                     static_cast<unsigned long long>(s.count), to_s(s.total_ns),
+                     to_us(s.total_ns) / static_cast<double>(s.count),
+                     to_us(s.max_ns));
+    }
+
+    std::fprintf(out, "%-28s %10s %12s %12s %12s %12s\n", "histogram", "count",
+                 "mean", "p50<=", "p99<=", "max");
+    for (const Sample& s : samples) {
+        if (s.kind != Kind::Histogram || s.count == 0)
+            continue;
+        std::fprintf(out, "  %-26s %10llu %12.1f %12llu %12llu %12llu\n",
+                     s.name.c_str(), static_cast<unsigned long long>(s.count),
+                     static_cast<double>(s.total_ns) / static_cast<double>(s.count),
+                     static_cast<unsigned long long>(s.p50),
+                     static_cast<unsigned long long>(s.p99),
+                     static_cast<unsigned long long>(s.max_ns));
+    }
+}
+
+void write_stats_json(std::ostream& os) {
+    const auto samples = MetricsRegistry::instance().snapshot();
+    const auto rows    = phase_rows(samples, MetricsRegistry::instance().phases());
+
+    char buf[64];
+    auto num = [&buf](double v) {
+        std::snprintf(buf, sizeof(buf), "%.9g", v);
+        return std::string(buf);
+    };
+
+    os << "[\n";
+    bool first = true;
+    auto sep   = [&os, &first] {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    for (const PhaseRow& r : rows) {
+        sep();
+        os << "  {\"kind\": \"phase\", \"name\": \"" << r.name
+           << "\", \"count\": " << r.count
+           << ", \"total_s\": " << num(to_s(r.total_ns)) << "}";
+    }
+    for (const Sample& s : samples) {
+        sep();
+        switch (s.kind) {
+        case Kind::Counter:
+            os << "  {\"kind\": \"counter\", \"name\": \"" << s.name
+               << "\", \"value\": " << s.value << "}";
+            break;
+        case Kind::Gauge:
+            os << "  {\"kind\": \"gauge\", \"name\": \"" << s.name
+               << "\", \"value\": " << s.value << "}";
+            break;
+        case Kind::Timer:
+            os << "  {\"kind\": \"timer\", \"name\": \"" << s.name
+               << "\", \"count\": " << s.count
+               << ", \"total_s\": " << num(to_s(s.total_ns))
+               << ", \"max_s\": " << num(to_s(s.max_ns)) << "}";
+            break;
+        case Kind::Histogram:
+            os << "  {\"kind\": \"histogram\", \"name\": \"" << s.name
+               << "\", \"count\": " << s.count << ", \"sum\": " << s.total_ns
+               << ", \"mean\": "
+               << num(s.count ? static_cast<double>(s.total_ns) /
+                                    static_cast<double>(s.count)
+                              : 0.0)
+               << ", \"max\": " << s.max_ns << ", \"p50\": " << s.p50
+               << ", \"p90\": " << s.p90 << ", \"p99\": " << s.p99 << "}";
+            break;
+        }
+    }
+    os << "\n]\n";
+}
+
+bool write_stats_json_file(const std::string& path) {
+    std::ofstream os(path);
+    if (!os) {
+        log_error() << "cannot open stats output file " << path;
+        return false;
+    }
+    write_stats_json(os);
+    return true;
+}
+
+} // namespace calib::obs

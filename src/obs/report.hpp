@@ -1,0 +1,39 @@
+// Self-profile reporting: render the MetricsRegistry as a human table
+// (cali-query --stats, CALIB_METRICS=1) or machine-readable JSON
+// (cali-query --stats-json, the bench harness).
+//
+// The JSON schema is deliberately a *flat record array* — the same shape
+// FORMAT json emits — so calib can query its own self-profile:
+//
+//   [ {"kind": "phase",   "name": "read", "count": 4, "total_s": 0.0123},
+//     {"kind": "counter", "name": "reader.records", "value": 123456},
+//     {"kind": "timer",   "name": "aggdb.flush", "count": 1,
+//      "total_s": 0.004, "max_s": 0.004},
+//     {"kind": "gauge",   "name": "pool.queue_depth", "value": 0},
+//     {"kind": "histogram", "name": "runtime.snapshot_ns", "count": 10,
+//      "sum": 52000, "mean": 5200, "max": 9000,
+//      "p50": 4095, "p90": 8191, "p99": 8191} ]
+//
+// read_json_records() round-trips it, and
+// `cali-query --json-input stats.json` works on it directly.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace calib::obs {
+
+/// Human-readable self-profile: the per-phase wall-clock table followed by
+/// one section per instrument kind. Intended for stderr so query results
+/// on stdout stay byte-identical.
+void write_stats_table(std::FILE* out);
+
+/// Machine-readable self-profile (schema above).
+void write_stats_json(std::ostream& os);
+
+/// Write the JSON report to \a path. Returns false (and logs an error)
+/// when the file cannot be opened.
+bool write_stats_json_file(const std::string& path);
+
+} // namespace calib::obs

@@ -1,8 +1,13 @@
 #include "filter.hpp"
 
+#include "../obs/metrics.hpp"
+
 namespace calib {
 
 namespace {
+
+obs::Counter filter_checked("filter.checked");
+obs::Counter filter_passed("filter.passed");
 
 /// Compare a record value against a filter value, coercing across
 /// numeric/string representations (so `loop.iteration=4` matches whether
@@ -81,6 +86,7 @@ void SnapshotFilter::resolve() {
 
 bool SnapshotFilter::matches(std::span<const Entry> record) {
     resolve();
+    filter_checked.add();
     for (std::size_t i = 0; i < filters_.size(); ++i) {
         const Entry* e = nullptr;
         if (ids_[i] != invalid_id)
@@ -93,6 +99,7 @@ bool SnapshotFilter::matches(std::span<const Entry> record) {
                       filters_[i].value))
             return false;
     }
+    filter_passed.add();
     return true;
 }
 

@@ -1,9 +1,19 @@
 #include "processor.hpp"
 
+#include "../obs/metrics.hpp"
+
 #include <algorithm>
 #include <cstring>
 
 namespace calib {
+
+namespace {
+// Pipeline-stage timers for the id-based hot path; the report merges
+// "phase.*" timers into the per-phase table (see obs/report.cpp).
+obs::Timer let_time("phase.let");
+obs::Timer filter_time("phase.filter");
+obs::Timer aggregate_time("phase.aggregate");
+} // namespace
 
 QueryProcessor::QueryProcessor(QuerySpec spec)
     : spec_(std::move(spec)), owned_registry_(std::make_unique<AttributeRegistry>()),
@@ -33,17 +43,24 @@ QueryProcessor::QueryProcessor(QuerySpec spec, AttributeRegistry* registry)
 void QueryProcessor::add(IdRecord&& record) {
     ++in_;
     // derived attributes are computed before filtering and aggregation
-    if (!id_lets_.empty())
+    if (!id_lets_.empty()) {
+        obs::Timer::Scope t(let_time);
         id_lets_.apply(record);
-    if (!id_filter_.matches(record))
-        return;
+    }
+    {
+        obs::Timer::Scope t(filter_time);
+        if (!id_filter_.matches(record))
+            return;
+    }
     ++kept_;
-    if (db_)
+    if (db_) {
+        obs::Timer::Scope t(aggregate_time);
         db_->process(record);
-    else
+    } else {
         // passthrough rows surface verbatim in the output, so they go back
         // to names here; aggregated rows stay id-based until flush()
         passthrough_.push_back(to_recordmap(record, *registry_));
+    }
 }
 
 void QueryProcessor::add(const RecordMap& record) {
@@ -234,6 +251,54 @@ const std::vector<RecordMap>& QueryProcessor::result() {
 
 void QueryProcessor::write(std::ostream& os) {
     format_records(os, result(), spec_);
+}
+
+std::vector<std::string> unknown_query_attributes(const QuerySpec& spec,
+                                                  const AttributeRegistry& registry) {
+    // names the query itself introduces; referencing them is always fine
+    std::vector<std::string> produced;
+    for (const LetSpec& let : spec.lets)
+        produced.push_back(let.target);
+    for (const AggOpConfig& op : spec.aggregation.ops) {
+        produced.push_back(op.result_label());
+        if (!op.alias.empty())
+            produced.push_back(op.alias);
+    }
+
+    auto is_produced = [&produced](const std::string& name) {
+        return std::find(produced.begin(), produced.end(), name) != produced.end();
+    };
+    auto known = [&](const std::string& name) {
+        return is_produced(name) || registry.find(name).valid();
+    };
+
+    std::vector<std::string> warnings;
+    auto warn = [&warnings](const std::string& clause, const std::string& name,
+                            const char* effect) {
+        warnings.push_back(clause + " references attribute '" + name +
+                           "' which never appears in the input; " + effect);
+    };
+
+    for (const FilterSpec& f : spec.filters)
+        if (f.op != FilterSpec::Op::NotExist && !known(f.attribute))
+            warn("WHERE", f.attribute, "no record can match this condition");
+    if (!spec.aggregation.key.all)
+        for (const std::string& k : spec.aggregation.key.attributes)
+            if (!known(k))
+                warn("GROUP BY", k, "all records collapse into one group");
+    for (const AggOpConfig& op : spec.aggregation.ops) {
+        if (agg_op_is_nullary(op.op))
+            continue;
+        // re-aggregating an aggregated profile reads the "op#attr" column
+        const std::string fallback =
+            AggOpConfig{op.op, op.attribute, ""}.result_label();
+        if (!known(op.attribute) && !registry.find(fallback).valid())
+            warn("AGGREGATE", op.attribute, "the result will be empty");
+    }
+    for (const SortSpec& s : spec.sort)
+        if (!known(s.attribute))
+            warn("ORDER BY", s.attribute, "it has no effect on the order");
+    return warnings;
 }
 
 std::vector<RecordMap> run_query(std::string_view query,

@@ -103,6 +103,17 @@ private:
     std::uint64_t kept_ = 0;
 };
 
+/// Diagnose silently-inert query clauses: returns one warning message per
+/// attribute referenced in WHERE / GROUP BY / AGGREGATE / ORDER BY that
+/// never appeared in the input (\a registry is the registry the input was
+/// resolved against — call after the run). Names the query itself produces
+/// (LET targets, aggregation result labels and aliases) are exempt. An
+/// unknown WHERE attribute silently drops every record and an unknown
+/// GROUP BY key silently collapses to one group, so these are warnings,
+/// not errors.
+std::vector<std::string> unknown_query_attributes(const QuerySpec& spec,
+                                                  const AttributeRegistry& registry);
+
 /// One-shot helper: run \a query over \a records and return the output.
 std::vector<RecordMap> run_query(std::string_view query,
                                  const std::vector<RecordMap>& records);

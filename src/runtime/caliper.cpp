@@ -1,13 +1,20 @@
 #include "caliper.hpp"
 
 #include "../common/log.hpp"
+#include "../obs/metrics.hpp"
+#include "../obs/report.hpp"
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 namespace calib {
 
 namespace {
+
+obs::Counter runtime_updates("runtime.updates");
+obs::Counter runtime_snapshots("runtime.snapshots");
+obs::Histogram runtime_snapshot_ns("runtime.snapshot_ns");
 
 /// Thread-local handle; the ThreadData itself is owned by the runtime so
 /// it outlives the thread (its buffered data may be flushed later).
@@ -33,6 +40,7 @@ ThreadHandle::~ThreadHandle() {
 } // namespace
 
 Caliper::Caliper() {
+    obs::init_from_env(); // CALIB_METRICS=1 turns on runtime self-profiling
     register_builtin_services();
     active_ = std::make_shared<const std::vector<Channel*>>();
     g_runtime_alive.store(true, std::memory_order_release);
@@ -69,6 +77,16 @@ void Caliper::close_channel(Channel* channel) {
         return;
     for (const auto& cb : channel->finish_cbs)
         cb(*this, *channel);
+
+    if (obs::enabled()) {
+        // self-profile report for the online runtime (CALIB_METRICS=1):
+        // table on stderr, optionally JSON to CALIB_METRICS_JSON=<file>
+        std::fprintf(stderr, "calib: channel '%s' self-profile:\n",
+                     channel->name().c_str());
+        obs::write_stats_table(stderr);
+        if (const char* path = std::getenv("CALIB_METRICS_JSON"))
+            obs::write_stats_json_file(path);
+    }
 
     std::lock_guard<std::mutex> lock(channel_mutex_);
     channel->set_active(false);
@@ -150,6 +168,7 @@ const std::vector<Channel*>& Caliper::channels_for(ThreadData& td) {
 // blackboard updates
 
 void Caliper::begin(const Attribute& attr, const Variant& value) {
+    runtime_updates.add();
     ThreadData& td = thread_data();
     td.in_update   = 1;
     for (Channel* ch : channels_for(td))
@@ -160,6 +179,7 @@ void Caliper::begin(const Attribute& attr, const Variant& value) {
 }
 
 void Caliper::end(const Attribute& attr) {
+    runtime_updates.add();
     ThreadData& td = thread_data();
     auto& stack    = td.stack_for(attr.id());
     if (stack.empty()) {
@@ -175,6 +195,7 @@ void Caliper::end(const Attribute& attr) {
 }
 
 void Caliper::set(const Attribute& attr, const Variant& value) {
+    runtime_updates.add();
     ThreadData& td = thread_data();
     td.in_update   = 1;
     for (Channel* ch : channels_for(td))
@@ -222,12 +243,17 @@ void Caliper::process_snapshot(Channel* channel, ThreadData& td,
                                ThreadChannelState& state, SnapshotRecord& rec,
                                bool from_signal) {
     (void)from_signal;
+    // relaxed-atomic instruments only: this runs in signal context too
+    const std::uint64_t t0 = obs::enabled() ? obs::now_ns() : 0;
     for (const auto& cb : channel->snapshot_cbs)
         cb(*this, *channel, td, state, rec);
     capture_blackboard(td, rec);
     for (const auto& cb : channel->process_cbs)
         cb(*this, *channel, td, state, rec);
     ++state.num_snapshots;
+    runtime_snapshots.add();
+    if (t0)
+        runtime_snapshot_ns.record(obs::now_ns() - t0);
 }
 
 void Caliper::push_snapshot(Channel* channel, const SnapshotRecord* trigger) {

@@ -4,7 +4,10 @@
 //
 // Reads one or more calib stream files, streams their records through the
 // query pipeline (filter -> aggregate -> sort -> format), and prints the
-// result.
+// result. With --stats, the tool self-profiles: every pipeline layer's
+// instruments (reader, filter, aggregation, thread pool) plus a per-phase
+// wall-clock table go to stderr; --stats-json writes the same data as a
+// JSON record array that cali-query itself can consume (--json-input).
 #include "../calib.hpp"
 
 #include <cstdio>
@@ -28,7 +31,10 @@ void usage() {
         "  -j, --json-input      inputs are JSON record arrays (FORMAT json output)\n"
         "  -G, --with-globals    join each file's globals (e.g. mpi.rank) onto\n"
         "                        every record of that file\n"
-        "  -s, --stats           print input/output record counts to stderr\n"
+        "  -s, --stats           self-profile: per-phase timings and pipeline\n"
+        "                        instruments to stderr (stdout is unchanged)\n"
+        "      --stats-json <f>  write the self-profile as a JSON record array\n"
+        "  -v, --verbose         more diagnostics on stderr (-v info, -vv debug)\n"
         "  -h, --help            show this message\n"
         "\n"
         "query language clauses:\n"
@@ -42,7 +48,9 @@ void usage() {
 int main(int argc, char** argv) {
     std::string query;
     std::string output;
+    std::string stats_json;
     long threads      = 0; // 0 = hardware concurrency
+    int verbose       = 0;
     bool stats        = false;
     bool json_input   = false;
     bool with_globals = false;
@@ -78,6 +86,17 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "-s" || arg == "--stats") {
             stats = true;
+        } else if (arg == "--stats-json") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            stats_json = argv[i];
+        } else if (arg == "-v" || arg == "--verbose") {
+            ++verbose;
+        } else if (arg == "-vv") {
+            verbose += 2;
         } else if (arg == "-j" || arg == "--json-input") {
             json_input = true;
         } else if (arg == "-G" || arg == "--with-globals") {
@@ -98,27 +117,65 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    if (verbose > 0)
+        calib::Log::set_verbosity(verbose >= 2 ? calib::Log::Debug
+                                               : calib::Log::Info);
+
+    const bool self_profile = stats || !stats_json.empty();
+    if (self_profile) {
+        calib::obs::set_enabled(true);
+        calib::obs::MetricsRegistry::instance().reset();
+    }
+
     try {
+        calib::QuerySpec spec;
+        {
+            calib::obs::Phase parse_phase("parse");
+            spec = calib::parse_calql(query);
+        }
+        calib::log_debug() << "query parsed: " << files.size() << " input file"
+                           << (files.size() == 1 ? "" : "s");
+
         calib::engine::EngineOptions eopts;
         eopts.threads      = static_cast<std::size_t>(threads);
         eopts.json_input   = json_input;
         eopts.with_globals = with_globals;
 
-        calib::engine::ParallelQueryProcessor engine(calib::parse_calql(query),
-                                                     eopts);
+        calib::engine::ParallelQueryProcessor engine(spec, eopts);
         calib::QueryProcessor& proc = engine.run(files);
 
-        if (output.empty()) {
-            proc.write(std::cout);
-        } else {
-            std::ofstream os(output);
-            if (!os) {
-                std::fprintf(stderr, "cali-query: cannot open %s\n", output.c_str());
-                return 1;
-            }
-            proc.write(os);
+        {
+            calib::obs::Phase sort_phase("sort");
+            proc.result(); // flush + canonicalize + sort (idempotent)
         }
-        if (stats)
+
+        calib::log_info() << proc.num_records_in() << " records in, "
+                          << proc.num_records_kept() << " kept, "
+                          << proc.result().size() << " out";
+
+        // diagnose silently-inert clauses (unknown WHERE / GROUP BY /
+        // AGGREGATE / ORDER BY attributes) now that the registry holds
+        // every attribute the input defined
+        for (const std::string& msg :
+             calib::unknown_query_attributes(spec, *proc.registry()))
+            calib::log_warn() << msg;
+
+        {
+            calib::obs::Phase format_phase("format");
+            if (output.empty()) {
+                proc.write(std::cout);
+            } else {
+                std::ofstream os(output);
+                if (!os) {
+                    std::fprintf(stderr, "cali-query: cannot open %s\n",
+                                 output.c_str());
+                    return 1;
+                }
+                proc.write(os);
+            }
+        }
+
+        if (stats) {
             std::fprintf(stderr,
                          "cali-query: %llu records in, %llu kept, %zu out "
                          "(%zu threads, %zu morsels)\n",
@@ -126,6 +183,10 @@ int main(int argc, char** argv) {
                          static_cast<unsigned long long>(proc.num_records_kept()),
                          proc.result().size(), engine.stats().threads,
                          engine.stats().morsels);
+            calib::obs::write_stats_table(stderr);
+        }
+        if (!stats_json.empty() && !calib::obs::write_stats_json_file(stats_json))
+            return 1;
     } catch (const calib::CalQLError& e) {
         std::fprintf(stderr, "cali-query: query error at position %zu: %s\n",
                      e.position(), e.what());

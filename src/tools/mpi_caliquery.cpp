@@ -5,6 +5,8 @@
 // Input files are distributed across simmpi rank-threads; each rank runs
 // the query on its share, then the partial aggregation databases are
 // merged with a logarithmic binomial-tree reduction (Figure 4's workload).
+// With --stats the process self-profiles (per-phase table and pipeline
+// instruments on stderr, aggregated across all rank-threads).
 #include "../calib.hpp"
 #include "../mpisim/treereduce.hpp"
 
@@ -13,11 +15,22 @@
 #include <string>
 #include <vector>
 
+namespace {
+
+void usage() {
+    std::puts("usage: mpi-caliquery [-n nprocs] [--threads m] [-t] [--stats]\n"
+              "                     [--stats-json <f>] -q <calql> <file>...");
+}
+
+} // namespace
+
 int main(int argc, char** argv) {
     std::string query;
+    std::string stats_json;
     int nprocs   = 4;
     int threads  = 1;
     bool timings = false;
+    bool stats   = false;
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -32,6 +45,13 @@ int main(int argc, char** argv) {
             nprocs = std::atoi(argv[i]);
         } else if (arg == "-t" || arg == "--timings") {
             timings = true;
+        } else if (arg == "--stats") {
+            // note: -s/-t short forms are not available here (-t = --timings)
+            stats = true;
+        } else if (arg == "--stats-json") {
+            if (++i >= argc)
+                return std::fprintf(stderr, "missing argument for --stats-json\n"), 2;
+            stats_json = argv[i];
         } else if (arg == "--threads") {
             // note: -t is taken by --timings here; the short form lives on
             // cali-query only
@@ -41,8 +61,7 @@ int main(int argc, char** argv) {
             if (threads < 1)
                 return std::fprintf(stderr, "invalid --threads value\n"), 2;
         } else if (arg == "-h" || arg == "--help") {
-            std::puts("usage: mpi-caliquery [-n nprocs] [--threads m] [-t] "
-                      "-q <calql> <file>...");
+            usage();
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "mpi-caliquery: unknown option %s\n", arg.c_str());
@@ -52,9 +71,14 @@ int main(int argc, char** argv) {
         }
     }
     if (files.empty() || nprocs < 1) {
-        std::puts("usage: mpi-caliquery [-n nprocs] [--threads m] [-t] "
-                  "-q <calql> <file>...");
+        usage();
         return 2;
+    }
+
+    const bool self_profile = stats || !stats_json.empty();
+    if (self_profile) {
+        calib::obs::set_enabled(true);
+        calib::obs::MetricsRegistry::instance().reset();
     }
 
     try {
@@ -72,6 +96,10 @@ int main(int argc, char** argv) {
                          static_cast<unsigned long long>(times.input_records),
                          times.output_records,
                          static_cast<unsigned long long>(times.bytes_reduced));
+        if (stats)
+            calib::obs::write_stats_table(stderr);
+        if (!stats_json.empty() && !calib::obs::write_stats_json_file(stats_json))
+            return 1;
     } catch (const std::exception& e) {
         std::fprintf(stderr, "mpi-caliquery: %s\n", e.what());
         return 1;

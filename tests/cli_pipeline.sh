@@ -82,6 +82,41 @@ out=$("$MPI_CALIQUERY" -n 2 -q "AGGREGATE sum(time.inclusive.duration)
       | tail -n +2 | grep -c .)
 test "$out" -eq 85 || { echo "expected 85 output records, got $out"; exit 1; }
 
+echo "== --stats: self-profile goes to stderr, stdout stays identical =="
+"$CALI_QUERY" --stats -q "AGGREGATE sum(count) GROUP BY kernel ORDER BY kernel
+                          FORMAT csv" clever-*.cali > stats_out.csv 2> stats_err.txt
+"$CALI_QUERY" -q "AGGREGATE sum(count) GROUP BY kernel ORDER BY kernel
+                  FORMAT csv" clever-*.cali > plain_out.csv
+diff plain_out.csv stats_out.csv || { echo "--stats contaminated stdout"; exit 1; }
+grep -q "reader.records" stats_err.txt
+grep -q "aggdb.lookups" stats_err.txt
+grep -q "filter.checked" stats_err.txt
+grep -q "read" stats_err.txt
+
+echo "== --stats-json round-trips through --json-input =="
+"$CALI_QUERY" --stats-json self.json -q "AGGREGATE sum(count) GROUP BY kernel
+                                         FORMAT csv" clever-*.cali > /dev/null
+test -s self.json || { echo "missing self.json"; exit 1; }
+"$CALI_QUERY" --json-input \
+    -q "SELECT name,value WHERE kind=counter ORDER BY name FORMAT csv" \
+    self.json > selfq.csv
+grep -q "reader.records" selfq.csv
+
+echo "== mpi-caliquery --stats =="
+"$MPI_CALIQUERY" -n 2 --stats -q "AGGREGATE sum(count) GROUP BY kernel
+                                  ORDER BY kernel FORMAT csv" clever-*.cali \
+    > mpistats_out.csv 2> mpistats_err.txt
+diff plain_out.csv mpistats_out.csv || { echo "mpi --stats contaminated stdout"; exit 1; }
+grep -q "reader.records" mpistats_err.txt
+
+echo "== CALIB_METRICS=1: runtime self-profile at channel flush =="
+CALIB_METRICS=1 "$CLEVER_RUN" -n 1 --steps 2 --nx 16 --ny 16 \
+    -P "services.enable=event,timer,aggregate,recorder
+aggregate.key=*
+recorder.filename=metrics-%r.cali" 2> runtime_err.txt
+grep -q "self-profile" runtime_err.txt
+grep -q "runtime.updates" runtime_err.txt
+
 echo "== error handling =="
 if "$CALI_QUERY" -q "THIS IS NOT CALQL" clever-0.cali 2>/dev/null; then
     echo "bad query must fail"; exit 1

@@ -7,6 +7,7 @@
 
 #include "io/calireader.hpp"
 #include "io/caliwriter.hpp"
+#include "obs/metrics.hpp"
 #include "query/calql.hpp"
 
 #include "test_helpers.hpp"
@@ -75,6 +76,55 @@ TEST(ThreadPool, DestructorDrainsQueue) {
 
 TEST(ThreadPool, DefaultThreadsIsAtLeastOne) {
     EXPECT_GE(ThreadPool::default_threads(), 1u);
+}
+
+TEST(ThreadPool, OccupancyGaugesAndWaitIdle) {
+    calib::obs::set_enabled(true);
+    auto& mreg                = calib::obs::MetricsRegistry::instance();
+    const std::int64_t tasks0 = mreg.value("pool.tasks");
+
+    {
+        ThreadPool pool(2);
+
+        // park both workers on a gate so occupancy is deterministic
+        // (condition checks, not sleeps)
+        std::promise<void> release;
+        std::shared_future<void> gate(release.get_future());
+        std::atomic<int> started{0};
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 2; ++i)
+            futures.push_back(pool.submit([&started, gate] {
+                ++started;
+                gate.wait();
+            }));
+        while (started.load() < 2)
+            std::this_thread::yield();
+        EXPECT_EQ(pool.active_workers(), 2u);
+        EXPECT_EQ(mreg.value("pool.active_workers"), 2);
+
+        // with every worker parked, further submissions must queue up
+        for (int i = 0; i < 3; ++i)
+            futures.push_back(pool.submit([] {}));
+        EXPECT_EQ(pool.queue_depth(), 3u);
+        EXPECT_EQ(mreg.value("pool.queue_depth"), 3);
+
+        release.set_value();
+        pool.wait_idle();
+        EXPECT_EQ(pool.queue_depth(), 0u);
+        EXPECT_EQ(pool.active_workers(), 0u);
+        EXPECT_EQ(mreg.value("pool.queue_depth"), 0);
+        EXPECT_EQ(mreg.value("pool.active_workers"), 0);
+        EXPECT_EQ(mreg.value("pool.tasks") - tasks0, 5);
+        wait_all(futures);
+    }
+    calib::obs::set_enabled(false);
+}
+
+TEST(ThreadPool, WaitIdleReturnsImmediatelyWhenIdle) {
+    ThreadPool pool(2);
+    pool.wait_idle(); // nothing submitted: must not block
+    EXPECT_EQ(pool.queue_depth(), 0u);
+    EXPECT_EQ(pool.active_workers(), 0u);
 }
 
 // ------------------------------------------------------------------- Morsels

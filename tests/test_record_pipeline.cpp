@@ -1,11 +1,12 @@
 // Id-based offline pipeline: equivalence of the resolve-once id path
 // (reader -> IdRecord -> AggregationDB::process) with the legacy
 // name-based shim (RecordMap -> process_offline), and the reader-side
-// resolve-once accounting (ReaderStats).
+// resolve-once accounting (the "reader.*" metrics).
 #include "aggregate/aggregation_db.hpp"
 #include "io/calireader.hpp"
 #include "io/caliwriter.hpp"
 #include "io/jsonreader.hpp"
+#include "obs/metrics.hpp"
 #include "query/calql.hpp"
 #include "query/processor.hpp"
 #include "test_helpers.hpp"
@@ -178,23 +179,47 @@ TEST(RecordPipeline, DbShimMatchesIdPath) {
 
 // --- resolve-once accounting -------------------------------------------------
 
+// Read accounting lives in the global metrics registry ("reader.*"); tests
+// enable metrics around the read and assert on counter deltas.
+namespace {
+
+struct ReaderCounters {
+    std::int64_t records, entries, name_resolutions;
+
+    static ReaderCounters sample() {
+        const auto& reg = obs::MetricsRegistry::instance();
+        return {reg.value("reader.records"), reg.value("reader.entries"),
+                reg.value("reader.name_resolutions")};
+    }
+    ReaderCounters operator-(const ReaderCounters& o) const {
+        return {records - o.records, entries - o.entries,
+                name_resolutions - o.name_resolutions};
+    }
+};
+
+} // namespace
+
 TEST(RecordPipeline, CaliReaderResolvesNamesOncePerDefinition) {
     const auto rs = sample_records(); // 64 records x 4 attributes
     std::istringstream is(to_stream(rs));
 
+    obs::set_enabled(true);
+    const ReaderCounters before = ReaderCounters::sample();
+
     AttributeRegistry registry;
-    CaliReader::ReaderStats stats;
     std::uint64_t seen = 0;
-    CaliReader::read(is, registry, [&seen](IdRecord&&) { ++seen; }, nullptr,
-                     &stats);
+    CaliReader::read(is, registry, [&seen](IdRecord&&) { ++seen; });
+
+    const ReaderCounters delta = ReaderCounters::sample() - before;
+    obs::set_enabled(false);
 
     EXPECT_EQ(seen, rs.size());
-    EXPECT_EQ(stats.records, rs.size());
-    EXPECT_EQ(stats.entries, 4 * rs.size());
+    EXPECT_EQ(delta.records, static_cast<std::int64_t>(rs.size()));
+    EXPECT_EQ(delta.entries, static_cast<std::int64_t>(4 * rs.size()));
     // the resolve-once contract: one registry resolution per attribute
     // *definition*, strictly fewer than one per entry
-    EXPECT_EQ(stats.name_resolutions, 4u);
-    EXPECT_LT(stats.name_resolutions, stats.entries);
+    EXPECT_EQ(delta.name_resolutions, 4);
+    EXPECT_LT(delta.name_resolutions, delta.entries);
 }
 
 TEST(RecordPipeline, JsonReaderResolvesKeysOncePerStream) {
@@ -204,18 +229,22 @@ TEST(RecordPipeline, JsonReaderResolvesKeysOncePerStream) {
         {"kernel": "a", "time": 4.5, "rank": 1}
     ])");
 
+    obs::set_enabled(true);
+    const ReaderCounters before = ReaderCounters::sample();
+
     AttributeRegistry registry;
-    CaliReader::ReaderStats stats;
     std::vector<IdRecord> out;
     read_json_records(is, registry,
-                      [&out](IdRecord&& r) { out.push_back(std::move(r)); },
-                      &stats);
+                      [&out](IdRecord&& r) { out.push_back(std::move(r)); });
+
+    const ReaderCounters delta = ReaderCounters::sample() - before;
+    obs::set_enabled(false);
 
     ASSERT_EQ(out.size(), 3u);
-    EXPECT_EQ(stats.records, 3u);
-    EXPECT_EQ(stats.entries, 2u + 3u + 3u);
-    EXPECT_EQ(stats.name_resolutions, 3u); // kernel, time, rank
-    EXPECT_LT(stats.name_resolutions, stats.entries);
+    EXPECT_EQ(delta.records, 3);
+    EXPECT_EQ(delta.entries, 2 + 3 + 3);
+    EXPECT_EQ(delta.name_resolutions, 3); // kernel, time, rank
+    EXPECT_LT(delta.name_resolutions, delta.entries);
 }
 
 // --- id API vs name API produce identical records ---------------------------
