@@ -12,12 +12,20 @@
 // dataset and must render byte-identical output. Emits the measurement as
 // JSON to stdout and to BENCH_record_pipeline.json (perf trajectory).
 //
+// A second section measures raw .cali ingest on one large file — getline
+// (istream) vs the zero-copy mmap buffer vs the read() fallback, plus the
+// parallel engine at t1/t2/t4 over byte-range morsels — and writes
+// BENCH_io.json.
+//
 // Environment knobs:
-//   CALIB_BENCH_RP_FILES   input files            (default 4)
-//   CALIB_BENCH_RP_REPS    repetitions per path   (default 3; best is kept)
+//   CALIB_BENCH_RP_FILES    input files                  (default 4)
+//   CALIB_BENCH_RP_REPS     repetitions per path         (default 3; best kept)
+//   CALIB_BENCH_IO_RECORDS  records in the big io file   (default 200000)
 #include "apps/paradis/generator.hpp"
 #include "bench_common.hpp"
+#include "engine/parallel_processor.hpp"
 #include "io/calireader.hpp"
+#include "io/filebuffer.hpp"
 #include "obs/metrics.hpp"
 #include "query/calql.hpp"
 #include "query/processor.hpp"
@@ -26,6 +34,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 using namespace calib;
 using namespace calib::bench;
@@ -82,6 +91,144 @@ template <typename Fn> Measurement best_of(int reps, Fn&& run) {
         }
     }
     return best;
+}
+
+// ------------------------------------------------------------ io section
+
+/// Pure ingest: parse every record of \a file into a counting sink.
+Measurement run_ingest_getline(const std::string& file) {
+    Measurement m;
+    const std::uint64_t t0 = now_ns();
+    AttributeRegistry registry;
+    std::uint64_t n = 0;
+    std::ifstream is(file);
+    CaliReader::read(is, registry, [&n](IdRecord&&) { ++n; });
+    m.wall_s  = static_cast<double>(now_ns() - t0) * 1e-9;
+    m.records = n;
+    return m;
+}
+
+Measurement run_ingest_buffer(const std::string& file) {
+    Measurement m;
+    const std::uint64_t t0 = now_ns();
+    AttributeRegistry registry;
+    std::uint64_t n = 0;
+    CaliReader::read_file(file, registry, [&n](IdRecord&&) { ++n; });
+    m.wall_s  = static_cast<double>(now_ns() - t0) * 1e-9;
+    m.records = n;
+    return m;
+}
+
+/// Full query over one large file at \a threads workers (byte-range
+/// morsels for threads > 1).
+Measurement run_engine(const QuerySpec& spec, const std::string& file,
+                       std::size_t threads) {
+    Measurement m;
+    const std::uint64_t t0 = now_ns();
+    engine::EngineOptions opts;
+    opts.threads = threads;
+    engine::ParallelQueryProcessor eng(spec, opts);
+    QueryProcessor& proc = eng.run({file});
+    std::ostringstream os;
+    proc.write(os);
+    m.wall_s  = static_cast<double>(now_ns() - t0) * 1e-9;
+    m.records = proc.num_records_in();
+    m.output  = os.str();
+    return m;
+}
+
+int run_io_bench(const QuerySpec& spec, int reps) {
+    const int io_records = env_int("CALIB_BENCH_IO_RECORDS", 200000);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "calib-bench-io-data").string();
+
+    paradis::ParadisConfig config;
+    config.records_per_file = io_records;
+    std::printf("\n# io ingest: generating 1 file x %d records...\n", io_records);
+    const std::string file = paradis::generate_dataset(dir, 1, config).front();
+    const double file_bytes =
+        static_cast<double>(std::filesystem::file_size(file));
+
+    const Measurement getline_m =
+        best_of(reps, [&] { return run_ingest_getline(file); });
+    const Measurement mmap_m =
+        best_of(reps, [&] { return run_ingest_buffer(file); });
+    FileBuffer::set_mmap_enabled(false);
+    const Measurement buffer_m =
+        best_of(reps, [&] { return run_ingest_buffer(file); });
+    FileBuffer::set_mmap_enabled(true);
+
+    const double mmap_speedup = getline_m.wall_s / mmap_m.wall_s;
+    std::printf("%12s %12s %16s %16s %10s\n", "ingest", "wall (s)",
+                "records/sec", "MB/sec", "speedup");
+    const auto print_ingest = [&](const char* name, const Measurement& m) {
+        std::printf("%12s %12.5f %16.0f %16.1f %10.2f\n", name, m.wall_s,
+                    static_cast<double>(m.records) / m.wall_s,
+                    file_bytes / m.wall_s * 1e-6, getline_m.wall_s / m.wall_s);
+    };
+    print_ingest("getline", getline_m);
+    print_ingest("mmap", mmap_m);
+    print_ingest("buffer", buffer_m);
+
+    Measurement engine_m[3];
+    const std::size_t thread_counts[3] = {1, 2, 4};
+    for (int i = 0; i < 3; ++i)
+        engine_m[i] = best_of(
+            reps, [&] { return run_engine(spec, file, thread_counts[i]); });
+    const double t4_speedup  = engine_m[0].wall_s / engine_m[2].wall_s;
+    const bool identical     = engine_m[0].output == engine_m[1].output &&
+                               engine_m[0].output == engine_m[2].output;
+
+    std::printf("%12s %12s %16s %16s %10s\n", "engine", "wall (s)",
+                "records/sec", "MB/sec", "speedup");
+    for (int i = 0; i < 3; ++i) {
+        char name[16];
+        std::snprintf(name, sizeof(name), "t%zu", thread_counts[i]);
+        std::printf("%12s %12.5f %16.0f %16.1f %10.2f\n", name,
+                    engine_m[i].wall_s,
+                    static_cast<double>(engine_m[i].records) / engine_m[i].wall_s,
+                    file_bytes / engine_m[i].wall_s * 1e-6,
+                    engine_m[0].wall_s / engine_m[i].wall_s);
+    }
+    std::printf("# identical output across thread counts: %s\n",
+                identical ? "yes" : "NO");
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"io\",\n"
+         << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+         << ",\n  \"file_bytes\": " << static_cast<std::uint64_t>(file_bytes)
+         << ",\n  \"records\": " << mmap_m.records << ",\n  \"ingest\": [\n";
+    const auto ingest_json = [&](const char* name, const Measurement& m,
+                                 bool last) {
+        json << "    {\"path\": \"" << name << "\", \"wall_s\": " << m.wall_s
+             << ", \"records_per_sec\": "
+             << static_cast<double>(m.records) / m.wall_s
+             << ", \"bytes_per_sec\": " << file_bytes / m.wall_s << "}"
+             << (last ? "\n" : ",\n");
+    };
+    ingest_json("getline", getline_m, false);
+    ingest_json("mmap", mmap_m, false);
+    ingest_json("buffer", buffer_m, true);
+    json << "  ],\n  \"mmap_vs_getline_speedup\": " << mmap_speedup
+         << ",\n  \"engine\": [\n";
+    for (int i = 0; i < 3; ++i)
+        json << "    {\"threads\": " << thread_counts[i]
+             << ", \"wall_s\": " << engine_m[i].wall_s
+             << ", \"records_per_sec\": "
+             << static_cast<double>(engine_m[i].records) / engine_m[i].wall_s
+             << ", \"bytes_per_sec\": " << file_bytes / engine_m[i].wall_s
+             << ", \"speedup\": " << engine_m[0].wall_s / engine_m[i].wall_s
+             << "}" << (i == 2 ? "\n" : ",\n");
+    json << "  ],\n  \"t4_vs_t1_speedup\": " << t4_speedup
+         << ",\n  \"identical_output\": " << (identical ? "true" : "false")
+         << "\n}\n";
+
+    std::printf("\n%s", json.str().c_str());
+    std::ofstream("BENCH_io.json") << json.str();
+    std::printf("# wrote BENCH_io.json\n");
+
+    std::filesystem::remove_all(dir);
+    return identical ? 0 : 1;
 }
 
 } // namespace
@@ -156,5 +303,7 @@ int main() {
     std::printf("# wrote BENCH_record_pipeline.json\n");
 
     std::filesystem::remove_all(dir);
-    return identical ? 0 : 1;
+
+    const int io_rc = run_io_bench(spec, reps);
+    return identical ? io_rc : 1;
 }

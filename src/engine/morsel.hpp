@@ -6,12 +6,19 @@
 // for every thread count:
 //
 //   - multi-file input: one morsel per file (parallel I/O + parse),
-//   - a single dominating file: record-range chunks of ~64K records; every
-//     worker scans the stream but only materializes records in its range,
+//   - a single dominating file: byte-range chunks over one shared
+//     CaliFileSource mapping — a single cheap planning scan finds
+//     line-boundary split points and indexes the rare attribute-definition
+//     lines, so each worker replays that tiny prefix and parses only its
+//     own byte span (total scan work is O(file), not O(file x workers)),
 //   - JSON inputs: one morsel per file (the array parser cannot skip).
 #pragma once
 
+#include "../io/calireader.hpp"
+
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -20,24 +27,30 @@ namespace calib::engine {
 struct Morsel {
     enum class Kind {
         CaliFile,  ///< a whole .cali stream file
-        CaliRange, ///< records [begin, end) of a .cali stream file
+        CaliBytes, ///< one byte-range chunk of a shared CaliFileSource
+        CaliRange, ///< records [begin, end) of a .cali file (legacy split)
         JsonFile,  ///< a whole JSON record-array file
     };
 
     Kind kind = Kind::CaliFile;
     std::string path;
-    std::uint64_t begin = 0; ///< first record index (CaliRange)
+    std::uint64_t begin = 0;          ///< first record index (CaliRange)
     std::uint64_t end   = UINT64_MAX; ///< one past the last record index
+    std::size_t chunk   = 0;          ///< chunk index (CaliBytes)
+    /// The shared mapped file (CaliBytes); all chunk morsels of one file
+    /// point at the same source, so the file is mapped and planned once.
+    std::shared_ptr<const CaliFileSource> source;
 };
 
 struct MorselOptions {
     bool json_input = false;
-    /// Target records per range morsel when a single file is split.
-    std::uint64_t records_per_morsel = 65536;
+    /// Target bytes per chunk when a single file is split (0: never split).
+    std::size_t bytes_per_morsel = std::size_t(4) << 20;
 };
 
-/// Split \a files into morsels. A single .cali file is pre-scanned (cheap
-/// line count) to size its record ranges; everything else maps 1:1.
+/// Split \a files into morsels. A single .cali file is mapped and planned
+/// by CaliFileSource (one cheap line scan, no record-count pre-pass);
+/// everything else maps 1:1.
 std::vector<Morsel> make_morsels(const std::vector<std::string>& files,
                                  const MorselOptions& opts = {});
 

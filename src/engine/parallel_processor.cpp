@@ -6,7 +6,6 @@
 #include "../io/jsonreader.hpp"
 #include "../obs/metrics.hpp"
 
-#include <fstream>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -52,7 +51,7 @@ QueryProcessor& ParallelQueryProcessor::run(const std::vector<std::string>& file
     std::optional<std::vector<Morsel>> planned;
     {
         obs::Phase plan_phase("plan");
-        planned = make_morsels(files, {opts_.json_input, opts_.records_per_morsel});
+        planned = make_morsels(files, {opts_.json_input, opts_.bytes_per_morsel});
     }
     const std::vector<Morsel>& morsels = *planned;
     stats_.morsels = morsels.size();
@@ -70,11 +69,8 @@ QueryProcessor& ParallelQueryProcessor::run(const std::vector<std::string>& file
 void ParallelQueryProcessor::run_serial(const std::vector<std::string>& files) {
     for (const std::string& file : files) {
         if (opts_.json_input) {
-            std::ifstream is(file);
-            if (!is)
-                throw std::runtime_error("cannot open " + file);
-            read_json_records(is, registry_,
-                              [this](IdRecord&& r) { root_.add(std::move(r)); });
+            read_json_file(file, registry_,
+                           [this](IdRecord&& r) { root_.add(std::move(r)); });
         } else if (opts_.with_globals) {
             // globals may appear anywhere in the stream, so records are
             // buffered until the file is fully scanned
@@ -102,6 +98,19 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
     for (Partial& p : partials)
         p.proc = std::make_unique<QueryProcessor>(root_.spec(), &registry_);
 
+    // byte-range chunks only see their own span, so file-scoped globals are
+    // resolved once up front (from the planning scan's metadata index) and
+    // joined onto records on the fly — no per-worker record buffering
+    IdRecord source_globals;
+    if (opts_.with_globals) {
+        for (const Morsel& m : morsels) {
+            if (m.kind == Morsel::Kind::CaliBytes) {
+                source_globals = m.source->read_globals(registry_);
+                break; // chunk morsels always share one source (one file)
+            }
+        }
+    }
+
     // the pool is declared after the state its tasks reference, so its
     // destructor (which joins the workers) runs first
     ThreadPool pool(threads);
@@ -112,7 +121,8 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
     std::vector<std::future<void>> futures;
     futures.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
-        futures.push_back(pool.submit([this, &m = morsels[i], &p = partials[i]] {
+        futures.push_back(pool.submit([this, &m = morsels[i], &p = partials[i],
+                                       &source_globals] {
             QueryProcessor& proc = *p.proc;
             auto feed            = [this, &proc, &p](IdRecord&& r) {
                 proc.add(std::move(r));
@@ -124,10 +134,20 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
                 }
             };
             if (m.kind == Morsel::Kind::JsonFile) {
-                std::ifstream is(m.path);
-                if (!is)
-                    throw std::runtime_error("cannot open " + m.path);
-                read_json_records(is, registry_, feed);
+                read_json_file(m.path, registry_, feed);
+            } else if (m.kind == Morsel::Kind::CaliBytes) {
+                // the shared source is already mapped and planned; this
+                // worker parses only its own byte span (plus the tiny
+                // attribute-definition prefix)
+                if (opts_.with_globals) {
+                    m.source->read_chunk(m.chunk, registry_,
+                                         [&](IdRecord&& r) {
+                                             join_globals(r, source_globals);
+                                             feed(std::move(r));
+                                         });
+                } else {
+                    m.source->read_chunk(m.chunk, registry_, feed);
+                }
             } else if (opts_.with_globals) {
                 IdRecord globals;
                 std::vector<IdRecord> records;

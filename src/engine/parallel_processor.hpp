@@ -39,8 +39,9 @@ struct EngineOptions {
     bool json_input     = false;
     /// Join each file's globals (e.g. mpi.rank) onto its records.
     bool with_globals = false;
-    /// Target records per range morsel when a single file is split.
-    std::uint64_t records_per_morsel = 65536;
+    /// Target bytes per chunk when a single file is split into byte-range
+    /// morsels (0: never split).
+    std::size_t bytes_per_morsel = std::size_t(4) << 20;
     /// Early-flush a worker partial exceeding this many aggregation
     /// entries (0 disables).
     std::size_t max_partial_entries = 1u << 20;

@@ -6,9 +6,8 @@
 #include "../common/variant.hpp"
 
 #include <charconv>
-#include <fstream>
+#include <cstring>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace calib {
 
@@ -24,16 +23,29 @@ namespace {
 
 /// Resolved attribute definition: the stream-local id maps straight to a
 /// registry id, so record fields never touch the attribute name again.
+/// Lives in a flat vector indexed by the (dense, file-local) id.
 struct LocalAttr {
-    id_t id;
-    Variant::Type type;
+    id_t id            = invalid_id;
+    Variant::Type type = Variant::Type::Empty;
+    /// Memoized last raw value -> parsed Variant for string attributes:
+    /// profiling streams repeat values heavily (kernel and function names),
+    /// and a short byte compare beats re-unescaping and re-interning.
+    bool has_last = false;
+    std::string last_raw;
+    Variant last_val;
 };
+
+/// Stream-local attribute ids are dense by contract (docs/FORMAT.md); this
+/// bounds the flat definition table against corrupt or hostile inputs.
+constexpr std::uint32_t kMaxLocalAttrId = 1u << 24;
 
 /// Iterate ','-separated fields, honoring backslash escapes of the
 /// separator; keeps empty fields. Field views point into \a s with escape
 /// sequences intact (split_escaped semantics without the allocations).
+/// Returns true when the input ends inside an escape sequence (a dangling
+/// backslash — the input was truncated mid-field).
 template <typename Fn>
-void for_each_field(std::string_view s, Fn&& fn) {
+bool for_each_field(std::string_view s, Fn&& fn) {
     std::size_t start = 0;
     bool esc          = false;
     for (std::size_t i = 0; i < s.size(); ++i) {
@@ -47,6 +59,7 @@ void for_each_field(std::string_view s, Fn&& fn) {
         }
     }
     fn(s.substr(start));
+    return esc;
 }
 
 /// Undo escapes only when the field actually contains one; the scratch
@@ -67,6 +80,214 @@ Variant parse_value(Variant::Type type, std::string_view text) {
     return v;
 }
 
+/// Line-level parser shared by every entry point (istream, whole buffer,
+/// byte-range chunk). Holds the per-stream state — the local-id definition
+/// table, a reused record, an unescape scratch buffer — so steady-state
+/// record parsing allocates nothing. Metric deltas accumulate locally and
+/// land on the global "reader.*" counters in one flush_metrics() call.
+class CaliParser {
+public:
+    CaliParser(AttributeRegistry& registry, const CaliReader::IdSink& sink,
+               IdRecord* globals, std::uint64_t begin = 0,
+               std::uint64_t end = UINT64_MAX)
+        : registry_(registry), sink_(sink), globals_(globals), begin_(begin),
+          end_(end) {}
+
+    /// Error messages use lineno + 1 for the next line() call — chunk
+    /// readers set this so messages carry whole-file line numbers.
+    void set_lineno(std::size_t lineno) noexcept { lineno_ = lineno; }
+
+    /// Exclusive-read-time timer to pause around sink calls.
+    void set_span(obs::SpanTimer* span) noexcept { span_ = span; }
+
+    /// Parse one line (newline and any trailing '\r' already stripped).
+    void line(std::string_view line) {
+        ++lineno_;
+        if (line.empty())
+            return;
+        if (line[0] == '#')
+            return; // header / comments
+
+        const char kind = line[0];
+        if (line.size() >= 2 && line[1] != ',')
+            fail("malformed line");
+        // records outside the requested range are counted but not parsed
+        if (kind == 'R') {
+            const std::uint64_t index = record_index_++;
+            if (index < begin_ || index >= end_)
+                return;
+        }
+        // a bare "R" is a legal empty record (snapshot with no entries)
+        const std::string_view rest =
+            line.size() >= 2 ? line.substr(2) : std::string_view();
+
+        if (kind == 'A') {
+            // resolve the attribute name here, once per definition line —
+            // every record field below is a pure integer lookup
+            std::string_view fields[3];
+            std::size_t nfields = 0;
+            const bool dangling = for_each_field(rest, [&](std::string_view f) {
+                if (nfields < 3)
+                    fields[nfields] = f;
+                ++nfields;
+            });
+            if (dangling)
+                fail("bad escape at end of field");
+            if (nfields < 3)
+                fail("malformed attribute definition");
+            const std::uint32_t local = parse_local_id(fields[0]);
+            const Variant::Type type  = Variant::type_from_name(fields[2]);
+            const Attribute attribute =
+                registry_.create(unescaped(fields[1], scratch_), type);
+            ++resolutions_;
+            if (local >= attrs_.size())
+                attrs_.resize(local + 1);
+            LocalAttr& slot = attrs_[local];
+            slot.id         = attribute.id();
+            slot.type       = type;
+            slot.has_last   = false; // a redefinition invalidates the memo
+        } else if (kind == 'R' || kind == 'G') {
+            rec_.clear();
+            // single-pass field walk: id digits, '=', value up to the next
+            // unescaped ',' — no repeated scans of the same bytes
+            const char* p   = rest.data();
+            const char* end = p + rest.size();
+            while (p < end) {
+                if (*p == ',') { // empty field
+                    ++p;
+                    continue;
+                }
+                std::uint32_t local = 0;
+                const char* q       = p;
+                while (q < end && *q >= '0' && *q <= '9') {
+                    local = local * 10 + static_cast<std::uint32_t>(*q - '0');
+                    if (local >= kMaxLocalAttrId)
+                        fail("attribute id out of range");
+                    ++q;
+                }
+                if (q == p)
+                    fail("malformed attribute id");
+                if (q == end || *q != '=')
+                    fail("missing '=' in record field");
+                if (local >= attrs_.size() || attrs_[local].id == invalid_id)
+                    fail("record references undefined attribute " +
+                         std::to_string(local));
+                LocalAttr& a  = attrs_[local];
+                const char* v = ++q;
+                bool escaped  = false;
+                while (q < end && *q != ',') {
+                    if (*q == '\\') {
+                        escaped = true;
+                        if (++q == end)
+                            fail("bad escape at end of field");
+                    }
+                    ++q;
+                }
+                const std::string_view raw(v, static_cast<std::size_t>(q - v));
+                if (a.has_last && raw == a.last_raw) {
+                    rec_.append(a.id, a.last_val); // memoized repeat value
+                } else {
+                    std::string_view text = raw;
+                    if (escaped) {
+                        scratch_ = util::unescape(raw);
+                        text     = scratch_;
+                    }
+                    const Variant val = parse_value(a.type, text);
+                    rec_.append(a.id, val);
+                    if (a.type == Variant::Type::String) {
+                        a.last_raw.assign(raw.data(), raw.size());
+                        a.last_val = val;
+                        a.has_last = true;
+                    }
+                }
+                p = q < end ? q + 1 : end;
+            }
+            if (kind == 'R') {
+                ++records_;
+                entries_ += rec_.size();
+                if (span_)
+                    span_->pause(); // downstream pipeline time is theirs
+                sink_(std::move(rec_));
+                if (span_)
+                    span_->resume();
+            } else if (globals_) {
+                for (const Entry& e : rec_)
+                    globals_->append(e);
+            }
+        } else {
+            fail(std::string("unknown line kind '") + kind + "'");
+        }
+    }
+
+    /// Land the accumulated deltas on the global reader instruments.
+    /// \a nbytes is the input actually consumed by this parse.
+    void flush_metrics(std::uint64_t nbytes) const {
+        iometrics::records.add(records_);
+        iometrics::entries.add(entries_);
+        iometrics::name_resolutions.add(resolutions_);
+        iometrics::bytes.add(nbytes);
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const {
+        throw std::runtime_error("calib-stream line " + std::to_string(lineno_) +
+                                 ": " + msg);
+    }
+
+    std::uint32_t parse_local_id(std::string_view text) const {
+        std::uint32_t id     = 0;
+        const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), id);
+        if (ec != std::errc() || ptr == text.data())
+            fail("malformed attribute id");
+        if (id >= kMaxLocalAttrId)
+            fail("attribute id out of range");
+        return id;
+    }
+
+    AttributeRegistry& registry_;
+    const CaliReader::IdSink& sink_;
+    IdRecord* globals_;
+    std::uint64_t begin_, end_;
+
+    std::vector<LocalAttr> attrs_; ///< flat table, indexed by local id
+    IdRecord rec_;                 ///< reused record scratch
+    std::string scratch_;          ///< reused unescape buffer
+    obs::SpanTimer* span_ = nullptr;
+
+    std::size_t lineno_         = 0;
+    std::uint64_t record_index_ = 0;
+    std::uint64_t records_ = 0, entries_ = 0, resolutions_ = 0;
+};
+
+/// Walk newline-separated lines of \a text zero-copy, stripping a trailing
+/// '\r' (CRLF input) from each line before handing it to \a fn.
+template <typename Fn>
+void for_each_line(std::string_view text, Fn&& fn) {
+    const char* base    = text.data();
+    const std::size_t n = text.size();
+    std::size_t pos     = 0;
+    while (pos < n) {
+        const void* nl = std::memchr(base + pos, '\n', n - pos);
+        const std::size_t eol =
+            nl ? static_cast<std::size_t>(static_cast<const char*>(nl) - base) : n;
+        std::string_view line(base + pos, eol - pos);
+        if (!line.empty() && line.back() == '\r')
+            line.remove_suffix(1);
+        fn(line);
+        pos = eol + 1;
+    }
+}
+
+void parse_buffer_range(std::string_view text, std::uint64_t begin,
+                        std::uint64_t end, AttributeRegistry& registry,
+                        const CaliReader::IdSink& sink, IdRecord* globals) {
+    CaliParser parser(registry, sink, globals, begin, end);
+    obs::SpanTimer span(iometrics::read_time);
+    parser.set_span(&span);
+    for_each_line(text, [&parser](std::string_view line) { parser.line(line); });
+    parser.flush_metrics(text.size());
+}
+
 } // namespace
 
 void CaliReader::read(std::istream& is, AttributeRegistry& registry,
@@ -77,119 +298,129 @@ void CaliReader::read(std::istream& is, AttributeRegistry& registry,
 void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
                             AttributeRegistry& registry, const IdSink& sink,
                             IdRecord* globals) {
-    std::unordered_map<std::uint32_t, LocalAttr> attrs;
-    std::string line, scratch;
-    std::size_t lineno         = 0;
-    std::uint64_t record_index = 0;
-    std::uint64_t nbytes       = 0;
-    obs::SpanTimer read_span(iometrics::read_time);
-
-    auto fail = [&lineno](const std::string& msg) {
-        throw std::runtime_error("calib-stream line " + std::to_string(lineno) + ": " +
-                                 msg);
-    };
-
-    auto parse_local_id = [&fail](std::string_view text) {
-        std::uint32_t id = 0;
-        const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), id);
-        if (ec != std::errc() || ptr == text.data())
-            fail("malformed attribute id");
-        return id;
-    };
-
+    CaliParser parser(registry, sink, globals, begin, end);
+    obs::SpanTimer span(iometrics::read_time);
+    parser.set_span(&span);
+    std::string line;
+    std::uint64_t nbytes = 0;
     while (std::getline(is, line)) {
-        ++lineno;
-        nbytes += line.size() + 1;
-        if (line.empty())
-            continue;
-        if (line[0] == '#')
-            continue; // header / comments
-
-        const char kind = line[0];
-        if (line.size() >= 2 && line[1] != ',')
-            fail("malformed line");
-        // records outside the requested range are counted but not parsed
-        if (kind == 'R') {
-            const std::uint64_t index = record_index++;
-            if (index < begin || index >= end)
-                continue;
-        }
-        // a bare "R" is a legal empty record (snapshot with no entries)
-        const std::string_view rest =
-            line.size() >= 2 ? std::string_view(line).substr(2) : std::string_view();
-
-        if (kind == 'A') {
-            // resolve the attribute name here, once per definition line —
-            // every record field below is a pure integer lookup
-            std::string_view fields[3];
-            std::size_t nfields = 0;
-            for_each_field(rest, [&](std::string_view f) {
-                if (nfields < 3)
-                    fields[nfields] = f;
-                ++nfields;
-            });
-            if (nfields < 3)
-                fail("malformed attribute definition");
-            const std::uint32_t local = parse_local_id(fields[0]);
-            const Variant::Type type  = Variant::type_from_name(fields[2]);
-            const Attribute attribute =
-                registry.create(unescaped(fields[1], scratch), type);
-            iometrics::name_resolutions.add();
-            attrs[local] = LocalAttr{attribute.id(), type};
-        } else if (kind == 'R' || kind == 'G') {
-            IdRecord rec;
-            bool bad = false;
-            for_each_field(rest, [&](std::string_view field) {
-                if (field.empty() || bad)
-                    return;
-                const std::size_t eq = field.find('=');
-                if (eq == std::string_view::npos) {
-                    bad = true;
-                    return;
-                }
-                const std::uint32_t local = parse_local_id(field.substr(0, eq));
-                auto it                   = attrs.find(local);
-                if (it == attrs.end())
-                    fail("record references undefined attribute " +
-                         std::to_string(local));
-                rec.append(it->second.id,
-                           parse_value(it->second.type,
-                                       unescaped(field.substr(eq + 1), scratch)));
-            });
-            if (bad)
-                fail("missing '=' in record field");
-            if (kind == 'R') {
-                iometrics::records.add();
-                iometrics::entries.add(rec.size());
-                read_span.pause(); // downstream filter/aggregate time is theirs
-                sink(std::move(rec));
-                read_span.resume();
-            } else if (globals) {
-                for (const Entry& e : rec)
-                    globals->append(e);
-            }
-        } else {
-            fail(std::string("unknown line kind '") + kind + "'");
-        }
+        // bytes actually consumed: the line (incl. any '\r') plus the '\n'
+        // delimiter — unless this final line was terminated by EOF instead
+        nbytes += line.size() + (is.eof() ? 0 : 1);
+        std::string_view ln(line);
+        if (!ln.empty() && ln.back() == '\r')
+            ln.remove_suffix(1); // CRLF input parses identically
+        parser.line(ln);
     }
-    iometrics::bytes.add(nbytes);
+    parser.flush_metrics(nbytes);
+}
+
+void CaliReader::read_buffer(std::string_view text, AttributeRegistry& registry,
+                             const IdSink& sink, IdRecord* globals) {
+    parse_buffer_range(text, 0, UINT64_MAX, registry, sink, globals);
 }
 
 void CaliReader::read_file(const std::string& path, AttributeRegistry& registry,
                            const IdSink& sink, IdRecord* globals) {
-    std::ifstream is(path);
-    if (!is)
-        throw std::runtime_error("cannot open " + path);
-    read(is, registry, sink, globals);
+    const FileBuffer buf = FileBuffer::open(path);
+    read_buffer(buf.view(), registry, sink, globals);
 }
 
 void CaliReader::read_file_range(const std::string& path, std::uint64_t begin,
                                  std::uint64_t end, AttributeRegistry& registry,
                                  const IdSink& sink, IdRecord* globals) {
-    std::ifstream is(path);
-    if (!is)
-        throw std::runtime_error("cannot open " + path);
-    read_range(is, begin, end, registry, sink, globals);
+    const FileBuffer buf = FileBuffer::open(path);
+    parse_buffer_range(buf.view(), begin, end, registry, sink, globals);
+}
+
+// -- byte-range source -------------------------------------------------------
+
+CaliFileSource::CaliFileSource(std::string path, std::size_t target_chunk_bytes)
+    : buffer_(FileBuffer::open(path)), path_(std::move(path)) {
+    const std::string_view text = buffer_.view();
+    const char* base            = text.data();
+    const std::size_t n         = text.size();
+    if (target_chunk_bytes == 0)
+        target_chunk_bytes = n ? n : 1;
+
+    // single planning pass: line-boundary chunk splits, per-chunk record
+    // counts, and the offsets of every (rare) 'A'/'G' metadata line
+    Chunk cur{0, 0, 1, 0};
+    std::size_t lineno = 0;
+    std::size_t pos    = 0;
+    while (pos < n) {
+        if (pos - cur.begin >= target_chunk_bytes) {
+            cur.end = pos;
+            chunks_.push_back(cur);
+            cur = Chunk{pos, 0, lineno + 1, 0};
+        }
+        ++lineno;
+        const void* nl = std::memchr(base + pos, '\n', n - pos);
+        const std::size_t eol =
+            nl ? static_cast<std::size_t>(static_cast<const char*>(nl) - base) : n;
+        std::uint32_t len = static_cast<std::uint32_t>(eol - pos);
+        if (len > 0 && base[pos + len - 1] == '\r')
+            --len;
+        const char kind = len > 0 ? base[pos] : '\0';
+        if (kind == 'R') {
+            ++cur.records;
+            ++num_records_;
+        } else if (kind == 'A' || kind == 'G') {
+            meta_.push_back(MetaLine{pos, len, lineno, kind});
+        }
+        pos = eol + 1;
+    }
+    if (n > 0) {
+        cur.end = n;
+        chunks_.push_back(cur);
+    }
+}
+
+bool CaliFileSource::has_globals() const noexcept {
+    for (const MetaLine& m : meta_)
+        if (m.kind == 'G')
+            return true;
+    return false;
+}
+
+void CaliFileSource::read_chunk(std::size_t index, AttributeRegistry& registry,
+                                const CaliReader::IdSink& sink) const {
+    const Chunk& chunk = chunks_.at(index);
+    CaliParser parser(registry, sink, nullptr);
+    obs::SpanTimer span(iometrics::read_time);
+    parser.set_span(&span);
+
+    // replay the attribute definitions preceding this range, in file order
+    // and under their original line numbers, so the chunk parses exactly as
+    // a sequential scan would have ('A' lines inside the range parse
+    // in-place; 'G' lines are handled once, by read_globals())
+    for (const MetaLine& m : meta_) {
+        if (m.offset >= chunk.begin)
+            break;
+        if (m.kind != 'A')
+            continue;
+        parser.set_lineno(m.lineno - 1);
+        parser.line(std::string_view(buffer_.data() + m.offset, m.size));
+    }
+
+    parser.set_lineno(chunk.first_line - 1);
+    for_each_line(std::string_view(buffer_.data() + chunk.begin,
+                                   chunk.end - chunk.begin),
+                  [&parser](std::string_view line) { parser.line(line); });
+    // only the bytes of this range count: per-worker reader.bytes sums to
+    // the file size, not workers x file size
+    parser.flush_metrics(chunk.end - chunk.begin);
+}
+
+IdRecord CaliFileSource::read_globals(AttributeRegistry& registry) const {
+    IdRecord globals;
+    const CaliReader::IdSink noop = [](IdRecord&&) {};
+    CaliParser parser(registry, noop, &globals);
+    for (const MetaLine& m : meta_) {
+        parser.set_lineno(m.lineno - 1);
+        parser.line(std::string_view(buffer_.data() + m.offset, m.size));
+    }
+    return globals;
 }
 
 // -- name-based compatibility wrappers --------------------------------------
@@ -198,6 +429,19 @@ void CaliReader::read(std::istream& is, const RecordSink& sink, RecordMap* globa
     read_range(is, 0, UINT64_MAX, sink, globals);
 }
 
+namespace {
+
+/// Adapt an id sink + private registry to the name-based API.
+void restore_globals(const IdRecord& g, const AttributeRegistry& registry,
+                     RecordMap* globals) {
+    if (!globals)
+        return;
+    for (const Entry& e : g)
+        globals->append(registry.get(e.attribute).name(), e.value);
+}
+
+} // namespace
+
 void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
                             const RecordSink& sink, RecordMap* globals) {
     AttributeRegistry registry; // private dictionary, names restored below
@@ -205,9 +449,7 @@ void CaliReader::read_range(std::istream& is, std::uint64_t begin, std::uint64_t
     read_range(is, begin, end, registry,
                [&](IdRecord&& rec) { sink(to_recordmap(rec, registry)); },
                globals ? &g : nullptr);
-    if (globals)
-        for (const Entry& e : g)
-            globals->append(registry.get(e.attribute).name(), e.value);
+    restore_globals(g, registry, globals);
 }
 
 std::vector<RecordMap> CaliReader::read_all(std::istream& is, RecordMap* globals) {
@@ -218,38 +460,41 @@ std::vector<RecordMap> CaliReader::read_all(std::istream& is, RecordMap* globals
 
 std::vector<RecordMap> CaliReader::read_file(const std::string& path,
                                              RecordMap* globals) {
-    std::ifstream is(path);
-    if (!is)
-        throw std::runtime_error("cannot open " + path);
-    return read_all(is, globals);
+    std::vector<RecordMap> out;
+    read_file(path, [&out](RecordMap&& r) { out.push_back(std::move(r)); }, globals);
+    return out;
 }
 
 void CaliReader::read_file(const std::string& path, const RecordSink& sink,
                            RecordMap* globals) {
-    std::ifstream is(path);
-    if (!is)
-        throw std::runtime_error("cannot open " + path);
-    read(is, sink, globals);
+    const FileBuffer buf = FileBuffer::open(path);
+    AttributeRegistry registry;
+    IdRecord g;
+    read_buffer(buf.view(), registry,
+                [&](IdRecord&& rec) { sink(to_recordmap(rec, registry)); },
+                globals ? &g : nullptr);
+    restore_globals(g, registry, globals);
 }
 
 void CaliReader::read_file_range(const std::string& path, std::uint64_t begin,
                                  std::uint64_t end, const RecordSink& sink,
                                  RecordMap* globals) {
-    std::ifstream is(path);
-    if (!is)
-        throw std::runtime_error("cannot open " + path);
-    read_range(is, begin, end, sink, globals);
+    const FileBuffer buf = FileBuffer::open(path);
+    AttributeRegistry registry;
+    IdRecord g;
+    parse_buffer_range(buf.view(), begin, end, registry,
+                       [&](IdRecord&& rec) { sink(to_recordmap(rec, registry)); },
+                       globals ? &g : nullptr);
+    restore_globals(g, registry, globals);
 }
 
 std::uint64_t CaliReader::count_records(const std::string& path) {
-    std::ifstream is(path);
-    if (!is)
-        throw std::runtime_error("cannot open " + path);
+    const FileBuffer buf = FileBuffer::open(path);
     std::uint64_t n = 0;
-    std::string line;
-    while (std::getline(is, line))
+    for_each_line(buf.view(), [&n](std::string_view line) {
         if (!line.empty() && line[0] == 'R')
             ++n;
+    });
     return n;
 }
 

@@ -8,20 +8,36 @@
 // the same parser (it resolves through a private registry and converts
 // each record back to names).
 //
+// File-based entry points are zero-copy: the file is mmap()ed (FileBuffer,
+// with a read()-into-buffer fallback for pipes/stdin) and the parser walks
+// string_view lines directly over the mapped bytes — no per-line
+// std::string, a flat vector indexed by the stream-local attribute id, and
+// a reused record scratch buffer, so steady-state record parsing performs
+// no allocations. The istream entry points remain for true streams and
+// tests (std::getline per line).
+//
+// CaliFileSource supports parallel reads of one file: a single cheap
+// chunking pass splits the mapped bytes into line-aligned ranges and
+// indexes the (rare) 'A'/'G' metadata lines, so each worker replays only
+// the attribute definitions preceding its range and then parses its own
+// byte span — total scan work stays O(file), not O(file x workers).
+// docs/FORMAT.md describes the split semantics.
+//
 // All entry points are stateless and safe to call concurrently from
 // multiple threads (string interning and attribute registries synchronize
-// internally), which the parallel query engine relies on: each worker
-// opens its own stream over its morsel of the input.
+// internally), which the parallel query engine relies on.
 #pragma once
 
 #include "../common/attribute.hpp"
 #include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
+#include "filebuffer.hpp"
 
 #include <cstdint>
 #include <functional>
 #include <istream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace calib {
@@ -48,11 +64,18 @@ public:
     /// (record indices count 'R' lines in stream order). The whole stream
     /// is still scanned — attribute definitions and globals can appear
     /// anywhere — but records outside the range are skipped without
-    /// parsing their fields. Used for record-range morsels.
+    /// parsing their fields.
     static void read_range(std::istream& is, std::uint64_t begin, std::uint64_t end,
                            AttributeRegistry& registry, const IdSink& sink,
                            IdRecord* globals = nullptr);
 
+    /// Zero-copy parse of in-memory stream text (no istream, no per-line
+    /// copies). File readers map the file and call this.
+    static void read_buffer(std::string_view text, AttributeRegistry& registry,
+                            const IdSink& sink, IdRecord* globals = nullptr);
+
+    /// Mmap \a path ("-" = stdin, via the read() fallback) and parse it
+    /// zero-copy.
     static void read_file(const std::string& path, AttributeRegistry& registry,
                           const IdSink& sink, IdRecord* globals = nullptr);
 
@@ -84,6 +107,60 @@ public:
 
     /// Number of records in a file (a plain line scan; no field parsing).
     static std::uint64_t count_records(const std::string& path);
+};
+
+/// A .cali file prepared for parallel byte-range reads: the file is mapped
+/// once and split into line-aligned chunks by a single cheap scan that also
+/// indexes every 'A' (attribute definition) and 'G' (globals) line. Workers
+/// call read_chunk() with disjoint chunk indices; each replays the
+/// definitions preceding its range, then parses only its own bytes.
+/// Immutable after construction — safe to share across threads.
+class CaliFileSource {
+public:
+    /// One line-aligned byte range of the file.
+    struct Chunk {
+        std::size_t begin      = 0; ///< first byte (start of a line)
+        std::size_t end        = 0; ///< one past the last byte
+        std::size_t first_line = 1; ///< 1-based line number at begin
+        std::uint64_t records  = 0; ///< 'R' lines within the range
+    };
+
+    /// Map (or slurp) \a path and plan chunks of ~\a target_chunk_bytes.
+    /// Throws std::runtime_error when the file cannot be opened.
+    CaliFileSource(std::string path, std::size_t target_chunk_bytes);
+
+    const std::string& path() const noexcept { return path_; }
+    std::size_t size_bytes() const noexcept { return buffer_.size(); }
+    bool mapped() const noexcept { return buffer_.mapped(); }
+    std::uint64_t num_records() const noexcept { return num_records_; }
+    bool has_globals() const noexcept;
+
+    /// Chunks tile [0, size_bytes()) in file order; empty for an empty file.
+    const std::vector<Chunk>& chunks() const noexcept { return chunks_; }
+
+    /// Parse the records of chunk \a index into \a sink (thread-safe for
+    /// distinct indices). Error messages carry whole-file line numbers.
+    void read_chunk(std::size_t index, AttributeRegistry& registry,
+                    const CaliReader::IdSink& sink) const;
+
+    /// All dataset globals ('G' lines anywhere in the file), resolved
+    /// against \a registry.
+    IdRecord read_globals(AttributeRegistry& registry) const;
+
+private:
+    /// An 'A' or 'G' line, indexed by the planning scan.
+    struct MetaLine {
+        std::size_t offset = 0; ///< byte offset of the line start
+        std::uint32_t size = 0; ///< line length (newline / CR stripped)
+        std::size_t lineno = 0; ///< 1-based, for error messages
+        char kind          = 0; ///< 'A' or 'G'
+    };
+
+    FileBuffer buffer_;
+    std::string path_;
+    std::vector<MetaLine> meta_;
+    std::vector<Chunk> chunks_;
+    std::uint64_t num_records_ = 0;
 };
 
 /// A loaded multi-file dataset (e.g. one file per MPI rank).

@@ -1,0 +1,162 @@
+#include "filebuffer.hpp"
+
+#include "../obs/metrics.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define CALIB_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#include <iostream>
+#endif
+
+namespace calib {
+
+namespace {
+
+// bytes currently mmap-mapped by readers
+obs::Gauge mmap_gauge("reader.mmap");
+
+std::atomic<bool>& mmap_flag() noexcept {
+    static std::atomic<bool> flag{[] {
+        const char* e = std::getenv("CALIB_NO_MMAP");
+        return !(e && *e && std::strcmp(e, "0") != 0);
+    }()};
+    return flag;
+}
+
+} // namespace
+
+bool FileBuffer::mmap_enabled() noexcept {
+    return mmap_flag().load(std::memory_order_relaxed);
+}
+
+void FileBuffer::set_mmap_enabled(bool on) noexcept {
+    mmap_flag().store(on, std::memory_order_relaxed);
+}
+
+FileBuffer::~FileBuffer() { release(); }
+
+FileBuffer::FileBuffer(FileBuffer&& other) noexcept { *this = std::move(other); }
+
+FileBuffer& FileBuffer::operator=(FileBuffer&& other) noexcept {
+    if (this == &other)
+        return *this;
+    release();
+    mapped_ = other.mapped_;
+    size_   = other.size_;
+    owned_  = std::move(other.owned_);
+    // a moved std::string may relocate its bytes (SSO), so the fallback
+    // view must be re-derived from the new storage
+    data_ = mapped_ ? other.data_ : owned_.data();
+    other.data_   = nullptr;
+    other.size_   = 0;
+    other.mapped_ = false;
+    other.owned_.clear();
+    return *this;
+}
+
+void FileBuffer::release() noexcept {
+#ifdef CALIB_HAVE_MMAP
+    if (mapped_ && data_) {
+        munmap(const_cast<char*>(data_), size_);
+        mmap_gauge.add(-static_cast<std::int64_t>(size_));
+    }
+#endif
+    data_   = nullptr;
+    size_   = 0;
+    mapped_ = false;
+    owned_.clear();
+}
+
+FileBuffer FileBuffer::from_string(std::string text) {
+    FileBuffer buf;
+    buf.owned_ = std::move(text);
+    buf.data_  = buf.owned_.data();
+    buf.size_  = buf.owned_.size();
+    return buf;
+}
+
+#ifdef CALIB_HAVE_MMAP
+
+FileBuffer FileBuffer::open(const std::string& path) {
+    const bool is_stdin = path == "-";
+    const int fd = is_stdin ? STDIN_FILENO : ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0)
+        throw std::runtime_error("cannot open " + path);
+
+    FileBuffer buf;
+    struct stat st {};
+    const bool regular = fstat(fd, &st) == 0 && S_ISREG(st.st_mode);
+
+    if (regular && st.st_size > 0 && mmap_enabled()) {
+        void* p = mmap(nullptr, static_cast<std::size_t>(st.st_size), PROT_READ,
+                       MAP_PRIVATE, fd, 0);
+        if (p != MAP_FAILED) {
+            buf.data_   = static_cast<const char*>(p);
+            buf.size_   = static_cast<std::size_t>(st.st_size);
+            buf.mapped_ = true;
+            mmap_gauge.add(static_cast<std::int64_t>(buf.size_));
+            if (!is_stdin)
+                ::close(fd); // the mapping outlives the descriptor
+            return buf;
+        }
+        // MAP_FAILED (odd filesystem, resource limit): fall through to read()
+    }
+
+    // fallback: slurp the descriptor — pipes, stdin, /proc files (st_size 0)
+    if (regular && st.st_size > 0)
+        buf.owned_.reserve(static_cast<std::size_t>(st.st_size));
+    char chunk[1 << 16];
+    while (true) {
+        const ssize_t n = ::read(fd, chunk, sizeof chunk);
+        if (n > 0) {
+            buf.owned_.append(chunk, static_cast<std::size_t>(n));
+        } else if (n == 0) {
+            break;
+        } else if (errno != EINTR) {
+            if (!is_stdin)
+                ::close(fd);
+            throw std::runtime_error("cannot open " + path);
+        }
+    }
+    if (!is_stdin)
+        ::close(fd);
+    buf.data_ = buf.owned_.data();
+    buf.size_ = buf.owned_.size();
+    return buf;
+}
+
+#else // !CALIB_HAVE_MMAP: portable iostream fallback (never maps)
+
+FileBuffer FileBuffer::open(const std::string& path) {
+    FileBuffer buf;
+    if (path == "-") {
+        char chunk[1 << 16];
+        while (std::cin.read(chunk, sizeof chunk) || std::cin.gcount() > 0)
+            buf.owned_.append(chunk, static_cast<std::size_t>(std::cin.gcount()));
+    } else {
+        std::ifstream is(path, std::ios::binary);
+        if (!is)
+            throw std::runtime_error("cannot open " + path);
+        char chunk[1 << 16];
+        while (is.read(chunk, sizeof chunk) || is.gcount() > 0)
+            buf.owned_.append(chunk, static_cast<std::size_t>(is.gcount()));
+    }
+    buf.data_ = buf.owned_.data();
+    buf.size_ = buf.owned_.size();
+    return buf;
+}
+
+#endif
+
+} // namespace calib

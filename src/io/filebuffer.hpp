@@ -1,0 +1,63 @@
+// FileBuffer: a read-only, whole-file byte view for zero-copy parsing.
+//
+// Regular files are mmap()ed (the kernel pages them in on demand, and
+// multiple workers can read disjoint byte ranges of one mapping without
+// any per-worker I/O or copies). Pipes, stdin ("-"), non-regular files,
+// and platforms without mmap fall back to a plain read()-into-buffer
+// slurp, so every caller sees the same contiguous `string_view` either
+// way. Setting CALIB_NO_MMAP=1 (or set_mmap_enabled(false)) forces the
+// fallback path — the differential suites use it to vet both paths.
+//
+// The "reader.mmap" gauge tracks bytes currently mapped (see
+// docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace calib {
+
+class FileBuffer {
+public:
+    FileBuffer() = default;
+    ~FileBuffer();
+
+    FileBuffer(FileBuffer&& other) noexcept;
+    FileBuffer& operator=(FileBuffer&& other) noexcept;
+    FileBuffer(const FileBuffer&)            = delete;
+    FileBuffer& operator=(const FileBuffer&) = delete;
+
+    /// Open \a path for reading; "-" reads standard input. Throws
+    /// std::runtime_error ("cannot open <path>") when the file is not
+    /// readable.
+    static FileBuffer open(const std::string& path);
+
+    /// Wrap in-memory text (tests, synthetic inputs). The buffer owns a
+    /// copy of \a text.
+    static FileBuffer from_string(std::string text);
+
+    /// The file's bytes. Valid for the lifetime of this buffer.
+    std::string_view view() const noexcept { return {data_, size_}; }
+    const char* data() const noexcept { return data_; }
+    std::size_t size() const noexcept { return size_; }
+
+    /// True when the view is mmap-backed (false: owned fallback buffer).
+    bool mapped() const noexcept { return mapped_; }
+
+    /// Process-wide switch for the mmap fast path; initialized from the
+    /// CALIB_NO_MMAP environment variable. When off, open() always reads
+    /// into an owned buffer.
+    static bool mmap_enabled() noexcept;
+    static void set_mmap_enabled(bool on) noexcept;
+
+private:
+    void release() noexcept;
+
+    const char* data_ = nullptr;
+    std::size_t size_ = 0;
+    bool mapped_      = false;
+    std::string owned_; ///< fallback storage (empty when mapped)
+};
+
+} // namespace calib

@@ -1,5 +1,6 @@
 #include "jsonreader.hpp"
 
+#include "filebuffer.hpp"
 #include "reader_metrics.hpp"
 
 #include <cctype>
@@ -240,6 +241,14 @@ public:
 void read_json_records(std::istream& is, AttributeRegistry& registry,
                        const std::function<void(IdRecord&&)>& sink) {
     JsonParser(is, registry).parse_records(sink);
+}
+
+void read_json_file(const std::string& path, AttributeRegistry& registry,
+                    const std::function<void(IdRecord&&)>& sink) {
+    const FileBuffer buf = FileBuffer::open(path);
+    ViewBuf view(buf.view());
+    std::istream is(&view);
+    read_json_records(is, registry, sink);
 }
 
 void read_json_records(std::istream& is,

@@ -32,6 +32,13 @@ namespace calib {
 void read_json_records(std::istream& is, AttributeRegistry& registry,
                        const std::function<void(IdRecord&&)>& sink);
 
+/// Read a JSON record-array file; "-" reads standard input. The file is
+/// mapped via FileBuffer (read() fallback for pipes) and parsed in place.
+/// Throws std::runtime_error ("cannot open <path>", or a parse error with
+/// byte position).
+void read_json_file(const std::string& path, AttributeRegistry& registry,
+                    const std::function<void(IdRecord&&)>& sink);
+
 /// Parse a JSON array of flat objects into name-based records.
 std::vector<RecordMap> read_json_records(std::string_view text);
 

@@ -6,8 +6,13 @@
 //   reader.entries           record fields delivered
 //   reader.name_resolutions  registry lookups (the resolve-once invariant:
 //                            one per attribute *definition*, not per record)
-//   reader.bytes             input bytes consumed
+//   reader.bytes             actual input bytes consumed (terminators and
+//                            CRLF included; each byte counted once — a
+//                            byte-range worker charges only its own chunk)
 //   phase.read               exclusive read time (sink calls excluded)
+//
+// filebuffer.cpp additionally owns the reader.mmap gauge: bytes currently
+// memory-mapped (0 on the read() fallback path).
 #pragma once
 
 #include "../obs/metrics.hpp"

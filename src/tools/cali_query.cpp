@@ -10,6 +10,8 @@
 // JSON record array that cali-query itself can consume (--json-input).
 #include "../calib.hpp"
 
+#include "../io/filebuffer.hpp"
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -23,6 +25,8 @@ void usage() {
     std::puts(
         "usage: cali-query [options] <file.cali>...\n"
         "\n"
+        "a single '-' input reads the stream from standard input\n"
+        "\n"
         "options:\n"
         "  -q, --query <calql>   query expression (default: FORMAT table)\n"
         "  -o, --output <file>   write the report to <file> instead of stdout\n"
@@ -33,6 +37,8 @@ void usage() {
         "                        every record of that file\n"
         "  -s, --stats           self-profile: per-phase timings and pipeline\n"
         "                        instruments to stderr (stdout is unchanged)\n"
+        "      --no-mmap         read files into memory instead of mmap()ing\n"
+        "                        them (also: CALIB_NO_MMAP=1)\n"
         "      --stats-json <f>  write the self-profile as a JSON record array\n"
         "  -v, --verbose         more diagnostics on stderr (-v info, -vv debug)\n"
         "  -h, --help            show this message\n"
@@ -101,9 +107,13 @@ int main(int argc, char** argv) {
             json_input = true;
         } else if (arg == "-G" || arg == "--with-globals") {
             with_globals = true;
+        } else if (arg == "--no-mmap") {
+            calib::FileBuffer::set_mmap_enabled(false);
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;
+        } else if (arg == "-") {
+            files.push_back(arg); // standard input
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "cali-query: unknown option %s\n", arg.c_str());
             return 2;

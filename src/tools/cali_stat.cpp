@@ -57,6 +57,8 @@ int main(int argc, char** argv) {
         else if (arg == "-h" || arg == "--help") {
             std::puts("usage: cali-stat [-g|--globals] [-v|--values] <file.cali>...");
             return 0;
+        } else if (arg == "-") {
+            files.push_back(arg); // standard input
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "cali-stat: unknown option %s\n", arg.c_str());
             return 2;

@@ -8,6 +8,7 @@
 // With --stats the process self-profiles (per-phase table and pipeline
 // instruments on stderr, aggregated across all rank-threads).
 #include "../calib.hpp"
+#include "../io/filebuffer.hpp"
 #include "../mpisim/treereduce.hpp"
 
 #include <cstdio>
@@ -19,7 +20,8 @@ namespace {
 
 void usage() {
     std::puts("usage: mpi-caliquery [-n nprocs] [--threads m] [-t] [--stats]\n"
-              "                     [--stats-json <f>] -q <calql> <file>...");
+              "                     [--stats-json <f>] [--no-mmap] -q <calql> "
+              "<file>...");
 }
 
 } // namespace
@@ -60,6 +62,8 @@ int main(int argc, char** argv) {
             threads = std::atoi(argv[i]);
             if (threads < 1)
                 return std::fprintf(stderr, "invalid --threads value\n"), 2;
+        } else if (arg == "--no-mmap") {
+            calib::FileBuffer::set_mmap_enabled(false);
         } else if (arg == "-h" || arg == "--help") {
             usage();
             return 0;

@@ -117,6 +117,35 @@ recorder.filename=metrics-%r.cali" 2> runtime_err.txt
 grep -q "self-profile" runtime_err.txt
 grep -q "runtime.updates" runtime_err.txt
 
+echo "== stdin input: '-' reads the stream from a pipe =="
+"$CALI_QUERY" -q "AGGREGATE sum(count) GROUP BY kernel ORDER BY kernel
+                  FORMAT csv" clever-0.cali > file_in.csv
+"$CALI_QUERY" -q "AGGREGATE sum(count) GROUP BY kernel ORDER BY kernel
+                  FORMAT csv" - < clever-0.cali > stdin_in.csv
+diff file_in.csv stdin_in.csv || { echo "stdin and file input differ"; exit 1; }
+cat clever-0.cali | "$CALI_STAT" - | grep -q "kernel"
+
+echo "== --no-mmap / CALIB_NO_MMAP: fallback buffer path is identical =="
+"$CALI_QUERY" --no-mmap -t 4 -q "AGGREGATE sum(count),sum(sum#time.duration)
+                  GROUP BY kernel ORDER BY kernel FORMAT csv" clever-*.cali \
+    > nommap.csv
+diff t4.csv nommap.csv || { echo "--no-mmap results differ"; exit 1; }
+CALIB_NO_MMAP=1 "$CALI_QUERY" -t 4 -q "AGGREGATE sum(count),sum(sum#time.duration)
+                  GROUP BY kernel ORDER BY kernel FORMAT csv" clever-*.cali \
+    > nommap_env.csv
+diff t4.csv nommap_env.csv || { echo "CALIB_NO_MMAP results differ"; exit 1; }
+
+echo "== --stats: per-worker reader.bytes sums to ~file size =="
+filebytes=$(wc -c < pd/paradis-0.cali)
+"$CALI_QUERY" --stats -t 4 -q "AGGREGATE sum(count) GROUP BY kernel FORMAT csv" \
+    pd/paradis-0.cali > /dev/null 2> bytes_err.txt
+readbytes=$(awk '/reader.bytes/ {print $2}' bytes_err.txt)
+# a single file scanned by N workers must not count N x file size
+test "$readbytes" -le "$((filebytes + 1024))" || {
+    echo "reader.bytes $readbytes exceeds file size $filebytes"; exit 1; }
+test "$readbytes" -ge "$((filebytes - 1024))" || {
+    echo "reader.bytes $readbytes below file size $filebytes"; exit 1; }
+
 echo "== error handling =="
 if "$CALI_QUERY" -q "THIS IS NOT CALQL" clever-0.cali 2>/dev/null; then
     echo "bad query must fail"; exit 1

@@ -7,6 +7,7 @@
 
 #include "io/calireader.hpp"
 #include "io/caliwriter.hpp"
+#include "io/filebuffer.hpp"
 #include "obs/metrics.hpp"
 #include "query/calql.hpp"
 
@@ -174,20 +175,33 @@ TEST(Morsel, OneMorselPerFileForMultiFileInput) {
     EXPECT_EQ(morsels[1].path, dir.file("b.cali"));
 }
 
-TEST(Morsel, SingleLargeFileSplitsIntoRanges) {
+TEST(Morsel, SingleLargeFileSplitsIntoByteRanges) {
     TempDir dir("morsel-range");
     write_cali(dir.file("big.cali"), 1000);
 
     MorselOptions opts;
-    opts.records_per_morsel = 300;
-    auto morsels            = make_morsels({dir.file("big.cali")}, opts);
-    ASSERT_EQ(morsels.size(), 4u);
-    for (const Morsel& m : morsels)
-        EXPECT_EQ(m.kind, Morsel::Kind::CaliRange);
-    EXPECT_EQ(morsels[0].begin, 0u);
-    EXPECT_EQ(morsels[0].end, 300u);
-    EXPECT_EQ(morsels[3].begin, 900u);
-    EXPECT_EQ(morsels[3].end, 1000u);
+    opts.bytes_per_morsel = 4096;
+    auto morsels          = make_morsels({dir.file("big.cali")}, opts);
+    ASSERT_GE(morsels.size(), 2u);
+    std::uint64_t records = 0;
+    for (std::size_t i = 0; i < morsels.size(); ++i) {
+        const Morsel& m = morsels[i];
+        EXPECT_EQ(m.kind, Morsel::Kind::CaliBytes);
+        EXPECT_EQ(m.chunk, i);
+        ASSERT_TRUE(m.source);
+        // all chunk morsels share one mapped source
+        EXPECT_EQ(m.source.get(), morsels[0].source.get());
+        records += m.source->chunks()[i].records;
+    }
+    EXPECT_EQ(records, 1000u);
+    EXPECT_EQ(morsels[0].source->num_records(), 1000u);
+
+    // chunks tile the file with line-aligned splits
+    const auto& chunks = morsels[0].source->chunks();
+    EXPECT_EQ(chunks.front().begin, 0u);
+    EXPECT_EQ(chunks.back().end, morsels[0].source->size_bytes());
+    for (std::size_t i = 1; i < chunks.size(); ++i)
+        EXPECT_EQ(chunks[i].begin, chunks[i - 1].end);
 }
 
 TEST(Morsel, SmallSingleFileStaysWhole) {
@@ -256,12 +270,12 @@ TEST(ParallelDifferential, AggregationAcrossFilesAllFormats) {
     }
 }
 
-TEST(ParallelDifferential, SingleFileRangeMorselsAllFormats) {
+TEST(ParallelDifferential, SingleFileByteMorselsAllFormats) {
     TempDir dir("par-range");
     write_cali(dir.file("big.cali"), 1200);
 
     EngineOptions opts;
-    opts.records_per_morsel = 100; // 12 range morsels
+    opts.bytes_per_morsel = 2048; // ~a dozen byte-range morsels
     for (const char* fmt : kFormats)
         expect_identical("AGGREGATE sum(count),min(id),max(id) GROUP BY kernel "
                          "ORDER BY kernel FORMAT " +
@@ -341,6 +355,36 @@ TEST(ParallelDifferential, WithGlobalsJoin) {
         files, opts);
     // one group per file-global rank + header
     EXPECT_EQ(static_cast<int>(std::count(out.begin(), out.end(), '\n')), 4);
+}
+
+TEST(ParallelDifferential, WithGlobalsJoinSingleFileByteMorsels) {
+    TempDir dir("par-glob-1f");
+    write_cali(dir.file("big.cali"), 600, 0, "3");
+
+    // byte-range workers only see their own span; the engine resolves the
+    // file-scoped globals from the planning index and joins them on the fly
+    EngineOptions opts;
+    opts.with_globals     = true;
+    opts.bytes_per_morsel = 2048;
+    const std::string out = expect_identical(
+        "AGGREGATE sum(count) GROUP BY mpi.rank FORMAT csv",
+        {dir.file("big.cali")}, opts);
+    EXPECT_EQ(static_cast<int>(std::count(out.begin(), out.end(), '\n')), 2);
+    EXPECT_NE(out.find("3,"), std::string::npos);
+}
+
+TEST(ParallelDifferential, ByteMorselsFallbackBufferPath) {
+    TempDir dir("par-nommap");
+    write_cali(dir.file("big.cali"), 800);
+
+    // force the read()-into-buffer fallback: results must not change
+    FileBuffer::set_mmap_enabled(false);
+    EngineOptions opts;
+    opts.bytes_per_morsel = 2048;
+    expect_identical("AGGREGATE sum(count),max(id) GROUP BY kernel "
+                     "ORDER BY kernel FORMAT csv",
+                     {dir.file("big.cali")}, opts);
+    FileBuffer::set_mmap_enabled(true);
 }
 
 TEST(ParallelDifferential, JsonInput) {
