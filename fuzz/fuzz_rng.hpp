@@ -1,0 +1,51 @@
+// Deterministic PRNG for the differential fuzz harness.
+//
+// std::mt19937 is portable, but the standard *distributions* are not —
+// uniform_int_distribution may emit different sequences on different
+// standard libraries. Every corpus and query a seed generates must be
+// bit-identical on every platform (a failing seed number IS the bug
+// report), so the harness rolls its own splitmix64 and derives values
+// with explicit, fully specified arithmetic only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace calib::fuzz {
+
+class Rng {
+public:
+    explicit Rng(std::uint64_t seed) noexcept : state_(seed) {}
+
+    /// Next raw 64-bit value (splitmix64).
+    std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [0, n); n must be > 0. Modulo bias is irrelevant here —
+    /// we need coverage and determinism, not statistical uniformity.
+    std::uint64_t below(std::uint64_t n) noexcept { return next() % n; }
+
+    /// True with probability ~percent/100.
+    bool chance(unsigned percent) noexcept { return below(100) < percent; }
+
+    std::int64_t int64() noexcept { return static_cast<std::int64_t>(next()); }
+
+    /// Uniform double in [0, 1).
+    double unit() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    template <typename T>
+    const T& pick(const std::vector<T>& v) noexcept {
+        return v[below(v.size())];
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+} // namespace calib::fuzz

@@ -1,0 +1,181 @@
+#include "querygen.hpp"
+
+#include "fuzz_rng.hpp"
+
+#include <cctype>
+
+namespace calib::fuzz {
+
+namespace {
+
+/// Quote an attribute name for CalQL when it contains characters the
+/// tokenizer would not take as one identifier.
+std::string quoted(const std::string& name) {
+    bool plain = !name.empty();
+    for (char c : name) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == '.' || c == '/' || c == ':' || c == '@' || c == '-'))
+            plain = false;
+    }
+    if (plain)
+        return name;
+    std::string out = "\"";
+    for (char c : name) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::string pick_attr(Rng& rng, const Corpus& corpus, bool numeric_only) {
+    const std::vector<std::string> pool =
+        numeric_only ? corpus.numeric_attributes() : corpus.attribute_names();
+    if (pool.empty()) // corpus without numeric columns: fall back to any
+        return corpus.attributes.empty() ? std::string("x")
+                                         : corpus.attributes.front().name;
+    return pool[rng.below(pool.size())];
+}
+
+/// Render a WHERE comparison literal for an attribute of the given type.
+std::string filter_literal(Rng& rng, Variant::Type type) {
+    // mismatched-type literals exercise the mixed-coercion compare path
+    if (rng.chance(20))
+        type = rng.chance(50) ? Variant::Type::String : Variant::Type::Int;
+    const Variant v = adversarial_value(type, rng.next());
+    if (v.is_string() || v.type() == Variant::Type::Bool) {
+        std::string lit = "'";
+        for (char c : v.to_string()) {
+            if (c == '\'' || c == '\\')
+                lit += '\\';
+            lit += c;
+        }
+        return lit + "'";
+    }
+    return v.to_repr();
+}
+
+} // namespace
+
+std::string generate_query(std::uint64_t seed, const Corpus& corpus) {
+    Rng rng(seed ^ 0xf00dcafe12345678ULL);
+    std::string q;
+    auto clause = [&q](const std::string& text) {
+        if (!q.empty())
+            q += ' ';
+        q += text;
+    };
+
+    // LET first (sources for later clauses); the parser accepts clauses in
+    // any order, so position is free coverage — vary it
+    std::string let_target;
+    const bool want_let = rng.chance(30) && !corpus.attributes.empty();
+    std::string let_clause;
+    if (want_let) {
+        let_target = "derived.v";
+        static const char* fns[] = {"scale", "truncate", "ratio", "first"};
+        const char* fn = fns[rng.below(4)];
+        std::string args;
+        if (fn == std::string("ratio") || fn == std::string("first")) {
+            args = quoted(pick_attr(rng, corpus, fn == std::string("ratio"))) +
+                   "," + quoted(pick_attr(rng, corpus, fn == std::string("ratio")));
+        } else {
+            static const char* params[] = {"2", "0.5", "1e3", "0.1"};
+            args = quoted(pick_attr(rng, corpus, true)) + "," + params[rng.below(4)];
+        }
+        let_clause = std::string("LET ") + quoted(let_target) + "=" + fn + "(" +
+                     args + ")";
+    }
+
+    const bool aggregate = rng.chance(80);
+    if (aggregate) {
+        static const char* ops[] = {"count", "sum",      "min",       "max",
+                                    "avg",   "variance", "histogram", "percent_total"};
+        std::string s = "AGGREGATE ";
+        const std::size_t n_ops = 1 + rng.below(3);
+        for (std::size_t i = 0; i < n_ops; ++i) {
+            if (i)
+                s += ',';
+            const char* op = ops[rng.below(8)];
+            if (op == std::string("count")) {
+                s += "count";
+            } else {
+                // min/max take any type; the value-domain ops get numeric
+                // targets (plus, sometimes, a LET target or a deliberately
+                // non-numeric one to hit the ignored-input path)
+                const bool any_type =
+                    op == std::string("min") || op == std::string("max");
+                std::string target;
+                if (!let_target.empty() && rng.chance(25))
+                    target = let_target;
+                else if (!any_type && rng.chance(15))
+                    target = pick_attr(rng, corpus, false);
+                else
+                    target = pick_attr(rng, corpus, !any_type);
+                s += std::string(op) + "(" + quoted(target) + ")";
+            }
+            if (rng.chance(20))
+                s += " AS alias" + std::to_string(i);
+        }
+        clause(s);
+
+        const std::uint64_t grouping = rng.below(10);
+        if (grouping < 4) {
+            std::string g = "GROUP BY ";
+            const std::size_t n_keys = 1 + rng.below(2);
+            for (std::size_t i = 0; i < n_keys; ++i) {
+                if (i)
+                    g += ',';
+                g += quoted(pick_attr(rng, corpus, false));
+            }
+            clause(g);
+        } else if (grouping < 7) {
+            clause("GROUP BY *");
+        } // else: one global group
+    }
+
+    if (!let_clause.empty())
+        clause(let_clause);
+
+    const std::size_t n_filters = rng.below(3);
+    if (n_filters > 0 && !corpus.attributes.empty()) {
+        std::string w = "WHERE ";
+        for (std::size_t i = 0; i < n_filters; ++i) {
+            if (i)
+                w += ',';
+            const CorpusAttribute& attr =
+                corpus.attributes[rng.below(corpus.attributes.size())];
+            switch (rng.below(9)) {
+            case 0: w += quoted(attr.name); break;
+            case 1: w += "not(" + quoted(attr.name) + ")"; break;
+            case 2: w += quoted("no.such.attribute"); break;
+            default: {
+                static const char* cmps[] = {"=", "!=", "<", "<=", ">", ">="};
+                w += quoted(attr.name) + cmps[rng.below(6)] +
+                     filter_literal(rng, attr.type);
+                break;
+            }
+            }
+        }
+        clause(w);
+    }
+
+    if (rng.chance(40)) {
+        std::string o = "ORDER BY ";
+        o += quoted(pick_attr(rng, corpus, false));
+        if (rng.chance(40))
+            o += " DESC";
+        clause(o);
+    }
+
+    static const char* formats[] = {"table", "csv", "json", "expand", "tree"};
+    clause(std::string("FORMAT ") + formats[rng.below(5)]);
+
+    if (rng.chance(25))
+        clause("LIMIT " + std::to_string(1 + rng.below(10)));
+
+    return q;
+}
+
+} // namespace calib::fuzz

@@ -1,0 +1,21 @@
+// Seeded CalQL query generator.
+//
+// Each seed deterministically produces one query over a given corpus,
+// drawing from every aggregation operator and every clause the language
+// has (SELECT / AGGREGATE / GROUP BY (list and *) / WHERE / LET /
+// ORDER BY / FORMAT / LIMIT), so the differential runner sweeps the full
+// op x clause matrix over adversarial values.
+#pragma once
+
+#include "corpus.hpp"
+
+#include <cstdint>
+#include <string>
+
+namespace calib::fuzz {
+
+/// Generate one CalQL query text for \a corpus. Always parseable; the
+/// malformed-query corner is covered by the parser edge-case tests.
+std::string generate_query(std::uint64_t seed, const Corpus& corpus);
+
+} // namespace calib::fuzz

@@ -169,7 +169,9 @@ void AggregationDB::process(std::span<const Entry> record) {
         for (const Entry& e : record)
             if (!skip_in_implicit_key(e.attribute))
                 key[key_len++] = e;
-        std::sort(key, key + key_len, [](const Entry& a, const Entry& b) {
+        // stable: duplicate attributes keep their record order, so two
+        // records with the same entry multiset always map to the same key
+        std::stable_sort(key, key + key_len, [](const Entry& a, const Entry& b) {
             return a.attribute < b.attribute;
         });
     } else {

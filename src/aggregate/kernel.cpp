@@ -22,10 +22,18 @@ const T* as(const void* p) {
 } // namespace
 
 int histogram_bin_index(double v) noexcept {
-    if (!(v >= 1.0)) // also catches NaN and negatives
+    // Deliberate policy (pinned by tests): NaN and negative values count in
+    // bin 0 alongside v < 1 rather than being dropped — the histogram's
+    // record count n stays equal to the number of numeric inputs.
+    if (!(v >= 1.0))
         return 0;
+    // Open-ended top bin for v >= 2^(bins-2), including +inf. Bounding v
+    // *before* the float->int cast keeps the cast in range (casting an
+    // out-of-int-range double, e.g. log2(inf), is undefined behavior).
+    if (v >= static_cast<double>(std::uint64_t(1) << (histogram_bins - 2)))
+        return histogram_bins - 1;
     const int bin = 1 + static_cast<int>(std::floor(std::log2(v)));
-    return std::min(bin, histogram_bins - 1);
+    return std::min(std::max(bin, 1), histogram_bins - 1);
 }
 
 std::size_t state_size(AggOp op) noexcept {
@@ -55,21 +63,53 @@ void state_init(AggOp op, void* state) noexcept {
 
 namespace {
 
+/// The exact-integer addend for \a v, or false when the value only fits
+/// the double path (doubles, and UInt above INT64_MAX).
+bool int_addend(const Variant& v, std::int64_t* out) {
+    switch (v.type()) {
+    case Variant::Type::Int:
+        *out = v.as_int();
+        return true;
+    case Variant::Type::Bool:
+        *out = v.as_bool() ? 1 : 0;
+        return true;
+    case Variant::Type::UInt:
+        if (v.as_uint() > static_cast<std::uint64_t>(
+                              std::numeric_limits<std::int64_t>::max()))
+            return false;
+        *out = static_cast<std::int64_t>(v.as_uint());
+        return true;
+    default:
+        return false;
+    }
+}
+
+/// Widen an integer accumulation to the double path (Caliper's behavior
+/// when an exact sum leaves the integer domain).
+void sum_widen(SumState* s, std::int64_t a, std::int64_t b) {
+    s->dsum = static_cast<double>(a) + static_cast<double>(b);
+    s->kind = 2;
+}
+
 void sum_update(SumState* s, const Variant& v) {
-    if (v.type() == Variant::Type::Double) {
+    if (!v.is_numeric() && !v.is_bool())
+        return; // non-numeric inputs are ignored
+    if (v.type() == Variant::Type::Double && std::isnan(v.as_double()))
+        return; // value-domain policy: NaN inputs are ignored
+    std::int64_t iv;
+    if (s->kind != 2 && int_addend(v, &iv)) {
+        std::int64_t next;
+        if (__builtin_add_overflow(s->isum, iv, &next))
+            sum_widen(s, s->isum, iv); // checked: no signed-overflow UB
+        else {
+            s->isum = next;
+            s->kind = 1;
+        }
+    } else {
         if (s->kind == 1)
             s->dsum = static_cast<double>(s->isum);
         s->kind = 2;
-        s->dsum += v.as_double();
-    } else if (v.is_numeric() || v.is_bool()) {
-        if (s->kind == 2)
-            s->dsum += static_cast<double>(v.to_int());
-        else {
-            s->kind = std::max(s->kind, 1u);
-            s->isum += v.to_int();
-        }
-    } else {
-        return; // non-numeric inputs are ignored
+        s->dsum += v.to_double();
     }
     ++s->updates;
 }
@@ -77,18 +117,20 @@ void sum_update(SumState* s, const Variant& v) {
 void sum_merge(SumState* s, const SumState* o) {
     if (o->kind == 0)
         return;
-    if (o->kind == 2) {
+    if (o->kind == 1 && s->kind != 2) {
+        std::int64_t next;
+        if (__builtin_add_overflow(s->isum, o->isum, &next))
+            sum_widen(s, s->isum, o->isum);
+        else {
+            s->isum = next;
+            s->kind = 1;
+        }
+    } else {
+        const double add = o->kind == 1 ? static_cast<double>(o->isum) : o->dsum;
         if (s->kind == 1)
             s->dsum = static_cast<double>(s->isum);
         s->kind = 2;
-        s->dsum += o->dsum;
-    } else {
-        if (s->kind == 2)
-            s->dsum += static_cast<double>(o->isum);
-        else {
-            s->kind = std::max(s->kind, 1u);
-            s->isum += o->isum;
-        }
+        s->dsum += add;
     }
     s->updates += o->updates;
 }
@@ -117,12 +159,19 @@ void state_update(AggOp op, void* state, const Variant& value) noexcept {
         sum_update(as<SumState>(state), value);
         break;
     case AggOp::Min: {
+        // Value-domain policy: NaN inputs are ignored — a NaN must not win
+        // or lose the ordering depending on arrival order. An all-NaN input
+        // leaves the state Empty (no output row for this operator).
+        if (value.type() == Variant::Type::Double && std::isnan(value.as_double()))
+            break;
         auto* s = as<MinMaxState>(state);
         if (s->value.empty() || value.compare(s->value) < 0)
             s->value = value;
         break;
     }
     case AggOp::Max: {
+        if (value.type() == Variant::Type::Double && std::isnan(value.as_double()))
+            break;
         auto* s = as<MinMaxState>(state);
         if (s->value.empty() || value.compare(s->value) > 0)
             s->value = value;
@@ -131,16 +180,21 @@ void state_update(AggOp op, void* state, const Variant& value) noexcept {
     case AggOp::Avg: {
         if (!value.is_numeric() && !value.is_bool())
             break;
+        const double x = value.to_double();
+        if (std::isnan(x))
+            break; // NaN inputs are ignored; empty state stays Empty
         auto* s = as<AvgState>(state);
-        s->sum += value.to_double();
+        s->sum += x;
         ++s->count;
         break;
     }
     case AggOp::Variance: {
         if (!value.is_numeric() && !value.is_bool())
             break;
-        auto* s = as<VarianceState>(state);
         const double x = value.to_double();
+        if (std::isnan(x))
+            break; // NaN inputs are ignored; empty state stays Empty
+        auto* s = as<VarianceState>(state);
         ++s->n;
         const double delta = x - s->mean;
         s->mean += delta / static_cast<double>(s->n);
@@ -152,10 +206,12 @@ void state_update(AggOp op, void* state, const Variant& value) noexcept {
             break;
         auto* s        = as<HistogramState>(state);
         const double x = value.to_double();
-        ++s->bins[histogram_bin_index(x)];
+        ++s->bins[histogram_bin_index(x)]; // NaN/negatives count in bin 0
         ++s->n;
-        s->vmin = std::min(s->vmin, x);
-        s->vmax = std::max(s->vmax, x);
+        if (!std::isnan(x)) { // NaN never becomes the observed min/max
+            s->vmin = std::min(s->vmin, x);
+            s->vmax = std::max(s->vmax, x);
+        }
         break;
     }
     }

@@ -25,7 +25,11 @@ struct CountState {
 };
 
 /// Sum keeps an exact integer accumulator as long as all inputs are
-/// integral, switching to double on the first floating-point input.
+/// integral and the running sum fits int64, switching to double on the
+/// first floating-point input, on a UInt above INT64_MAX, or when the
+/// integer sum would overflow (checked — never signed-overflow UB; the
+/// state widens like Caliper's). NaN inputs are ignored
+/// (docs/CORRECTNESS.md has the full value-domain policy table).
 struct SumState {
     double dsum;
     std::int64_t isum;
@@ -51,8 +55,10 @@ struct VarianceState {
 
 inline constexpr int histogram_bins = 36;
 
-/// log2-binned histogram of non-negative values: bin 0 holds v < 1,
-/// bin i holds 2^(i-1) <= v < 2^i, the last bin is open-ended.
+/// log2-binned histogram of non-negative values: bin 0 holds v < 1
+/// (deliberately including negatives and NaN — see histogram_bin_index),
+/// bin i holds 2^(i-1) <= v < 2^i, the last bin is open-ended (including
+/// +inf).
 struct HistogramState {
     std::uint64_t bins[histogram_bins];
     double vmin;

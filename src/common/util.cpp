@@ -78,6 +78,12 @@ std::string escape(std::string_view s, std::string_view special) {
             out += "\\n";
             continue;
         }
+        if (c == '\r') {
+            // readers strip a trailing '\r' (CRLF tolerance), so a raw CR
+            // ending a line would not survive a round trip
+            out += "\\r";
+            continue;
+        }
         if (c == '\\' || special.find(c) != std::string_view::npos)
             out.push_back('\\');
         out.push_back(c);
@@ -91,7 +97,7 @@ std::string unescape(std::string_view s) {
     bool esc = false;
     for (char c : s) {
         if (esc) {
-            out.push_back(c == 'n' ? '\n' : c);
+            out.push_back(c == 'n' ? '\n' : c == 'r' ? '\r' : c);
             esc = false;
         } else if (c == '\\') {
             esc = true;

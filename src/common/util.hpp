@@ -20,10 +20,14 @@ bool iequals(std::string_view a, std::string_view b);
 
 std::string to_lower(std::string_view s);
 
-/// Escape separator-relevant characters (\, sep, newline) with backslashes.
+/// Escape separator-relevant characters with backslashes: '\' and every
+/// char in \a special get a backslash prefix; newline and carriage return
+/// become "\n" / "\r" (they cannot survive in a line-oriented format —
+/// readers strip trailing '\r' for CRLF tolerance).
 std::string escape(std::string_view s, std::string_view special);
 
-/// Undo escape().
+/// Undo escape(): "\n" and "\r" restore the control character, any other
+/// escaped char restores itself.
 std::string unescape(std::string_view s);
 
 /// True if \a text looks like a number (optional sign, digits, dot, exp).

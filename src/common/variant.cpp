@@ -68,6 +68,20 @@ std::string Variant::to_string() const {
     return {};
 }
 
+std::string Variant::to_repr() const {
+    if (type_ != Type::Double)
+        return to_string();
+    // Shortest decimal form that parses back to the identical double
+    // (std::to_chars); "%.12g" display rendering drops bits beyond 12
+    // significant digits, which is fine for reports but not for streams
+    // that are read back (.cali files, JSON interchange).
+    char buf[40];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), u_.d);
+    if (ec != std::errc())
+        return to_string();
+    return std::string(buf, p);
+}
+
 Variant Variant::parse(Type type, std::string_view text) {
     switch (type) {
     case Type::Empty:
@@ -98,7 +112,12 @@ Variant Variant::parse(Type type, std::string_view text) {
         char* end = nullptr;
         errno     = 0;
         double v  = std::strtod(tmp.c_str(), &end);
-        if (end != tmp.c_str() + tmp.size() || errno == ERANGE)
+        if (end != tmp.c_str() + tmp.size())
+            return {};
+        // ERANGE covers overflow and underflow alike. Underflow still
+        // yields the correctly rounded subnormal (e.g. "5e-324") — accept
+        // it; only overflow, which pins to ±HUGE_VAL, has no value.
+        if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL))
             return {};
         return Variant(v);
     }
@@ -112,6 +131,10 @@ Variant Variant::parse_guess(std::string_view text) {
     if (text.empty())
         return Variant(text);
     if (Variant v = parse(Type::Int, text); !v.empty())
+        return v;
+    // integer literals above INT64_MAX stay exact as UInt instead of losing
+    // low bits through the double fallback
+    if (Variant v = parse(Type::UInt, text); !v.empty())
         return v;
     if (Variant v = parse(Type::Double, text); !v.empty())
         return v;
@@ -140,7 +163,10 @@ bool Variant::operator==(const Variant& rhs) const noexcept {
     case Type::Empty:  return true;
     case Type::Bool:   return u_.b == rhs.u_.b;
     case Type::String: return u_.s == rhs.u_.s; // interned: pointer equality
-    case Type::Double: return u_.d == rhs.u_.d;
+    // Doubles compare by bit pattern, matching hash(): NaN is identical to
+    // itself (one NaN group, not one per record) and +0.0/-0.0 are distinct
+    // identities (they hash and format differently). Numeric *ordering*
+    // (compare(), WHERE) still treats +0.0 and -0.0 as equal.
     default:           return u_.u == rhs.u_.u;
     }
 }
@@ -149,21 +175,84 @@ bool Variant::operator<(const Variant& rhs) const noexcept {
     return compare(rhs) < 0;
 }
 
+namespace {
+
+int cmp3(std::int64_t a, std::int64_t b) noexcept {
+    return a < b ? -1 : a > b ? 1 : 0;
+}
+int cmp3u(std::uint64_t a, std::uint64_t b) noexcept {
+    return a < b ? -1 : a > b ? 1 : 0;
+}
+
+/// Exact int64 vs finite/infinite double comparison (no NaN): never rounds
+/// the integer through double, so values above 2^53 compare correctly.
+int cmp_int_double(std::int64_t i, double d) noexcept {
+    if (d >= 0x1p63) // 2^63: every int64 is smaller (also +inf)
+        return -1;
+    if (d < -0x1p63) // below INT64_MIN (also -inf)
+        return 1;
+    // |d| <= 2^63 here, so floor(d) is exactly representable in int64
+    const double fl       = std::floor(d);
+    const std::int64_t di = static_cast<std::int64_t>(fl);
+    if (i != di)
+        return i < di ? -1 : 1;
+    return d > fl ? -1 : 0; // equal integer parts: the fraction decides
+}
+
+/// Exact uint64 vs finite/infinite double comparison (no NaN).
+int cmp_uint_double(std::uint64_t u, double d) noexcept {
+    if (d >= 0x1p64) // 2^64: every uint64 is smaller (also +inf)
+        return -1;
+    if (d < 0.0)
+        return 1;
+    const double fl        = std::floor(d);
+    const std::uint64_t du = static_cast<std::uint64_t>(fl);
+    if (u != du)
+        return u < du ? -1 : 1;
+    return d > fl ? -1 : 0;
+}
+
+/// Exact int64 vs uint64 comparison (no wrap through to_int()).
+int cmp_int_uint(std::int64_t i, std::uint64_t u) noexcept {
+    if (i < 0)
+        return -1;
+    return cmp3u(static_cast<std::uint64_t>(i), u);
+}
+
+} // namespace
+
 int Variant::compare(const Variant& rhs) const noexcept {
     const bool ln = is_numeric() || is_bool();
     const bool rn = rhs.is_numeric() || rhs.is_bool();
     if (ln && rn) {
-        // Compare integers exactly when possible, else via double.
-        if ((type_ == Type::Int || type_ == Type::Bool) &&
-            (rhs.type_ == Type::Int || rhs.type_ == Type::Bool)) {
-            const std::int64_t a = to_int(), b = rhs.to_int();
-            return a < b ? -1 : a > b ? 1 : 0;
-        }
-        if (type_ == Type::UInt && rhs.type_ == Type::UInt) {
-            const std::uint64_t a = u_.u, b = rhs.u_.u;
-            return a < b ? -1 : a > b ? 1 : 0;
-        }
-        const double a = to_double(), b = rhs.to_double();
+        // NaN total order: NaN compares equal to itself and after every
+        // other numeric value ("NaN sorts last"), so min/max selection and
+        // std::stable_sort comparators see a strict weak ordering.
+        const bool lnan = type_ == Type::Double && std::isnan(u_.d);
+        const bool rnan = rhs.type_ == Type::Double && std::isnan(rhs.u_.d);
+        if (lnan || rnan)
+            return lnan == rnan ? 0 : (lnan ? 1 : -1);
+        // Cross-type integer comparisons are exact: never coerced through
+        // double (lossy above 2^53) or via to_int() (wraps UInt > INT64_MAX).
+        const bool li = type_ == Type::Int || type_ == Type::Bool;
+        const bool ri = rhs.type_ == Type::Int || rhs.type_ == Type::Bool;
+        if (li && ri)
+            return cmp3(to_int(), rhs.to_int());
+        if (type_ == Type::UInt && rhs.type_ == Type::UInt)
+            return cmp3u(u_.u, rhs.u_.u);
+        if (li && rhs.type_ == Type::UInt)
+            return cmp_int_uint(to_int(), rhs.u_.u);
+        if (type_ == Type::UInt && ri)
+            return -cmp_int_uint(rhs.to_int(), u_.u);
+        if (li) // vs Double
+            return cmp_int_double(to_int(), rhs.u_.d);
+        if (ri) // Double vs int
+            return -cmp_int_double(rhs.to_int(), u_.d);
+        if (type_ == Type::UInt) // vs Double
+            return cmp_uint_double(u_.u, rhs.u_.d);
+        if (rhs.type_ == Type::UInt) // Double vs uint
+            return -cmp_uint_double(rhs.u_.u, u_.d);
+        const double a = u_.d, b = rhs.u_.d;
         return a < b ? -1 : a > b ? 1 : 0;
     }
     if (type_ == Type::String && rhs.type_ == Type::String) {

@@ -71,8 +71,14 @@ public:
     /// Truthiness: non-zero numbers, non-empty strings, true bools.
     bool to_bool() const noexcept;
 
-    /// Render for human-readable output ("" for Empty).
+    /// Render for human-readable output ("" for Empty). Doubles use
+    /// "%.12g" — readable, but not guaranteed to round-trip; writers that
+    /// are read back use to_repr().
     std::string to_string() const;
+
+    /// Lossless rendering: doubles as the shortest decimal that parses
+    /// back to the identical value; other types match to_string().
+    std::string to_repr() const;
 
     /// Parse a textual representation as the given type.
     /// Returns an Empty variant when the text does not parse.
@@ -84,6 +90,10 @@ public:
     /// Content hash, mixed into aggregation-key hashes.
     std::uint64_t hash() const noexcept;
 
+    /// Identity equality (type-strict), consistent with hash(): doubles
+    /// compare by bit pattern, so NaN == NaN and +0.0 != -0.0. This is the
+    /// relation aggregation keys group by; numeric *ordering* lives in
+    /// compare().
     bool operator==(const Variant& rhs) const noexcept;
     bool operator!=(const Variant& rhs) const noexcept { return !(*this == rhs); }
 
@@ -91,9 +101,15 @@ public:
     /// that report ordering is deterministic and human-sensible.
     bool operator<(const Variant& rhs) const noexcept;
 
-    /// Numeric-aware comparison used by WHERE clauses: compares numerics by
-    /// value regardless of exact type; strings lexicographically.
-    /// Returns <0, 0, >0; numeric vs. string compares by type tag.
+    /// Numeric-aware comparison used by WHERE clauses and ORDER BY:
+    /// compares numerics by value regardless of exact type — cross-type
+    /// integer comparisons are exact over the full int64/uint64/double
+    /// domain (nothing is coerced through a lossy double or wrapped
+    /// through to_int()). NaN forms a total order: it compares equal to
+    /// itself and after every other numeric value (NaN sorts last), so
+    /// sort comparators built on compare() satisfy strict weak ordering.
+    /// Strings compare lexicographically; numeric vs. string compares by
+    /// type tag. Returns <0, 0, >0.
     int compare(const Variant& rhs) const noexcept;
 
     static const char* type_name(Type t) noexcept;

@@ -40,14 +40,6 @@ QueryProcessor& ParallelQueryProcessor::run(const std::vector<std::string>& file
     const std::size_t threads =
         opts_.threads > 0 ? opts_.threads : ThreadPool::default_threads();
 
-    if (threads <= 1) {
-        // exact serial path: no morsel pre-scan, no pool
-        stats_.threads = 1;
-        stats_.morsels = files.size();
-        run_serial(files);
-        return root_;
-    }
-
     std::optional<std::vector<Morsel>> planned;
     {
         obs::Phase plan_phase("plan");
@@ -61,6 +53,13 @@ QueryProcessor& ParallelQueryProcessor::run(const std::vector<std::string>& file
         return root_;
     }
 
+    // -t1 runs the same per-morsel partial + merge-tree DAG as any other
+    // thread count (on a one-worker pool) rather than a single left-fold
+    // over all records. Floating-point reduction is not associative, so
+    // executing the *identical* arithmetic DAG — whose shape depends only
+    // on the morsel list — is what makes output byte-identical for every
+    // thread count even on adversarial doubles (catastrophic cancellation,
+    // huge exponent spreads). docs/CORRECTNESS.md has the argument.
     stats_.threads = threads < morsels.size() ? threads : morsels.size();
     run_parallel(morsels, stats_.threads);
     return root_;

@@ -8,10 +8,12 @@
 //            (id-based move merges — no serialization), then the driver
 //            finishes: canonical order -> ORDER BY -> LIMIT -> FORMAT.
 //
-// Output bytes are identical to the serial path for every thread count:
-// the morsel split and the merge-tree shape depend only on the input set,
+// Output bytes are identical for every thread count: the morsel split and
+// the merge-tree shape depend only on the input set (so every thread
+// count, including 1, executes the same floating-point reduction DAG),
 // and aggregated rows are re-sorted canonically before formatting (see
-// QueryProcessor::result()). docs/ENGINE.md has the full argument.
+// QueryProcessor::result()). docs/ENGINE.md and docs/CORRECTNESS.md have
+// the full argument.
 //
 // An adaptive escape hatch bounds worker memory on high-cardinality keys:
 // when a partial database exceeds max_partial_entries, it is serialized
@@ -33,8 +35,10 @@
 namespace calib::engine {
 
 struct EngineOptions {
-    /// Worker threads; 0 = hardware concurrency. 1 runs the exact serial
-    /// path (no morsel split, no pool).
+    /// Worker threads; 0 = hardware concurrency. 1 executes the same
+    /// morsel/merge DAG on a one-worker pool (single-morsel inputs skip
+    /// the pool entirely), so floating-point results are byte-identical
+    /// for every thread count.
     std::size_t threads = 0;
     bool json_input     = false;
     /// Join each file's globals (e.g. mpi.rank) onto its records.

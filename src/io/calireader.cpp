@@ -71,7 +71,50 @@ std::string_view unescaped(std::string_view field, std::string& scratch) {
     return scratch;
 }
 
+bool is_integer_literal(std::string_view text) {
+    std::size_t i = (text[0] == '-') ? 1 : 0;
+    if (i == text.size())
+        return false;
+    // "-0" (and "-000") is a double's negative zero, not an integer — the
+    // exact-integer path would read it back as +0.0
+    if (text[0] == '-' && text.find_first_not_of('0', 1) == std::string_view::npos)
+        return false;
+    for (; i < text.size(); ++i)
+        if (text[i] < '0' || text[i] > '9')
+            return false;
+    return true;
+}
+
 Variant parse_value(Variant::Type type, std::string_view text) {
+    // empty field text always means an empty string: the writer omits
+    // Empty values entirely, so "x=" can only come from a string value
+    // (possibly type-drifted into a differently-declared column)
+    if (text.empty())
+        return Variant(text);
+    if (type == Variant::Type::Double && !text.empty() &&
+        is_integer_literal(text)) {
+        // A writer types a column from its first record, but result rows
+        // legitimately mix exact integer sums with overflow-widened
+        // doubles in one column. Parsing such an integer literal as
+        // double would silently drop low bits above 2^53 — parse it
+        // exactly, and keep the integer only when the double conversion
+        // is lossy (type drifts, value survives).
+        Variant exact = Variant::parse(Variant::Type::Int, text);
+        if (exact.empty())
+            exact = Variant::parse(Variant::Type::UInt, text);
+        if (!exact.empty()) {
+            const double d = exact.type() == Variant::Type::Int
+                                 ? static_cast<double>(exact.as_int())
+                                 : static_cast<double>(exact.as_uint());
+            const bool lossless =
+                exact.type() == Variant::Type::Int
+                    ? (d >= -0x1p63 && d < 0x1p63 &&
+                       static_cast<std::int64_t>(d) == exact.as_int())
+                    : (d < 0x1p64 &&
+                       static_cast<std::uint64_t>(d) == exact.as_uint());
+            return lossless ? Variant(d) : exact;
+        }
+    }
     Variant v = Variant::parse(type, text);
     if (v.empty() && !text.empty())
         v = Variant::parse_guess(text); // type drifted within the stream

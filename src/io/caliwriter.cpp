@@ -34,15 +34,22 @@ std::uint32_t CaliWriter::define(std::string_view name, Variant::Type type,
 void CaliWriter::write_global(std::string_view name, const Variant& value) {
     const std::uint32_t id = define(name, value.type(), prop::none);
     put_line("G," + std::to_string(id) + '=' +
-             util::escape(value.to_string(), value_specials));
+             util::escape(value.to_repr(), value_specials));
 }
 
 void CaliWriter::write_record(const RecordMap& record) {
     std::string line = "R";
     for (const auto& [name, value] : record) {
+        // an Empty value carries no information and its text form is
+        // indistinguishable from an empty string — omit the field (a
+        // missing name reads back as Empty anyway)
+        if (value.empty())
+            continue;
         const std::uint32_t id = define(name, value.type(), prop::none);
+        // to_repr, not to_string: a written stream must parse back to the
+        // bit-identical double (%.12g drops up to 5 bits)
         line += ',' + std::to_string(id) + '=' +
-                util::escape(value.to_string(), value_specials);
+                util::escape(value.to_repr(), value_specials);
     }
     put_line(line);
     ++records_;
@@ -53,11 +60,11 @@ void CaliWriter::write_snapshot(const AttributeRegistry& registry,
     std::string line = "R";
     for (const Entry& e : record) {
         const Attribute a = registry.get(e.attribute);
-        if (!a.valid())
+        if (!a.valid() || e.value.empty())
             continue;
         const std::uint32_t id = define(a.name_view(), a.type(), a.properties());
         line += ',' + std::to_string(id) + '=' +
-                util::escape(e.value.to_string(), value_specials);
+                util::escape(e.value.to_repr(), value_specials);
     }
     put_line(line);
     ++records_;

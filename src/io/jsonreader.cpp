@@ -174,6 +174,15 @@ private:
             const long long v = std::strtoll(token.c_str(), nullptr, 10);
             if (errno == 0)
                 return Variant(v);
+            if (token[0] != '-') {
+                // integers in (INT64_MAX, UINT64_MAX] stay exact as UInt
+                // instead of losing low bits through the double fallback
+                errno                  = 0;
+                const unsigned long long u =
+                    std::strtoull(token.c_str(), nullptr, 10);
+                if (errno == 0)
+                    return Variant(u);
+            }
         }
         return Variant(std::strtod(token.c_str(), nullptr));
     }

@@ -3,6 +3,8 @@
 #include "../common/util.hpp"
 
 #include <cctype>
+#include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -128,16 +130,21 @@ public:
                 parse_select(spec);
             else if (kw == "aggregate")
                 parse_aggregate(spec);
-            else if (kw == "group")
+            else if (kw == "group") {
+                reject_duplicate(seen_group_, t);
                 parse_group_by(spec);
-            else if (kw == "where")
+            } else if (kw == "where")
                 parse_where(spec);
-            else if (kw == "order")
+            else if (kw == "order") {
+                reject_duplicate(seen_order_, t);
                 parse_order_by(spec);
-            else if (kw == "format")
+            } else if (kw == "format") {
+                reject_duplicate(seen_format_, t);
                 parse_format(spec);
-            else if (kw == "limit")
+            } else if (kw == "limit") {
+                reject_duplicate(seen_limit_, t);
                 parse_limit(spec);
+            }
             else if (kw == "let")
                 parse_let(spec);
             else
@@ -277,7 +284,12 @@ private:
             const Token t = next();
             if (t.kind != Tok::Ident && t.kind != Tok::String)
                 throw CalQLError("expected attribute in GROUP BY", t.pos);
-            spec.aggregation.key.attributes.push_back(normalize_attr(t.text));
+            std::string name = normalize_attr(t.text);
+            // a repeated key attribute adds nothing to the grouping but
+            // would duplicate the column in every output row — drop it
+            auto& attrs = spec.aggregation.key.attributes;
+            if (std::find(attrs.begin(), attrs.end(), name) == attrs.end())
+                attrs.push_back(std::move(name));
         } while (accept(Tok::Comma));
     }
 
@@ -412,14 +424,37 @@ private:
 
     void parse_limit(QuerySpec& spec) {
         const Token t = expect(Tok::Number, "limit value");
-        long long v   = std::atoll(t.text.c_str());
-        if (v < 0)
+        if (!t.text.empty() && t.text[0] == '-')
             throw CalQLError("negative LIMIT", t.pos);
+        std::uint64_t v = 0;
+        const char* begin = t.text.data();
+        const char* end   = begin + t.text.size();
+        if (*begin == '+')
+            ++begin;
+        auto [p, ec] = std::from_chars(begin, end, v);
+        if (ec != std::errc() || p != end)
+            throw CalQLError("LIMIT value '" + t.text + "' is not a valid count",
+                             t.pos);
         spec.limit = static_cast<std::size_t>(v);
+    }
+
+    /// GROUP BY / ORDER BY / FORMAT / LIMIT set a single value, so a second
+    /// occurrence is almost certainly a mistake — reject it rather than
+    /// silently letting the later clause win. (SELECT / AGGREGATE / WHERE /
+    /// LET accumulate, so repeats of those are legal.)
+    void reject_duplicate(bool& seen, const Token& t) {
+        if (seen)
+            throw CalQLError("duplicate " + util::to_lower(t.text) + " clause",
+                             t.pos);
+        seen = true;
     }
 
     std::vector<Token> tokens_;
     std::size_t pos_ = 0;
+    bool seen_group_  = false;
+    bool seen_order_  = false;
+    bool seen_format_ = false;
+    bool seen_limit_  = false;
 };
 
 std::string quote_if_needed(const std::string& s) {

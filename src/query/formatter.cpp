@@ -3,6 +3,7 @@
 #include "../common/util.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -198,8 +199,11 @@ void format_json(std::ostream& os, const std::vector<RecordMap>& records,
                 os << ", ";
             first = false;
             os << '"' << json_escape(display_name(c, spec)) << "\": ";
-            if (v.is_numeric())
-                os << v.to_string();
+            if (v.type() == Variant::Type::Double &&
+                !std::isfinite(v.as_double()))
+                os << "null"; // JSON has no nan/inf literal
+            else if (v.is_numeric())
+                os << v.to_repr();
             else if (v.is_bool())
                 os << (v.as_bool() ? "true" : "false");
             else

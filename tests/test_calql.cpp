@@ -245,3 +245,62 @@ INSTANTIATE_TEST_SUITE_P(
         "WHERE a=1,b!=2,c<3,d>=4,e FORMAT csv",
         "AGGREGATE min(x),max(x),avg(x),variance(x),histogram(x) GROUP BY k",
         ""));
+
+// ---- numeric-correctness hardening regressions (differential fuzzing) ----
+
+TEST(CalQLEdges, QuotedAttributeEscapes) {
+    // quoted labels with embedded quotes, backslashes, commas, '='
+    QuerySpec s = parse_calql("AGGREGATE sum(\"a,b\") GROUP BY \"q=val\" "
+                              "WHERE \"odd name\"='it\\'s'");
+    ASSERT_EQ(s.aggregation.ops.size(), 1u);
+    EXPECT_EQ(s.aggregation.ops[0].attribute, "a,b");
+    ASSERT_EQ(s.aggregation.key.attributes.size(), 1u);
+    EXPECT_EQ(s.aggregation.key.attributes[0], "q=val");
+    ASSERT_EQ(s.filters.size(), 1u);
+    EXPECT_EQ(s.filters[0].attribute, "odd name");
+    EXPECT_EQ(s.filters[0].value.to_string(), "it's");
+}
+
+TEST(CalQLEdges, ExponentLiteralsInWhere) {
+    QuerySpec s = parse_calql("WHERE a>1e-3,b<-2.5E+10,c=5e-324");
+    ASSERT_EQ(s.filters.size(), 3u);
+    EXPECT_DOUBLE_EQ(s.filters[0].value.as_double(), 1e-3);
+    EXPECT_DOUBLE_EQ(s.filters[1].value.as_double(), -2.5e10);
+    EXPECT_DOUBLE_EQ(s.filters[2].value.as_double(), 5e-324);
+}
+
+TEST(CalQLEdges, GroupByDropsRepeatedAttribute) {
+    QuerySpec s = parse_calql("AGGREGATE count GROUP BY k,k,j,k");
+    ASSERT_EQ(s.aggregation.key.attributes.size(), 2u);
+    EXPECT_EQ(s.aggregation.key.attributes[0], "k");
+    EXPECT_EQ(s.aggregation.key.attributes[1], "j");
+}
+
+TEST(CalQLErrors, DuplicateSingleValueClauses) {
+    for (const char* q : {"GROUP BY a GROUP BY b", "ORDER BY a ORDER BY b",
+                          "FORMAT csv FORMAT json", "LIMIT 1 LIMIT 2"}) {
+        try {
+            parse_calql(q);
+            FAIL() << "expected CalQLError for: " << q;
+        } catch (const CalQLError& e) {
+            // position points at the second clause keyword
+            EXPECT_GT(e.position(), 0u) << q;
+            EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos) << q;
+        }
+    }
+}
+
+TEST(CalQLErrors, LimitOverflowRejected) {
+    EXPECT_THROW(parse_calql("LIMIT 99999999999999999999999999"), CalQLError);
+}
+
+TEST(CalQLErrors, MalformedInputsThrowNeverCrash) {
+    for (const char* q :
+         {"AGGREGATE", "AGGREGATE sum(", "AGGREGATE sum()", "AGGREGATE sum(x",
+          "GROUP BY", "WHERE", "WHERE =", "WHERE a=", "ORDER BY", "FORMAT",
+          "LIMIT", "LIMIT x", "LET", "LET x", "LET x=", "LET x=f(",
+          "SELECT ,", "AGGREGATE count,,count", "((((", "\"", "'a",
+          "WHERE a<=>b", "AGGREGATE nosuchop(x)"}) {
+        EXPECT_THROW(parse_calql(q), CalQLError) << q;
+    }
+}

@@ -485,3 +485,53 @@ TEST(Dataset, LoadsMultipleFilesWithGlobals) {
     EXPECT_EQ(ds.globals[1].get("mpi.rank").to_int(), 1);
     EXPECT_EQ(ds.globals[2].get("cali.file"), Variant(paths[2]));
 }
+
+// ---- numeric-correctness hardening regressions (differential fuzzing) ----
+
+TEST(CaliStream, CarriageReturnValuesSurviveRoundTrip) {
+    // a raw CR ending a line would be eaten by the reader's CRLF
+    // tolerance; the writer must escape it as \r
+    auto out = round_trip({record({{"s", Variant("ends with cr\r")},
+                                   {"t", Variant("cr\rlf\nmix")}})});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].get("s").to_string(), "ends with cr\r");
+    EXPECT_EQ(out[0].get("t").to_string(), "cr\rlf\nmix");
+}
+
+TEST(CaliStream, SubnormalDoublesSurviveRoundTrip) {
+    auto out = round_trip({record({{"d", Variant(5e-324)},
+                                   {"e", Variant(-5e-324)},
+                                   {"z", Variant(-0.0)}})});
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_TRUE(out[0].get("d") == Variant(5e-324));
+    EXPECT_TRUE(out[0].get("e") == Variant(-5e-324));
+    EXPECT_TRUE(out[0].get("z") == Variant(-0.0)); // bitwise: sign survives
+}
+
+TEST(CaliStream, IntegerInDoubleColumnKeepsLowBits) {
+    // a column typed double by its first record can later carry an exact
+    // int64 (sum widening): the value must not round through double
+    auto out = round_trip({record({{"v", Variant(0.5)}}),
+                           record({{"v", Variant(9223372036854775807ll)}})});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].get("v").as_int(), 9223372036854775807ll);
+}
+
+TEST(CaliStream, EmptyStringInTypedColumnStaysString) {
+    auto out = round_trip({record({{"v", Variant(1.5)}}),
+                           record({{"v", Variant("")}})});
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[1].get("v").type(), Variant::Type::String);
+    EXPECT_EQ(out[1].get("v").to_string(), "");
+}
+
+TEST(CaliStream, EmptyValuesAreOmittedOnWrite) {
+    std::ostringstream os;
+    CaliWriter writer(os);
+    writer.write_record(record({{"a", Variant(1)}, {"b", Variant()}}));
+    std::istringstream is(os.str());
+    auto out = CaliReader::read_all(is);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].size(), 1u); // "b" never written
+    EXPECT_EQ(out[0].get("a").as_int(), 1);
+}

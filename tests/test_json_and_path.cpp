@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include <sstream>
 
 using namespace calib;
@@ -175,4 +177,17 @@ TEST(PathService, TreeFormatRendersCallPaths) {
     EXPECT_NE(text.find("\nmain"), std::string::npos);
     EXPECT_NE(text.find("\n  a"), std::string::npos);
     EXPECT_NE(text.find("\n    b"), std::string::npos);
+}
+
+TEST(JsonReader, LargeUnsignedIntegersStayExact) {
+    // integers in (INT64_MAX, UINT64_MAX] must not round through double
+    auto records = read_json_records(
+        "[{\"a\": 18446744073709551615, \"b\": 9223372036854775808, "
+        "\"c\": -9223372036854775808}]");
+    ASSERT_EQ(records.size(), 1u);
+    EXPECT_EQ(records[0].get("a").type(), Variant::Type::UInt);
+    EXPECT_EQ(records[0].get("a").as_uint(), 18446744073709551615ull);
+    EXPECT_EQ(records[0].get("b").type(), Variant::Type::UInt);
+    EXPECT_EQ(records[0].get("b").as_uint(), 9223372036854775808ull);
+    EXPECT_EQ(records[0].get("c").as_int(), INT64_MIN);
 }

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 #include <vector>
 
@@ -292,4 +293,91 @@ TEST(OpsConfig, BareAttributeDefaultsToSum) {
     ASSERT_EQ(cfg.ops.size(), 2u);
     EXPECT_EQ(cfg.ops[1].op, AggOp::Sum);
     EXPECT_EQ(cfg.ops[1].attribute, "time.duration");
+}
+
+// ---- numeric-correctness hardening regressions (differential fuzzing) ----
+
+TEST(SumKernel, WidensOnInt64Overflow) {
+    State s(AggOp::Sum);
+    s.update(Variant(9223372036854775807ll));
+    s.update(Variant(1ll));
+    const Variant v = s.result({AggOp::Sum, "x", ""}).get("sum#x");
+    ASSERT_EQ(v.type(), Variant::Type::Double);
+    EXPECT_DOUBLE_EQ(v.as_double(), 9.223372036854775808e18);
+}
+
+TEST(SumKernel, WidensOnInt64Underflow) {
+    State s(AggOp::Sum);
+    s.update(Variant(-9223372036854775807ll));
+    s.update(Variant(-2ll));
+    const Variant v = s.result({AggOp::Sum, "x", ""}).get("sum#x");
+    ASSERT_EQ(v.type(), Variant::Type::Double);
+    EXPECT_DOUBLE_EQ(v.as_double(), -9.223372036854775809e18);
+}
+
+TEST(SumKernel, WidensOnUIntAboveInt64Max) {
+    State s(AggOp::Sum);
+    s.update(Variant(18446744073709551615ull));
+    const Variant v = s.result({AggOp::Sum, "x", ""}).get("sum#x");
+    ASSERT_EQ(v.type(), Variant::Type::Double);
+    EXPECT_DOUBLE_EQ(v.as_double(), 1.8446744073709551616e19);
+}
+
+TEST(SumKernel, MergeWidensOnOverflow) {
+    State a(AggOp::Sum), b(AggOp::Sum);
+    a.update(Variant(9223372036854775807ll));
+    b.update(Variant(9223372036854775807ll));
+    a.merge(b);
+    const Variant v = a.result({AggOp::Sum, "x", ""}).get("sum#x");
+    ASSERT_EQ(v.type(), Variant::Type::Double);
+    EXPECT_DOUBLE_EQ(v.as_double(), 2.0 * 9.223372036854775807e18);
+}
+
+TEST(SumKernel, IgnoresNaN) {
+    State s(AggOp::Sum);
+    s.update(Variant(std::nan("")));
+    s.update(Variant(2.0));
+    const Variant v = s.result({AggOp::Sum, "x", ""}).get("sum#x");
+    EXPECT_DOUBLE_EQ(v.as_double(), 2.0);
+}
+
+TEST(MinMaxKernel, IgnoreNaN) {
+    State lo(AggOp::Min), hi(AggOp::Max);
+    for (State* s : {&lo, &hi}) {
+        s->update(Variant(std::nan("")));
+        s->update(Variant(3.0));
+        s->update(Variant(std::nan("")));
+        s->update(Variant(1.0));
+    }
+    EXPECT_DOUBLE_EQ(lo.result({AggOp::Min, "x", ""}).get("min#x").as_double(), 1.0);
+    EXPECT_DOUBLE_EQ(hi.result({AggOp::Max, "x", ""}).get("max#x").as_double(), 3.0);
+}
+
+TEST(MinMaxKernel, AllNaNEmitsNothing) {
+    State s(AggOp::Min);
+    s.update(Variant(std::nan("")));
+    EXPECT_TRUE(s.result({AggOp::Min, "x", ""}).empty());
+}
+
+TEST(AvgVarianceKernel, IgnoreNaN) {
+    State avg(AggOp::Avg), var(AggOp::Variance);
+    for (State* s : {&avg, &var}) {
+        s->update(Variant(2.0));
+        s->update(Variant(std::nan("")));
+        s->update(Variant(4.0));
+    }
+    EXPECT_DOUBLE_EQ(avg.result({AggOp::Avg, "x", ""}).get("avg#x").as_double(), 3.0);
+    // two samples 2 and 4: population variance 1
+    EXPECT_DOUBLE_EQ(var.result({AggOp::Variance, "x", ""}).get("variance#x").as_double(),
+                     1.0);
+}
+
+TEST(HistogramKernel, PinsNaNAndInfinities) {
+    EXPECT_EQ(histogram_bin_index(std::nan("")), 0);
+    EXPECT_EQ(histogram_bin_index(-std::numeric_limits<double>::infinity()), 0);
+    EXPECT_EQ(histogram_bin_index(std::numeric_limits<double>::infinity()),
+              histogram_bins - 1);
+    EXPECT_EQ(histogram_bin_index(std::numeric_limits<double>::max()),
+              histogram_bins - 1);
+    EXPECT_EQ(histogram_bin_index(5e-324), 0); // subnormals land in bin 0
 }

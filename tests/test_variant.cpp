@@ -153,3 +153,74 @@ TEST(Variant, OrderingOperatorMatchesCompare) {
     EXPECT_FALSE(Variant(2) < Variant(1));
     EXPECT_TRUE(Variant("a") < Variant("b"));
 }
+
+// ---- numeric-correctness hardening regressions (differential fuzzing) ----
+
+TEST(Variant, CompareIsExactAbove2To53) {
+    // 2^53 and 2^53+1 collapse to the same double; exact compare must not
+    const long long big = (1ll << 53);
+    EXPECT_LT(Variant(big).compare(Variant(big + 1)), 0);
+    EXPECT_GT(Variant(big + 1).compare(Variant(big)), 0);
+    EXPECT_EQ(Variant(static_cast<double>(big)).compare(Variant(big)), 0);
+    // the double one ULP above 2^53 sits strictly between 2^53+1 and 2^53+3
+    const double above = std::nextafter(static_cast<double>(big), 1e300);
+    EXPECT_GT(Variant(above).compare(Variant(big + 1)), 0);
+    EXPECT_LT(Variant(above).compare(Variant(big + 3)), 0);
+}
+
+TEST(Variant, CompareUIntAboveInt64Max) {
+    const unsigned long long huge = 0xFFFFFFFFFFFFFFFFull;
+    EXPECT_GT(Variant(huge).compare(Variant(-1ll)), 0);
+    EXPECT_GT(Variant(huge).compare(Variant(1.0e18)), 0);
+    EXPECT_GT(Variant(huge).compare(Variant(1.0e19)), 0);
+    EXPECT_LT(Variant(huge).compare(Variant(2.0e19)), 0); // 2e19 > 2^64-1
+    EXPECT_GT(Variant(huge).compare(Variant(9.0e18)), 0);
+}
+
+TEST(Variant, CompareTotalOrderWithNaN) {
+    const Variant nan(std::nan(""));
+    // NaN sorts after every number and equals itself: a total order, so
+    // sorting rows with NaN cells is deterministic
+    EXPECT_GT(nan.compare(Variant(1e308)), 0);
+    EXPECT_GT(nan.compare(Variant(-1e308)), 0);
+    EXPECT_EQ(nan.compare(Variant(std::nan(""))), 0);
+    EXPECT_LT(Variant(0).compare(nan), 0);
+}
+
+TEST(Variant, EqualityIsBitwiseForDoubles) {
+    // identity semantics: == must agree with hash() for grouping keys
+    EXPECT_TRUE(Variant(std::nan("")) == Variant(std::nan("")));
+    EXPECT_FALSE(Variant(0.0) == Variant(-0.0));
+    EXPECT_EQ(Variant(0.0).compare(Variant(-0.0)), 0); // but they order equal
+}
+
+TEST(Variant, ToReprRoundTripsEveryDouble) {
+    for (double d : {5e-324, -5e-324, 1.7976931348623157e308,
+                     2.2250738585072014e-308, 0.1, 1.0 / 3.0, 1e16 + 2.0,
+                     -0.0, 1e300}) {
+        const Variant v(d);
+        const Variant back = Variant::parse(Variant::Type::Double, v.to_repr());
+        ASSERT_EQ(back.type(), Variant::Type::Double) << v.to_repr();
+        EXPECT_TRUE(back == v) << v.to_repr(); // bitwise, so -0.0 survives
+    }
+}
+
+TEST(Variant, ParseAcceptsSubnormals) {
+    // strtod flags subnormals with ERANGE although it returns the correctly
+    // rounded value; parse must not reject them (found by calib-fuzz)
+    const Variant v = Variant::parse(Variant::Type::Double, "5e-324");
+    ASSERT_EQ(v.type(), Variant::Type::Double);
+    EXPECT_EQ(v.as_double(), 5e-324);
+    EXPECT_EQ(Variant::parse_guess("4.9e-324").type(), Variant::Type::Double);
+    // genuine overflow still fails the typed parse
+    EXPECT_TRUE(Variant::parse(Variant::Type::Double, "1e999").empty());
+}
+
+TEST(Variant, ParseGuessKeepsLargeUIntExact) {
+    const Variant v = Variant::parse_guess("18446744073709551615");
+    ASSERT_EQ(v.type(), Variant::Type::UInt);
+    EXPECT_EQ(v.as_uint(), 0xFFFFFFFFFFFFFFFFull);
+    const Variant w = Variant::parse_guess("9223372036854775808");
+    ASSERT_EQ(w.type(), Variant::Type::UInt);
+    EXPECT_EQ(w.as_uint(), 9223372036854775808ull);
+}
