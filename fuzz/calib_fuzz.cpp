@@ -8,22 +8,30 @@
 //
 // Usage:
 //   calib-fuzz [--seed-range A:B] [--seed N] [--queries N] [--out DIR] [-v]
+//   calib-fuzz --frames [--seed-range A:B] [--seed N] [-v]
+//
+// --frames switches to the proxyd wire-protocol fuzzer (framefuzz.hpp):
+// seeded frame streams — valid, directed-violation, and byte-mutated —
+// fed chunk-wise into the daemon's ingest session.
 //
 // Defaults to --seed-range 0:200. Exits 1 when any seed fails.
 #include "differential.hpp"
+#include "framefuzz.hpp"
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace {
 
 void usage() {
     std::fprintf(stderr,
                  "usage: calib-fuzz [--seed-range A:B] [--seed N] [--queries N]\n"
-                 "                  [--out DIR] [--work DIR] [-v]\n"
+                 "                  [--out DIR] [--work DIR] [--frames] [-v]\n"
                  "\n"
                  "  --seed-range A:B  run seeds A (inclusive) to B (exclusive); "
                  "default 0:200\n"
@@ -31,6 +39,8 @@ void usage() {
                  "  --queries N       queries per seed (default 3)\n"
                  "  --out DIR         dump minimized reproducers for failures\n"
                  "  --work DIR        scratch directory for inputs (default /tmp)\n"
+                 "  --frames          fuzz the proxyd frame protocol instead of\n"
+                 "                    the query pipeline\n"
                  "  -v                print every seed as it runs\n");
 }
 
@@ -49,11 +59,14 @@ bool parse_u64(const char* s, std::uint64_t* out) {
 
 int main(int argc, char** argv) {
     std::uint64_t seed_begin = 0, seed_end = 200;
+    bool frames = false;
     calib::fuzz::DiffOptions opts;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--seed-range" && i + 1 < argc) {
+        if (arg == "--frames") {
+            frames = true;
+        } else if (arg == "--seed-range" && i + 1 < argc) {
             const std::string range = argv[++i];
             const std::size_t colon = range.find(':');
             if (colon == std::string::npos ||
@@ -99,8 +112,13 @@ int main(int argc, char** argv) {
 
     std::uint64_t failed_seeds = 0, total_failures = 0;
     for (std::uint64_t seed = seed_begin; seed < seed_end; ++seed) {
-        const calib::fuzz::SeedOutcome outcome =
-            calib::fuzz::run_seed(seed, opts);
+        std::vector<std::string> failures;
+        if (frames) {
+            failures = calib::fuzz::run_frame_seed(seed, opts.verbose).failures;
+        } else {
+            failures = calib::fuzz::run_seed(seed, opts).failures;
+        }
+        const calib::fuzz::SeedOutcome outcome{seed, std::move(failures)};
         if (outcome.ok()) {
             if (opts.verbose)
                 std::fprintf(stderr, "seed %llu ok\n",

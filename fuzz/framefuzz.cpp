@@ -1,0 +1,356 @@
+#include "framefuzz.hpp"
+
+#include "fuzz_rng.hpp"
+
+#include "../src/net/frame.hpp"
+#include "../src/proxyd/session.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+namespace calib::fuzz {
+
+namespace {
+
+constexpr std::size_t kMaxFrame = 1u << 16; // 64 KiB: small enough that fat
+                                            // batches exercise the drop path
+
+std::string rand_name(Rng& rng, const char* prefix) {
+    std::string s = prefix;
+    const std::size_t n = 1 + rng.below(8);
+    for (std::size_t i = 0; i < n; ++i)
+        s += static_cast<char>('a' + rng.below(26));
+    return s;
+}
+
+Variant rand_value(Rng& rng, Variant::Type type) {
+    switch (type) {
+    case Variant::Type::Int:
+        return Variant(static_cast<std::int64_t>(rng.below(100000)) - 50000);
+    case Variant::Type::UInt:
+        return Variant(static_cast<std::uint64_t>(rng.below(1000000)));
+    case Variant::Type::Double:
+        return Variant(rng.unit() * 1000.0);
+    case Variant::Type::String:
+    default: {
+        char buf[16];
+        std::snprintf(buf, sizeof buf, "s%llu",
+                      static_cast<unsigned long long>(rng.below(1000)));
+        return Variant(std::string_view(buf));
+    }
+    }
+}
+
+/// Directed protocol violations: valid frame encodings whose *sequence*
+/// breaks the protocol at a known point.
+enum class Violation {
+    None,
+    RecordsBeforeHello,
+    DuplicateHello,
+    WrongVersion,
+    ResultFromClient,
+    UnknownFrameType,
+};
+
+void apply_mutations(Rng& rng, std::vector<std::byte>& bytes) {
+    const std::size_t n_mut = 1 + rng.below(4);
+    for (std::size_t m = 0; m < n_mut && !bytes.empty(); ++m) {
+        switch (rng.below(6)) {
+        case 0: { // bit flip
+            bytes[rng.below(bytes.size())] ^=
+                static_cast<std::byte>(1u << rng.below(8));
+            break;
+        }
+        case 1: { // truncate tail
+            bytes.resize(rng.below(bytes.size()) + 1);
+            break;
+        }
+        case 2: { // corrupt 4 bytes (often a length field)
+            const std::size_t pos = rng.below(bytes.size());
+            for (std::size_t i = 0; i < 4 && pos + i < bytes.size(); ++i)
+                bytes[pos + i] = static_cast<std::byte>(rng.below(256));
+            break;
+        }
+        case 3: { // overwrite one byte (often a frame type)
+            bytes[rng.below(bytes.size())] =
+                static_cast<std::byte>(rng.below(256));
+            break;
+        }
+        case 4: { // insert garbage
+            std::vector<std::byte> junk(1 + rng.below(16));
+            for (std::byte& b : junk)
+                b = static_cast<std::byte>(rng.below(256));
+            const std::size_t pos = rng.below(bytes.size() + 1);
+            bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                         junk.begin(), junk.end());
+            break;
+        }
+        default: { // duplicate a slice
+            const std::size_t from = rng.below(bytes.size());
+            const std::size_t len =
+                std::min(bytes.size() - from, 1 + rng.below(64));
+            std::vector<std::byte> slice(bytes.begin() +
+                                             static_cast<std::ptrdiff_t>(from),
+                                         bytes.begin() +
+                                             static_cast<std::ptrdiff_t>(from + len));
+            const std::size_t pos = rng.below(bytes.size() + 1);
+            bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                         slice.begin(), slice.end());
+            break;
+        }
+        }
+    }
+}
+
+} // namespace
+
+FrameStream generate_frame_stream(std::uint64_t seed) {
+    // decouple from the corpus fuzzer's seed space
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0xf7a3u);
+
+    FrameStream s;
+    s.max_frame_bytes = kMaxFrame;
+
+    const Violation violation =
+        rng.chance(15) ? static_cast<Violation>(1 + rng.below(5)) : Violation::None;
+
+    if (violation == Violation::RecordsBeforeHello) {
+        net::RecordsBuilder b;
+        b.begin_record();
+        b.entry(0, Variant(1));
+        b.end_record();
+        b.frame(s.bytes);
+        s.expected_protocol_errors = 1;
+        s.expected_status          = 2;
+        return s;
+    }
+
+    if (violation == Violation::WrongVersion) {
+        // hand-roll a Hello with a bad version: u32 version + 2 strings
+        std::vector<std::byte> payload;
+        ByteWriter w(payload);
+        w.put(net::kProtocolVersion + 1 + static_cast<std::uint32_t>(rng.below(7)));
+        w.put_string("bad-client");
+        w.put_string("fuzz");
+        net::append_frame(s.bytes, net::FrameType::Hello, payload);
+        s.expected_protocol_errors = 1;
+        s.expected_status          = 2;
+        return s;
+    }
+
+    net::append_hello(s.bytes, rand_name(rng, "client-"), rand_name(rng, "ch-"));
+
+    if (violation == Violation::DuplicateHello) {
+        net::append_hello(s.bytes, "again", "fuzz");
+        s.expected_protocol_errors = 1;
+        s.expected_status          = 2;
+        return s;
+    }
+    if (violation == Violation::ResultFromClient) {
+        net::append_result(s.bytes, 0, "i am not a daemon");
+        s.expected_protocol_errors = 1;
+        s.expected_status          = 2;
+        return s;
+    }
+    if (violation == Violation::UnknownFrameType) {
+        const std::byte junk[] = {std::byte{0x01}};
+        net::append_frame(s.bytes, static_cast<net::FrameType>(0xee), junk);
+        s.expected_protocol_errors = 1;
+        s.expected_status          = 2;
+        return s;
+    }
+
+    // attribute table
+    static const Variant::Type kTypes[] = {Variant::Type::Int,
+                                           Variant::Type::UInt,
+                                           Variant::Type::Double,
+                                           Variant::Type::String};
+    const std::uint32_t n_attrs = 1 + static_cast<std::uint32_t>(rng.below(6));
+    std::vector<Variant::Type> types;
+    for (std::uint32_t a = 0; a < n_attrs; ++a) {
+        types.push_back(kTypes[rng.below(4)]);
+        // unique per local id: same-name/different-type redefinitions are a
+        // registry question, not a wire-protocol one
+        const std::string name =
+            rand_name(rng, "attr.") + "." + std::to_string(a);
+        net::append_attr(s.bytes, a, name, types.back(), 0);
+    }
+
+    if (rng.chance(30)) {
+        std::vector<std::pair<std::uint32_t, Variant>> globals = {
+            {0, rand_value(rng, types[0])}};
+        net::append_globals(s.bytes, rng.chance(50), globals);
+    }
+
+    const std::size_t n_batches = rng.below(6);
+    for (std::size_t batch = 0; batch < n_batches; ++batch) {
+        net::RecordsBuilder b;
+        const bool fat         = rng.chance(15);
+        const std::size_t recs = fat ? 40 : rng.below(50);
+        for (std::size_t r = 0; r < recs; ++r) {
+            b.begin_record();
+            for (std::uint32_t a = 0; a < n_attrs; ++a) {
+                if (rng.chance(25))
+                    continue; // sparse records
+                b.entry(a, rand_value(rng, types[a]));
+            }
+            if (fat) {
+                // ~2 KiB string entries push the batch past the frame bound
+                b.entry(0, Variant(std::string_view(
+                               std::string(2048, static_cast<char>(
+                                                     'a' + rng.below(26))))));
+            }
+            if (rng.chance(5))
+                b.entry(n_attrs + 100, Variant(1)); // unknown local id: skipped
+            b.end_record();
+        }
+        const bool dropped = b.payload_bytes() + 1 > kMaxFrame;
+        if (dropped)
+            ++s.expected_dropped;
+        else
+            s.expected_records += recs;
+        b.frame(s.bytes); // zero-record batches are valid empty frames
+
+        if (rng.chance(40)) {
+            net::append_query(s.bytes, "AGGREGATE count FORMAT csv");
+            ++s.expected_ok_queries;
+        }
+    }
+
+    if (rng.chance(80)) {
+        net::append_bye(s.bytes);
+        s.expected_status = 1;
+    }
+
+    if (rng.chance(35)) {
+        apply_mutations(rng, s.bytes);
+        s.well_formed = false;
+    }
+    return s;
+}
+
+namespace {
+
+struct RunResult {
+    std::uint64_t frames = 0, records = 0, protocol_errors = 0,
+                  unknown_attrs = 0, dropped = 0;
+    std::uint64_t channel_records = 0;
+    std::size_t channel_groups    = 0;
+    int status                    = 0; // 0 Ok, 1 Closed, 2 Error
+    std::vector<std::pair<int, std::string>> responses;
+
+    bool operator==(const RunResult&) const = default;
+};
+
+/// Feed the stream into a fresh session/channel pair, splitting the bytes
+/// into chunks drawn from \a chunk_rng. Stops feeding once the session
+/// reports Closed/Error, exactly as the daemon closes the connection.
+RunResult run_stream(const FrameStream& s, Rng& chunk_rng,
+                     std::size_t max_chunk) {
+    proxyd::ProxyChannel channel("fuzz", /*aggregate=*/"", /*prealloc=*/64);
+    RunResult out;
+
+    proxyd::IngestSession::Hooks hooks;
+    hooks.open_channel = [&](const std::string&) { return &channel; };
+    hooks.respond = [&](std::uint8_t status, std::string_view body) {
+        out.responses.emplace_back(status, std::string(body));
+    };
+    hooks.on_query = [&](std::string_view calql) {
+        bool ok                  = true;
+        const std::string answer = channel.answer(calql, &ok);
+        out.responses.emplace_back(ok ? 0 : 1, answer);
+    };
+    proxyd::IngestSession session(hooks, s.max_frame_bytes);
+
+    std::size_t pos = 0;
+    auto status     = proxyd::IngestSession::Status::Ok;
+    while (pos < s.bytes.size() &&
+           status == proxyd::IngestSession::Status::Ok) {
+        const std::size_t chunk =
+            std::min(s.bytes.size() - pos, 1 + chunk_rng.below(max_chunk));
+        status = session.feed(s.bytes.data() + pos, chunk);
+        pos += chunk;
+    }
+
+    out.frames          = session.frames();
+    out.records         = session.records();
+    out.protocol_errors = session.protocol_errors();
+    out.unknown_attrs   = session.unknown_attrs();
+    out.dropped         = session.dropped_frames();
+    out.channel_records = channel.records();
+    out.channel_groups  = channel.groups();
+    out.status          = static_cast<int>(status);
+    return out;
+}
+
+} // namespace
+
+FrameSeedOutcome run_frame_seed(std::uint64_t seed, bool verbose) {
+    FrameSeedOutcome outcome;
+    outcome.seed = seed;
+    auto fail    = [&](const std::string& msg) {
+        outcome.failures.push_back(msg);
+    };
+
+    const FrameStream s = generate_frame_stream(seed);
+    if (verbose)
+        std::fprintf(stderr,
+                     "frames seed %llu: %zu bytes, %s, expect %llu records\n",
+                     static_cast<unsigned long long>(seed), s.bytes.size(),
+                     s.well_formed ? "well-formed" : "mutated",
+                     static_cast<unsigned long long>(s.expected_records));
+
+    // two independent chunkings of the same bytes must agree exactly
+    Rng chunks_a(seed ^ 0xa5a5a5a5ULL);
+    Rng chunks_b(seed ^ 0x5a5a5a5aULL);
+    const RunResult a = run_stream(s, chunks_a, /*max_chunk=*/4096);
+    const RunResult b = run_stream(s, chunks_b, /*max_chunk=*/13);
+
+    if (!(a == b)) {
+        std::ostringstream os;
+        os << "chunking variance: [4096-byte chunks] frames=" << a.frames
+           << " records=" << a.records << " errors=" << a.protocol_errors
+           << " dropped=" << a.dropped << " status=" << a.status
+           << " responses=" << a.responses.size()
+           << " vs [13-byte chunks] frames=" << b.frames
+           << " records=" << b.records << " errors=" << b.protocol_errors
+           << " dropped=" << b.dropped << " status=" << b.status
+           << " responses=" << b.responses.size();
+        fail(os.str());
+    }
+
+    if (!s.well_formed)
+        return outcome; // no-crash + invariance is all we can assert
+
+    if (a.records != s.expected_records)
+        fail("records: got " + std::to_string(a.records) + ", expected " +
+             std::to_string(s.expected_records));
+    if (a.channel_records != s.expected_records)
+        fail("channel records: got " + std::to_string(a.channel_records) +
+             ", expected " + std::to_string(s.expected_records));
+    if (a.dropped != s.expected_dropped)
+        fail("dropped frames: got " + std::to_string(a.dropped) +
+             ", expected " + std::to_string(s.expected_dropped));
+    if (a.protocol_errors != s.expected_protocol_errors)
+        fail("protocol errors: got " + std::to_string(a.protocol_errors) +
+             ", expected " + std::to_string(s.expected_protocol_errors));
+    if (a.status != s.expected_status)
+        fail("final status: got " + std::to_string(a.status) + ", expected " +
+             std::to_string(s.expected_status));
+
+    std::uint32_t ok_queries = 0;
+    for (const auto& [status, body] : a.responses) {
+        // hello ack is status 0 with the daemon banner; count query answers
+        if (status == 0 && body.rfind("calib-proxyd", 0) != 0)
+            ++ok_queries;
+    }
+    if (ok_queries != s.expected_ok_queries)
+        fail("ok query responses: got " + std::to_string(ok_queries) +
+             ", expected " + std::to_string(s.expected_ok_queries));
+
+    return outcome;
+}
+
+} // namespace calib::fuzz

@@ -1,0 +1,62 @@
+// Seeded frame-stream fuzzer for the calib-proxyd wire protocol.
+//
+// Each seed deterministically produces one client byte stream: a valid
+// frame sequence (Hello, Attr definitions, Records batches, Globals,
+// Queries, Bye) with tracked ground truth, optionally followed by
+// byte-level mutations (bit flips, truncation, length/type corruption,
+// garbage insertion). The runner feeds the stream into a transport-free
+// IngestSession twice with different chunk boundaries and checks:
+//
+//   1. no crash, hang, or unbounded allocation on any input;
+//   2. chunking invariance: frame/record/error counters and query
+//      responses are identical however the bytes are split across
+//      feed() calls;
+//   3. ground truth for well-formed streams: exact record counts,
+//      expected oversized-frame drops, expected protocol errors (some
+//      seeds are *directed violations* — duplicate hello, bad version,
+//      frames before hello — with known error points), and successful
+//      query answers.
+//
+// A failing seed number IS the bug report: rerun with
+// `calib-fuzz --frames --seed N` to replay it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace calib::fuzz {
+
+struct FrameStream {
+    std::vector<std::byte> bytes;
+
+    /// False when the bytes were mutated after encoding; mutated streams
+    /// are only checked for no-crash + chunking invariance.
+    bool well_formed = true;
+
+    /// Frame-size bound the session must be configured with.
+    std::size_t max_frame_bytes = 0;
+
+    // Ground truth (valid for well_formed streams only):
+    std::uint64_t expected_records         = 0;
+    std::uint64_t expected_dropped         = 0;
+    std::uint64_t expected_protocol_errors = 0;
+    std::uint32_t expected_ok_queries      = 0;
+    int expected_status = 0; ///< 0 = Ok (stream ended), 1 = Closed, 2 = Error
+};
+
+/// Generate the frame stream for \a seed. Deterministic: same seed,
+/// same bytes, same expectations.
+FrameStream generate_frame_stream(std::uint64_t seed);
+
+struct FrameSeedOutcome {
+    std::uint64_t seed = 0;
+    std::vector<std::string> failures;
+    bool ok() const { return failures.empty(); }
+};
+
+/// Run the full frame-fuzz check for one seed.
+FrameSeedOutcome run_frame_seed(std::uint64_t seed, bool verbose);
+
+} // namespace calib::fuzz

@@ -1,0 +1,186 @@
+#include "client.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace calib::net {
+
+ProxyClient::ProxyClient(Options opts) : opts_(std::move(opts)) {
+    socket_ = connect_to(opts_.address);
+
+    std::vector<std::byte> hello;
+    append_hello(hello, opts_.client_name, opts_.channel);
+    send_bytes(hello);
+
+    const ResultInfo ack = read_result();
+    if (ack.status != 0)
+        throw std::runtime_error("proxy handshake rejected: " + ack.body);
+}
+
+ProxyClient::~ProxyClient() {
+    try {
+        close();
+    } catch (...) {
+        // best-effort teardown
+    }
+}
+
+std::uint32_t ProxyClient::define_name(const char* interned_name,
+                                       Variant::Type type,
+                                       std::uint32_t properties) {
+    const auto it = local_by_name_.find(interned_name);
+    if (it != local_by_name_.end())
+        return it->second;
+    const std::uint32_t local = next_local_++;
+    local_by_name_.emplace(interned_name, local);
+    append_attr(pending_attrs_, local, interned_name, type, properties);
+    return local;
+}
+
+std::uint32_t ProxyClient::define_id(const AttributeRegistry& registry,
+                                     id_t attr) {
+    if (registry_ != &registry) {
+        // one registry per client; switching would alias unrelated ids
+        if (registry_ != nullptr)
+            throw std::runtime_error(
+                "proxy client: id-based pushes must use one registry");
+        registry_ = &registry;
+    }
+    if (attr >= local_by_attr_.size())
+        local_by_attr_.resize(attr + 1, 0);
+    if (local_by_attr_[attr] != 0)
+        return local_by_attr_[attr] - 1;
+
+    const Attribute a = registry.get(attr);
+    if (!a.valid())
+        throw std::runtime_error("proxy client: unknown attribute id");
+    const std::uint32_t local = next_local_++;
+    local_by_attr_[attr]      = local + 1;
+    append_attr(pending_attrs_, local, a.name_view(), a.type(), a.properties());
+    return local;
+}
+
+void ProxyClient::set_globals(const RecordMap& globals, bool join) {
+    flush(); // globals apply to records that follow, keep wire order exact
+    std::vector<std::pair<std::uint32_t, Variant>> entries;
+    entries.reserve(globals.size());
+    for (const auto& [name, value] : globals) {
+        if (value.empty())
+            continue;
+        entries.emplace_back(define_name(name, value.type(), prop::none), value);
+    }
+    std::vector<std::byte> out;
+    out.swap(pending_attrs_);
+    append_globals(out, join, entries);
+    send_bytes(out);
+}
+
+void ProxyClient::push(const RecordMap& record) {
+    batch_.begin_record();
+    for (const auto& [name, value] : record) {
+        if (value.empty())
+            continue; // writers omit Empty; so does the wire
+        batch_.entry(define_name(name, value.type(), prop::none), value);
+    }
+    batch_.end_record();
+    ++records_sent_;
+    maybe_flush_batch();
+}
+
+void ProxyClient::push(const std::vector<RecordMap>& records) {
+    for (const RecordMap& r : records)
+        push(r);
+}
+
+void ProxyClient::push(const AttributeRegistry& registry, const IdRecord& record) {
+    batch_.begin_record();
+    for (const Entry& e : record) {
+        if (e.value.empty())
+            continue;
+        batch_.entry(define_id(registry, e.attribute), e.value);
+    }
+    batch_.end_record();
+    ++records_sent_;
+    maybe_flush_batch();
+}
+
+void ProxyClient::maybe_flush_batch() {
+    if (batch_.num_records() >= opts_.batch_records ||
+        batch_.payload_bytes() >= opts_.batch_bytes)
+        flush();
+}
+
+void ProxyClient::flush() {
+    if (batch_.num_records() == 0 && pending_attrs_.empty())
+        return;
+    std::vector<std::byte> out;
+    out.swap(pending_attrs_);
+    if (batch_.num_records() > 0) {
+        batch_.frame(out);
+        ++frames_sent_;
+    }
+    send_bytes(out);
+}
+
+std::string ProxyClient::query(std::string_view calql) {
+    flush();
+    std::vector<std::byte> out;
+    append_query(out, calql);
+    send_bytes(out);
+
+    const ResultInfo res = read_result();
+    if (res.status != 0)
+        throw std::runtime_error(res.body);
+    return res.body;
+}
+
+void ProxyClient::close() {
+    if (!socket_.valid())
+        return;
+    try {
+        flush();
+        std::vector<std::byte> out;
+        append_bye(out);
+        send_bytes(out);
+    } catch (...) {
+        // the daemon may already be gone; an orderly Bye is best-effort
+    }
+    socket_.close();
+}
+
+void ProxyClient::send_bytes(std::vector<std::byte>& bytes) {
+    if (bytes.empty())
+        return;
+    if (!socket_.valid())
+        throw std::runtime_error("proxy client: connection closed");
+    if (!socket_.send_all(bytes.data(), bytes.size())) {
+        const int err = errno;
+        socket_.close();
+        throw std::runtime_error(std::string("proxy client: send failed: ") +
+                                 std::strerror(err));
+    }
+    bytes_sent_ += bytes.size();
+    bytes.clear();
+}
+
+ResultInfo ProxyClient::read_result() {
+    FrameView frame;
+    char buf[4096];
+    for (;;) {
+        while (decoder_.next(frame)) {
+            if (frame.type == FrameType::Result)
+                return parse_result(frame.payload);
+            // ignore anything else the daemon might send
+        }
+        const ssize_t n = socket_.recv_some(buf, sizeof(buf));
+        if (n == 0)
+            throw std::runtime_error("proxy client: daemon closed the connection");
+        if (n < 0)
+            throw std::runtime_error(std::string("proxy client: recv failed: ") +
+                                     std::strerror(errno));
+        decoder_.feed(buf, static_cast<std::size_t>(n));
+    }
+}
+
+} // namespace calib::net

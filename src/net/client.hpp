@@ -1,0 +1,115 @@
+// ProxyClient: the client side of the calib-proxyd wire protocol.
+//
+// A client connects to one daemon, joins one channel, and streams records
+// to it. Mirroring the resolve-once reader design, each attribute is
+// defined exactly once per connection (an Attr frame mapping a
+// client-local id to name/type/properties); records then travel as
+// compact (local id, value) batches. Records are buffered and sent in
+// batched frames — call flush() (or close()) to push out a partial batch.
+//
+// Two push paths:
+//   - id-based:   push(registry, record) — ids resolve against the given
+//     AttributeRegistry, carrying attribute types *and properties* to the
+//     daemon (one registry per client; the hot path)
+//   - name-based: push(record) — a RecordMap; attribute type is taken
+//     from the first value seen, properties default to none
+//
+// query() runs a live CalQL query against the connected channel and
+// returns the formatted result (the daemon evaluates it over its current
+// aggregate). All methods are blocking and single-threaded; use one
+// client per thread.
+#pragma once
+
+#include "frame.hpp"
+#include "socket.hpp"
+
+#include "../common/attribute.hpp"
+#include "../common/idrecord.hpp"
+#include "../common/recordmap.hpp"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace calib::net {
+
+class ProxyClient {
+public:
+    struct Options {
+        std::string address;                  ///< daemon address (see socket.hpp)
+        std::string client_name = "calib";    ///< reported in Hello
+        std::string channel     = "default";  ///< daemon channel to join
+        std::size_t batch_records = 512;      ///< records per Records frame
+        std::size_t batch_bytes   = 256 * 1024; ///< payload bytes per frame
+    };
+
+    /// Connect, send Hello, and wait for the daemon's acknowledgement.
+    /// Throws std::runtime_error on connection or handshake failure.
+    explicit ProxyClient(Options opts);
+    ~ProxyClient();
+
+    ProxyClient(const ProxyClient&)            = delete;
+    ProxyClient& operator=(const ProxyClient&) = delete;
+
+    /// Send per-connection dataset globals. With \a join, the daemon joins
+    /// them onto every subsequent record from this connection (the
+    /// streaming analogue of cali-query --with-globals).
+    void set_globals(const RecordMap& globals, bool join = true);
+
+    /// Buffer one record for sending (auto-flushes full batches).
+    void push(const RecordMap& record);
+    void push(const std::vector<RecordMap>& records);
+
+    /// Id-based push: \a record's attribute ids come from \a registry.
+    /// All pushes on one client must use the same registry.
+    void push(const AttributeRegistry& registry, const IdRecord& record);
+
+    /// Send any buffered records now.
+    void flush();
+
+    /// Flush, run a CalQL query on the daemon, and return the formatted
+    /// result. Throws std::runtime_error on transport errors or when the
+    /// daemon reports a query error.
+    std::string query(std::string_view calql);
+
+    /// Flush, send Bye, and close the connection. Idempotent.
+    void close();
+
+    bool connected() const noexcept { return socket_.valid(); }
+
+    std::uint64_t records_sent() const noexcept { return records_sent_; }
+    std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+    std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+private:
+    std::uint32_t define_name(const char* interned_name, Variant::Type type,
+                              std::uint32_t properties);
+    std::uint32_t define_id(const AttributeRegistry& registry, id_t attr);
+    void maybe_flush_batch();
+    void send_bytes(std::vector<std::byte>& bytes);
+    ResultInfo read_result();
+
+    Options opts_;
+    Socket socket_;
+    FrameDecoder decoder_;
+
+    // pending output: attribute definitions must hit the wire before the
+    // record batch that references them
+    std::vector<std::byte> pending_attrs_;
+    RecordsBuilder batch_;
+
+    // name-based resolve-once state (interned name pointer -> local id)
+    std::unordered_map<const void*, std::uint32_t> local_by_name_;
+    // id-based resolve-once state (registry id -> local id + 1; 0 = unset)
+    const AttributeRegistry* registry_ = nullptr;
+    std::vector<std::uint32_t> local_by_attr_;
+
+    std::uint32_t next_local_     = 0;
+    std::uint64_t records_sent_   = 0;
+    std::uint64_t frames_sent_    = 0;
+    std::uint64_t bytes_sent_     = 0;
+};
+
+} // namespace calib::net

@@ -1,0 +1,221 @@
+#include "frame.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace calib::net {
+
+const char* frame_type_name(FrameType t) noexcept {
+    switch (t) {
+    case FrameType::Hello:
+        return "hello";
+    case FrameType::Attr:
+        return "attr";
+    case FrameType::Records:
+        return "records";
+    case FrameType::Globals:
+        return "globals";
+    case FrameType::Query:
+        return "query";
+    case FrameType::Result:
+        return "result";
+    case FrameType::Bye:
+        return "bye";
+    }
+    return "unknown";
+}
+
+// ----------------------------------------------------------------- decoder
+
+void FrameDecoder::feed(const void* data, std::size_t len) {
+    const std::byte* p = static_cast<const std::byte*>(data);
+
+    // discard bytes of an oversized frame without buffering them
+    if (skip_ > 0) {
+        const std::size_t take = len < skip_ ? len : static_cast<std::size_t>(skip_);
+        p += take;
+        len -= take;
+        skip_ -= take;
+    }
+    if (len == 0)
+        return;
+
+    // compact the consumed prefix before growing
+    if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 64 * 1024)) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), p, p + len);
+}
+
+bool FrameDecoder::next(FrameView& out) {
+    for (;;) {
+        if (skip_ > 0) {
+            // an oversized frame is still streaming in; nothing to pop
+            return false;
+        }
+        const std::size_t avail = buf_.size() - pos_;
+        if (avail < kHeaderBytes)
+            return false;
+
+        std::uint32_t len = 0;
+        std::memcpy(&len, buf_.data() + pos_, sizeof(len));
+        const auto type = static_cast<FrameType>(
+            std::to_integer<std::uint8_t>(buf_[pos_ + 4]));
+
+        if (len > max_frame_) {
+            // shed the whole frame: drop what is buffered, remember how
+            // many payload bytes are still on the wire
+            ++dropped_;
+            const std::size_t have = avail - kHeaderBytes;
+            if (have >= len) {
+                pos_ += kHeaderBytes + len;
+            } else {
+                pos_  = buf_.size();
+                skip_ = len - have;
+            }
+            continue;
+        }
+
+        if (avail < kHeaderBytes + len)
+            return false;
+
+        out.type    = type;
+        out.payload = std::span<const std::byte>(buf_.data() + pos_ + kHeaderBytes,
+                                                 len);
+        pos_ += kHeaderBytes + len;
+        return true;
+    }
+}
+
+// ---------------------------------------------------------------- encoding
+
+void append_frame(std::vector<std::byte>& out, FrameType type,
+                  std::span<const std::byte> payload) {
+    ByteWriter w(out);
+    w.put(static_cast<std::uint32_t>(payload.size()));
+    w.put(static_cast<std::uint8_t>(type));
+    w.put_bytes(payload.data(), payload.size());
+}
+
+namespace {
+
+/// Build a payload with \a fill, then wrap it in a frame header.
+template <typename F>
+void with_payload(std::vector<std::byte>& out, FrameType type, F&& fill) {
+    std::vector<std::byte> payload;
+    ByteWriter w(payload);
+    fill(w);
+    append_frame(out, type, payload);
+}
+
+} // namespace
+
+void append_hello(std::vector<std::byte>& out, std::string_view client_name,
+                  std::string_view channel_name) {
+    with_payload(out, FrameType::Hello, [&](ByteWriter& w) {
+        w.put(kProtocolVersion);
+        w.put_string(client_name);
+        w.put_string(channel_name);
+    });
+}
+
+void append_attr(std::vector<std::byte>& out, std::uint32_t local_id,
+                 std::string_view name, Variant::Type type,
+                 std::uint32_t properties) {
+    with_payload(out, FrameType::Attr, [&](ByteWriter& w) {
+        w.put(local_id);
+        w.put(static_cast<std::uint8_t>(type));
+        w.put(properties);
+        w.put_string(name);
+    });
+}
+
+void append_globals(std::vector<std::byte>& out, bool join,
+                    std::span<const std::pair<std::uint32_t, Variant>> entries) {
+    with_payload(out, FrameType::Globals, [&](ByteWriter& w) {
+        w.put(static_cast<std::uint8_t>(join ? 1 : 0));
+        w.put(static_cast<std::uint32_t>(entries.size()));
+        for (const auto& [id, value] : entries) {
+            w.put(id);
+            w.put_variant(value);
+        }
+    });
+}
+
+void append_query(std::vector<std::byte>& out, std::string_view calql) {
+    with_payload(out, FrameType::Query,
+                 [&](ByteWriter& w) { w.put_string(calql); });
+}
+
+void append_result(std::vector<std::byte>& out, std::uint8_t status,
+                   std::string_view body) {
+    with_payload(out, FrameType::Result, [&](ByteWriter& w) {
+        w.put(status);
+        w.put_string(body);
+    });
+}
+
+void append_bye(std::vector<std::byte>& out) {
+    append_frame(out, FrameType::Bye, {});
+}
+
+void RecordsBuilder::frame(std::vector<std::byte>& out) {
+    const std::uint32_t n = records_;
+    std::memcpy(payload_.data(), &n, sizeof(n));
+    append_frame(out, FrameType::Records, payload_);
+    reset();
+}
+
+// ----------------------------------------------------------------- parsing
+
+HelloInfo parse_hello(std::span<const std::byte> payload) {
+    ByteReader r(payload);
+    HelloInfo h;
+    h.version      = r.get<std::uint32_t>();
+    h.client_name  = std::string(r.get_string());
+    h.channel_name = std::string(r.get_string());
+    return h;
+}
+
+AttrDef parse_attr(std::span<const std::byte> payload) {
+    ByteReader r(payload);
+    AttrDef a;
+    a.local_id   = r.get<std::uint32_t>();
+    a.type       = static_cast<Variant::Type>(r.get<std::uint8_t>());
+    a.properties = r.get<std::uint32_t>();
+    a.name       = std::string(r.get_string());
+    if (a.name.empty())
+        throw std::runtime_error("attr frame: empty attribute name");
+    if (a.type > Variant::Type::String)
+        throw std::runtime_error("attr frame: unknown value type");
+    return a;
+}
+
+GlobalsInfo parse_globals(std::span<const std::byte> payload) {
+    ByteReader r(payload);
+    GlobalsInfo g;
+    g.join       = r.get<std::uint8_t>() != 0;
+    const auto n = r.get<std::uint32_t>();
+    g.entries.reserve(n < 1024 ? n : 1024);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const auto id = r.get<std::uint32_t>();
+        g.entries.emplace_back(id, r.get_variant());
+    }
+    return g;
+}
+
+std::string parse_query(std::span<const std::byte> payload) {
+    ByteReader r(payload);
+    return std::string(r.get_string());
+}
+
+ResultInfo parse_result(std::span<const std::byte> payload) {
+    ByteReader r(payload);
+    ResultInfo res;
+    res.status = r.get<std::uint8_t>();
+    res.body   = std::string(r.get_string());
+    return res;
+}
+
+} // namespace calib::net

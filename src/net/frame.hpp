@@ -1,0 +1,230 @@
+// Wire protocol for calib-proxyd: length-prefixed binary frames.
+//
+//   frame := payload_len:u32 | type:u8 | payload[payload_len]
+//
+// Integers are host-endian (little-endian on every supported target);
+// values use the same encoding as AggregationDB serialization
+// (ByteWriter::put_variant). The frame set mirrors the resolve-once
+// reader design from the offline pipeline: a client defines each
+// attribute once (Attr frame, client-local id -> name/type/properties)
+// and then streams compact id-based record batches (Records frames), so
+// the daemon resolves every attribute name exactly once per connection.
+//
+//   Hello    client -> daemon   protocol version, client name, channel name
+//   Attr     client -> daemon   client-local attribute definition
+//   Records  client -> daemon   batch of records: entries of (local id, value)
+//   Globals  client -> daemon   per-connection dataset globals; optionally
+//                               joined onto every subsequent record
+//   Query    client -> daemon   CalQL text; daemon replies with one Result
+//   Result   daemon -> client   status byte + formatted body / error text
+//   Bye      client -> daemon   orderly end of stream
+//
+// The decoder is incremental (feed bytes as they arrive, pop complete
+// frames) and never throws: frames larger than the configured bound are
+// skipped wholesale and counted, so one misbehaving client cannot make
+// the daemon buffer unbounded data. Payload *parsers* throw
+// std::runtime_error on truncated/malformed payloads (via ByteReader);
+// callers treat that as a per-connection protocol error.
+// docs/DAEMON.md describes the protocol in full.
+#pragma once
+
+#include "../common/bytebuf.hpp"
+#include "../common/variant.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace calib::net {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Frame header: payload length (u32) + frame type (u8).
+inline constexpr std::size_t kHeaderBytes = 5;
+
+/// Default upper bound on a single frame's payload. Large enough for
+/// generous record batches, small enough to bound per-connection memory.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 4u << 20;
+
+enum class FrameType : std::uint8_t {
+    Hello   = 1,
+    Attr    = 2,
+    Records = 3,
+    Globals = 4,
+    Query   = 5,
+    Result  = 6,
+    Bye     = 7,
+};
+
+const char* frame_type_name(FrameType t) noexcept;
+
+/// One decoded frame; the payload span aliases the decoder's buffer and
+/// is valid until the next feed()/next() call.
+struct FrameView {
+    FrameType type = FrameType::Bye;
+    std::span<const std::byte> payload;
+};
+
+/// Incremental frame decoder. Never throws, never reads past its buffer;
+/// oversized frames are discarded as their bytes stream through.
+class FrameDecoder {
+public:
+    explicit FrameDecoder(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+        : max_frame_(max_frame_bytes) {}
+
+    /// Append raw bytes from the wire.
+    void feed(const void* data, std::size_t len);
+
+    /// Pop the next complete frame. Returns false when no complete frame
+    /// is buffered (call feed() with more bytes).
+    bool next(FrameView& out);
+
+    /// Bytes buffered but not yet consumed by next().
+    std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+    /// Frames discarded because their payload exceeded the bound.
+    std::uint64_t dropped_frames() const noexcept { return dropped_; }
+
+private:
+    std::vector<std::byte> buf_;
+    std::size_t pos_        = 0; ///< consumed prefix of buf_
+    std::uint64_t skip_     = 0; ///< oversized-frame bytes still to discard
+    std::size_t max_frame_;
+    std::uint64_t dropped_  = 0;
+};
+
+// ------------------------------------------------------------- frame encoding
+
+/// Append one complete frame (header + payload) to \a out.
+void append_frame(std::vector<std::byte>& out, FrameType type,
+                  std::span<const std::byte> payload);
+
+void append_hello(std::vector<std::byte>& out, std::string_view client_name,
+                  std::string_view channel_name);
+void append_attr(std::vector<std::byte>& out, std::uint32_t local_id,
+                 std::string_view name, Variant::Type type,
+                 std::uint32_t properties);
+void append_globals(std::vector<std::byte>& out, bool join,
+                    std::span<const std::pair<std::uint32_t, Variant>> entries);
+void append_query(std::vector<std::byte>& out, std::string_view calql);
+void append_result(std::vector<std::byte>& out, std::uint8_t status,
+                   std::string_view body);
+void append_bye(std::vector<std::byte>& out);
+
+/// Records payloads are built incrementally (one batch = one frame):
+///
+///   RecordsBuilder b;
+///   b.begin_record(); b.entry(id, v); ... b.end_record();
+///   b.frame(out);   // emits the Records frame, resets the builder
+class RecordsBuilder {
+public:
+    RecordsBuilder() { reset(); }
+
+    void begin_record() {
+        entry_count_pos_ = payload_.size();
+        ByteWriter(payload_).put(std::uint32_t{0});
+    }
+    void entry(std::uint32_t local_id, const Variant& value) {
+        ByteWriter w(payload_);
+        w.put(local_id);
+        w.put_variant(value);
+        ++entries_;
+    }
+    void end_record() {
+        const std::uint32_t n = entries_;
+        std::memcpy(payload_.data() + entry_count_pos_, &n, sizeof(n));
+        entries_ = 0;
+        ++records_;
+    }
+
+    std::uint32_t num_records() const noexcept { return records_; }
+    std::size_t payload_bytes() const noexcept { return payload_.size(); }
+
+    /// Emit the batch as one Records frame and reset for the next batch.
+    void frame(std::vector<std::byte>& out);
+
+    void reset() {
+        payload_.clear();
+        ByteWriter(payload_).put(std::uint32_t{0}); // record count, patched
+        records_ = 0;
+        entries_ = 0;
+    }
+
+private:
+    std::vector<std::byte> payload_;
+    std::size_t entry_count_pos_ = 0;
+    std::uint32_t records_       = 0;
+    std::uint32_t entries_       = 0;
+};
+
+// ------------------------------------------------------------- frame parsing
+//
+// All parsers throw std::runtime_error on truncated or malformed payloads.
+
+struct HelloInfo {
+    std::uint32_t version = 0;
+    std::string client_name;
+    std::string channel_name;
+};
+HelloInfo parse_hello(std::span<const std::byte> payload);
+
+struct AttrDef {
+    std::uint32_t local_id   = 0;
+    Variant::Type type       = Variant::Type::Empty;
+    std::uint32_t properties = 0;
+    std::string name;
+};
+AttrDef parse_attr(std::span<const std::byte> payload);
+
+struct GlobalsInfo {
+    bool join = false;
+    std::vector<std::pair<std::uint32_t, Variant>> entries;
+};
+GlobalsInfo parse_globals(std::span<const std::byte> payload);
+
+std::string parse_query(std::span<const std::byte> payload);
+
+struct ResultInfo {
+    std::uint8_t status = 0; ///< 0 = ok, 1 = error (body holds the message)
+    std::string body;
+};
+ResultInfo parse_result(std::span<const std::byte> payload);
+
+/// Streaming parser for a Records payload: iterates records without
+/// materializing them, handing each entry to a callback.
+class RecordsParser {
+public:
+    explicit RecordsParser(std::span<const std::byte> payload)
+        : reader_(payload) {
+        count_ = reader_.get<std::uint32_t>();
+    }
+
+    std::uint32_t count() const noexcept { return count_; }
+
+    /// Parse the next record, invoking \a entry_fn(local_id, value) per
+    /// entry. Returns false when all declared records were consumed.
+    template <typename F>
+    bool next(F&& entry_fn) {
+        if (parsed_ >= count_)
+            return false;
+        const auto entries = reader_.get<std::uint32_t>();
+        for (std::uint32_t i = 0; i < entries; ++i) {
+            const auto id = reader_.get<std::uint32_t>();
+            Variant v     = reader_.get_variant();
+            entry_fn(id, v);
+        }
+        ++parsed_;
+        return true;
+    }
+
+private:
+    ByteReader reader_;
+    std::uint32_t count_  = 0;
+    std::uint32_t parsed_ = 0;
+};
+
+} // namespace calib::net

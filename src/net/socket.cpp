@@ -1,0 +1,231 @@
+#include "socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace calib::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// Split "host:port"; empty host means all interfaces (listen) or
+/// localhost (connect).
+void split_host_port(const std::string& address, std::string& host,
+                     std::string& port) {
+    const std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos)
+        throw std::runtime_error("bad TCP address '" + address +
+                                 "' (expected host:port)");
+    host = address.substr(0, colon);
+    port = address.substr(colon + 1);
+    if (port.empty())
+        throw std::runtime_error("bad TCP address '" + address + "' (no port)");
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(sa.sun_path))
+        throw std::runtime_error("unix socket path too long: " + path);
+    std::memcpy(sa.sun_path, path.c_str(), path.size() + 1);
+    return sa;
+}
+
+std::string tcp_local_address(int fd) {
+    sockaddr_storage ss{};
+    socklen_t len = sizeof(ss);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&ss), &len) != 0)
+        return {};
+    char host[NI_MAXHOST], port[NI_MAXSERV];
+    if (getnameinfo(reinterpret_cast<sockaddr*>(&ss), len, host, sizeof(host),
+                    port, sizeof(port), NI_NUMERICHOST | NI_NUMERICSERV) != 0)
+        return {};
+    return std::string(host) + ":" + port;
+}
+
+} // namespace
+
+void Socket::close() noexcept {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+bool Socket::send_all(const void* data, std::size_t len) const noexcept {
+    const char* p = static_cast<const char*>(data);
+    while (len > 0) {
+        const ssize_t n = ::send(fd_, p, len, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+ssize_t Socket::recv_some(void* buf, std::size_t len) const noexcept {
+    for (;;) {
+        const ssize_t n = ::recv(fd_, buf, len, 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        return n;
+    }
+}
+
+void Socket::set_nonblocking(bool on) const noexcept {
+    const int flags = fcntl(fd_, F_GETFL, 0);
+    if (flags >= 0)
+        fcntl(fd_, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK));
+}
+
+bool is_unix_address(const std::string& address) {
+    return address.rfind("unix:", 0) == 0 ||
+           address.find('/') != std::string::npos;
+}
+
+std::string unix_socket_path(const std::string& address) {
+    return address.rfind("unix:", 0) == 0 ? address.substr(5) : address;
+}
+
+namespace {
+
+Socket listen_unix(const std::string& path) {
+    sockaddr_un sa = make_unix_addr(path);
+
+    Socket s(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!s.valid())
+        fail("socket(AF_UNIX)");
+
+    if (bind(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+        if (errno != EADDRINUSE)
+            fail("bind " + path);
+        // stale socket file? probe it: if nothing accepts, remove + rebind
+        Socket probe(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+        if (probe.valid() &&
+            connect(probe.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) == 0)
+            throw std::runtime_error("address in use (daemon already running?): " +
+                                     path);
+        ::unlink(path.c_str());
+        if (bind(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+            fail("bind " + path);
+    }
+    if (listen(s.fd(), SOMAXCONN) != 0)
+        fail("listen " + path);
+    return s;
+}
+
+Socket listen_tcp(const std::string& address, std::string* resolved) {
+    std::string host, port;
+    split_host_port(address, host, port);
+
+    addrinfo hints{};
+    hints.ai_family   = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    hints.ai_flags    = AI_PASSIVE;
+    addrinfo* res     = nullptr;
+    const int rc = getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port.c_str(), &hints, &res);
+    if (rc != 0)
+        throw std::runtime_error("resolve '" + address +
+                                 "': " + gai_strerror(rc));
+
+    Socket s;
+    std::string err = "no usable address for '" + address + "'";
+    for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+        Socket cand(::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                             ai->ai_protocol));
+        if (!cand.valid())
+            continue;
+        const int one = 1;
+        setsockopt(cand.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        if (bind(cand.fd(), ai->ai_addr, ai->ai_addrlen) == 0 &&
+            listen(cand.fd(), SOMAXCONN) == 0) {
+            s = std::move(cand);
+            break;
+        }
+        err = "bind " + address + ": " + std::strerror(errno);
+    }
+    freeaddrinfo(res);
+    if (!s.valid())
+        throw std::runtime_error(err);
+    if (resolved)
+        *resolved = tcp_local_address(s.fd());
+    return s;
+}
+
+} // namespace
+
+Socket listen_on(const std::string& address, std::string* resolved) {
+    if (is_unix_address(address)) {
+        Socket s = listen_unix(unix_socket_path(address));
+        if (resolved)
+            *resolved = unix_socket_path(address);
+        return s;
+    }
+    return listen_tcp(address, resolved);
+}
+
+Socket connect_to(const std::string& address) {
+    if (is_unix_address(address)) {
+        const std::string path = unix_socket_path(address);
+        sockaddr_un sa         = make_unix_addr(path);
+        Socket s(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+        if (!s.valid())
+            fail("socket(AF_UNIX)");
+        if (connect(s.fd(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0)
+            fail("connect " + path);
+        return s;
+    }
+
+    std::string host, port;
+    split_host_port(address, host, port);
+    addrinfo hints{};
+    hints.ai_family   = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res     = nullptr;
+    const int rc = getaddrinfo(host.empty() ? "127.0.0.1" : host.c_str(),
+                               port.c_str(), &hints, &res);
+    if (rc != 0)
+        throw std::runtime_error("resolve '" + address +
+                                 "': " + gai_strerror(rc));
+    Socket s;
+    int saved_errno = ECONNREFUSED;
+    for (addrinfo* ai = res; ai; ai = ai->ai_next) {
+        Socket cand(::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                             ai->ai_protocol));
+        if (!cand.valid())
+            continue;
+        if (connect(cand.fd(), ai->ai_addr, ai->ai_addrlen) == 0) {
+            const int one = 1;
+            setsockopt(cand.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+            s = std::move(cand);
+            break;
+        }
+        saved_errno = errno;
+    }
+    freeaddrinfo(res);
+    if (!s.valid()) {
+        errno = saved_errno;
+        fail("connect " + address);
+    }
+    return s;
+}
+
+} // namespace calib::net

@@ -1,0 +1,78 @@
+// Thin RAII socket layer for the proxy daemon and its clients.
+//
+// Addresses are strings with two forms:
+//   - unix-domain: any string containing '/' (a filesystem path), or with
+//     an explicit "unix:" prefix — e.g. "/tmp/calib-proxyd.sock"
+//   - TCP: "host:port" — e.g. "127.0.0.1:9090", ":9090" (all interfaces),
+//     "localhost:0" (kernel-assigned port; the resolved address reports it)
+//
+// Blocking send/recv helpers serve the client library; the daemon puts
+// sockets into non-blocking mode and drives them from its epoll loop.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <sys/types.h>
+
+namespace calib::net {
+
+class Socket {
+public:
+    Socket() = default;
+    explicit Socket(int fd) noexcept : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    Socket& operator=(Socket&& o) noexcept {
+        if (this != &o) {
+            close();
+            fd_   = o.fd_;
+            o.fd_ = -1;
+        }
+        return *this;
+    }
+    Socket(const Socket&)            = delete;
+    Socket& operator=(const Socket&) = delete;
+
+    int fd() const noexcept { return fd_; }
+    bool valid() const noexcept { return fd_ >= 0; }
+
+    /// Release ownership of the descriptor.
+    int release() noexcept {
+        const int fd = fd_;
+        fd_          = -1;
+        return fd;
+    }
+
+    void close() noexcept;
+
+    /// Write the whole buffer (retrying on EINTR / short writes).
+    /// Returns false on error; sets errno.
+    bool send_all(const void* data, std::size_t len) const noexcept;
+
+    /// One read; returns bytes read, 0 on EOF, -1 on error (errno set).
+    ssize_t recv_some(void* buf, std::size_t len) const noexcept;
+
+    void set_nonblocking(bool on) const noexcept;
+
+private:
+    int fd_ = -1;
+};
+
+/// True when \a address names a unix-domain socket (contains '/' or has a
+/// "unix:" prefix).
+bool is_unix_address(const std::string& address);
+
+/// Strip a "unix:" prefix, if present.
+std::string unix_socket_path(const std::string& address);
+
+/// Bind + listen on \a address. For TCP with port 0 the kernel assigns a
+/// port; \a resolved (if non-null) receives the final address either way.
+/// A stale unix socket file (bind target exists but nothing accepts) is
+/// removed and rebound. Throws std::runtime_error on failure.
+Socket listen_on(const std::string& address, std::string* resolved = nullptr);
+
+/// Connect (blocking) to \a address. Throws std::runtime_error on failure.
+Socket connect_to(const std::string& address);
+
+} // namespace calib::net

@@ -1,0 +1,138 @@
+// ProxyDaemon: the calib-proxyd event loop.
+//
+// A single-threaded, level-triggered epoll loop that owns every listener,
+// connection, and channel. Clients connect over a unix-domain socket
+// and/or TCP, stream framed records (see net/frame.hpp), and may run live
+// CalQL queries; an optional HTTP listener serves a Prometheus-style
+// plaintext scrape of the daemon's self-metrics and channel contents.
+//
+// Because one thread owns all state, shared-channel aggregation needs no
+// locks (paper §IV-B's per-thread-database design applied node-wide);
+// clients achieve parallelism across connections, the daemon is the
+// serialization point.
+//
+// Back-pressure: the frame decoder sheds oversized frames wholesale
+// (proxyd.dropped_frames), and each connection's outbound buffer is
+// bounded — a client that stops reading its query results past
+// max_tx_bytes is disconnected (proxyd.shed_connections) rather than
+// buffering without bound.
+//
+// Shutdown: stop() is async-signal-safe (one eventfd write) so it can be
+// called from a SIGINT/SIGTERM handler or another thread. The loop then
+// drains: listeners close, existing connections are serviced until they
+// finish (or drain_timeout_ms passes), buffered frames are processed
+// before the sockets close, and run() returns with all records folded in.
+#pragma once
+
+#include "session.hpp"
+
+#include "../net/socket.hpp"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace calib::proxyd {
+
+struct DaemonOptions {
+    std::string listen;     ///< ingest address (unix path or host:port)
+    std::string listen_tcp; ///< optional second ingest listener
+    std::string http;       ///< HTTP scrape address (host:port); empty = off
+    std::string aggregate;  ///< CalQL aggregation clause; empty = exact mode
+
+    std::size_t max_frame_bytes = net::kDefaultMaxFrameBytes;
+    std::size_t max_tx_bytes    = 8u << 20; ///< per-connection outbound bound
+    std::size_t prealloc        = 1024;     ///< per-channel entry preallocation
+    int drain_timeout_ms        = 5000;     ///< shutdown drain deadline
+    std::size_t scrape_max_series = 1000;   ///< data series cap per scrape
+};
+
+class ProxyDaemon {
+public:
+    explicit ProxyDaemon(DaemonOptions opts);
+    ~ProxyDaemon();
+
+    ProxyDaemon(const ProxyDaemon&)            = delete;
+    ProxyDaemon& operator=(const ProxyDaemon&) = delete;
+
+    /// Bind listeners and set up the event loop. Throws on failure.
+    /// After start(), ingest_address()/http_address() report the resolved
+    /// addresses (a ":0" TCP listener reports its assigned port).
+    void start();
+
+    /// Serve until stop() is called and the drain completes.
+    void run();
+
+    /// Request shutdown. Async-signal-safe; callable from any thread or a
+    /// signal handler, before or during run().
+    void stop() noexcept;
+
+    const std::string& ingest_address() const noexcept { return ingest_addr_; }
+    const std::string& tcp_address() const noexcept { return tcp_addr_; }
+    const std::string& http_address() const noexcept { return http_addr_; }
+
+    /// Find or create a channel (daemon-global aggregate clause applies).
+    ProxyChannel* channel(const std::string& name);
+    std::vector<const ProxyChannel*> channels() const;
+
+    /// Prometheus text exposition: calib_* self-metrics plus channel
+    /// contents as labeled series (capped at scrape_max_series, with an
+    /// explicit truncation comment when the cap hits).
+    std::string scrape_text() const;
+
+    /// Write every channel's aggregate to a .cali file; "%c" in \a pattern
+    /// expands to the channel name. Exact-mode channels emit one record
+    /// per unique record with its multiplicity as "count".
+    void write_flush_files(const std::string& pattern) const;
+
+    struct Stats {
+        std::uint64_t connections_total  = 0;
+        std::uint64_t shed_connections   = 0;
+        std::uint64_t http_requests      = 0;
+        std::uint64_t records            = 0; ///< sum over channels
+    };
+    Stats stats() const;
+
+private:
+    struct Connection;
+
+    void handle_listener(int fd);
+    void handle_connection(Connection& conn, std::uint32_t events);
+    void handle_http_request(Connection& conn);
+    void queue_result(Connection& conn, std::uint8_t status,
+                      std::string_view body);
+    void queue_bytes(Connection& conn, const void* data, std::size_t len);
+    bool flush_tx(Connection& conn); ///< false when the connection died
+    void update_events(Connection& conn);
+    void close_connection(Connection& conn);
+    void begin_drain();
+
+    DaemonOptions opts_;
+
+    net::Socket ingest_listener_;
+    net::Socket tcp_listener_;
+    net::Socket http_listener_;
+    std::string ingest_addr_;
+    std::string tcp_addr_;
+    std::string http_addr_;
+    std::string unix_path_; ///< unlinked on shutdown
+
+    int epoll_fd_ = -1;
+    int stop_fd_  = -1; ///< eventfd; stop() writes, the loop reads
+
+    bool draining_          = false;
+    std::uint64_t deadline_ = 0; ///< drain deadline, monotonic ns
+
+    // keyed by fd; Connection owns the socket
+    std::map<int, std::unique_ptr<Connection>> conns_;
+    // ordered so channels() / flushes are deterministic
+    std::map<std::string, std::unique_ptr<ProxyChannel>> channels_;
+
+    std::uint64_t connections_total_ = 0;
+    std::uint64_t shed_connections_  = 0;
+    std::uint64_t http_requests_     = 0;
+};
+
+} // namespace calib::proxyd

@@ -1,0 +1,158 @@
+// Per-connection ingest state machine and shared per-channel aggregation
+// state for calib-proxyd.
+//
+// IngestSession is deliberately transport-free: the daemon feeds it the
+// bytes it read from a socket, the frame fuzzer feeds it adversarial
+// byte streams directly. It owns the frame decoder and the connection's
+// resolve-once attribute table (client-local id -> daemon registry id),
+// folds record batches into the connection's ProxyChannel, and surfaces
+// queries/responses through caller-provided hooks.
+//
+// ProxyChannel is the daemon's unit of shared aggregation: one
+// AttributeRegistry + one AggregationDB that every client connected to
+// the channel folds into. Two modes:
+//
+//   exact mode (default): the ingest aggregation is GROUP BY * with a
+//     single count operator — the DB holds the exact multiset of records
+//     seen (unique records + multiplicity). Queries replay the stored
+//     records (expanded by multiplicity, multiplicity column stripped),
+//     so any CalQL query answers exactly as offline cali-query over the
+//     concatenated input would.
+//
+//   reduced mode (--aggregate "<clause>"): records are folded through a
+//     configured aggregation; queries see the *aggregated* records, so
+//     they follow two-phase re-aggregation semantics (sum(count),
+//     sum(sum#x), ... — the same contract as querying the runtime
+//     aggregate service's output files).
+//
+// Thread-safety: none — the daemon's event loop owns all channels and
+// sessions (single-threaded aggregation, no locks; clients achieve
+// parallelism across connections, the daemon stays the serialization
+// point, paper §IV-B's "one DB per thread" design applied node-wide).
+#pragma once
+
+#include "../net/frame.hpp"
+
+#include "../aggregate/aggregation_db.hpp"
+#include "../common/attribute.hpp"
+#include "../common/idrecord.hpp"
+#include "../common/recordmap.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace calib::proxyd {
+
+class ProxyChannel {
+public:
+    /// \param aggregate CalQL aggregation clause ("AGGREGATE ... GROUP BY
+    ///        ..."), or empty for exact mode.
+    /// Throws CalQLError / runtime_error on a bad clause.
+    ProxyChannel(std::string name, const std::string& aggregate,
+                 std::size_t prealloc = 1024);
+
+    const std::string& name() const noexcept { return name_; }
+    bool exact() const noexcept { return exact_; }
+
+    AttributeRegistry& registry() noexcept { return *registry_; }
+
+    /// Fold one record (daemon-registry attribute ids) into the channel.
+    void fold(const IdRecord& record);
+
+    std::uint64_t records() const noexcept { return records_; }
+    std::size_t groups() const noexcept { return db_.size(); }
+    std::size_t bytes() const noexcept { return db_.bytes(); }
+    const AggregationConfig& config() const noexcept { return db_.config(); }
+
+    std::uint64_t clients_total = 0; ///< connections that ever joined
+
+    /// Materialized channel contents. In exact mode \a weight is the
+    /// record's multiplicity and the multiplicity column is stripped;
+    /// in reduced mode weight is 1 and the record carries the op results.
+    struct Row {
+        RecordMap record;
+        std::uint64_t weight = 1;
+    };
+    std::vector<Row> rows() const;
+
+    /// Answer a CalQL query over the current channel contents. Returns
+    /// the formatted output; on failure *ok is false and the return value
+    /// is the error message.
+    std::string answer(std::string_view calql, bool* ok) const;
+
+private:
+    std::string name_;
+    std::unique_ptr<AttributeRegistry> registry_;
+    bool exact_;
+    AggregationDB db_;
+    std::uint64_t records_ = 0;
+};
+
+class IngestSession {
+public:
+    struct Hooks {
+        /// Find or create the channel \a name joins. Empty name = a
+        /// query-only connection (return nullptr, not an error); nullptr
+        /// for a non-empty name rejects the Hello.
+        std::function<ProxyChannel*(const std::string& name)> open_channel;
+
+        /// A Query frame arrived; the daemon answers (via respond or its
+        /// own means). The session's channel() identifies the target.
+        std::function<void(std::string_view calql)> on_query;
+
+        /// Send a Result frame back to the client (0 = ok).
+        std::function<void(std::uint8_t status, std::string_view body)> respond;
+    };
+
+    explicit IngestSession(Hooks hooks,
+                           std::size_t max_frame_bytes = net::kDefaultMaxFrameBytes);
+
+    enum class Status {
+        Ok,     ///< keep the connection open
+        Closed, ///< client said Bye; close after pending output
+        Error   ///< protocol violation; close the connection
+    };
+
+    /// Feed raw bytes from the wire and process every complete frame.
+    Status feed(const void* data, std::size_t len);
+
+    ProxyChannel* channel() const noexcept { return channel_; }
+    const std::string& client_name() const noexcept { return client_name_; }
+
+    std::uint64_t frames() const noexcept { return frames_; }
+    std::uint64_t records() const noexcept { return records_; }
+    std::uint64_t protocol_errors() const noexcept { return protocol_errors_; }
+    std::uint64_t unknown_attrs() const noexcept { return unknown_attrs_; }
+    std::uint64_t dropped_frames() const noexcept {
+        return decoder_.dropped_frames();
+    }
+
+private:
+    Status handle(const net::FrameView& frame);
+    Status protocol_error(const std::string& message);
+
+    Hooks hooks_;
+    net::FrameDecoder decoder_;
+
+    ProxyChannel* channel_ = nullptr;
+    bool hello_seen_       = false;
+    std::string client_name_;
+
+    // resolve-once: client-local attribute id -> daemon registry id
+    std::vector<id_t> attr_by_local_;
+    IdRecord scratch_;
+    IdRecord globals_;
+    bool join_globals_ = false;
+
+    std::uint64_t frames_          = 0;
+    std::uint64_t records_         = 0;
+    std::uint64_t protocol_errors_ = 0;
+    std::uint64_t unknown_attrs_   = 0;
+    std::uint64_t dropped_seen_    = 0;
+};
+
+} // namespace calib::proxyd

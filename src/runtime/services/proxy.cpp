@@ -1,0 +1,59 @@
+// Proxy service: pushes flushed records to a running calib-proxyd daemon
+// instead of (or in addition to) writing files — the streaming analogue
+// of the recorder.
+//
+// Config:
+//   proxy.address   daemon address (unix path or host:port;
+//                   default "/tmp/calib-proxyd.sock")
+//   proxy.channel   daemon channel to join (default: this channel's name)
+//   proxy.globals   "false" to skip sending channel metadata as
+//                   connection globals (default "true": cali.channel,
+//                   cali.thread, and channel metadata are joined onto
+//                   every pushed record, like recorder's dataset globals)
+//
+// A connection is opened per flush and closed afterwards; a daemon that
+// is down costs one failed connect per flush (logged, never fatal).
+#include "../caliper.hpp"
+#include "../channel.hpp"
+
+#include "../../common/log.hpp"
+#include "../../net/client.hpp"
+
+namespace calib {
+
+void register_proxy_service();
+
+void register_proxy_service() {
+    ServiceRegistry::instance().add(
+        "proxy", /*priority=*/51, [](Caliper&, Channel& channel) {
+            channel.flush_sink_cbs.push_back(
+                [](Caliper&, Channel& ch, ThreadData& td,
+                   const std::vector<RecordMap>& records) {
+                    net::ProxyClient::Options opts;
+                    opts.address = ch.config().get("proxy.address",
+                                                   "/tmp/calib-proxyd.sock");
+                    opts.channel     = ch.config().get("proxy.channel", ch.name());
+                    opts.client_name = "calib:" + td.label;
+                    try {
+                        net::ProxyClient client(opts);
+                        if (ch.config().get("proxy.globals", "true") != "false") {
+                            RecordMap globals;
+                            globals.append("cali.channel", Variant(ch.name()));
+                            globals.append("cali.thread", Variant(td.label));
+                            for (const auto& [name, value] : ch.metadata)
+                                globals.append(name, value);
+                            client.set_globals(globals, /*join=*/true);
+                        }
+                        client.push(records);
+                        client.close();
+                        log_debug()
+                            << "proxy: pushed " << records.size() << " records to "
+                            << opts.address << " (channel " << opts.channel << ")";
+                    } catch (const std::exception& e) {
+                        log_error() << "proxy: " << e.what();
+                    }
+                });
+        });
+}
+
+} // namespace calib

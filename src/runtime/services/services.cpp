@@ -72,6 +72,7 @@ void register_sampler_service();
 void register_aggregate_service();
 void register_trace_service();
 void register_recorder_service();
+void register_proxy_service();
 void register_report_service();
 void register_textlog_service();
 void register_cycles_service();
@@ -91,6 +92,7 @@ void register_builtin_services() {
         register_trace_service();
         register_textlog_service();
         register_recorder_service();
+        register_proxy_service();
         register_report_service();
     });
 }

@@ -11,6 +11,7 @@
 #include "../calib.hpp"
 
 #include "../io/filebuffer.hpp"
+#include "../net/client.hpp"
 
 #include <cstdio>
 #include <cstring>
@@ -29,6 +30,9 @@ void usage() {
         "\n"
         "options:\n"
         "  -q, --query <calql>   query expression (default: FORMAT table)\n"
+        "  -c, --connect <addr>  run the query live on a calib-proxyd daemon\n"
+        "                        (unix path or host:port) instead of files\n"
+        "      --channel <name>  daemon channel to query (default: default)\n"
         "  -o, --output <file>   write the report to <file> instead of stdout\n"
         "  -t, --threads <n>     worker threads (default: hardware concurrency;\n"
         "                        1 = serial; output is identical for any n)\n"
@@ -54,6 +58,8 @@ void usage() {
 int main(int argc, char** argv) {
     std::string query;
     std::string output;
+    std::string connect;
+    std::string channel = "default";
     std::string stats_json;
     long threads      = 0; // 0 = hardware concurrency
     int verbose       = 0;
@@ -71,6 +77,20 @@ int main(int argc, char** argv) {
                 return 2;
             }
             query = argv[i];
+        } else if (arg == "-c" || arg == "--connect") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            connect = argv[i];
+        } else if (arg == "--channel") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            channel = argv[i];
         } else if (arg == "-o" || arg == "--output") {
             if (++i >= argc) {
                 std::fprintf(stderr, "cali-query: missing argument for %s\n",
@@ -122,7 +142,7 @@ int main(int argc, char** argv) {
         }
     }
 
-    if (files.empty()) {
+    if (files.empty() && connect.empty()) {
         usage();
         return 2;
     }
@@ -130,6 +150,40 @@ int main(int argc, char** argv) {
     if (verbose > 0)
         calib::Log::set_verbosity(verbose >= 2 ? calib::Log::Debug
                                                : calib::Log::Info);
+
+    if (!connect.empty()) {
+        // live mode: the daemon parses and evaluates the query over its
+        // current channel aggregate and returns the formatted result
+        if (!files.empty()) {
+            std::fprintf(stderr,
+                         "cali-query: --connect and input files are exclusive\n");
+            return 2;
+        }
+        try {
+            calib::net::ProxyClient::Options popts;
+            popts.address     = connect;
+            popts.channel     = channel;
+            popts.client_name = "cali-query";
+            calib::net::ProxyClient client(popts);
+            const std::string result = client.query(query);
+            if (output.empty()) {
+                std::cout << result;
+            } else {
+                std::ofstream os(output);
+                if (!os) {
+                    std::fprintf(stderr, "cali-query: cannot open %s\n",
+                                 output.c_str());
+                    return 1;
+                }
+                os << result;
+            }
+            client.close();
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "cali-query: %s\n", e.what());
+            return 1;
+        }
+        return 0;
+    }
 
     const bool self_profile = stats || !stats_json.empty();
     if (self_profile) {

@@ -1,0 +1,173 @@
+// calib-proxyd: the always-on multi-client aggregation daemon.
+//
+//   calib-proxyd --listen /tmp/calib-proxyd.sock --http :9090
+//
+// Accepts streaming snapshot/metric traffic from concurrent clients
+// (calib-push, the runtime's proxy service, or ProxyClient users), folds
+// it into shared per-channel aggregation databases, answers live CalQL
+// queries over the socket (cali-query --connect), and serves a
+// Prometheus-style plaintext scrape endpoint over HTTP.
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: listeners close,
+// existing connections drain, buffered frames are folded in, and (with
+// --flush-output) every channel's final aggregate is written to a .cali
+// file before exit.
+#include "../proxyd/daemon.hpp"
+
+#include "../common/log.hpp"
+#include "../obs/metrics.hpp"
+#include "../obs/report.hpp"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace {
+
+void usage() {
+    std::puts(
+        "usage: calib-proxyd --listen <addr> [options]\n"
+        "\n"
+        "addresses are unix socket paths (contain '/' or a 'unix:' prefix)\n"
+        "or TCP host:port pairs (':0' lets the kernel pick a port)\n"
+        "\n"
+        "options:\n"
+        "  -l, --listen <addr>      ingest address (required)\n"
+        "      --listen-tcp <addr>  additional TCP ingest listener\n"
+        "      --http <addr>        HTTP scrape endpoint (/metrics, /healthz)\n"
+        "  -a, --aggregate <calql>  per-channel aggregation clause, e.g.\n"
+        "                           \"AGGREGATE sum(val),count GROUP BY kernel\";\n"
+        "                           default: exact mode (channels hold the\n"
+        "                           exact record multiset; any query answers\n"
+        "                           as offline cali-query would)\n"
+        "  -o, --flush-output <pat> write each channel's aggregate to <pat>\n"
+        "                           on shutdown; '%c' expands to the channel\n"
+        "      --drain-timeout <ms> shutdown drain deadline (default 5000)\n"
+        "      --max-frame <bytes>  per-frame payload bound (default 4 MiB)\n"
+        "      --max-tx <bytes>     per-connection outbound bound (default 8 MiB)\n"
+        "  -s, --stats              print the self-metrics table on exit\n"
+        "  -v, --verbose            more diagnostics on stderr\n"
+        "  -h, --help               show this message");
+}
+
+calib::proxyd::ProxyDaemon* g_daemon = nullptr;
+
+void on_signal(int) {
+    if (g_daemon)
+        g_daemon->stop(); // one eventfd write; async-signal-safe
+}
+
+bool parse_size(const char* text, std::size_t& out) {
+    char* end          = nullptr;
+    const long long v = std::strtoll(text, &end, 10);
+    if (end == text || *end != '\0' || v < 0)
+        return false;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    calib::proxyd::DaemonOptions opts;
+    std::string flush_output;
+    bool stats  = false;
+    int verbose = 0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto need_value = [&]() -> const char* {
+            if (++i >= argc) {
+                std::fprintf(stderr, "calib-proxyd: missing argument for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[i];
+        };
+        if (arg == "-l" || arg == "--listen") {
+            opts.listen = need_value();
+        } else if (arg == "--listen-tcp") {
+            opts.listen_tcp = need_value();
+        } else if (arg == "--http") {
+            opts.http = need_value();
+        } else if (arg == "-a" || arg == "--aggregate") {
+            opts.aggregate = need_value();
+        } else if (arg == "-o" || arg == "--flush-output") {
+            flush_output = need_value();
+        } else if (arg == "--drain-timeout") {
+            opts.drain_timeout_ms = std::atoi(need_value());
+        } else if (arg == "--max-frame") {
+            if (!parse_size(need_value(), opts.max_frame_bytes)) {
+                std::fprintf(stderr, "calib-proxyd: bad --max-frame value\n");
+                return 2;
+            }
+        } else if (arg == "--max-tx") {
+            if (!parse_size(need_value(), opts.max_tx_bytes)) {
+                std::fprintf(stderr, "calib-proxyd: bad --max-tx value\n");
+                return 2;
+            }
+        } else if (arg == "-s" || arg == "--stats") {
+            stats = true;
+        } else if (arg == "-v" || arg == "--verbose") {
+            ++verbose;
+        } else if (arg == "-h" || arg == "--help") {
+            usage();
+            return 0;
+        } else {
+            std::fprintf(stderr, "calib-proxyd: unknown option %s\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    if (opts.listen.empty()) {
+        usage();
+        return 2;
+    }
+    if (verbose > 0)
+        calib::Log::set_verbosity(verbose >= 2 ? calib::Log::Debug
+                                               : calib::Log::Info);
+
+    // the daemon self-instruments; its metrics feed the scrape endpoint
+    calib::obs::set_enabled(true);
+
+    try {
+        calib::proxyd::ProxyDaemon daemon(opts);
+        daemon.start();
+
+        g_daemon = &daemon;
+        struct sigaction sa {};
+        sa.sa_handler = on_signal;
+        sigaction(SIGINT, &sa, nullptr);
+        sigaction(SIGTERM, &sa, nullptr);
+
+        std::fprintf(stderr, "calib-proxyd: listening on %s%s%s%s%s\n",
+                     daemon.ingest_address().c_str(),
+                     daemon.tcp_address().empty() ? "" : ", tcp ",
+                     daemon.tcp_address().c_str(),
+                     daemon.http_address().empty() ? "" : ", http ",
+                     daemon.http_address().c_str());
+
+        daemon.run();
+        g_daemon = nullptr;
+
+        if (!flush_output.empty())
+            daemon.write_flush_files(flush_output);
+
+        const auto s = daemon.stats();
+        std::fprintf(stderr,
+                     "calib-proxyd: %llu connections, %llu records, "
+                     "%llu http requests, %llu shed\n",
+                     static_cast<unsigned long long>(s.connections_total),
+                     static_cast<unsigned long long>(s.records),
+                     static_cast<unsigned long long>(s.http_requests),
+                     static_cast<unsigned long long>(s.shed_connections));
+        if (stats)
+            calib::obs::write_stats_table(stderr);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "calib-proxyd: %s\n", e.what());
+        return 1;
+    }
+    return 0;
+}

@@ -4,6 +4,7 @@
 # check the results are consistent.
 #
 # usage: cli_pipeline.sh <clever-run> <cali-query> <mpi-caliquery> <paradis-gen>
+#                        <cali-stat> <calib-proxyd> <calib-push>
 set -euo pipefail
 
 CLEVER_RUN=$1
@@ -11,6 +12,8 @@ CALI_QUERY=$2
 MPI_CALIQUERY=$3
 PARADIS_GEN=$4
 CALI_STAT=$5
+CALIB_PROXYD=$6
+CALIB_PUSH=$7
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -145,6 +148,56 @@ test "$readbytes" -le "$((filebytes + 1024))" || {
     echo "reader.bytes $readbytes exceeds file size $filebytes"; exit 1; }
 test "$readbytes" -ge "$((filebytes - 1024))" || {
     echo "reader.bytes $readbytes below file size $filebytes"; exit 1; }
+
+echo "== calib-proxyd: daemon ingest, live query, scrape, graceful stop =="
+"$CALIB_PROXYD" -l "$workdir/proxyd.sock" --http 127.0.0.1:0 \
+    -o "daemon-%c.cali" 2> proxyd.log &
+proxyd_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" proxyd.log && break
+    sleep 0.1
+done
+grep -q "listening on" proxyd.log || {
+    echo "daemon failed to start"; cat proxyd.log; exit 1; }
+
+# 4 concurrent pushers into one shared channel; calib-push exits only
+# after its records are folded, so the queries below cannot race
+push_pids=()
+for f in clever-0.cali clever-1.cali clever-0.cali clever-1.cali; do
+    "$CALIB_PUSH" -c "$workdir/proxyd.sock" --channel clever "$f" \
+        2>> push.log &
+    push_pids+=($!)
+done
+for pid in "${push_pids[@]}"; do
+    wait "$pid" || { echo "calib-push failed"; cat push.log; exit 1; }
+done
+
+# live answers must be byte-identical to offline cali-query over the
+# same concatenated inputs (integer sums: order-insensitive)
+daemon_q="AGGREGATE sum(count) GROUP BY kernel ORDER BY kernel FORMAT csv"
+"$CALI_QUERY" -c "$workdir/proxyd.sock" --channel clever -q "$daemon_q" \
+    > live.csv
+"$CALI_QUERY" -q "$daemon_q" clever-0.cali clever-1.cali clever-0.cali \
+    clever-1.cali > offline.csv
+diff live.csv offline.csv || { echo "live and offline results differ"; exit 1; }
+
+# Prometheus scrape over plain HTTP (bash /dev/tcp; no curl dependency)
+http_addr=$(sed -n 's/.*http \([0-9.]*:[0-9]*\).*/\1/p' proxyd.log)
+http_host=${http_addr%:*}
+http_port=${http_addr##*:}
+exec 3<>"/dev/tcp/$http_host/$http_port"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+cat <&3 > scrape.txt
+exec 3<&- 3>&-
+grep -q "calib_proxyd_records_total" scrape.txt
+grep -q 'calib_channel_records_total{channel="clever"}' scrape.txt
+
+# graceful SIGTERM: drain, write the flush file, report stats
+kill -TERM "$proxyd_pid"
+wait "$proxyd_pid" || { echo "daemon exited non-zero"; cat proxyd.log; exit 1; }
+grep -q "connections," proxyd.log
+test -s daemon-clever.cali || { echo "missing daemon flush file"; exit 1; }
+"$CALI_STAT" -g daemon-clever.cali | grep -q "kernel"
 
 echo "== error handling =="
 if "$CALI_QUERY" -q "THIS IS NOT CALQL" clever-0.cali 2>/dev/null; then

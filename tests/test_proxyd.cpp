@@ -1,0 +1,626 @@
+// Tests for the calib-proxyd subsystem: the frame codec, the transport-
+// free ingest session, channel semantics (exact vs reduced mode), and the
+// daemon end-to-end over real sockets — including the differential
+// contract that N concurrent clients streaming a corpus produce the same
+// CalQL answers as an offline QueryProcessor over the concatenated
+// corpus, graceful-shutdown draining, the HTTP scrape endpoint, and
+// slow-client shedding.
+#include "calib.hpp"
+
+#include "net/client.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "proxyd/daemon.hpp"
+#include "proxyd/session.hpp"
+
+#include "test_helpers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace calib;
+
+namespace {
+
+std::string test_socket_path(const std::string& tag) {
+    return "/tmp/calib-proxyd-test-" + tag + "-" + std::to_string(::getpid()) +
+           ".sock";
+}
+
+/// Deterministic integer/string corpus (doubles excluded on purpose: the
+/// byte-identity contract covers order-insensitive aggregation).
+std::vector<RecordMap> make_corpus(std::size_t n, std::uint64_t seed) {
+    std::vector<RecordMap> out;
+    out.reserve(n);
+    std::uint64_t x = seed;
+    const auto next = [&x] {
+        x += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    };
+    static const char* kKernels[] = {"advec", "diffuse", "halo", "reduce", "io"};
+    for (std::size_t i = 0; i < n; ++i) {
+        RecordMap r;
+        r.append("kernel", Variant(std::string_view(kKernels[next() % 5])));
+        r.append("rank", Variant(static_cast<long long>(next() % 8)));
+        r.append("iter", Variant(static_cast<long long>(next() % 100)));
+        r.append("val", Variant(static_cast<long long>(next() % 10000)));
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+/// Offline reference answer: the same engine cali-query uses.
+std::string offline_answer(const std::vector<RecordMap>& corpus,
+                           const std::string& calql) {
+    QueryProcessor proc(parse_calql(calql));
+    for (const RecordMap& r : corpus)
+        proc.add(r);
+    std::ostringstream os;
+    proc.write(os);
+    return os.str();
+}
+
+// ------------------------------------------------------------- frame codec
+
+TEST(ProxydFrame, RoundTripsEveryFrameType) {
+    std::vector<std::byte> wire;
+    net::append_hello(wire, "client-a", "chan");
+    net::append_attr(wire, 7, "kernel", Variant::Type::String, prop::nested);
+    std::vector<std::pair<std::uint32_t, Variant>> globals = {
+        {1, Variant(42)}, {2, Variant(std::string_view("run-1"))}};
+    net::append_globals(wire, true, globals);
+    net::append_query(wire, "SELECT * FORMAT csv");
+    net::append_result(wire, 1, "oops");
+    net::append_bye(wire);
+
+    net::FrameDecoder dec;
+    dec.feed(wire.data(), wire.size());
+
+    net::FrameView f;
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Hello);
+    const net::HelloInfo hello = net::parse_hello(f.payload);
+    EXPECT_EQ(hello.version, net::kProtocolVersion);
+    EXPECT_EQ(hello.client_name, "client-a");
+    EXPECT_EQ(hello.channel_name, "chan");
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Attr);
+    const net::AttrDef attr = net::parse_attr(f.payload);
+    EXPECT_EQ(attr.local_id, 7u);
+    EXPECT_EQ(attr.name, "kernel");
+    EXPECT_EQ(attr.type, Variant::Type::String);
+    EXPECT_EQ(attr.properties, prop::nested);
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Globals);
+    const net::GlobalsInfo g = net::parse_globals(f.payload);
+    EXPECT_TRUE(g.join);
+    ASSERT_EQ(g.entries.size(), 2u);
+    EXPECT_EQ(g.entries[0].second.to_int(), 42);
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Query);
+    EXPECT_EQ(net::parse_query(f.payload), "SELECT * FORMAT csv");
+
+    ASSERT_TRUE(dec.next(f));
+    ASSERT_EQ(f.type, net::FrameType::Result);
+    const net::ResultInfo res = net::parse_result(f.payload);
+    EXPECT_EQ(res.status, 1);
+    EXPECT_EQ(res.body, "oops");
+
+    ASSERT_TRUE(dec.next(f));
+    EXPECT_EQ(f.type, net::FrameType::Bye);
+    EXPECT_FALSE(dec.next(f));
+    EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(ProxydFrame, DecodesByteAtATime) {
+    std::vector<std::byte> wire;
+    net::RecordsBuilder b;
+    for (int i = 0; i < 10; ++i) {
+        b.begin_record();
+        b.entry(0, Variant(i));
+        b.entry(1, Variant(std::string_view("x")));
+        b.end_record();
+    }
+    b.frame(wire);
+    net::append_bye(wire);
+
+    net::FrameDecoder dec;
+    std::size_t frames = 0, records = 0;
+    for (const std::byte byte : wire) {
+        dec.feed(&byte, 1);
+        net::FrameView f;
+        while (dec.next(f)) {
+            ++frames;
+            if (f.type == net::FrameType::Records) {
+                net::RecordsParser p(f.payload);
+                while (p.next([](std::uint32_t, const Variant&) {}))
+                    ++records;
+            }
+        }
+    }
+    EXPECT_EQ(frames, 2u);
+    EXPECT_EQ(records, 10u);
+    EXPECT_EQ(dec.dropped_frames(), 0u);
+}
+
+TEST(ProxydFrame, ShedsOversizedFramesAndRecovers) {
+    net::FrameDecoder dec(/*max_frame_bytes=*/64);
+
+    std::vector<std::byte> wire;
+    net::append_query(wire, std::string(1000, 'q')); // way past the bound
+    net::append_bye(wire);
+
+    // feed in chunks so the oversized payload streams through
+    for (std::size_t i = 0; i < wire.size(); i += 17)
+        dec.feed(wire.data() + i, std::min<std::size_t>(17, wire.size() - i));
+
+    net::FrameView f;
+    ASSERT_TRUE(dec.next(f)); // the oversized frame is gone, Bye survives
+    EXPECT_EQ(f.type, net::FrameType::Bye);
+    EXPECT_FALSE(dec.next(f));
+    EXPECT_EQ(dec.dropped_frames(), 1u);
+}
+
+TEST(ProxydFrame, ParsersRejectTruncatedPayloads) {
+    std::vector<std::byte> wire;
+    net::append_hello(wire, "c", "ch");
+    // truncate the payload but keep the header length honest
+    std::vector<std::byte> cut(wire.begin(), wire.begin() + net::kHeaderBytes + 2);
+    cut[0] = std::byte{2}; // payload_len = 2
+    net::FrameDecoder dec;
+    dec.feed(cut.data(), cut.size());
+    net::FrameView f;
+    ASSERT_TRUE(dec.next(f));
+    EXPECT_THROW(net::parse_hello(f.payload), std::runtime_error);
+}
+
+// ----------------------------------------------------------- ingest session
+
+namespace {
+
+/// Drives an IngestSession directly (no sockets) against one channel.
+struct SessionHarness {
+    explicit SessionHarness(const std::string& aggregate = "")
+        : channel("test", aggregate) {
+        proxyd::IngestSession::Hooks hooks;
+        hooks.open_channel = [this](const std::string&) { return &channel; };
+        hooks.on_query     = [this](std::string_view calql) {
+            bool ok = false;
+            responses.push_back(channel.answer(calql, &ok));
+            statuses.push_back(ok ? 0 : 1);
+        };
+        hooks.respond = [this](std::uint8_t status, std::string_view body) {
+            acks.emplace_back(status, std::string(body));
+        };
+        session = std::make_unique<proxyd::IngestSession>(std::move(hooks));
+    }
+
+    proxyd::IngestSession::Status feed(const std::vector<std::byte>& bytes) {
+        return session->feed(bytes.data(), bytes.size());
+    }
+
+    proxyd::ProxyChannel channel;
+    std::unique_ptr<proxyd::IngestSession> session;
+    std::vector<std::string> responses;
+    std::vector<int> statuses;
+    std::vector<std::pair<int, std::string>> acks;
+};
+
+std::vector<std::byte> encode_corpus(const std::vector<RecordMap>& corpus,
+                                     const std::string& channel) {
+    std::vector<std::byte> wire;
+    net::append_hello(wire, "enc", channel);
+    // definitions first, then one batch (the client library interleaves)
+    std::unordered_map<std::string, std::uint32_t> locals;
+    for (const RecordMap& r : corpus)
+        for (const auto& [name, value] : r) {
+            auto [it, fresh] =
+                locals.emplace(name, static_cast<std::uint32_t>(locals.size()));
+            if (fresh)
+                net::append_attr(wire, it->second, name, value.type(), prop::none);
+        }
+    net::RecordsBuilder batch;
+    for (const RecordMap& r : corpus) {
+        batch.begin_record();
+        for (const auto& [name, value] : r)
+            batch.entry(locals.at(name), value);
+        batch.end_record();
+    }
+    batch.frame(wire);
+    return wire;
+}
+
+} // namespace
+
+TEST(ProxydSession, ExactModeKeepsMultiplicity) {
+    SessionHarness h;
+    std::vector<RecordMap> corpus;
+    for (int i = 0; i < 6; ++i)
+        corpus.push_back(test::record(
+            {{"kernel", Variant(std::string_view(i < 4 ? "a" : "b"))},
+             {"val", Variant(1)}}));
+
+    ASSERT_EQ(h.feed(encode_corpus(corpus, "test")),
+              proxyd::IngestSession::Status::Ok);
+    EXPECT_EQ(h.channel.records(), 6u);
+    EXPECT_EQ(h.channel.groups(), 2u); // two unique records
+
+    std::uint64_t total = 0;
+    for (const proxyd::ProxyChannel::Row& row : h.channel.rows())
+        total += row.weight;
+    EXPECT_EQ(total, 6u);
+
+    bool ok = false;
+    const std::string got =
+        h.channel.answer("AGGREGATE count GROUP BY kernel ORDER BY kernel "
+                         "FORMAT csv",
+                         &ok);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(got, offline_answer(corpus, "AGGREGATE count GROUP BY kernel "
+                                          "ORDER BY kernel FORMAT csv"));
+}
+
+TEST(ProxydSession, ExactModeAnswersMatchOfflineAcrossQueries) {
+    SessionHarness h;
+    const std::vector<RecordMap> corpus = make_corpus(500, 1);
+    ASSERT_EQ(h.feed(encode_corpus(corpus, "test")),
+              proxyd::IngestSession::Status::Ok);
+
+    const char* queries[] = {
+        "AGGREGATE sum(val),count,min(val),max(val) GROUP BY kernel "
+        "ORDER BY kernel FORMAT csv",
+        "AGGREGATE avg(val) GROUP BY kernel,rank ORDER BY kernel,rank FORMAT csv",
+        "SELECT kernel,count AGGREGATE count GROUP BY kernel ORDER BY kernel "
+        "FORMAT json",
+        "LET v2=scale(val,2) AGGREGATE sum(v2) WHERE rank<4 GROUP BY kernel "
+        "ORDER BY kernel FORMAT table",
+    };
+    for (const char* q : queries) {
+        bool ok = false;
+        EXPECT_EQ(h.channel.answer(q, &ok), offline_answer(corpus, q)) << q;
+        EXPECT_TRUE(ok) << q;
+    }
+}
+
+TEST(ProxydSession, ReducedModeReAggregates) {
+    SessionHarness h("AGGREGATE count,sum(val) GROUP BY kernel");
+    const std::vector<RecordMap> corpus = make_corpus(200, 2);
+    ASSERT_EQ(h.feed(encode_corpus(corpus, "test")),
+              proxyd::IngestSession::Status::Ok);
+    EXPECT_FALSE(h.channel.exact());
+    EXPECT_LE(h.channel.groups(), 5u); // one group per kernel
+
+    // two-phase semantics: querying the reduced records re-aggregates
+    bool ok = false;
+    const std::string got = h.channel.answer(
+        "AGGREGATE sum(count),sum(sum#val) GROUP BY kernel ORDER BY kernel "
+        "FORMAT csv",
+        &ok);
+    EXPECT_TRUE(ok);
+    const std::string expect = offline_answer(
+        corpus, "AGGREGATE count AS sum#count,sum(val) AS sum#sum#val "
+                "GROUP BY kernel ORDER BY kernel FORMAT csv");
+    EXPECT_EQ(got, expect);
+}
+
+TEST(ProxydSession, GlobalsJoinOntoRecords) {
+    SessionHarness h;
+    std::vector<std::byte> wire;
+    net::append_hello(wire, "g", "test");
+    net::append_attr(wire, 0, "kernel", Variant::Type::String, prop::none);
+    net::append_attr(wire, 1, "mpi.rank", Variant::Type::Int, prop::none);
+    std::vector<std::pair<std::uint32_t, Variant>> globals = {{1, Variant(3)}};
+    net::append_globals(wire, true, globals);
+    net::RecordsBuilder b;
+    b.begin_record();
+    b.entry(0, Variant(std::string_view("k")));
+    b.end_record();
+    b.frame(wire);
+    ASSERT_EQ(h.feed(wire), proxyd::IngestSession::Status::Ok);
+
+    const auto rows = h.channel.rows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].record.get("mpi.rank").to_int(), 3);
+    EXPECT_EQ(rows[0].record.get("kernel").to_string(), "k");
+}
+
+TEST(ProxydSession, MalformedFramesAreProtocolErrors) {
+    SessionHarness h;
+    std::vector<std::byte> wire;
+    net::append_hello(wire, "m", "test");
+    // a Records frame with a lying entry count -> truncated payload
+    {
+        std::vector<std::byte> payload;
+        ByteWriter w(payload);
+        w.put(std::uint32_t{1});  // one record
+        w.put(std::uint32_t{99}); // of 99 entries (absent)
+        net::append_frame(wire, net::FrameType::Records, payload);
+    }
+    EXPECT_EQ(h.feed(wire), proxyd::IngestSession::Status::Error);
+    EXPECT_EQ(h.session->protocol_errors(), 1u);
+    ASSERT_EQ(h.acks.size(), 2u); // hello ack + error
+    EXPECT_EQ(h.acks[1].first, 1);
+}
+
+TEST(ProxydSession, RejectsWrongVersionAndDuplicateHello) {
+    {
+        SessionHarness h;
+        std::vector<std::byte> wire;
+        std::vector<std::byte> payload;
+        ByteWriter w(payload);
+        w.put(std::uint32_t{999});
+        w.put_string("old");
+        w.put_string("test");
+        net::append_frame(wire, net::FrameType::Hello, payload);
+        EXPECT_EQ(h.feed(wire), proxyd::IngestSession::Status::Error);
+    }
+    {
+        SessionHarness h;
+        std::vector<std::byte> wire;
+        net::append_hello(wire, "a", "test");
+        net::append_hello(wire, "a", "test");
+        EXPECT_EQ(h.feed(wire), proxyd::IngestSession::Status::Error);
+    }
+}
+
+TEST(ProxydSession, UnknownLocalAttrIdsAreCountedNotFatal) {
+    SessionHarness h;
+    std::vector<std::byte> wire;
+    net::append_hello(wire, "u", "test");
+    net::append_attr(wire, 0, "kernel", Variant::Type::String, prop::none);
+    net::RecordsBuilder b;
+    b.begin_record();
+    b.entry(0, Variant(std::string_view("k")));
+    b.entry(12345, Variant(1)); // never defined
+    b.end_record();
+    b.frame(wire);
+    ASSERT_EQ(h.feed(wire), proxyd::IngestSession::Status::Ok);
+    EXPECT_EQ(h.session->unknown_attrs(), 1u);
+    const auto rows = h.channel.rows();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].record.size(), 1u); // the unknown entry was skipped
+}
+
+// ------------------------------------------------------------------- daemon
+
+TEST(ProxydDaemon, ConcurrentClientsMatchOfflineByteForByte) {
+    const std::string sock = test_socket_path("diff");
+    proxyd::DaemonOptions opts;
+    opts.listen = sock;
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    std::thread loop([&] { daemon.run(); });
+
+    constexpr std::size_t kClients         = 4;
+    constexpr std::size_t kRecordsPerShard = 400;
+    std::vector<std::vector<RecordMap>> shards;
+    std::vector<RecordMap> corpus;
+    for (std::size_t c = 0; c < kClients; ++c) {
+        shards.push_back(make_corpus(kRecordsPerShard, 100 + c));
+        for (const RecordMap& r : shards.back())
+            corpus.push_back(r);
+    }
+
+    std::vector<std::thread> pushers;
+    for (std::size_t c = 0; c < kClients; ++c)
+        pushers.emplace_back([&, c] {
+            net::ProxyClient::Options copts;
+            copts.address       = sock;
+            copts.channel       = "diff";
+            copts.client_name   = "pusher-" + std::to_string(c);
+            copts.batch_records = 64; // force several Records frames
+            net::ProxyClient client(copts);
+            client.push(shards[c]);
+            // a query acks only after this connection's records folded in
+            client.query("AGGREGATE count FORMAT csv");
+            client.close();
+        });
+    for (std::thread& t : pushers)
+        t.join();
+
+    const char* queries[] = {
+        "AGGREGATE sum(val),count,min(val),max(val) GROUP BY kernel "
+        "ORDER BY kernel FORMAT csv",
+        "AGGREGATE count GROUP BY kernel,rank ORDER BY kernel,rank FORMAT json",
+        "AGGREGATE avg(val) GROUP BY rank ORDER BY rank FORMAT table",
+    };
+    net::ProxyClient::Options qopts;
+    qopts.address     = sock;
+    qopts.channel     = "diff";
+    qopts.client_name = "query";
+    net::ProxyClient query_client(qopts);
+    for (const char* q : queries)
+        EXPECT_EQ(query_client.query(q), offline_answer(corpus, q)) << q;
+    query_client.close();
+
+    daemon.stop();
+    loop.join();
+    EXPECT_EQ(daemon.stats().records, kClients * kRecordsPerShard);
+    EXPECT_EQ(daemon.stats().shed_connections, 0u);
+}
+
+TEST(ProxydDaemon, GracefulShutdownDrainsBufferedRecords) {
+    const std::string sock = test_socket_path("drain");
+    proxyd::DaemonOptions opts;
+    opts.listen = sock;
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    std::thread loop([&] { daemon.run(); });
+
+    const std::vector<RecordMap> corpus = make_corpus(3000, 7);
+    {
+        net::ProxyClient::Options copts;
+        copts.address = sock;
+        copts.channel = "drain";
+        net::ProxyClient client(copts);
+        client.push(corpus);
+        client.close(); // flush + Bye; no ack awaited
+    }
+    // stop immediately: the drain must still fold everything in flight
+    daemon.stop();
+    loop.join();
+    EXPECT_EQ(daemon.stats().records, corpus.size());
+
+    // final flush file answers like the offline corpus (count expanded)
+    test::TempDir dir("proxyd-drain");
+    daemon.write_flush_files(dir.file("%c.cali"));
+    AttributeRegistry reg;
+    std::uint64_t total = 0;
+    CaliReader::read_file(dir.file("drain.cali"), reg, [&](IdRecord&& rec) {
+        const Attribute count = reg.find("count");
+        ASSERT_TRUE(count.valid());
+        total += rec.get(count.id()).to_uint();
+    });
+    EXPECT_EQ(total, corpus.size());
+}
+
+TEST(ProxydDaemon, HttpScrapeServesMetricsAndHealth) {
+    const std::string sock = test_socket_path("http");
+    proxyd::DaemonOptions opts;
+    opts.listen = sock;
+    opts.http   = "127.0.0.1:0";
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    const std::string http_addr = daemon.http_address();
+    ASSERT_FALSE(http_addr.empty());
+    std::thread loop([&] { daemon.run(); });
+
+    {
+        net::ProxyClient::Options copts;
+        copts.address = sock;
+        copts.channel = "web";
+        net::ProxyClient client(copts);
+        client.push(make_corpus(50, 3));
+        client.query("AGGREGATE count FORMAT csv"); // ensure folded
+        client.close();
+    }
+
+    const auto http_get = [&](const std::string& path) {
+        net::Socket s = net::connect_to(http_addr);
+        const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+        EXPECT_TRUE(s.send_all(req.data(), req.size()));
+        std::string response;
+        char buf[4096];
+        ssize_t n;
+        while ((n = s.recv_some(buf, sizeof(buf))) > 0)
+            response.append(buf, static_cast<std::size_t>(n));
+        return response;
+    };
+
+    const std::string metrics = http_get("/metrics");
+    EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+    EXPECT_NE(metrics.find("calib_proxyd_records_total"), std::string::npos);
+    EXPECT_NE(metrics.find("calib_channel_records_total{channel=\"web\"} 50"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("calib_data_"), std::string::npos);
+
+    const std::string health = http_get("/healthz");
+    EXPECT_NE(health.find("200 OK"), std::string::npos);
+    EXPECT_NE(health.find("ok"), std::string::npos);
+
+    EXPECT_NE(http_get("/nope").find("404"), std::string::npos);
+
+    daemon.stop();
+    loop.join();
+    EXPECT_GE(daemon.stats().http_requests, 3u);
+}
+
+TEST(ProxydDaemon, ShedsSlowReaders) {
+    const std::string sock = test_socket_path("shed");
+    proxyd::DaemonOptions opts;
+    opts.listen       = sock;
+    opts.max_tx_bytes = 256; // tiny outbound bound
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    std::thread loop([&] { daemon.run(); });
+
+    bool rejected = false;
+    try {
+        net::ProxyClient::Options copts;
+        copts.address = sock;
+        copts.channel = "shed";
+        net::ProxyClient client(copts);
+        client.push(make_corpus(2000, 5));
+        // the full-table result exceeds the outbound bound: the daemon
+        // sheds this connection instead of buffering it
+        client.query("SELECT * FORMAT csv");
+        client.close();
+    } catch (const std::exception&) {
+        rejected = true;
+    }
+    EXPECT_TRUE(rejected);
+
+    daemon.stop();
+    loop.join();
+    EXPECT_EQ(daemon.stats().shed_connections, 1u);
+}
+
+TEST(ProxydDaemon, GarbageConnectionIsRejectedCleanly) {
+    const std::string sock = test_socket_path("garbage");
+    proxyd::DaemonOptions opts;
+    opts.listen = sock;
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    std::thread loop([&] { daemon.run(); });
+
+    {
+        net::Socket s = net::connect_to(sock);
+        // a 16 byte "frame" of type 0xff full of garbage
+        unsigned char junk[net::kHeaderBytes + 16] = {16, 0, 0, 0, 0xff};
+        std::memset(junk + net::kHeaderBytes, 0xab, 16);
+        ASSERT_TRUE(s.send_all(junk, sizeof(junk)));
+        char buf[512];
+        while (s.recv_some(buf, sizeof(buf)) > 0)
+            ; // daemon responds with an error result, then closes
+    }
+
+    // the daemon is still healthy: a well-behaved client works
+    {
+        net::ProxyClient::Options copts;
+        copts.address = sock;
+        copts.channel = "ok";
+        net::ProxyClient client(copts);
+        client.push(make_corpus(10, 9));
+        EXPECT_FALSE(client.query("AGGREGATE count FORMAT csv").empty());
+        client.close();
+    }
+
+    daemon.stop();
+    loop.join();
+}
+
+TEST(ProxydDaemon, TcpIngestWorksLikeUnix) {
+    proxyd::DaemonOptions opts;
+    opts.listen = "127.0.0.1:0";
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    const std::string addr = daemon.ingest_address();
+    ASSERT_FALSE(addr.empty());
+    std::thread loop([&] { daemon.run(); });
+
+    const std::vector<RecordMap> corpus = make_corpus(100, 11);
+    net::ProxyClient::Options copts;
+    copts.address = addr;
+    copts.channel = "tcp";
+    net::ProxyClient client(copts);
+    client.push(corpus);
+    const std::string q = "AGGREGATE count GROUP BY kernel ORDER BY kernel "
+                          "FORMAT csv";
+    EXPECT_EQ(client.query(q), offline_answer(corpus, q));
+    client.close();
+
+    daemon.stop();
+    loop.join();
+}
+
+} // namespace
