@@ -253,7 +253,7 @@ RunResult run_stream(const FrameStream& s, Rng& chunk_rng,
     RunResult out;
 
     proxyd::IngestSession::Hooks hooks;
-    hooks.open_channel = [&](const std::string&) { return &channel; };
+    hooks.open_channel = [&](const std::string&, bool) { return &channel; };
     hooks.respond = [&](std::uint8_t status, std::string_view body) {
         out.responses.emplace_back(status, std::string(body));
     };

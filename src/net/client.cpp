@@ -10,7 +10,8 @@ ProxyClient::ProxyClient(Options opts) : opts_(std::move(opts)) {
     socket_ = connect_to(opts_.address);
 
     std::vector<std::byte> hello;
-    append_hello(hello, opts_.client_name, opts_.channel);
+    append_hello(hello, opts_.client_name, opts_.channel,
+                 opts_.query_only ? kHelloQueryOnly : 0);
     send_bytes(hello);
 
     const ResultInfo ack = read_result();

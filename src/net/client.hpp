@@ -41,6 +41,10 @@ public:
         std::string address;                  ///< daemon address (see socket.hpp)
         std::string client_name = "calib";    ///< reported in Hello
         std::string channel     = "default";  ///< daemon channel to join
+        /// Query-only connection: the daemon looks the channel up and
+        /// rejects the handshake if it does not exist, instead of
+        /// find-or-creating it as for ingest connections.
+        bool query_only = false;
         std::size_t batch_records = 512;      ///< records per Records frame
         std::size_t batch_bytes   = 256 * 1024; ///< payload bytes per frame
     };

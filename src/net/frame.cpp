@@ -112,11 +112,12 @@ void with_payload(std::vector<std::byte>& out, FrameType type, F&& fill) {
 } // namespace
 
 void append_hello(std::vector<std::byte>& out, std::string_view client_name,
-                  std::string_view channel_name) {
+                  std::string_view channel_name, std::uint8_t flags) {
     with_payload(out, FrameType::Hello, [&](ByteWriter& w) {
         w.put(kProtocolVersion);
         w.put_string(client_name);
         w.put_string(channel_name);
+        w.put(flags);
     });
 }
 
@@ -175,6 +176,9 @@ HelloInfo parse_hello(std::span<const std::byte> payload) {
     h.version      = r.get<std::uint32_t>();
     h.client_name  = std::string(r.get_string());
     h.channel_name = std::string(r.get_string());
+    // the flags byte is optional so flag-free version-1 hellos still parse
+    if (r.remaining() > 0)
+        h.query_only = (r.get<std::uint8_t>() & kHelloQueryOnly) != 0;
     return h;
 }
 

@@ -103,8 +103,11 @@ private:
 void append_frame(std::vector<std::byte>& out, FrameType type,
                   std::span<const std::byte> payload);
 
+/// Hello flags (trailing u8 in the payload; absent means 0).
+inline constexpr std::uint8_t kHelloQueryOnly = 1u << 0;
+
 void append_hello(std::vector<std::byte>& out, std::string_view client_name,
-                  std::string_view channel_name);
+                  std::string_view channel_name, std::uint8_t flags = 0);
 void append_attr(std::vector<std::byte>& out, std::uint32_t local_id,
                  std::string_view name, Variant::Type type,
                  std::uint32_t properties);
@@ -169,6 +172,7 @@ struct HelloInfo {
     std::uint32_t version = 0;
     std::string client_name;
     std::string channel_name;
+    bool query_only = false; ///< look the channel up, never create it
 };
 HelloInfo parse_hello(std::span<const std::byte> payload);
 

@@ -26,13 +26,32 @@ obs::Counter proxyd_http_requests("proxyd.http_requests");
 
 constexpr std::size_t kRecvChunk = 64 * 1024;
 
+/// Per-connection read passes per event-loop iteration; bounds how long
+/// one busy connection can hold the loop before others get a turn.
+constexpr int kMaxRecvPassesPerEvent = 8;
+
 /// Prometheus metric-name characters: [a-zA-Z0-9_:]; we map the rest to '_'.
 std::string sanitize_metric(std::string_view name) {
     std::string out;
     out.reserve(name.size());
     for (const char c : name)
         out.push_back((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                              (c >= '0' && c <= '9')
+                              (c >= '0' && c <= '9') || c == '_' || c == ':'
+                          ? c
+                          : '_');
+    if (!out.empty() && out[0] >= '0' && out[0] <= '9')
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+/// Prometheus label-name characters: [a-zA-Z0-9_] — no ':', unlike
+/// metric names.
+std::string sanitize_label(std::string_view name) {
+    std::string out;
+    out.reserve(name.size());
+    for (const char c : name)
+        out.push_back((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                              (c >= '0' && c <= '9') || c == '_'
                           ? c
                           : '_');
     if (!out.empty() && out[0] >= '0' && out[0] <= '9')
@@ -171,8 +190,12 @@ void ProxyDaemon::begin_drain() {
     if (draining_)
         return;
     draining_ = true;
-    deadline_ = obs::now_ns() +
-                static_cast<std::uint64_t>(opts_.drain_timeout_ms) * 1000000ull;
+    // a negative timeout must not wrap into a far-future deadline
+    const std::uint64_t drain_ms =
+        opts_.drain_timeout_ms > 0
+            ? static_cast<std::uint64_t>(opts_.drain_timeout_ms)
+            : 0;
+    deadline_ = obs::now_ns() + drain_ms * 1000000ull;
     const auto unwatch = [this](net::Socket& s) {
         if (s.valid()) {
             epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, s.fd(), nullptr);
@@ -253,8 +276,8 @@ void ProxyDaemon::handle_listener(int fd) {
         if (!is_http) {
             Connection* raw = conn.get();
             IngestSession::Hooks hooks;
-            hooks.open_channel = [this](const std::string& name) {
-                return channel(name);
+            hooks.open_channel = [this](const std::string& name, bool create) {
+                return channel(name, create);
             };
             hooks.respond = [this, raw](std::uint8_t status,
                                         std::string_view body) {
@@ -305,7 +328,11 @@ void ProxyDaemon::handle_connection(Connection& conn, std::uint32_t events) {
     }
 
     char buf[kRecvChunk];
-    for (;;) {
+    // bounded reads per event-loop pass: EPOLLIN is level-triggered and
+    // stays armed, so a client that streams faster than the daemon folds
+    // round-robins with other connections (and the drain-deadline check)
+    // instead of monopolizing the single-threaded loop
+    for (int pass = 0; pass < kMaxRecvPassesPerEvent; ++pass) {
         const ssize_t n = conn.socket.recv_some(buf, sizeof(buf));
         if (n < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -316,8 +343,11 @@ void ProxyDaemon::handle_connection(Connection& conn, std::uint32_t events) {
             return;
         }
         if (n == 0) {
-            // orderly EOF; every complete frame was already processed
-            flush_tx(conn);
+            // orderly EOF; every complete frame was already processed.
+            // flush_tx may itself close the connection on a send error —
+            // it returns false then, and conn is already destroyed
+            if (!flush_tx(conn))
+                return;
             close_connection(conn);
             return;
         }
@@ -465,10 +495,12 @@ void ProxyDaemon::close_connection(Connection& conn) {
 
 // ------------------------------------------------------------------ channels
 
-ProxyChannel* ProxyDaemon::channel(const std::string& name) {
+ProxyChannel* ProxyDaemon::channel(const std::string& name, bool create) {
     const auto it = channels_.find(name);
     if (it != channels_.end())
         return it->second.get();
+    if (!create)
+        return nullptr; // query-only hello against a channel nobody fed
     try {
         auto ch = std::make_unique<ProxyChannel>(name, opts_.aggregate,
                                                  opts_.prealloc);
@@ -547,10 +579,22 @@ std::string ProxyDaemon::scrape_text() const {
     for (const auto& [cname, ch] : channels_) {
         for (const ProxyChannel::Row& row : ch->rows()) {
             std::string labels = "channel=\"" + escape_label(cname) + "\"";
-            for (const auto& [attr, value] : row.record)
-                if (!value.is_numeric())
-                    labels += "," + sanitize_metric(attr) + "=\"" +
-                              escape_label(value.to_string()) + "\"";
+            // distinct attribute names may sanitize to the same label name
+            // ('a.b' vs 'a_b'); a duplicate label within one series makes
+            // Prometheus reject the whole scrape, so suffix collisions
+            std::vector<std::string> used{"channel"};
+            for (const auto& [attr, value] : row.record) {
+                if (value.is_numeric())
+                    continue;
+                std::string lname = sanitize_label(attr);
+                for (int suffix = 2;
+                     std::find(used.begin(), used.end(), lname) != used.end();
+                     ++suffix)
+                    lname = sanitize_label(attr) + "_" + std::to_string(suffix);
+                used.push_back(lname);
+                labels += "," + lname + "=\"" +
+                          escape_label(value.to_string()) + "\"";
+            }
             for (const auto& [attr, value] : row.record) {
                 if (!value.is_numeric())
                     continue;
@@ -594,13 +638,25 @@ void ProxyDaemon::write_flush_files(const std::string& pattern) const {
             throw std::runtime_error("cannot write " + path);
         CaliWriter writer(os);
         for (const ProxyChannel::Row& row : ch->rows()) {
-            if (ch->exact()) {
-                RecordMap rm = row.record;
-                rm.append("count", Variant(row.weight));
-                writer.write_record(rm);
-            } else {
+            if (!ch->exact()) {
                 writer.write_record(row.record);
+                continue;
             }
+            RecordMap rm = row.record;
+            const Variant* have = rm.find("count");
+            if (!have) {
+                rm.append("count", Variant(row.weight));
+            } else if (have->is_numeric()) {
+                // the record already collapses N snapshots (aggregate-
+                // service output); seen `weight` times it stands for
+                // N*weight — merge rather than emit a duplicate column
+                rm.set("count", Variant(have->to_uint() * row.weight));
+            } else {
+                // a non-numeric count cannot merge; replay verbatim
+                for (std::uint64_t i = 1; i < row.weight; ++i)
+                    writer.write_record(rm);
+            }
+            writer.write_record(rm);
         }
     }
 }

@@ -73,8 +73,11 @@ public:
     const std::string& tcp_address() const noexcept { return tcp_addr_; }
     const std::string& http_address() const noexcept { return http_addr_; }
 
-    /// Find or create a channel (daemon-global aggregate clause applies).
-    ProxyChannel* channel(const std::string& name);
+    /// Find a channel, creating it when \a create is set (daemon-global
+    /// aggregate clause applies). Query-only hellos pass create = false
+    /// so a mistyped channel name errors instead of materializing a new
+    /// empty channel.
+    ProxyChannel* channel(const std::string& name, bool create = true);
     std::vector<const ProxyChannel*> channels() const;
 
     /// Prometheus text exposition: calib_* self-metrics plus channel
@@ -84,7 +87,9 @@ public:
 
     /// Write every channel's aggregate to a .cali file; "%c" in \a pattern
     /// expands to the channel name. Exact-mode channels emit one record
-    /// per unique record with its multiplicity as "count".
+    /// per unique record with its multiplicity as "count"; a record that
+    /// already carries a numeric count column gets it multiplied by the
+    /// multiplicity instead of a duplicate column.
     void write_flush_files(const std::string& pattern) const;
 
     struct Stats {

@@ -156,11 +156,15 @@ IngestSession::Status IngestSession::handle(const net::FrameView& frame) {
                                   std::to_string(hello.version));
         client_name_ = hello.client_name;
         if (!hello.channel_name.empty()) {
-            channel_ = hooks_.open_channel ? hooks_.open_channel(hello.channel_name)
-                                           : nullptr;
+            channel_ = hooks_.open_channel
+                           ? hooks_.open_channel(hello.channel_name,
+                                                 !hello.query_only)
+                           : nullptr;
             if (!channel_)
-                return protocol_error("cannot open channel '" +
-                                      hello.channel_name + "'");
+                return protocol_error(
+                    hello.query_only
+                        ? "no such channel '" + hello.channel_name + "'"
+                        : "cannot open channel '" + hello.channel_name + "'");
             ++channel_->clients_total;
         }
         hello_seen_ = true;

@@ -95,10 +95,13 @@ private:
 class IngestSession {
 public:
     struct Hooks {
-        /// Find or create the channel \a name joins. Empty name = a
-        /// query-only connection (return nullptr, not an error); nullptr
-        /// for a non-empty name rejects the Hello.
-        std::function<ProxyChannel*(const std::string& name)> open_channel;
+        /// Find the channel \a name joins, creating it when \a create is
+        /// set (false for query-only hellos: look up only, so a typo'd
+        /// channel name is an error instead of a fresh empty channel).
+        /// Empty name = no channel (return nullptr, not an error);
+        /// nullptr for a non-empty name rejects the Hello.
+        std::function<ProxyChannel*(const std::string& name, bool create)>
+            open_channel;
 
         /// A Query frame arrived; the daemon answers (via respond or its
         /// own means). The session's channel() identifies the target.

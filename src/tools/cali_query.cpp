@@ -164,6 +164,8 @@ int main(int argc, char** argv) {
             popts.address     = connect;
             popts.channel     = channel;
             popts.client_name = "cali-query";
+            popts.query_only  = true; // a typo'd --channel is an error,
+                                      // not a fresh empty channel
             calib::net::ProxyClient client(popts);
             const std::string result = client.query(query);
             if (output.empty()) {

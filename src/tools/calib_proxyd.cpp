@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 namespace {
@@ -97,7 +98,14 @@ int main(int argc, char** argv) {
         } else if (arg == "-o" || arg == "--flush-output") {
             flush_output = need_value();
         } else if (arg == "--drain-timeout") {
-            opts.drain_timeout_ms = std::atoi(need_value());
+            std::size_t ms = 0;
+            if (!parse_size(need_value(), ms) || ms == 0 ||
+                ms > static_cast<std::size_t>(std::numeric_limits<int>::max())) {
+                std::fprintf(stderr,
+                             "calib-proxyd: bad --drain-timeout value\n");
+                return 2;
+            }
+            opts.drain_timeout_ms = static_cast<int>(ms);
         } else if (arg == "--max-frame") {
             if (!parse_size(need_value(), opts.max_frame_bytes)) {
                 std::fprintf(stderr, "calib-proxyd: bad --max-frame value\n");

@@ -122,6 +122,35 @@ TEST(ProxydFrame, RoundTripsEveryFrameType) {
     EXPECT_EQ(dec.buffered(), 0u);
 }
 
+TEST(ProxydFrame, HelloCarriesQueryOnlyFlag) {
+    {
+        std::vector<std::byte> wire;
+        net::append_hello(wire, "q", "chan", net::kHelloQueryOnly);
+        net::FrameDecoder dec;
+        dec.feed(wire.data(), wire.size());
+        net::FrameView f;
+        ASSERT_TRUE(dec.next(f));
+        EXPECT_TRUE(net::parse_hello(f.payload).query_only);
+    }
+    {
+        // a flag-free version-1 hello (no trailing byte) still parses
+        std::vector<std::byte> payload;
+        ByteWriter w(payload);
+        w.put(net::kProtocolVersion);
+        w.put_string("old");
+        w.put_string("chan");
+        std::vector<std::byte> wire;
+        net::append_frame(wire, net::FrameType::Hello, payload);
+        net::FrameDecoder dec;
+        dec.feed(wire.data(), wire.size());
+        net::FrameView f;
+        ASSERT_TRUE(dec.next(f));
+        const net::HelloInfo h = net::parse_hello(f.payload);
+        EXPECT_EQ(h.channel_name, "chan");
+        EXPECT_FALSE(h.query_only);
+    }
+}
+
 TEST(ProxydFrame, DecodesByteAtATime) {
     std::vector<std::byte> wire;
     net::RecordsBuilder b;
@@ -193,7 +222,9 @@ struct SessionHarness {
     explicit SessionHarness(const std::string& aggregate = "")
         : channel("test", aggregate) {
         proxyd::IngestSession::Hooks hooks;
-        hooks.open_channel = [this](const std::string&) { return &channel; };
+        hooks.open_channel = [this](const std::string&, bool) {
+            return &channel;
+        };
         hooks.on_query     = [this](std::string_view calql) {
             bool ok = false;
             responses.push_back(channel.answer(calql, &ok));
@@ -484,6 +515,48 @@ TEST(ProxydDaemon, GracefulShutdownDrainsBufferedRecords) {
     EXPECT_EQ(total, corpus.size());
 }
 
+TEST(ProxydDaemon, FlushMergesExistingCountColumn) {
+    // records that already carry a numeric count column (e.g. the
+    // aggregate service's output) must not gain a duplicate count field
+    // on flush — the multiplicity merges in multiplicatively
+    proxyd::DaemonOptions opts;
+    proxyd::ProxyDaemon daemon(opts);
+    proxyd::ProxyChannel* ch = daemon.channel("merge");
+    ASSERT_NE(ch, nullptr);
+
+    AttributeRegistry& reg = ch->registry();
+    const Attribute kernel =
+        reg.create("kernel", Variant::Type::String, prop::none);
+    const Attribute count = reg.create("count", Variant::Type::UInt, prop::none);
+    IdRecord rec;
+    rec.append(kernel.id(), Variant(std::string_view("k")));
+    rec.append(count.id(), Variant(2ull));
+    ch->fold(rec);
+    ch->fold(rec); // identical record: multiplicity 2
+    IdRecord rec2;
+    rec2.append(kernel.id(), Variant(std::string_view("k2")));
+    rec2.append(count.id(), Variant(3ull));
+    ch->fold(rec2);
+
+    test::TempDir dir("proxyd-merge");
+    daemon.write_flush_files(dir.file("%c.cali"));
+
+    AttributeRegistry rreg;
+    std::uint64_t k_count = 0, k2_count = 0, records = 0;
+    CaliReader::read_file(dir.file("merge.cali"), rreg, [&](IdRecord&& r) {
+        ++records;
+        const Attribute rk = rreg.find("kernel");
+        const Attribute rc = rreg.find("count");
+        ASSERT_TRUE(rk.valid());
+        ASSERT_TRUE(rc.valid());
+        (r.get(rk.id()).to_string() == "k" ? k_count : k2_count) +=
+            r.get(rc.id()).to_uint();
+    });
+    EXPECT_EQ(records, 2u);  // one per unique record
+    EXPECT_EQ(k_count, 4u);  // count 2 x multiplicity 2
+    EXPECT_EQ(k2_count, 3u); // count 3 x multiplicity 1
+}
+
 TEST(ProxydDaemon, HttpScrapeServesMetricsAndHealth) {
     const std::string sock = test_socket_path("http");
     proxyd::DaemonOptions opts;
@@ -597,6 +670,83 @@ TEST(ProxydDaemon, GarbageConnectionIsRejectedCleanly) {
 
     daemon.stop();
     loop.join();
+}
+
+TEST(ProxydDaemon, QueryOnlyHelloNeverCreatesChannels) {
+    const std::string sock = test_socket_path("qonly");
+    proxyd::DaemonOptions opts;
+    opts.listen = sock;
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    std::thread loop([&] { daemon.run(); });
+
+    const std::vector<RecordMap> corpus = make_corpus(20, 13);
+    {
+        net::ProxyClient::Options copts;
+        copts.address = sock;
+        copts.channel = "real";
+        net::ProxyClient client(copts);
+        client.push(corpus);
+        client.query("AGGREGATE count FORMAT csv"); // ensure folded
+        client.close();
+    }
+
+    // a typo'd channel is a handshake error, not a fresh empty channel
+    bool rejected = false;
+    try {
+        net::ProxyClient::Options qopts;
+        qopts.address    = sock;
+        qopts.channel    = "reall";
+        qopts.query_only = true;
+        net::ProxyClient q(qopts);
+    } catch (const std::exception& e) {
+        rejected = true;
+        EXPECT_NE(std::string(e.what()).find("no such channel"),
+                  std::string::npos)
+            << e.what();
+    }
+    EXPECT_TRUE(rejected);
+
+    // query-only against the fed channel answers normally
+    {
+        net::ProxyClient::Options qopts;
+        qopts.address    = sock;
+        qopts.channel    = "real";
+        qopts.query_only = true;
+        net::ProxyClient q(qopts);
+        const std::string calql = "AGGREGATE count GROUP BY kernel "
+                                  "ORDER BY kernel FORMAT csv";
+        EXPECT_EQ(q.query(calql), offline_answer(corpus, calql));
+        q.close();
+    }
+
+    daemon.stop();
+    loop.join();
+    ASSERT_EQ(daemon.channels().size(), 1u);
+    EXPECT_EQ(daemon.channels()[0]->name(), "real");
+}
+
+TEST(ProxydDaemon, ScrapeDisambiguatesCollidingLabelNames) {
+    proxyd::DaemonOptions opts;
+    proxyd::ProxyDaemon daemon(opts); // no sockets needed for scrape_text
+    proxyd::ProxyChannel* ch = daemon.channel("labels");
+    ASSERT_NE(ch, nullptr);
+
+    AttributeRegistry& reg = ch->registry();
+    const Attribute dotted = reg.create("a.b", Variant::Type::String, prop::none);
+    const Attribute flat   = reg.create("a_b", Variant::Type::String, prop::none);
+    const Attribute value  = reg.create("val", Variant::Type::Int, prop::none);
+    IdRecord rec;
+    rec.append(dotted.id(), Variant(std::string_view("x")));
+    rec.append(flat.id(), Variant(std::string_view("y")));
+    rec.append(value.id(), Variant(1));
+    ch->fold(rec);
+
+    // 'a.b' and 'a_b' both sanitize to label name a_b; the series must
+    // carry two distinct label names, not a duplicate
+    const std::string text = daemon.scrape_text();
+    EXPECT_NE(text.find("a_b=\""), std::string::npos) << text;
+    EXPECT_NE(text.find("a_b_2=\""), std::string::npos) << text;
 }
 
 TEST(ProxydDaemon, TcpIngestWorksLikeUnix) {
