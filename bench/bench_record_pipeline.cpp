@@ -79,6 +79,28 @@ Measurement run_id_path(const QuerySpec& spec,
     return m;
 }
 
+/// Columnar path: the reader fills RecordBatches and the processor runs
+/// the batched LET -> filter -> probe pipeline. With \a budget != 0 the
+/// aggregation spills sorted runs beyond the memory budget.
+Measurement run_batched_path(const QuerySpec& spec,
+                             const std::vector<std::string>& files,
+                             std::size_t batch_size, std::size_t budget) {
+    Measurement m;
+    const std::uint64_t t0 = now_ns();
+    QueryProcessor proc(spec);
+    if (budget != 0)
+        proc.set_aggregation_memory_budget(budget);
+    for (const std::string& file : files)
+        CaliReader::read_file_batches(file, *proc.registry(), batch_size,
+                                      [&proc](RecordBatch& b) { proc.add_batch(b); });
+    std::ostringstream os;
+    proc.write(os);
+    m.wall_s  = static_cast<double>(now_ns() - t0) * 1e-9;
+    m.records = proc.num_records_in();
+    m.output  = os.str();
+    return m;
+}
+
 template <typename Fn> Measurement best_of(int reps, Fn&& run) {
     Measurement best;
     for (int i = 0; i < reps; ++i) {
@@ -265,10 +287,29 @@ int main() {
     const std::int64_t entries = mreg.value("reader.entries") - entries0;
     calib::obs::set_enabled(false);
 
-    const bool identical  = name_path.output == id_path.output;
+    // columnar batch path (PR 7): same query, same files, RecordBatch
+    // morsels through the vectorized probe; must stay byte-identical
+    const Measurement batched_path =
+        best_of(reps, [&] { return run_batched_path(spec, files, 1024, 0); });
+
+    // sort-spill: high-cardinality GROUP BY * under a 64 KiB budget vs
+    // unbounded (spill overhead series; group set exceeds the budget)
+    const QuerySpec star_spec = parse_calql(
+        "AGGREGATE sum(time.inclusive.duration),count GROUP BY *");
+    const Measurement inmem_path =
+        best_of(reps, [&] { return run_batched_path(star_spec, files, 1024, 0); });
+    const Measurement spill_path = best_of(
+        reps, [&] { return run_batched_path(star_spec, files, 1024, 64 * 1024); });
+
+    const bool identical  = name_path.output == id_path.output &&
+                            id_path.output == batched_path.output;
     const double name_rps = static_cast<double>(name_path.records) / name_path.wall_s;
     const double id_rps   = static_cast<double>(id_path.records) / id_path.wall_s;
-    const double speedup  = name_path.wall_s / id_path.wall_s;
+    const double batched_rps =
+        static_cast<double>(batched_path.records) / batched_path.wall_s;
+    const double speedup         = name_path.wall_s / id_path.wall_s;
+    const double batched_speedup = name_path.wall_s / batched_path.wall_s;
+    const double spill_overhead  = spill_path.wall_s / inmem_path.wall_s;
     // resolutions per entry on the id path (resolve-once contract: ≪ 1)
     const double res_per_entry =
         static_cast<double>(name_resolutions) / static_cast<double>(entries);
@@ -277,7 +318,12 @@ int main() {
                 "speedup");
     std::printf("%12s %12.5f %16.0f %10s\n", "name", name_path.wall_s, name_rps, "1.00");
     std::printf("%12s %12.5f %16.0f %10.2f\n", "id", id_path.wall_s, id_rps, speedup);
+    std::printf("%12s %12.5f %16.0f %10.2f\n", "batched", batched_path.wall_s,
+                batched_rps, batched_speedup);
     std::printf("# identical output: %s\n", identical ? "yes" : "NO");
+    std::printf("# spill (GROUP BY *, 64 KiB budget): in-memory %.5fs, "
+                "spilled %.5fs (%.2fx overhead)\n",
+                inmem_path.wall_s, spill_path.wall_s, spill_overhead);
     std::printf("# reader: %llu records, %lld entries, %lld name resolutions "
                 "(%.6f per entry)\n",
                 static_cast<unsigned long long>(id_path.records),
@@ -292,7 +338,13 @@ int main() {
          << ", \"records_per_sec\": " << name_rps << ", \"speedup\": 1.0},\n"
          << "    {\"path\": \"id\", \"wall_s\": " << id_path.wall_s
          << ", \"records_per_sec\": " << id_rps << ", \"speedup\": " << speedup
-         << "}\n  ],\n"
+         << "},\n"
+         << "    {\"path\": \"batched\", \"wall_s\": " << batched_path.wall_s
+         << ", \"records_per_sec\": " << batched_rps
+         << ", \"speedup\": " << batched_speedup << "}\n  ],\n"
+         << "  \"spill\": {\"inmem_wall_s\": " << inmem_path.wall_s
+         << ", \"spill_wall_s\": " << spill_path.wall_s
+         << ", \"overhead\": " << spill_overhead << "},\n"
          << "  \"identical_output\": " << (identical ? "true" : "false") << ",\n"
          << "  \"reader_name_resolutions\": " << name_resolutions << ",\n"
          << "  \"reader_entries\": " << entries << ",\n"

@@ -9,6 +9,7 @@
 //   - CalQL parse cost
 #include "aggregate/aggregation_db.hpp"
 #include "common/hash.hpp"
+#include "common/recordbatch.hpp"
 #include "query/calql.hpp"
 
 #include <benchmark/benchmark.h>
@@ -119,6 +120,45 @@ static void BM_Process_UniqueKeys(benchmark::State& state) {
     state.counters["entries"] = static_cast<double>(db.size());
 }
 BENCHMARK(BM_Process_UniqueKeys)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+// -- batched probe: process_batch vs a record-at-a-time loop -------------------
+//
+// Arg 0 = record loop, otherwise the batch size. Same rows, same groups;
+// items processed counts rows, so time-per-item compares directly.
+
+static void BM_BatchedProbe(benchmark::State& state) {
+    const std::size_t batch_rows =
+        state.range(0) == 0 ? 1024 : static_cast<std::size_t>(state.range(0));
+    const bool batched = state.range(0) != 0;
+    Fixture fx(2, 64, 4096);
+    AggregationDB db(AggregationConfig::parse("count,sum(time)", fx.key_list(2)),
+                     &fx.registry);
+    db.reserve(256);
+
+    RecordBatch rb;
+    std::vector<std::uint32_t> sel;
+    for (std::size_t r = 0; r < batch_rows; ++r) {
+        rb.begin_row();
+        for (const Entry& e : fx.snapshots[r & 4095])
+            rb.append(e.attribute, e.value);
+        rb.end_row();
+        sel.push_back(static_cast<std::uint32_t>(r));
+    }
+
+    for (auto _ : state) {
+        if (batched) {
+            db.process_batch(rb, sel);
+        } else {
+            for (std::size_t r = 0; r < batch_rows; ++r)
+                db.process(fx.snapshots[r & 4095]);
+        }
+        benchmark::DoNotOptimize(db.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(batch_rows));
+    state.SetLabel(batched ? "process_batch" : "record loop");
+}
+BENCHMARK(BM_BatchedProbe)->Arg(0)->Arg(64)->Arg(256)->Arg(1024);
 
 // -- implicit (group-by-everything) vs explicit keys -----------------------------
 

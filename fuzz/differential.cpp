@@ -78,11 +78,15 @@ struct EngineRun {
 
 EngineRun run_engine(const QuerySpec& spec, const std::string& path,
                      std::size_t threads, bool use_mmap,
-                     std::size_t morsel_bytes, std::size_t flush_limit) {
+                     std::size_t morsel_bytes, std::size_t flush_limit,
+                     bool batched, std::size_t batch_size,
+                     std::size_t memory_budget) {
     EngineRun run;
     run.label = "t" + std::to_string(threads) + (use_mmap ? "/mmap" : "/read") +
                 "/m" + std::to_string(morsel_bytes) +
-                (flush_limit ? "/flush" : "");
+                (flush_limit ? "/flush" : "") +
+                (batched ? "/b" + std::to_string(batch_size) : "/rec") +
+                (memory_budget ? "/spill" : "");
     const bool mmap_before = FileBuffer::mmap_enabled();
     FileBuffer::set_mmap_enabled(use_mmap);
     try {
@@ -91,6 +95,11 @@ EngineRun run_engine(const QuerySpec& spec, const std::string& path,
         opts.bytes_per_morsel = morsel_bytes;
         if (flush_limit)
             opts.max_partial_entries = flush_limit;
+        opts.batched    = batched;
+        opts.batch_size = batch_size;
+        // explicit (not the SIZE_MAX sentinel), so CALIB_AGG_MEM in the
+        // environment cannot perturb fuzz determinism
+        opts.agg_memory_budget = memory_budget;
         engine::ParallelQueryProcessor engine(spec, opts);
         QueryProcessor& proc = engine.run({path});
         std::ostringstream os;
@@ -224,30 +233,74 @@ std::vector<std::string> check_case(const Corpus& corpus, const std::string& que
                    "calib-fuzz-" + std::to_string(case_salt) + ".cali",
                    corpus.cali_text);
 
-    // the engine family: 3 thread counts x 2 I/O paths, one morsel plan
+    // the engine family: 3 thread counts x 2 I/O paths, one morsel plan,
+    // batched execution at the default batch size
     std::vector<EngineRun> runs;
     for (std::size_t threads : {std::size_t(1), std::size_t(2), std::size_t(4)})
         for (bool use_mmap : {true, false})
             runs.push_back(run_engine(spec, input.path(), threads, use_mmap,
-                                      morsel_bytes, flush_limit));
+                                      morsel_bytes, flush_limit,
+                                      /*batched=*/true, 1024,
+                                      /*memory_budget=*/0));
+    // batch-size invariance family: the record-at-a-time shim and forced
+    // tiny batch sizes must be byte-identical to the batched default (the
+    // columnar-pipeline claim). Early flush triggers at batch — not record —
+    // granularity, so its cut points move with the batch size and regroup
+    // floating-point reductions; this family therefore always runs with
+    // early flush off, joining the base family directly when the case's
+    // flush plan is also off (otherwise it gets its own reference head).
+    std::vector<EngineRun> batch_runs;
+    std::vector<EngineRun>& famB = flush_limit == 0 ? runs : batch_runs;
+    if (flush_limit != 0)
+        famB.push_back(run_engine(spec, input.path(), 1, true, morsel_bytes, 0,
+                                  /*batched=*/true, 1024, 0));
+    famB.push_back(run_engine(spec, input.path(), 1, true, morsel_bytes, 0,
+                              /*batched=*/false, 0, 0));
+    famB.push_back(run_engine(spec, input.path(), 2, true, morsel_bytes, 0,
+                              /*batched=*/false, 0, 0));
+    for (std::size_t bs : {std::size_t(1), std::size_t(2), std::size_t(7)})
+        famB.push_back(run_engine(spec, input.path(), bs == 7 ? 4 : 1, true,
+                                  morsel_bytes, 0, /*batched=*/true, bs, 0));
 
-    const EngineRun& base = runs.front();
-    for (std::size_t i = 1; i < runs.size(); ++i) {
-        const EngineRun& run = runs[i];
-        if (run.threw != base.threw) {
-            failures.push_back("engine disagreement: " + base.label +
-                               (base.threw ? " rejected (" + base.error + ")"
-                                           : " accepted") +
-                               " but " + run.label +
-                               (run.threw ? " rejected (" + run.error + ")"
-                                          : " accepted"));
-            continue;
+    auto compare_family = [&](const std::vector<EngineRun>& family) {
+        const EngineRun& head = family.front();
+        for (std::size_t i = 1; i < family.size(); ++i) {
+            const EngineRun& run = family[i];
+            if (run.threw != head.threw) {
+                failures.push_back("engine disagreement: " + head.label +
+                                   (head.threw ? " rejected (" + head.error + ")"
+                                               : " accepted") +
+                                   " but " + run.label +
+                                   (run.threw ? " rejected (" + run.error + ")"
+                                              : " accepted"));
+                continue;
+            }
+            if (!run.threw && run.output != head.output)
+                failures.push_back("output of " + run.label + " differs from " +
+                                   head.label + " at " +
+                                   first_difference(head.output, run.output));
         }
-        if (!run.threw && run.output != base.output)
-            failures.push_back("output of " + run.label + " differs from " +
-                               base.label + " at " +
-                               first_difference(base.output, run.output));
-    }
+    };
+    compare_family(runs);
+    if (!batch_runs.empty())
+        compare_family(batch_runs);
+    const EngineRun& base = runs.front();
+
+    // forced-spill family: a 1-byte budget clamps the live group table to
+    // the 16-entry floor, so any aggregation with >16 groups spills sorted
+    // runs and merges at flush. The spill trigger is deterministic, so
+    // every member is byte-identical; spilled floating-point sums may
+    // regroup additions, so the family is compared within itself (plus the
+    // tolerant oracle below), not byte-compared against the unspilled base.
+    std::vector<EngineRun> spill_runs;
+    spill_runs.push_back(run_engine(spec, input.path(), 1, true, morsel_bytes, 0,
+                                    /*batched=*/true, 1024,
+                                    /*memory_budget=*/1));
+    spill_runs.push_back(run_engine(spec, input.path(), 1, true, morsel_bytes, 0,
+                                    /*batched=*/false, 0, 1));
+    spill_runs.push_back(run_engine(spec, input.path(), 4, false, morsel_bytes, 0,
+                                    /*batched=*/true, 7, 1));
+    compare_family(spill_runs);
 
     if (!corpus.well_formed)
         return failures; // mutated input: cross-engine agreement was the check
@@ -263,6 +316,12 @@ std::vector<std::string> check_case(const Corpus& corpus, const std::string& que
     const std::vector<RecordMap> serial_rows = run_query(query, corpus.records);
     for (const std::string& m : oracle_compare(spec, oracle, serial_rows))
         failures.push_back("serial processor vs oracle: " + m);
+    // the spilled result is checked against the oracle with numeric
+    // tolerance (it need not be byte-identical to the unspilled run)
+    if (!spill_runs.front().threw)
+        for (const std::string& m :
+             oracle_compare(spec, oracle, spill_runs.front().rows))
+            failures.push_back("spilled engine vs oracle: " + m);
 
     // round trips
     {

@@ -3,14 +3,23 @@
 // For each seed the runner generates a corpus and a batch of queries,
 // executes every query through the full engine matrix — serial
 // QueryProcessor, ParallelQueryProcessor at 1/2/4 threads, mmap and
-// read()-fallback I/O, with and without forced early flushes — and
-// checks three independent properties:
+// read()-fallback I/O, with and without forced early flushes, batched
+// (default plus forced tiny batch sizes 1/2/7) and record-at-a-time
+// pipelines, and a forced-spill family under a 1-byte aggregation
+// memory budget — and checks three independent properties:
 //
 //   1. engine-family determinism: every parallel configuration sharing a
-//      morsel plan produces byte-identical formatted output;
-//   2. oracle agreement: engine and serial results match the naive exact
-//      oracle (exactly for counts/min/max/histograms/integer sums, within
-//      a forward error bound for floating-point reductions);
+//      morsel plan produces byte-identical formatted output — including
+//      record-at-a-time vs any batch size (at a fixed early-flush plan;
+//      flush cuts at batch granularity, so the batch-size family runs
+//      with flush off); the forced-spill family is byte-compared within
+//      itself (spilled merges may regroup floating-point additions, so
+//      spill-on vs spill-off is checked through the tolerant oracle
+//      instead);
+//   2. oracle agreement: engine (unspilled and spilled) and serial
+//      results match the naive exact oracle (exactly for
+//      counts/min/max/histograms/integer sums, within a forward error
+//      bound for floating-point reductions);
 //   3. round trips: the corpus and the query results survive
 //      write -> read re-parsing value-intact (.cali always, JSON when the
 //      query formats to JSON).

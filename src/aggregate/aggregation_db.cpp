@@ -5,8 +5,15 @@
 #include "../common/log.hpp"
 #include "../obs/metrics.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <cassert>
+#include <cstdio>
 #include <cstring>
+#include <numeric>
+#include <stdexcept>
+
+#include <unistd.h>
 
 namespace calib {
 
@@ -20,6 +27,8 @@ obs::Counter aggdb_lookups("aggdb.lookups");
 obs::Counter aggdb_probe_steps("aggdb.probe_steps");
 obs::Counter aggdb_inserts("aggdb.inserts");
 obs::Counter aggdb_merges("aggdb.merges");
+obs::Counter aggdb_spill_runs("aggdb.spill_runs");
+obs::Counter aggdb_spill_bytes("aggdb.spill_bytes");
 obs::Timer aggdb_flush("aggdb.flush");
 
 constexpr std::size_t initial_table_slots = 256;
@@ -48,6 +57,128 @@ const Variant* find_entry(std::span<const Entry> record, id_t attribute) {
     return nullptr;
 }
 
+/// Total order on key values consistent with Variant's bitwise equality
+/// (compare == 0 iff the Variants compare equal): type tag first, then the
+/// exact payload — doubles by bit pattern (so -0.0/+0.0 and NaN payloads
+/// stay distinct, matching operator==), strings by content (interned:
+/// equal content is pointer-equal).
+int compare_key_value(const Variant& a, const Variant& b) {
+    const int ta = static_cast<int>(a.type());
+    const int tb = static_cast<int>(b.type());
+    if (ta != tb)
+        return ta < tb ? -1 : 1;
+    switch (a.type()) {
+    case Variant::Type::Empty:
+        return 0;
+    case Variant::Type::Bool:
+        return (a.as_bool() ? 1 : 0) - (b.as_bool() ? 1 : 0);
+    case Variant::Type::Int:
+        return a.as_int() < b.as_int() ? -1 : a.as_int() > b.as_int() ? 1 : 0;
+    case Variant::Type::UInt:
+        return a.as_uint() < b.as_uint() ? -1 : a.as_uint() > b.as_uint() ? 1 : 0;
+    case Variant::Type::Double: {
+        const std::uint64_t ba = std::bit_cast<std::uint64_t>(a.as_double());
+        const std::uint64_t bb = std::bit_cast<std::uint64_t>(b.as_double());
+        return ba < bb ? -1 : ba > bb ? 1 : 0;
+    }
+    case Variant::Type::String:
+        return std::strcmp(a.as_cstr(), b.as_cstr());
+    }
+    return 0;
+}
+
+/// Lexicographic total order on whole keys, consistent with keys_equal().
+/// All spill runs are sorted by this order, so finalize merges them with
+/// one streaming cursor per run.
+int compare_keys(const Entry* a, std::size_t alen, const Entry* b, std::size_t blen) {
+    const std::size_t n = alen < blen ? alen : blen;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (a[i].attribute != b[i].attribute)
+            return a[i].attribute < b[i].attribute ? -1 : 1;
+        const int c = compare_key_value(a[i].value, b[i].value);
+        if (c != 0)
+            return c;
+    }
+    return alen == blen ? 0 : alen < blen ? -1 : 1;
+}
+
+/// Streaming cursor over one key-sorted spill run. Frames are
+/// [u32 payload_len][payload] with payload = [u32 states_off][u16 key_len]
+/// [key: u32 attr + variant, ...][serialized op states]. load_next() keeps
+/// the whole frame contiguous in the buffer, so key() and states() stay
+/// valid until the next load_next() call.
+class SpillRunCursor {
+public:
+    SpillRunCursor(int fd, std::uint64_t begin, std::uint64_t end)
+        : fd_(fd), next_read_(begin), end_(end) {}
+
+    bool load_next() {
+        off_ += frame_size_;
+        frame_size_ = 0;
+        if (!ensure(4)) {
+            if (avail_ != off_ || next_read_ < end_)
+                throw std::runtime_error("AggregationDB: truncated spill run");
+            return false;
+        }
+        std::uint32_t payload_len = 0;
+        std::memcpy(&payload_len, buf_.data() + off_, sizeof(payload_len));
+        if (!ensure(4 + static_cast<std::size_t>(payload_len)))
+            throw std::runtime_error("AggregationDB: truncated spill frame");
+        const std::byte* p = buf_.data() + off_ + 4;
+        ByteReader r(std::span<const std::byte>(p, payload_len));
+        const auto states_off = r.get<std::uint32_t>();
+        const auto key_len    = r.get<std::uint16_t>();
+        key_.clear();
+        for (std::uint16_t k = 0; k < key_len; ++k) {
+            const id_t attr = r.get<std::uint32_t>();
+            key_.push_back(Entry(attr, r.get_variant()));
+        }
+        states_     = std::span<const std::byte>(p + states_off, payload_len - states_off);
+        frame_size_ = 4 + payload_len;
+        return true;
+    }
+
+    const Entry* key() const noexcept { return key_.data(); }
+    std::size_t key_len() const noexcept { return key_.size(); }
+    std::span<const std::byte> states() const noexcept { return states_; }
+
+private:
+    bool ensure(std::size_t need) {
+        if (avail_ - off_ >= need)
+            return true;
+        if (off_ > 0) {
+            std::memmove(buf_.data(), buf_.data() + off_, avail_ - off_);
+            avail_ -= off_;
+            off_ = 0;
+        }
+        if (buf_.size() < need)
+            buf_.resize(std::max<std::size_t>(need, 256 * 1024));
+        while (avail_ < need) {
+            if (next_read_ >= end_)
+                return false;
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(buf_.size() - avail_, end_ - next_read_));
+            const ssize_t n = ::pread(fd_, buf_.data() + avail_, want,
+                                      static_cast<off_t>(next_read_));
+            if (n <= 0)
+                throw std::runtime_error("AggregationDB: spill read failed");
+            avail_ += static_cast<std::size_t>(n);
+            next_read_ += static_cast<std::uint64_t>(n);
+        }
+        return true;
+    }
+
+    int fd_;
+    std::uint64_t next_read_;
+    std::uint64_t end_;
+    std::vector<std::byte> buf_;
+    std::size_t off_        = 0;
+    std::size_t avail_      = 0;
+    std::size_t frame_size_ = 0;
+    std::vector<Entry> key_;
+    std::span<const std::byte> states_;
+};
+
 } // namespace
 
 AggregationDB::AggregationDB(AggregationConfig config, AttributeRegistry* registry)
@@ -64,6 +195,108 @@ AggregationDB::AggregationDB(AggregationConfig config, AttributeRegistry* regist
         state_stride_ += kernel::state_size(op.op) / sizeof(std::uint64_t);
     }
 
+    table_.assign(initial_table_slots, 0);
+}
+
+// Temp spill file: key-sorted runs of serialized partial aggregates,
+// appended by spill_current_run() and merged by for_each_merged_group().
+struct AggregationDB::SpillFile {
+    std::FILE* file = nullptr;
+    std::vector<std::uint64_t> run_offsets; ///< byte offset of each run start
+    std::uint64_t bytes = 0;                ///< total bytes written
+    ~SpillFile() {
+        if (file)
+            std::fclose(file);
+    }
+};
+
+// out of line: SpillFile is incomplete in the header
+AggregationDB::AggregationDB(AggregationDB&&) noexcept            = default;
+AggregationDB& AggregationDB::operator=(AggregationDB&&) noexcept = default;
+AggregationDB::~AggregationDB()                                   = default;
+
+void AggregationDB::set_memory_budget(std::size_t bytes) {
+    memory_budget_ = bytes;
+    if (bytes == 0) {
+        spill_limit_ = 0;
+        return;
+    }
+    // deterministic entry-count threshold derived from the configuration
+    // alone (never allocator state), so every run over equal input spills
+    // at identical record boundaries — batched or record-at-a-time
+    const std::size_t est_key =
+        config_.key.all ? 8
+                        : std::max<std::size_t>(std::size_t(1),
+                                                config_.key.attributes.size());
+    const std::size_t per_entry = est_key * sizeof(Entry) +
+                                  state_stride_ * sizeof(std::uint64_t) +
+                                  sizeof(EntryRec) + 2 * sizeof(std::uint32_t);
+    spill_limit_ = std::max<std::size_t>(16, bytes / per_entry);
+}
+
+void AggregationDB::maybe_spill() {
+    if (spill_limit_ != 0 && entries_.size() >= spill_limit_)
+        spill_current_run();
+}
+
+void AggregationDB::spill_current_run() {
+    if (entries_.empty())
+        return;
+    if (!spill_) {
+        spill_       = std::make_unique<SpillFile>();
+        spill_->file = std::tmpfile();
+        if (!spill_->file)
+            throw std::runtime_error("AggregationDB: cannot create spill file");
+    }
+
+    // write the live entries as one key-sorted run
+    std::vector<std::uint32_t> order(entries_.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
+        const EntryRec& ra = entries_[a];
+        const EntryRec& rb = entries_[b];
+        return compare_keys(key_arena_.data() + ra.key_offset, ra.key_len,
+                            key_arena_.data() + rb.key_offset, rb.key_len) < 0;
+    });
+
+    std::uint64_t run_bytes = 0;
+    std::vector<std::byte> frame;
+    for (const std::uint32_t idx : order) {
+        const EntryRec& rec = entries_[idx];
+        frame.clear();
+        ByteWriter fw(frame);
+        fw.put(static_cast<std::uint32_t>(0)); // states_off, patched below
+        fw.put(static_cast<std::uint16_t>(rec.key_len));
+        for (std::uint32_t k = 0; k < rec.key_len; ++k) {
+            const Entry& ke = key_arena_[rec.key_offset + k];
+            fw.put(static_cast<std::uint32_t>(ke.attribute));
+            fw.put_variant(ke.value);
+        }
+        const std::uint32_t states_off = static_cast<std::uint32_t>(frame.size());
+        std::memcpy(frame.data(), &states_off, sizeof(states_off));
+        for (std::size_t i = 0; i < config_.ops.size(); ++i)
+            kernel::state_serialize(config_.ops[i].op, entry_state(idx, i), fw);
+
+        const std::uint32_t payload_len = static_cast<std::uint32_t>(frame.size());
+        if (std::fwrite(&payload_len, sizeof(payload_len), 1, spill_->file) != 1 ||
+            std::fwrite(frame.data(), payload_len, 1, spill_->file) != 1)
+            throw std::runtime_error("AggregationDB: spill write failed");
+        run_bytes += sizeof(payload_len) + payload_len;
+    }
+    std::fflush(spill_->file); // finalize reads through pread()
+
+    spill_->run_offsets.push_back(spill_->bytes);
+    spill_->bytes += run_bytes;
+    ++stats_.spill_runs;
+    stats_.spill_bytes += run_bytes;
+    aggdb_spill_runs.add();
+    aggdb_spill_bytes.add(run_bytes);
+
+    // restart the live table; processed count, stats, and resolution state
+    // carry over
+    key_arena_.clear();
+    state_arena_.clear();
+    entries_.clear();
     table_.assign(initial_table_slots, 0);
 }
 
@@ -192,6 +425,143 @@ void AggregationDB::process(std::span<const Entry> record) {
     update_ops(index, record);
     ++processed_;
     aggdb_records.add();
+    maybe_spill();
+}
+
+void AggregationDB::process_batch(const RecordBatch& batch,
+                                  std::span<const std::uint32_t> selection) {
+    if (selection.empty())
+        return;
+    resolve_ids();
+
+    // resolve key and op attributes to columns once per batch (stream
+    // causality makes this equivalent to per-record resolution: a record
+    // can only carry an attribute the stream had already defined, so the
+    // batch's columns cover everything any of its rows reference)
+    if (config_.key.all) {
+        key_plan_.clear();
+        for (std::size_t ci = 0; ci < batch.num_columns(); ++ci)
+            if (!skip_in_implicit_key(batch.column_at(ci).attribute))
+                key_plan_.push_back(static_cast<std::uint32_t>(ci));
+        // column attributes are unique, so a plain sort matches the record
+        // path's stable_sort over per-record entries
+        std::sort(key_plan_.begin(), key_plan_.end(),
+                  [&batch](std::uint32_t a, std::uint32_t b) {
+                      return batch.column_at(a).attribute < batch.column_at(b).attribute;
+                  });
+    } else {
+        key_cols_.assign(key_ids_.size(), -1);
+        for (std::size_t i = 0; i < key_ids_.size(); ++i)
+            if (key_ids_[i] != invalid_id)
+                key_cols_[i] = batch.column_index(key_ids_[i]);
+    }
+    op_cols_.assign(config_.ops.size(), -1);
+    op_fallback_cols_.assign(config_.ops.size(), -1);
+    for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+        if (op_ids_[i] != invalid_id)
+            op_cols_[i] = batch.column_index(op_ids_[i]);
+        if (op_fallback_ids_[i] != invalid_id)
+            op_fallback_cols_[i] = batch.column_index(op_fallback_ids_[i]);
+    }
+
+    // pass 1: build every conforming row's key into one scratch arena and
+    // hash it; overflow rows and rows beyond snapshot capacity (where
+    // truncation applies) take the record-at-a-time fallback
+    row_keys_.clear();
+    scratch_keys_.clear();
+    hash_scratch_.clear();
+    for (const std::uint32_t r : selection) {
+        if (batch.is_overflow(r) ||
+            batch.entries_in_row(r) > SnapshotRecord::max_entries) {
+            row_keys_.push_back(RowKey{0, 0, UINT32_MAX});
+            continue;
+        }
+        const std::uint32_t off = static_cast<std::uint32_t>(scratch_keys_.size());
+        if (config_.key.all) {
+            for (const std::uint32_t ci : key_plan_) {
+                const RecordBatch::Column& c = batch.column_at(ci);
+                if (c.valid[r])
+                    scratch_keys_.push_back(Entry(c.attribute, c.values[r]));
+            }
+        } else {
+            for (std::size_t i = 0; i < key_ids_.size(); ++i) {
+                const std::int32_t ci = key_cols_[i];
+                const bool present =
+                    ci >= 0 && batch.column_at(static_cast<std::size_t>(ci)).valid[r];
+                const Variant v =
+                    present ? batch.column_at(static_cast<std::size_t>(ci)).values[r]
+                            : Variant();
+                scratch_keys_.push_back(Entry(v.empty() ? invalid_id : key_ids_[i], v));
+            }
+        }
+        const std::uint32_t len = static_cast<std::uint32_t>(scratch_keys_.size()) - off;
+        const std::uint64_t h   = hash_key(scratch_keys_.data() + off, len);
+        row_keys_.push_back(RowKey{h, off, len});
+        hash_scratch_.push_back(h);
+    }
+
+    // reserve kernel-state capacity from the observed morsel cardinality
+    // (distinct key hashes) before the probe loop, so low-duplication
+    // batches do not rehash and reallocate mid-morsel
+    if (!hash_scratch_.empty()) {
+        std::sort(hash_scratch_.begin(), hash_scratch_.end());
+        std::size_t distinct = 1;
+        for (std::size_t i = 1; i < hash_scratch_.size(); ++i)
+            if (hash_scratch_[i] != hash_scratch_[i - 1])
+                ++distinct;
+        std::size_t want = entries_.size() + distinct;
+        if (spill_limit_ != 0)
+            want = std::min(want, spill_limit_); // the table restarts at the budget
+        if (want > entries_.capacity())
+            reserve(want);
+    }
+
+    // pass 2, in selection order: probe (with a last-key memo for
+    // clustered streams) and update the kernels straight from the columns
+    std::uint64_t direct    = 0;
+    std::size_t memo_index  = static_cast<std::size_t>(-1);
+    std::uint64_t memo_hash = 0;
+    std::uint32_t memo_off  = 0;
+    std::uint32_t memo_len  = 0;
+    std::size_t ki          = 0;
+    for (const std::uint32_t r : selection) {
+        const RowKey rk = row_keys_[ki++];
+        if (rk.len == UINT32_MAX) {
+            // overflow rows keep their exact record; oversized conforming
+            // rows materialize, then process() truncates like the shim
+            if (batch.is_overflow(r)) {
+                process(batch.overflow_record(r).span());
+            } else {
+                batch.materialize(r, fallback_rec_);
+                process(fallback_rec_.span());
+            }
+            memo_index = static_cast<std::size_t>(-1); // process() may spill
+            continue;
+        }
+        const Entry* key = scratch_keys_.data() + rk.offset;
+        std::size_t index;
+        if (memo_index != static_cast<std::size_t>(-1) && rk.hash == memo_hash &&
+            rk.len == memo_len &&
+            keys_equal(key, scratch_keys_.data() + memo_off, rk.len)) {
+            index = memo_index;
+            ++stats_.lookups; // memo hits still count as key lookups
+            aggdb_lookups.add();
+        } else {
+            index      = find_or_insert(key, rk.len, rk.hash);
+            memo_index = index;
+            memo_hash  = rk.hash;
+            memo_off   = rk.offset;
+            memo_len   = rk.len;
+        }
+        update_ops_cols(index, batch, r);
+        ++processed_;
+        ++direct;
+        if (spill_limit_ != 0 && entries_.size() >= spill_limit_) {
+            spill_current_run();
+            memo_index = static_cast<std::size_t>(-1); // entries_ restarted
+        }
+    }
+    aggdb_records.add(direct);
 }
 
 void AggregationDB::process_offline(const RecordMap& record) {
@@ -288,6 +658,146 @@ void AggregationDB::update_ops(std::size_t entry_index, std::span<const Entry> r
     }
 }
 
+void AggregationDB::update_ops_cols(std::size_t entry_index, const RecordBatch& batch,
+                                    std::size_t row) {
+    for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+        const AggOp op = config_.ops[i].op;
+        if (agg_op_is_nullary(op)) {
+            kernel::state_update(op, entry_state(entry_index, i), Variant());
+            continue;
+        }
+        const Variant* v      = nullptr;
+        const std::int32_t pc = op_cols_[i];
+        if (pc >= 0) {
+            const RecordBatch::Column& c =
+                batch.column_at(static_cast<std::size_t>(pc));
+            if (c.valid[row])
+                v = &c.values[row];
+        }
+        if ((!v || v->empty()) && op_fallback_cols_[i] >= 0) {
+            const RecordBatch::Column& c =
+                batch.column_at(static_cast<std::size_t>(op_fallback_cols_[i]));
+            if (c.valid[row])
+                v = &c.values[row];
+        }
+        if (v && !v->empty())
+            kernel::state_update(op, entry_state(entry_index, i), *v);
+    }
+}
+
+void AggregationDB::for_each_merged_group(
+    const std::function<void(const Entry*, std::size_t, const std::uint64_t*)>& fn)
+    const {
+    if (!spill_) {
+        for (std::size_t e = 0; e < entries_.size(); ++e) {
+            const EntryRec& rec = entries_[e];
+            fn(key_arena_.data() + rec.key_offset, rec.key_len,
+               state_arena_.data() + rec.state_offset);
+        }
+        return;
+    }
+
+    const int fd            = ::fileno(spill_->file);
+    const std::size_t nruns = spill_->run_offsets.size();
+    std::vector<SpillRunCursor> runs;
+    runs.reserve(nruns);
+    for (std::size_t i = 0; i < nruns; ++i) {
+        const std::uint64_t begin = spill_->run_offsets[i];
+        const std::uint64_t end =
+            i + 1 < nruns ? spill_->run_offsets[i + 1] : spill_->bytes;
+        runs.emplace_back(fd, begin, end);
+    }
+    std::vector<std::uint8_t> alive(nruns, 0);
+    for (std::size_t i = 0; i < nruns; ++i)
+        alive[i] = runs[i].load_next() ? 1 : 0;
+
+    // the live table joins as one more key-sorted "run", merged after every
+    // spilled run so its updates land last (chronological merge order)
+    std::vector<std::uint32_t> live(entries_.size());
+    std::iota(live.begin(), live.end(), 0u);
+    std::sort(live.begin(), live.end(), [this](std::uint32_t a, std::uint32_t b) {
+        const EntryRec& ra = entries_[a];
+        const EntryRec& rb = entries_[b];
+        return compare_keys(key_arena_.data() + ra.key_offset, ra.key_len,
+                            key_arena_.data() + rb.key_offset, rb.key_len) < 0;
+    });
+    std::size_t live_pos = 0;
+
+    std::vector<std::uint64_t> merged(state_stride_);
+    std::uint64_t scratch[kernel::histogram_bins + 4]; // largest op state
+    std::vector<std::uint32_t> equal_runs;
+
+    while (true) {
+        // minimal key across all run cursors and the live table. A key may
+        // legitimately be zero-length (GROUP BY * on an empty record), so
+        // "nothing left" needs an explicit flag, not a null key pointer.
+        bool have_min        = false;
+        const Entry* min_key = nullptr;
+        std::size_t min_len  = 0;
+        for (std::size_t i = 0; i < nruns; ++i) {
+            if (!alive[i])
+                continue;
+            if (!have_min ||
+                compare_keys(runs[i].key(), runs[i].key_len(), min_key, min_len) < 0) {
+                have_min = true;
+                min_key  = runs[i].key();
+                min_len  = runs[i].key_len();
+            }
+        }
+        bool have_live        = false;
+        const Entry* live_key = nullptr;
+        std::size_t live_len  = 0;
+        if (live_pos < live.size()) {
+            const EntryRec& rec = entries_[live[live_pos]];
+            have_live           = true;
+            live_key            = key_arena_.data() + rec.key_offset;
+            live_len            = rec.key_len;
+            if (!have_min || compare_keys(live_key, live_len, min_key, min_len) < 0) {
+                have_min = true;
+                min_key  = live_key;
+                min_len  = live_len;
+            }
+        }
+        if (!have_min)
+            break;
+
+        // merge every cursor positioned at this key, runs in write order
+        for (std::size_t i = 0; i < config_.ops.size(); ++i)
+            kernel::state_init(config_.ops[i].op, merged.data() + op_state_offsets_[i]);
+        equal_runs.clear();
+        for (std::size_t i = 0; i < nruns; ++i) {
+            if (!alive[i] ||
+                compare_keys(runs[i].key(), runs[i].key_len(), min_key, min_len) != 0)
+                continue;
+            equal_runs.push_back(static_cast<std::uint32_t>(i));
+            ByteReader r(runs[i].states());
+            for (std::size_t k = 0; k < config_.ops.size(); ++k) {
+                kernel::state_init(config_.ops[k].op, scratch);
+                kernel::state_deserialize(config_.ops[k].op, scratch, r);
+                kernel::state_merge(config_.ops[k].op,
+                                    merged.data() + op_state_offsets_[k], scratch);
+            }
+        }
+        bool live_used = false;
+        if (have_live && compare_keys(live_key, live_len, min_key, min_len) == 0) {
+            const EntryRec& rec = entries_[live[live_pos]];
+            for (std::size_t k = 0; k < config_.ops.size(); ++k)
+                kernel::state_merge(
+                    config_.ops[k].op, merged.data() + op_state_offsets_[k],
+                    state_arena_.data() + rec.state_offset + op_state_offsets_[k]);
+            live_used = true;
+        }
+
+        fn(min_key, min_len, merged.data());
+
+        // advance only after fn: min_key may point into a cursor's buffer
+        for (const std::uint32_t i : equal_runs)
+            alive[i] = runs[i].load_next() ? 1 : 0;
+        if (live_used)
+            ++live_pos;
+    }
+}
+
 std::size_t AggregationDB::bytes() const noexcept {
     return key_arena_.capacity() * sizeof(Entry) +
            state_arena_.capacity() * sizeof(std::uint64_t) +
@@ -297,6 +807,42 @@ std::size_t AggregationDB::bytes() const noexcept {
 
 void AggregationDB::flush(const std::function<void(RecordMap&&)>& sink) const {
     obs::Timer::Scope flush_scope(aggdb_flush);
+
+    if (spill_) {
+        // merged emission in spill-key order; two passes because
+        // percent_total denominators need every group first
+        std::vector<double> denominators(config_.ops.size(), 0.0);
+        bool need_denominators = false;
+        for (const AggOpConfig& op : config_.ops)
+            if (op.op == AggOp::PercentTotal)
+                need_denominators = true;
+        if (need_denominators) {
+            for_each_merged_group(
+                [&](const Entry*, std::size_t, const std::uint64_t* state) {
+                    for (std::size_t i = 0; i < config_.ops.size(); ++i)
+                        if (config_.ops[i].op == AggOp::PercentTotal)
+                            denominators[i] += kernel::state_sum_value(
+                                config_.ops[i].op, state + op_state_offsets_[i]);
+                });
+        }
+        for_each_merged_group([&](const Entry* key, std::size_t key_len,
+                                  const std::uint64_t* state) {
+            RecordMap out;
+            out.reserve(key_len + config_.ops.size());
+            for (std::size_t k = 0; k < key_len; ++k) {
+                const Entry& ke = key[k];
+                if (ke.value.empty() || ke.attribute == invalid_id)
+                    continue;
+                out.append(registry_->get(ke.attribute).name(), ke.value);
+            }
+            for (std::size_t i = 0; i < config_.ops.size(); ++i)
+                kernel::state_result(config_.ops[i].op, state + op_state_offsets_[i],
+                                     config_.ops[i], out, denominators[i]);
+            sink(std::move(out));
+        });
+        return;
+    }
+
     // percent_total denominators, one per configured op
     std::vector<double> denominators(config_.ops.size(), 0.0);
     for (std::size_t i = 0; i < config_.ops.size(); ++i) {
@@ -333,8 +879,12 @@ std::vector<RecordMap> AggregationDB::flush() const {
 
 void AggregationDB::merge(const AggregationDB& other) {
     assert(config_.ops.size() == other.config_.ops.size());
+    assert(!other.spilled()); // sources drain before they spill
     aggdb_merges.add();
-    reserve(entries_.size() + other.entries_.size());
+    std::size_t want = entries_.size() + other.entries_.size();
+    if (spill_limit_ != 0)
+        want = std::min(want, spill_limit_);
+    reserve(want);
     for (std::size_t e = 0; e < other.entries_.size(); ++e) {
         const EntryRec& rec = other.entries_[e];
         const Entry* key    = other.key_arena_.data() + rec.key_offset;
@@ -342,6 +892,7 @@ void AggregationDB::merge(const AggregationDB& other) {
         for (std::size_t i = 0; i < config_.ops.size(); ++i)
             kernel::state_merge(config_.ops[i].op, entry_state(index, i),
                                 other.entry_state(e, i));
+        maybe_spill();
     }
     processed_ += other.processed_;
 }
@@ -349,6 +900,7 @@ void AggregationDB::merge(const AggregationDB& other) {
 void AggregationDB::merge(AggregationDB&& other) {
     assert(config_.ops.size() == other.config_.ops.size());
     assert(registry_ == other.registry_);
+    assert(!other.spilled()); // sources drain before they spill
     // the fall-through path counts in merge(const&); count the fast paths here
     if (other.entries_.empty()) {
         aggdb_merges.add();
@@ -374,6 +926,7 @@ void AggregationDB::merge(AggregationDB&& other) {
         stats_.collisions += other.stats_.collisions;
         stats_.inserts += other.stats_.inserts;
         other.clear();
+        maybe_spill(); // the stolen table may already exceed the budget
         return;
     }
     merge(static_cast<const AggregationDB&>(other));
@@ -386,6 +939,31 @@ std::vector<std::byte> AggregationDB::serialize() const {
     w.put(serialize_magic);
     w.put(static_cast<std::uint32_t>(config_.ops.size()));
     w.put(static_cast<std::uint64_t>(processed_));
+
+    if (spill_) {
+        // the merged group count is only known after the pass; patch it in
+        const std::size_t count_pos = buf.size();
+        w.put(static_cast<std::uint32_t>(0));
+        std::uint32_t groups = 0;
+        for_each_merged_group([&](const Entry* key, std::size_t key_len,
+                                  const std::uint64_t* state) {
+            ++groups;
+            w.put(static_cast<std::uint16_t>(key_len));
+            for (std::size_t k = 0; k < key_len; ++k) {
+                if (key[k].attribute == invalid_id)
+                    w.put_string("");
+                else
+                    w.put_string(registry_->get(key[k].attribute).name_view());
+                w.put_variant(key[k].value);
+            }
+            for (std::size_t i = 0; i < config_.ops.size(); ++i)
+                kernel::state_serialize(config_.ops[i].op,
+                                        state + op_state_offsets_[i], w);
+        });
+        std::memcpy(buf.data() + count_pos, &groups, sizeof(groups));
+        return buf;
+    }
+
     w.put(static_cast<std::uint32_t>(entries_.size()));
 
     for (std::size_t e = 0; e < entries_.size(); ++e) {
@@ -414,7 +992,10 @@ void AggregationDB::merge_serialized(std::span<const std::byte> data) {
         throw std::runtime_error("AggregationDB: op-count mismatch in merge");
     const auto nprocessed = r.get<std::uint64_t>();
     const auto nentries   = r.get<std::uint32_t>();
-    reserve(entries_.size() + nentries);
+    std::size_t want      = entries_.size() + nentries;
+    if (spill_limit_ != 0)
+        want = std::min<std::size_t>(want, spill_limit_);
+    reserve(want);
 
     // scratch for one deserialized kernel state (largest op state)
     std::uint64_t scratch[kernel::histogram_bins + 4];
@@ -439,6 +1020,7 @@ void AggregationDB::merge_serialized(std::span<const std::byte> data) {
             kernel::state_deserialize(config_.ops[i].op, scratch, r);
             kernel::state_merge(config_.ops[i].op, entry_state(index, i), scratch);
         }
+        maybe_spill();
     }
     processed_ += nprocessed;
 }
@@ -448,6 +1030,7 @@ void AggregationDB::clear() {
     state_arena_.clear();
     entries_.clear();
     table_.assign(initial_table_slots, 0);
+    spill_.reset(); // the memory budget itself stays configured
     processed_ = 0;
     stats_     = Stats{};
 }

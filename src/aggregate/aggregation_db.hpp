@@ -12,6 +12,22 @@
 //
 // Thread-safety: none by design — the runtime keeps one DB per monitored
 // thread (paper §IV-B: "this design avoids the use of thread locks").
+//
+// Two optional capabilities for the columnar offline pipeline:
+//
+//   - process_batch() folds a whole RecordBatch in one call: key columns
+//     and op inputs resolve to column indices once per batch, the probe
+//     loop runs over precomputed row hashes (with a last-key memo for
+//     clustered streams), and kernel updates read column vectors directly.
+//     Byte-identical to calling process() per selected row.
+//
+//   - set_memory_budget() bounds the in-memory group table: when the live
+//     entry count reaches the budget-derived limit, the current entries
+//     are sorted by key and appended to a temp spill file as one run, and
+//     the table restarts empty. flush()/serialize() then merge groups
+//     across runs (plus the live table) with one cursor per run. The
+//     spill trigger is a deterministic entry-count threshold, so batched
+//     and record-at-a-time runs spill at identical record boundaries.
 #pragma once
 
 #include "kernel.hpp"
@@ -19,11 +35,13 @@
 
 #include "../common/attribute.hpp"
 #include "../common/idrecord.hpp"
+#include "../common/recordbatch.hpp"
 #include "../common/recordmap.hpp"
 #include "../common/snapshot.hpp"
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -36,10 +54,11 @@ public:
     ///        outlive the database
     AggregationDB(AggregationConfig config, AttributeRegistry* registry);
 
-    AggregationDB(AggregationDB&&) noexcept            = default;
-    AggregationDB& operator=(AggregationDB&&) noexcept = default;
-    AggregationDB(const AggregationDB&)                = delete;
-    AggregationDB& operator=(const AggregationDB&)     = delete;
+    AggregationDB(AggregationDB&&) noexcept;
+    AggregationDB& operator=(AggregationDB&&) noexcept;
+    AggregationDB(const AggregationDB&)            = delete;
+    AggregationDB& operator=(const AggregationDB&) = delete;
+    ~AggregationDB();
 
     /// Preallocate room for \a entries aggregation entries (keeps the
     /// snapshot-processing path free of reallocations until exceeded).
@@ -58,6 +77,27 @@ public:
 
     /// Fold one id-based offline record (resolve-once reader output).
     void process(const IdRecord& record) { process(record.span()); }
+
+    /// Fold the selected rows of a record batch (columnar hot path): key
+    /// and op attributes resolve to columns once, then a tight probe +
+    /// per-column update loop runs over the selection vector. Overflow
+    /// rows and rows beyond SnapshotRecord::max_entries fall back to
+    /// process(). Byte-identical to record-at-a-time processing.
+    void process_batch(const RecordBatch& batch,
+                       std::span<const std::uint32_t> selection);
+
+    /// Bound live key+state memory to roughly \a bytes: beyond a
+    /// budget-derived entry count, sorted runs of partial aggregates spill
+    /// to a temp file and merge again at flush()/serialize(). 0 (default)
+    /// = unbounded. The threshold is deterministic in (config, budget),
+    /// never allocator state, so equal inputs spill identically.
+    void set_memory_budget(std::size_t bytes);
+    std::size_t memory_budget() const noexcept { return memory_budget_; }
+
+    /// True once at least one run has spilled. Flush emission switches
+    /// from insertion order to key-sorted merge order (callers that need
+    /// a canonical order sort rows anyway).
+    bool spilled() const noexcept { return spill_ != nullptr; }
 
     /// Compatibility shim for name-based callers: attributes are resolved
     /// or created in the registry per record, then processed like a
@@ -110,6 +150,8 @@ public:
         std::uint64_t lookups    = 0;
         std::uint64_t collisions = 0; ///< probe steps beyond the first slot
         std::uint64_t inserts    = 0;
+        std::uint64_t spill_runs  = 0; ///< sorted runs written to the spill file
+        std::uint64_t spill_bytes = 0; ///< bytes written to the spill file
     };
     const Stats& stats() const noexcept { return stats_; }
 
@@ -121,13 +163,34 @@ private:
         std::uint32_t state_offset; ///< index into state_arena_ (u64 words)
     };
 
+    struct SpillFile; ///< temp file + run directory (aggregation_db.cpp)
+
+    /// Per-row key location in the batch scratch arena; len == UINT32_MAX
+    /// marks a row that fell back to record-at-a-time process().
+    struct RowKey {
+        std::uint64_t hash;
+        std::uint32_t offset;
+        std::uint32_t len;
+    };
+
     void resolve_ids();
     bool skip_in_implicit_key(id_t attr);
     std::size_t find_or_insert(const Entry* key, std::size_t key_len, std::uint64_t hash);
     void grow_table(std::size_t min_slots);
     void update_ops(std::size_t entry_index, std::span<const Entry> record);
+    void update_ops_cols(std::size_t entry_index, const RecordBatch& batch,
+                         std::size_t row);
     std::uint64_t* entry_state(std::size_t entry_index, std::size_t op_index);
     const std::uint64_t* entry_state(std::size_t entry_index, std::size_t op_index) const;
+
+    void maybe_spill();
+    void spill_current_run();
+    /// Visit every group merged across all spill runs and the live table,
+    /// in spill-key order; \a fn receives the key entries and the merged
+    /// state block (state_stride_ words, op_state_offsets_ layout).
+    void for_each_merged_group(
+        const std::function<void(const Entry*, std::size_t, const std::uint64_t*)>& fn)
+        const;
 
     AggregationConfig config_;
     AttributeRegistry* registry_;
@@ -149,6 +212,21 @@ private:
     std::vector<std::uint64_t> state_arena_;
     std::vector<EntryRec> entries_;
     std::vector<std::uint32_t> table_; // open addressing; 0 = empty, else index+1
+
+    // spill state (set_memory_budget)
+    std::size_t memory_budget_ = 0; ///< bytes; 0 = unbounded
+    std::size_t spill_limit_   = 0; ///< live-entry threshold; 0 = unbounded
+    std::unique_ptr<SpillFile> spill_;
+
+    // reused process_batch scratch
+    std::vector<std::uint32_t> key_plan_;       ///< implicit-key column indices
+    std::vector<std::int32_t> key_cols_;        ///< explicit-key column per key id
+    std::vector<std::int32_t> op_cols_;         ///< op input column per op
+    std::vector<std::int32_t> op_fallback_cols_;
+    std::vector<Entry> scratch_keys_;           ///< per-batch key arena
+    std::vector<RowKey> row_keys_;
+    std::vector<std::uint64_t> hash_scratch_;   ///< distinct-key estimate
+    IdRecord fallback_rec_;                     ///< oversized-row materialize
 
     std::uint64_t processed_ = 0;
     Stats stats_;

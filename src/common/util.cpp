@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <limits>
 
 namespace calib::util {
 
@@ -142,6 +143,42 @@ std::string format_bytes(double bytes) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.1f %s", bytes, units[u]);
     return buf;
+}
+
+bool parse_size(std::string_view text, std::size_t& out) {
+    if (text.empty())
+        return false;
+    std::size_t value = 0;
+    std::size_t i     = 0;
+    bool digits       = false;
+    for (; i < text.size(); ++i) {
+        const char c = text[i];
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            break;
+        const std::size_t d = static_cast<std::size_t>(c - '0');
+        if (value > (std::numeric_limits<std::size_t>::max() - d) / 10)
+            return false; // overflow
+        value  = value * 10 + d;
+        digits = true;
+    }
+    if (!digits)
+        return false;
+    if (i < text.size()) {
+        std::size_t mult = 0;
+        switch (std::tolower(static_cast<unsigned char>(text[i]))) {
+        case 'k': mult = std::size_t(1) << 10; break;
+        case 'm': mult = std::size_t(1) << 20; break;
+        case 'g': mult = std::size_t(1) << 30; break;
+        default: return false;
+        }
+        if (++i != text.size())
+            return false; // trailing garbage after the suffix
+        if (value > std::numeric_limits<std::size_t>::max() / mult)
+            return false;
+        value *= mult;
+    }
+    out = value;
+    return true;
 }
 
 } // namespace calib::util

@@ -36,4 +36,9 @@ bool looks_numeric(std::string_view text);
 /// Format a byte count as a human-readable string ("1.5 MiB").
 std::string format_bytes(double bytes);
 
+/// Parse a non-negative size: plain digits with an optional case-insensitive
+/// binary suffix K/M/G (e.g. "4096", "64k", "2M"). Returns false on empty
+/// input, trailing garbage, or overflow; \a out is untouched on failure.
+bool parse_size(std::string_view text, std::size_t& out);
+
 } // namespace calib::util

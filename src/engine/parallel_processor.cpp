@@ -2,10 +2,13 @@
 
 #include "thread_pool.hpp"
 
+#include "../common/util.hpp"
 #include "../io/calireader.hpp"
 #include "../io/jsonreader.hpp"
 #include "../obs/metrics.hpp"
 
+#include <algorithm>
+#include <cstdlib>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -18,10 +21,46 @@ namespace {
 obs::Counter engine_early_flushes("engine.early_flushes");
 obs::Counter engine_early_flush_bytes("engine.early_flush_bytes");
 
+constexpr std::size_t max_batch_rows = std::size_t(1) << 20;
+
+std::size_t clamp_batch_size(std::size_t rows) {
+    return rows == 0 ? 1 : std::min(rows, max_batch_rows);
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* s = std::getenv(name);
+    std::size_t v = 0;
+    if (s && *s && util::parse_size(s, v))
+        return v;
+    return fallback;
+}
+
+std::size_t g_default_batch_size = 0; // 0 = unset; fall back to env / 1024
+std::size_t g_default_agg_budget = static_cast<std::size_t>(-1); // unset
+
 void join_globals(IdRecord& record, const IdRecord& globals) {
     for (const Entry& g : globals)
         if (!record.contains(g.attribute))
             record.append(g);
+}
+
+/// Batched twin of join_globals(IdRecord&): conforming rows take the
+/// global through an append-target column (record `append` semantics —
+/// rows already carrying the attribute keep their value), overflow rows go
+/// through the record path verbatim.
+void join_globals(RecordBatch& batch, const IdRecord& globals) {
+    for (const Entry& g : globals) {
+        const std::size_t col = batch.append_target(g.attribute);
+        for (std::size_t r = 0; r < batch.rows(); ++r) {
+            if (batch.is_overflow(r)) {
+                IdRecord& rec = batch.overflow_record(r);
+                if (!rec.contains(g.attribute))
+                    rec.append(g);
+            } else if (!batch.column_at(col).valid[r]) {
+                batch.set_row_value(col, r, g.value);
+            }
+        }
+    }
 }
 
 /// Per-morsel partial state produced in phase 1.
@@ -33,8 +72,41 @@ struct Partial {
 
 } // namespace
 
+std::size_t default_batch_size() {
+    if (g_default_batch_size != 0)
+        return g_default_batch_size;
+    static const std::size_t env =
+        clamp_batch_size(env_size("CALIB_BATCH_SIZE", 1024));
+    return env;
+}
+
+void set_default_batch_size(std::size_t rows) {
+    g_default_batch_size = rows == 0 ? 0 : clamp_batch_size(rows);
+}
+
+std::size_t default_agg_memory_budget() {
+    if (g_default_agg_budget != static_cast<std::size_t>(-1))
+        return g_default_agg_budget;
+    static const std::size_t env = env_size("CALIB_AGG_MEM", 0);
+    return env;
+}
+
+void set_default_agg_memory_budget(std::size_t bytes) {
+    g_default_agg_budget = bytes;
+}
+
 ParallelQueryProcessor::ParallelQueryProcessor(QuerySpec spec, EngineOptions opts)
-    : opts_(opts), root_(std::move(spec), &registry_) {}
+    : opts_(opts), root_(std::move(spec), &registry_) {
+    opts_.batch_size = opts_.batch_size == 0 ? default_batch_size()
+                                             : clamp_batch_size(opts_.batch_size);
+    if (opts_.agg_memory_budget == static_cast<std::size_t>(-1))
+        opts_.agg_memory_budget = default_agg_memory_budget();
+    // the budget lives on the root processor: worker partials drain into it
+    // unspilled (early flush bounds their memory), and the root's sort-spill
+    // bounds the merged group table
+    if (opts_.agg_memory_budget != 0)
+        root_.set_aggregation_memory_budget(opts_.agg_memory_budget);
+}
 
 QueryProcessor& ParallelQueryProcessor::run(const std::vector<std::string>& files) {
     const std::size_t threads =
@@ -66,6 +138,33 @@ QueryProcessor& ParallelQueryProcessor::run(const std::vector<std::string>& file
 }
 
 void ParallelQueryProcessor::run_serial(const std::vector<std::string>& files) {
+    if (opts_.batched) {
+        const std::size_t bs = opts_.batch_size;
+        for (const std::string& file : files) {
+            if (opts_.json_input) {
+                read_json_file_batches(file, registry_, bs,
+                                       [this](RecordBatch& b) { root_.add_batch(b); });
+            } else if (opts_.with_globals) {
+                // globals may appear anywhere in the stream, so batches are
+                // buffered until the file is fully scanned
+                IdRecord globals;
+                std::vector<RecordBatch> batches;
+                CaliReader::read_file_batches(
+                    file, registry_, bs,
+                    [&batches](RecordBatch& b) { batches.push_back(std::move(b)); },
+                    &globals);
+                for (RecordBatch& b : batches) {
+                    join_globals(b, globals);
+                    root_.add_batch(b);
+                }
+            } else {
+                CaliReader::read_file_batches(
+                    file, registry_, bs,
+                    [this](RecordBatch& b) { root_.add_batch(b); });
+            }
+        }
+        return;
+    }
     for (const std::string& file : files) {
         if (opts_.json_input) {
             read_json_file(file, registry_,
@@ -123,8 +222,7 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
         futures.push_back(pool.submit([this, &m = morsels[i], &p = partials[i],
                                        &source_globals] {
             QueryProcessor& proc = *p.proc;
-            auto feed            = [this, &proc, &p](IdRecord&& r) {
-                proc.add(std::move(r));
+            auto flush_check     = [this, &proc, &p] {
                 if (opts_.max_partial_entries > 0 &&
                     proc.aggregation_entries() > opts_.max_partial_entries) {
                     std::vector<std::byte> buf = proc.take_partial();
@@ -132,13 +230,36 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
                         p.flushed.push_back(std::move(buf));
                 }
             };
+            auto feed = [&proc, &flush_check](IdRecord&& r) {
+                proc.add(std::move(r));
+                flush_check();
+            };
+            auto batch_feed = [&proc, &flush_check](RecordBatch& b) {
+                proc.add_batch(b);
+                flush_check();
+            };
+            const std::size_t bs = opts_.batch_size;
             if (m.kind == Morsel::Kind::JsonFile) {
-                read_json_file(m.path, registry_, feed);
+                if (opts_.batched)
+                    read_json_file_batches(m.path, registry_, bs, batch_feed);
+                else
+                    read_json_file(m.path, registry_, feed);
             } else if (m.kind == Morsel::Kind::CaliBytes) {
                 // the shared source is already mapped and planned; this
                 // worker parses only its own byte span (plus the tiny
                 // attribute-definition prefix)
-                if (opts_.with_globals) {
+                if (opts_.batched) {
+                    if (opts_.with_globals) {
+                        m.source->read_chunk_batches(m.chunk, registry_, bs,
+                                                     [&](RecordBatch& b) {
+                                                         join_globals(b, source_globals);
+                                                         batch_feed(b);
+                                                     });
+                    } else {
+                        m.source->read_chunk_batches(m.chunk, registry_, bs,
+                                                     batch_feed);
+                    }
+                } else if (opts_.with_globals) {
                     m.source->read_chunk(m.chunk, registry_,
                                          [&](IdRecord&& r) {
                                              join_globals(r, source_globals);
@@ -149,15 +270,30 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
                 }
             } else if (opts_.with_globals) {
                 IdRecord globals;
-                std::vector<IdRecord> records;
-                CaliReader::read_file_range(
-                    m.path, m.begin, m.end, registry_,
-                    [&records](IdRecord&& r) { records.push_back(std::move(r)); },
-                    &globals);
-                for (IdRecord& r : records) {
-                    join_globals(r, globals);
-                    feed(std::move(r));
+                if (opts_.batched) {
+                    std::vector<RecordBatch> batches;
+                    CaliReader::read_file_range_batches(
+                        m.path, m.begin, m.end, registry_, bs,
+                        [&batches](RecordBatch& b) { batches.push_back(std::move(b)); },
+                        &globals);
+                    for (RecordBatch& b : batches) {
+                        join_globals(b, globals);
+                        batch_feed(b);
+                    }
+                } else {
+                    std::vector<IdRecord> records;
+                    CaliReader::read_file_range(
+                        m.path, m.begin, m.end, registry_,
+                        [&records](IdRecord&& r) { records.push_back(std::move(r)); },
+                        &globals);
+                    for (IdRecord& r : records) {
+                        join_globals(r, globals);
+                        feed(std::move(r));
+                    }
                 }
+            } else if (opts_.batched) {
+                CaliReader::read_file_range_batches(m.path, m.begin, m.end, registry_,
+                                                    bs, batch_feed);
             } else {
                 CaliReader::read_file_range(m.path, m.begin, m.end, registry_, feed);
             }

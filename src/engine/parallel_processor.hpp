@@ -49,7 +49,31 @@ struct EngineOptions {
     /// Early-flush a worker partial exceeding this many aggregation
     /// entries (0 disables).
     std::size_t max_partial_entries = 1u << 20;
+    /// Feed the pipeline in columnar RecordBatch morsels (the batched hot
+    /// path) instead of record-at-a-time. Output bytes are identical either
+    /// way; the fuzz differential runner guards it.
+    bool batched = true;
+    /// Rows per RecordBatch; 0 = default_batch_size() (CALIB_BATCH_SIZE or
+    /// 1024). Clamped to [1, 1<<20].
+    std::size_t batch_size = 0;
+    /// Aggregation memory budget in bytes applied to the root processor
+    /// (partial aggregates sort-spill to a temp file beyond it; 0 =
+    /// unbounded). The sentinel SIZE_MAX resolves to
+    /// default_agg_memory_budget() (CALIB_AGG_MEM or unbounded).
+    std::size_t agg_memory_budget = static_cast<std::size_t>(-1);
 };
+
+/// Process-wide default rows-per-batch for batched execution: the last
+/// set_default_batch_size() value, else CALIB_BATCH_SIZE, else 1024.
+/// Always in [1, 1<<20].
+std::size_t default_batch_size();
+/// Override the process-wide default (0 restores the env/1024 fallback).
+void set_default_batch_size(std::size_t rows);
+
+/// Process-wide default aggregation memory budget in bytes (0 = unbounded):
+/// the last set_default_agg_memory_budget() value, else CALIB_AGG_MEM.
+std::size_t default_agg_memory_budget();
+void set_default_agg_memory_budget(std::size_t bytes);
 
 struct EngineStats {
     std::size_t threads           = 0; ///< workers actually used

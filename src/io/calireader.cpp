@@ -6,6 +6,7 @@
 #include "../common/variant.hpp"
 
 #include <charconv>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -17,6 +18,7 @@ obs::Counter entries("reader.entries");
 obs::Counter name_resolutions("reader.name_resolutions");
 obs::Counter bytes("reader.bytes");
 obs::Timer read_time("phase.read");
+obs::Timer batch_fill("batch.fill");
 } // namespace iometrics
 
 namespace {
@@ -143,6 +145,24 @@ public:
     /// Exclusive-read-time timer to pause around sink calls.
     void set_span(obs::SpanTimer* span) noexcept { span_ = span; }
 
+    /// Switch to batched emission: records append into \a batch and \a sink
+    /// fires every \a cap records. Call finish() after the last line to
+    /// flush the trailing partial batch. Globals still accumulate record-
+    /// at-a-time.
+    void set_batch(RecordBatch& batch, std::size_t cap,
+                   const CaliReader::BatchSink& sink) {
+        batch_     = &batch;
+        batch_cap_ = cap ? cap : 1;
+        bsink_     = &sink;
+        fill_start_ = std::chrono::steady_clock::now();
+    }
+
+    /// Emit a trailing partial batch (batch mode only).
+    void finish() {
+        if (batch_ && !batch_->empty())
+            emit_batch();
+    }
+
     /// Parse one line (newline and any trailing '\r' already stripped).
     void line(std::string_view line) {
         ++lineno_;
@@ -190,7 +210,13 @@ public:
             slot.type       = type;
             slot.has_last   = false; // a redefinition invalidates the memo
         } else if (kind == 'R' || kind == 'G') {
-            rec_.clear();
+            // batch mode: record fields go straight into the column
+            // vectors; globals keep the record scratch either way
+            const bool to_batch = batch_ != nullptr && kind == 'R';
+            if (to_batch)
+                batch_->begin_row();
+            else
+                rec_.clear();
             // single-pass field walk: id digits, '=', value up to the next
             // unescaped ',' — no repeated scans of the same bytes
             const char* p   = rest.data();
@@ -228,7 +254,11 @@ public:
                 }
                 const std::string_view raw(v, static_cast<std::size_t>(q - v));
                 if (a.has_last && raw == a.last_raw) {
-                    rec_.append(a.id, a.last_val); // memoized repeat value
+                    // memoized repeat value
+                    if (to_batch)
+                        batch_->append(a.id, a.last_val);
+                    else
+                        rec_.append(a.id, a.last_val);
                 } else {
                     std::string_view text = raw;
                     if (escaped) {
@@ -236,23 +266,33 @@ public:
                         text     = scratch_;
                     }
                     const Variant val = parse_value(a.type, text);
-                    rec_.append(a.id, val);
-                    if (a.type == Variant::Type::String) {
-                        a.last_raw.assign(raw.data(), raw.size());
-                        a.last_val = val;
-                        a.has_last = true;
-                    }
+                    if (to_batch)
+                        batch_->append(a.id, val);
+                    else
+                        rec_.append(a.id, val);
+                    // memoize the raw field text for every type: equal raw
+                    // bytes parse to an equal value, and numeric columns
+                    // (ranks, iteration counters) repeat often too
+                    a.last_raw.assign(raw.data(), raw.size());
+                    a.last_val = val;
+                    a.has_last = true;
                 }
                 p = q < end ? q + 1 : end;
             }
             if (kind == 'R') {
                 ++records_;
-                entries_ += rec_.size();
-                if (span_)
-                    span_->pause(); // downstream pipeline time is theirs
-                sink_(std::move(rec_));
-                if (span_)
-                    span_->resume();
+                if (to_batch) {
+                    entries_ += batch_->end_row();
+                    if (batch_->rows() >= batch_cap_)
+                        emit_batch();
+                } else {
+                    entries_ += rec_.size();
+                    if (span_)
+                        span_->pause(); // downstream pipeline time is theirs
+                    sink_(std::move(rec_));
+                    if (span_)
+                        span_->resume();
+                }
             } else if (globals_) {
                 for (const Entry& e : rec_)
                     globals_->append(e);
@@ -272,6 +312,21 @@ public:
     }
 
 private:
+    void emit_batch() {
+        const auto now = std::chrono::steady_clock::now();
+        iometrics::batch_fill.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                 fill_start_)
+                .count()));
+        if (span_)
+            span_->pause(); // downstream pipeline time is theirs
+        (*bsink_)(*batch_);
+        if (span_)
+            span_->resume();
+        batch_->clear(); // safe after a sink that moved the batch away
+        fill_start_ = std::chrono::steady_clock::now();
+    }
+
     [[noreturn]] void fail(const std::string& msg) const {
         throw std::runtime_error("calib-stream line " + std::to_string(lineno_) +
                                  ": " + msg);
@@ -296,6 +351,12 @@ private:
     IdRecord rec_;                 ///< reused record scratch
     std::string scratch_;          ///< reused unescape buffer
     obs::SpanTimer* span_ = nullptr;
+
+    // batched emission (set_batch)
+    RecordBatch* batch_                   = nullptr;
+    std::size_t batch_cap_                = 0;
+    const CaliReader::BatchSink* bsink_   = nullptr;
+    std::chrono::steady_clock::time_point fill_start_{};
 
     std::size_t lineno_         = 0;
     std::uint64_t record_index_ = 0;
@@ -328,6 +389,26 @@ void parse_buffer_range(std::string_view text, std::uint64_t begin,
     obs::SpanTimer span(iometrics::read_time);
     parser.set_span(&span);
     for_each_line(text, [&parser](std::string_view line) { parser.line(line); });
+    parser.flush_metrics(text.size());
+}
+
+const CaliReader::IdSink& noop_id_sink() {
+    static const CaliReader::IdSink sink = [](IdRecord&&) {};
+    return sink;
+}
+
+void parse_buffer_range_batches(std::string_view text, std::uint64_t begin,
+                                std::uint64_t end, AttributeRegistry& registry,
+                                std::size_t batch_size,
+                                const CaliReader::BatchSink& sink,
+                                IdRecord* globals) {
+    CaliParser parser(registry, noop_id_sink(), globals, begin, end);
+    RecordBatch batch;
+    parser.set_batch(batch, batch_size, sink);
+    obs::SpanTimer span(iometrics::read_time);
+    parser.set_span(&span);
+    for_each_line(text, [&parser](std::string_view line) { parser.line(line); });
+    parser.finish();
     parser.flush_metrics(text.size());
 }
 
@@ -374,6 +455,35 @@ void CaliReader::read_file_range(const std::string& path, std::uint64_t begin,
                                  const IdSink& sink, IdRecord* globals) {
     const FileBuffer buf = FileBuffer::open(path);
     parse_buffer_range(buf.view(), begin, end, registry, sink, globals);
+}
+
+// -- batched entry points ----------------------------------------------------
+
+void CaliReader::read_buffer_batches(std::string_view text,
+                                     AttributeRegistry& registry,
+                                     std::size_t batch_size,
+                                     const BatchSink& sink, IdRecord* globals) {
+    parse_buffer_range_batches(text, 0, UINT64_MAX, registry, batch_size, sink,
+                               globals);
+}
+
+void CaliReader::read_file_batches(const std::string& path,
+                                   AttributeRegistry& registry,
+                                   std::size_t batch_size, const BatchSink& sink,
+                                   IdRecord* globals) {
+    const FileBuffer buf = FileBuffer::open(path);
+    read_buffer_batches(buf.view(), registry, batch_size, sink, globals);
+}
+
+void CaliReader::read_file_range_batches(const std::string& path,
+                                         std::uint64_t begin, std::uint64_t end,
+                                         AttributeRegistry& registry,
+                                         std::size_t batch_size,
+                                         const BatchSink& sink,
+                                         IdRecord* globals) {
+    const FileBuffer buf = FileBuffer::open(path);
+    parse_buffer_range_batches(buf.view(), begin, end, registry, batch_size,
+                               sink, globals);
 }
 
 // -- byte-range source -------------------------------------------------------
@@ -452,6 +562,36 @@ void CaliFileSource::read_chunk(std::size_t index, AttributeRegistry& registry,
                   [&parser](std::string_view line) { parser.line(line); });
     // only the bytes of this range count: per-worker reader.bytes sums to
     // the file size, not workers x file size
+    parser.flush_metrics(chunk.end - chunk.begin);
+}
+
+void CaliFileSource::read_chunk_batches(std::size_t index,
+                                        AttributeRegistry& registry,
+                                        std::size_t batch_size,
+                                        const CaliReader::BatchSink& sink) const {
+    const Chunk& chunk = chunks_.at(index);
+    CaliParser parser(registry, noop_id_sink(), nullptr);
+    obs::SpanTimer span(iometrics::read_time);
+    parser.set_span(&span);
+
+    // replay the attribute definitions preceding this range (see
+    // read_chunk); batch emission only begins with the range's own records
+    for (const MetaLine& m : meta_) {
+        if (m.offset >= chunk.begin)
+            break;
+        if (m.kind != 'A')
+            continue;
+        parser.set_lineno(m.lineno - 1);
+        parser.line(std::string_view(buffer_.data() + m.offset, m.size));
+    }
+
+    RecordBatch batch;
+    parser.set_batch(batch, batch_size, sink);
+    parser.set_lineno(chunk.first_line - 1);
+    for_each_line(std::string_view(buffer_.data() + chunk.begin,
+                                   chunk.end - chunk.begin),
+                  [&parser](std::string_view line) { parser.line(line); });
+    parser.finish();
     parser.flush_metrics(chunk.end - chunk.begin);
 }
 

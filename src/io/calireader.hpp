@@ -30,6 +30,7 @@
 
 #include "../common/attribute.hpp"
 #include "../common/idrecord.hpp"
+#include "../common/recordbatch.hpp"
 #include "../common/recordmap.hpp"
 #include "filebuffer.hpp"
 
@@ -46,6 +47,10 @@ class CaliReader {
 public:
     using RecordSink = std::function<void(RecordMap&&)>;
     using IdSink     = std::function<void(IdRecord&&)>;
+    /// Batched sink: the batch is the reader's reusable scratch — consume
+    /// it in place (the reader clears it after the call, retaining the
+    /// column layout), or std::move() it away to keep it.
+    using BatchSink  = std::function<void(RecordBatch&)>;
 
     // -- id-based entry points (resolve-once; the query hot path) ----------
     //
@@ -82,6 +87,30 @@ public:
     static void read_file_range(const std::string& path, std::uint64_t begin,
                                 std::uint64_t end, AttributeRegistry& registry,
                                 const IdSink& sink, IdRecord* globals = nullptr);
+
+    // -- batched entry points (the columnar hot path) -----------------------
+    //
+    // Record fields append straight into RecordBatch column vectors as they
+    // parse; \a sink receives a batch every \a batch_size records (plus one
+    // trailing partial batch). Semantically identical to the IdSink entry
+    // points — the fuzz differential runner guards byte-identity.
+
+    static void read_buffer_batches(std::string_view text,
+                                    AttributeRegistry& registry,
+                                    std::size_t batch_size, const BatchSink& sink,
+                                    IdRecord* globals = nullptr);
+
+    static void read_file_batches(const std::string& path,
+                                  AttributeRegistry& registry,
+                                  std::size_t batch_size, const BatchSink& sink,
+                                  IdRecord* globals = nullptr);
+
+    static void read_file_range_batches(const std::string& path,
+                                        std::uint64_t begin, std::uint64_t end,
+                                        AttributeRegistry& registry,
+                                        std::size_t batch_size,
+                                        const BatchSink& sink,
+                                        IdRecord* globals = nullptr);
 
     // -- name-based entry points (compatibility wrappers) -------------------
 
@@ -142,6 +171,11 @@ public:
     /// distinct indices). Error messages carry whole-file line numbers.
     void read_chunk(std::size_t index, AttributeRegistry& registry,
                     const CaliReader::IdSink& sink) const;
+
+    /// Batched variant of read_chunk() (see CaliReader::BatchSink).
+    void read_chunk_batches(std::size_t index, AttributeRegistry& registry,
+                            std::size_t batch_size,
+                            const CaliReader::BatchSink& sink) const;
 
     /// All dataset globals ('G' lines anywhere in the file), resolved
     /// against \a registry.

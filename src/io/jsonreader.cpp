@@ -4,6 +4,7 @@
 #include "reader_metrics.hpp"
 
 #include <cctype>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <stdexcept>
@@ -258,6 +259,32 @@ void read_json_file(const std::string& path, AttributeRegistry& registry,
     ViewBuf view(buf.view());
     std::istream is(&view);
     read_json_records(is, registry, sink);
+}
+
+void read_json_file_batches(const std::string& path, AttributeRegistry& registry,
+                            std::size_t batch_size,
+                            const std::function<void(RecordBatch&)>& sink) {
+    if (batch_size == 0)
+        batch_size = 1;
+    RecordBatch batch;
+    auto fill_start = std::chrono::steady_clock::now();
+    const auto emit = [&]() {
+        const auto now = std::chrono::steady_clock::now();
+        iometrics::batch_fill.record(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                                 fill_start)
+                .count()));
+        sink(batch);
+        batch.clear(); // safe after a sink that moved the batch away
+        fill_start = std::chrono::steady_clock::now();
+    };
+    read_json_file(path, registry, [&](IdRecord&& rec) {
+        batch.append_record(rec);
+        if (batch.rows() >= batch_size)
+            emit();
+    });
+    if (!batch.empty())
+        emit();
 }
 
 void read_json_records(std::istream& is,

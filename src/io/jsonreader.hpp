@@ -14,6 +14,7 @@
 
 #include "../common/attribute.hpp"
 #include "../common/idrecord.hpp"
+#include "../common/recordbatch.hpp"
 #include "../common/recordmap.hpp"
 
 #include <functional>
@@ -38,6 +39,14 @@ void read_json_records(std::istream& is, AttributeRegistry& registry,
 /// byte position).
 void read_json_file(const std::string& path, AttributeRegistry& registry,
                     const std::function<void(IdRecord&&)>& sink);
+
+/// Batched wrapper over read_json_file(): parsed records accumulate into a
+/// RecordBatch handed to \a sink every \a batch_size records (plus one
+/// trailing partial batch). The batch is reusable scratch — consume it in
+/// place or std::move() it away (see CaliReader::BatchSink).
+void read_json_file_batches(const std::string& path, AttributeRegistry& registry,
+                            std::size_t batch_size,
+                            const std::function<void(RecordBatch&)>& sink);
 
 /// Parse a JSON array of flat objects into name-based records.
 std::vector<RecordMap> read_json_records(std::string_view text);

@@ -10,6 +10,8 @@
 //                            CRLF included; each byte counted once — a
 //                            byte-range worker charges only its own chunk)
 //   phase.read               exclusive read time (sink calls excluded)
+//   batch.fill               time to fill one RecordBatch (batched entry
+//                            points only; sink calls excluded)
 //
 // filebuffer.cpp additionally owns the reader.mmap gauge: bytes currently
 // memory-mapped (0 on the read() fallback path).
@@ -24,5 +26,6 @@ extern obs::Counter entries;
 extern obs::Counter name_resolutions;
 extern obs::Counter bytes;
 extern obs::Timer read_time;
+extern obs::Timer batch_fill;
 
 } // namespace calib::iometrics

@@ -84,6 +84,49 @@ void SnapshotFilter::resolve() {
     fully_resolved_ = all;
 }
 
+void SnapshotFilter::matches(const RecordBatch& batch,
+                             std::vector<std::uint32_t>& selection) {
+    resolve();
+    const std::size_t n = batch.rows();
+    filter_checked.add(n);
+    selection.resize(n);
+    for (std::size_t r = 0; r < n; ++r)
+        selection[r] = static_cast<std::uint32_t>(r);
+    static const Variant no_value;
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+        const FilterSpec& f    = filters_[i];
+        const id_t id          = ids_[i];
+        const std::int32_t ci  = id == invalid_id ? -1 : batch.column_index(id);
+        const RecordBatch::Column* col =
+            ci >= 0 ? &batch.column_at(static_cast<std::size_t>(ci)) : nullptr;
+        std::size_t out = 0;
+        for (std::size_t k = 0; k < selection.size(); ++k) {
+            const std::uint32_t r = selection[k];
+            bool ok;
+            if (batch.is_overflow(r)) {
+                // record-at-a-time fallback: first matching entry wins
+                const Entry* e = nullptr;
+                if (id != invalid_id)
+                    for (const Entry& cand : batch.overflow_record(r))
+                        if (cand.attribute == id) {
+                            e = &cand;
+                            break;
+                        }
+                ok = apply_op(f.op, e != nullptr, e ? e->value : no_value,
+                              f.value);
+            } else {
+                const bool present = col != nullptr && col->valid[r] != 0;
+                ok = apply_op(f.op, present, present ? col->values[r] : no_value,
+                              f.value);
+            }
+            if (ok)
+                selection[out++] = r;
+        }
+        selection.resize(out);
+    }
+    filter_passed.add(selection.size());
+}
+
 bool SnapshotFilter::matches(std::span<const Entry> record) {
     resolve();
     filter_checked.add();

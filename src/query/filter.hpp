@@ -6,9 +6,11 @@
 
 #include "../common/attribute.hpp"
 #include "../common/idrecord.hpp"
+#include "../common/recordbatch.hpp"
 #include "../common/recordmap.hpp"
 #include "../common/snapshot.hpp"
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -34,6 +36,13 @@ public:
         return matches(std::span<const Entry>(record.begin(), record.size()));
     }
     bool matches(const IdRecord& record) { return matches(record.span()); }
+
+    /// Columnar stage: fill \a selection with the (ascending) indices of
+    /// the rows of \a batch that pass every condition. Each condition is a
+    /// tight in-place compaction loop over one column; per-row outcomes
+    /// and the filter.checked/passed counter totals are identical to
+    /// calling matches() per record.
+    void matches(const RecordBatch& batch, std::vector<std::uint32_t>& selection);
 
     bool empty() const noexcept { return filters_.empty(); }
 

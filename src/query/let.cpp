@@ -140,4 +140,85 @@ void CompiledLets::apply(IdRecord& record) {
     }
 }
 
+Variant CompiledLets::evaluate_cols(std::size_t term, const RecordBatch& batch,
+                                    const std::int32_t* argcols,
+                                    std::size_t row) const {
+    const LetSpec& let     = lets_[term];
+    const std::size_t nargs = arg_ids_[term].size();
+    auto arg = [&](std::size_t k) -> Variant {
+        const std::int32_t c = argcols[k];
+        if (c < 0)
+            return {};
+        const RecordBatch::Column& col = batch.column_at(static_cast<std::size_t>(c));
+        return col.valid[row] ? col.values[row] : Variant();
+    };
+    switch (let.fn) {
+    case LetSpec::Fn::Scale: {
+        if (nargs == 0)
+            return {};
+        const Variant v = arg(0);
+        if (!v.is_numeric())
+            return {};
+        return Variant(v.to_double() * let.parameter);
+    }
+    case LetSpec::Fn::Truncate: {
+        if (nargs == 0 || let.parameter <= 0.0)
+            return {};
+        const Variant v = arg(0);
+        if (!v.is_numeric())
+            return {};
+        return Variant(std::floor(v.to_double() / let.parameter) * let.parameter);
+    }
+    case LetSpec::Fn::Ratio: {
+        if (nargs < 2)
+            return {};
+        const Variant a = arg(0);
+        const Variant b = arg(1);
+        if (!a.is_numeric() || !b.is_numeric() || b.to_double() == 0.0)
+            return {};
+        return Variant(a.to_double() / b.to_double());
+    }
+    case LetSpec::Fn::First: {
+        for (std::size_t k = 0; k < nargs; ++k) {
+            Variant v = arg(k);
+            if (!v.empty())
+                return v;
+        }
+        return {};
+    }
+    }
+    return {};
+}
+
+void CompiledLets::apply(RecordBatch& batch) {
+    resolve();
+    if (lets_.empty() || batch.empty())
+        return;
+    const std::size_t n = batch.rows();
+    std::vector<std::int32_t> argcols;
+    // term-major is equivalent to the record path's record-major order:
+    // terms only interact through same-row target/argument values, and
+    // term i finishes every row before term i+1 reads its target
+    for (std::size_t i = 0; i < lets_.size(); ++i) {
+        const std::size_t target = batch.append_target(target_ids_[i]);
+        const std::vector<id_t>& ids = arg_ids_[i];
+        argcols.assign(ids.size(), -1);
+        for (std::size_t k = 0; k < ids.size(); ++k)
+            if (ids[k] != invalid_id)
+                argcols[k] = batch.column_index(ids[k]);
+        for (std::size_t r = 0; r < n; ++r) {
+            if (batch.is_overflow(r)) {
+                IdRecord& rec   = batch.overflow_record(r);
+                const Variant v = evaluate(i, rec);
+                if (!v.empty())
+                    rec.set(target_ids_[i], v);
+                continue;
+            }
+            const Variant v = evaluate_cols(i, batch, argcols.data(), r);
+            if (!v.empty())
+                batch.set_row_value(target, r, v);
+        }
+    }
+}
+
 } // namespace calib

@@ -5,6 +5,7 @@
 
 #include "../common/attribute.hpp"
 #include "../common/idrecord.hpp"
+#include "../common/recordbatch.hpp"
 #include "../common/recordmap.hpp"
 
 #include <vector>
@@ -31,11 +32,18 @@ public:
     /// to \a record; semantics match apply_lets() exactly.
     void apply(IdRecord& record);
 
+    /// Columnar stage: apply every term to every row of \a batch. Targets
+    /// become append-target columns (conforming rows) or in-record writes
+    /// (overflow rows); per-row results are identical to apply(record).
+    void apply(RecordBatch& batch);
+
     bool empty() const noexcept { return lets_.empty(); }
 
 private:
     void resolve();
     Variant evaluate(std::size_t term, const IdRecord& record) const;
+    Variant evaluate_cols(std::size_t term, const RecordBatch& batch,
+                          const std::int32_t* argcols, std::size_t row) const;
 
     std::vector<LetSpec> lets_;
     AttributeRegistry* registry_;

@@ -13,6 +13,10 @@ namespace {
 obs::Timer let_time("phase.let");
 obs::Timer filter_time("phase.filter");
 obs::Timer aggregate_time("phase.aggregate");
+// Columnar-path instruments: rows entering add_batch() and rows surviving
+// the WHERE selection vector (their ratio is the batch selectivity).
+obs::Counter batch_rows("batch.rows");
+obs::Counter batch_selectivity("batch.selectivity");
 } // namespace
 
 QueryProcessor::QueryProcessor(QuerySpec spec)
@@ -61,6 +65,40 @@ void QueryProcessor::add(IdRecord&& record) {
         // to names here; aggregated rows stay id-based until flush()
         passthrough_.push_back(to_recordmap(record, *registry_));
     }
+}
+
+void QueryProcessor::add_batch(RecordBatch& batch) {
+    const std::size_t n = batch.rows();
+    if (n == 0)
+        return;
+    in_ += n;
+    batch_rows.add(n);
+    if (!id_lets_.empty()) {
+        obs::Timer::Scope t(let_time);
+        id_lets_.apply(batch);
+    }
+    {
+        obs::Timer::Scope t(filter_time);
+        id_filter_.matches(batch, sel_);
+    }
+    kept_ += sel_.size();
+    batch_selectivity.add(sel_.size());
+    if (sel_.empty())
+        return;
+    if (db_) {
+        obs::Timer::Scope t(aggregate_time);
+        db_->process_batch(batch, sel_);
+    } else {
+        for (const std::uint32_t r : sel_) {
+            batch.materialize(r, rec_scratch_);
+            passthrough_.push_back(to_recordmap(rec_scratch_, *registry_));
+        }
+    }
+}
+
+void QueryProcessor::set_aggregation_memory_budget(std::size_t bytes) {
+    if (db_)
+        db_->set_memory_budget(bytes);
 }
 
 void QueryProcessor::add(const RecordMap& record) {

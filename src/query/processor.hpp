@@ -42,6 +42,19 @@ public:
     /// per-record name resolution happens anywhere downstream.
     void add(IdRecord&& record);
 
+    /// Stream a whole record batch through the pipeline (the columnar hot
+    /// path): LET writes column vectors, WHERE compacts a selection
+    /// vector, and the aggregation probes the hash table per batch.
+    /// Byte-identical to calling add() per row (the batch is consumed as
+    /// working storage and left in an unspecified state).
+    void add_batch(RecordBatch& batch);
+
+    /// Bound the aggregation's in-memory group table: beyond roughly
+    /// \a bytes of key+state storage, sorted runs of partial aggregates
+    /// spill to a temp file and merge at flush (see AggregationDB).
+    /// 0 = unbounded. No-op without aggregation.
+    void set_aggregation_memory_budget(std::size_t bytes);
+
     /// Stream one name-based record through the pipeline (compatibility
     /// path; resolves attribute names per record).
     void add(const RecordMap& record);
@@ -99,6 +112,8 @@ private:
     std::optional<AggregationDB> db_;
     std::vector<RecordMap> passthrough_;
     std::optional<std::vector<RecordMap>> result_;
+    std::vector<std::uint32_t> sel_; ///< reused selection-vector scratch
+    IdRecord rec_scratch_;           ///< reused row-materialize scratch
     std::uint64_t in_   = 0;
     std::uint64_t kept_ = 0;
 };

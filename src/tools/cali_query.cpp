@@ -10,6 +10,7 @@
 // JSON record array that cali-query itself can consume (--json-input).
 #include "../calib.hpp"
 
+#include "../common/util.hpp"
 #include "../io/filebuffer.hpp"
 #include "../net/client.hpp"
 
@@ -41,6 +42,15 @@ void usage() {
         "                        every record of that file\n"
         "  -s, --stats           self-profile: per-phase timings and pipeline\n"
         "                        instruments to stderr (stdout is unchanged)\n"
+        "      --batch-size <n>  records per columnar batch (default 1024;\n"
+        "                        also: CALIB_BATCH_SIZE; suffixes K/M/G)\n"
+        "      --no-batch        record-at-a-time pipeline (same output bytes;\n"
+        "                        for comparison and debugging)\n"
+        "      --max-groups-mem <bytes>\n"
+        "                        bound aggregation memory: beyond this, sorted\n"
+        "                        runs of partial aggregates spill to a temp\n"
+        "                        file (default unbounded; also: CALIB_AGG_MEM;\n"
+        "                        suffixes K/M/G)\n"
         "      --no-mmap         read files into memory instead of mmap()ing\n"
         "                        them (also: CALIB_NO_MMAP=1)\n"
         "      --stats-json <f>  write the self-profile as a JSON record array\n"
@@ -66,6 +76,9 @@ int main(int argc, char** argv) {
     bool stats        = false;
     bool json_input   = false;
     bool with_globals = false;
+    bool batched      = true;
+    std::size_t batch_size = 0;                             // 0 = default
+    std::size_t agg_mem    = static_cast<std::size_t>(-1);  // -1 = default
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -112,6 +125,31 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "-s" || arg == "--stats") {
             stats = true;
+        } else if (arg == "--batch-size") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            if (!calib::util::parse_size(argv[i], batch_size) || batch_size == 0 ||
+                batch_size > (std::size_t(1) << 20)) {
+                std::fprintf(stderr, "cali-query: invalid batch size '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--no-batch") {
+            batched = false;
+        } else if (arg == "--max-groups-mem") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            if (!calib::util::parse_size(argv[i], agg_mem)) {
+                std::fprintf(stderr, "cali-query: invalid memory budget '%s'\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg == "--stats-json") {
             if (++i >= argc) {
                 std::fprintf(stderr, "cali-query: missing argument for %s\n",
@@ -203,9 +241,12 @@ int main(int argc, char** argv) {
                            << (files.size() == 1 ? "" : "s");
 
         calib::engine::EngineOptions eopts;
-        eopts.threads      = static_cast<std::size_t>(threads);
-        eopts.json_input   = json_input;
-        eopts.with_globals = with_globals;
+        eopts.threads           = static_cast<std::size_t>(threads);
+        eopts.json_input        = json_input;
+        eopts.with_globals      = with_globals;
+        eopts.batched           = batched;
+        eopts.batch_size        = batch_size;
+        eopts.agg_memory_budget = agg_mem;
 
         calib::engine::ParallelQueryProcessor engine(spec, eopts);
         calib::QueryProcessor& proc = engine.run(files);

@@ -15,6 +15,7 @@
 #include "../proxyd/daemon.hpp"
 
 #include "../common/log.hpp"
+#include "../common/util.hpp"
 #include "../obs/metrics.hpp"
 #include "../obs/report.hpp"
 
@@ -60,14 +61,7 @@ void on_signal(int) {
         g_daemon->stop(); // one eventfd write; async-signal-safe
 }
 
-bool parse_size(const char* text, std::size_t& out) {
-    char* end          = nullptr;
-    const long long v = std::strtoll(text, &end, 10);
-    if (end == text || *end != '\0' || v < 0)
-        return false;
-    out = static_cast<std::size_t>(v);
-    return true;
-}
+using calib::util::parse_size;
 
 } // namespace
 

@@ -8,6 +8,8 @@
 // With --stats the process self-profiles (per-phase table and pipeline
 // instruments on stderr, aggregated across all rank-threads).
 #include "../calib.hpp"
+#include "../common/util.hpp"
+#include "../engine/parallel_processor.hpp"
 #include "../io/filebuffer.hpp"
 #include "../mpisim/treereduce.hpp"
 
@@ -20,8 +22,9 @@ namespace {
 
 void usage() {
     std::puts("usage: mpi-caliquery [-n nprocs] [--threads m] [-t] [--stats]\n"
-              "                     [--stats-json <f>] [--no-mmap] -q <calql> "
-              "<file>...");
+              "                     [--stats-json <f>] [--no-mmap]\n"
+              "                     [--batch-size <n>] [--max-groups-mem <bytes>]\n"
+              "                     -q <calql> <file>...");
 }
 
 } // namespace
@@ -62,6 +65,24 @@ int main(int argc, char** argv) {
             threads = std::atoi(argv[i]);
             if (threads < 1)
                 return std::fprintf(stderr, "invalid --threads value\n"), 2;
+        } else if (arg == "--batch-size") {
+            // flows to every rank's local engine via the process-wide default
+            if (++i >= argc)
+                return std::fprintf(stderr, "missing argument for --batch-size\n"), 2;
+            std::size_t n = 0;
+            if (!calib::util::parse_size(argv[i], n) || n == 0 ||
+                n > (std::size_t(1) << 20))
+                return std::fprintf(stderr, "invalid --batch-size value\n"), 2;
+            calib::engine::set_default_batch_size(n);
+        } else if (arg == "--max-groups-mem") {
+            if (++i >= argc)
+                return std::fprintf(stderr,
+                                    "missing argument for --max-groups-mem\n"),
+                       2;
+            std::size_t n = 0;
+            if (!calib::util::parse_size(argv[i], n))
+                return std::fprintf(stderr, "invalid --max-groups-mem value\n"), 2;
+            calib::engine::set_default_agg_memory_budget(n);
         } else if (arg == "--no-mmap") {
             calib::FileBuffer::set_mmap_enabled(false);
         } else if (arg == "-h" || arg == "--help") {

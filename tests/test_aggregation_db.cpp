@@ -339,3 +339,181 @@ TEST_F(AggDbTest, MoveConstructionPreservesState) {
     ASSERT_EQ(out.size(), 1u);
     EXPECT_EQ(out[0].get("count").to_uint(), 1u);
 }
+
+// -- columnar batch path -------------------------------------------------------
+
+namespace {
+
+/// Build a RecordBatch holding \a snaps in order, plus the all-rows
+/// selection vector.
+RecordBatch batch_of(const std::vector<SnapshotRecord>& snaps,
+                     std::vector<std::uint32_t>& sel) {
+    RecordBatch b;
+    sel.clear();
+    for (const SnapshotRecord& s : snaps) {
+        b.begin_row();
+        for (const Entry& e : s)
+            b.append(e.attribute, e.value);
+        b.end_row();
+        sel.push_back(static_cast<std::uint32_t>(b.rows() - 1));
+    }
+    return b;
+}
+
+} // namespace
+
+TEST_F(AggDbTest, ProcessBatchMatchesRecordPath) {
+    const auto config = [&] {
+        return AggregationConfig::parse("count,sum(time),min(time)", "function");
+    };
+    std::vector<SnapshotRecord> snaps;
+    for (int i = 0; i < 100; ++i)
+        snaps.push_back(snap({{"function", Variant(i % 7)},
+                              {"time", Variant(1.5 + i)}}));
+
+    AggregationDB rec_db(config(), &registry);
+    for (const SnapshotRecord& s : snaps)
+        rec_db.process(s);
+
+    AggregationDB batch_db(config(), &registry);
+    std::vector<std::uint32_t> sel;
+    const RecordBatch b = batch_of(snaps, sel);
+    batch_db.process_batch(b, sel);
+
+    const auto a = rec_db.flush();
+    const auto c = batch_db.flush();
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], c[i]) << "group " << i << " differs";
+    EXPECT_EQ(rec_db.num_processed(), batch_db.num_processed());
+    EXPECT_EQ(rec_db.stats().lookups, batch_db.stats().lookups);
+}
+
+TEST_F(AggDbTest, ProcessBatchHonorsSelectionVector) {
+    std::vector<SnapshotRecord> snaps;
+    for (int i = 0; i < 10; ++i)
+        snaps.push_back(snap({{"k", Variant(i)}, {"time", Variant(1)}}));
+    std::vector<std::uint32_t> all;
+    const RecordBatch b = batch_of(snaps, all);
+    const std::vector<std::uint32_t> odd = {1, 3, 5, 7, 9};
+
+    AggregationDB db(AggregationConfig::parse("count", "k"), &registry);
+    db.process_batch(b, odd);
+    EXPECT_EQ(db.size(), 5u);
+    EXPECT_EQ(db.num_processed(), 5u);
+}
+
+// -- sort-spill under a memory budget ------------------------------------------
+
+TEST_F(AggDbTest, SpillMatchesInMemoryGroups) {
+    // integer metric: sums are exact, so spilled output must match the
+    // unbounded run value-for-value
+    const auto config = [] {
+        return AggregationConfig::parse("count,sum(bytes)", "k");
+    };
+    AggregationDB unbounded(config(), &registry);
+    AggregationDB spilled(config(), &registry);
+    spilled.set_memory_budget(1); // clamps to the 16-entry floor
+    EXPECT_EQ(spilled.memory_budget(), 1u);
+
+    for (int i = 0; i < 200; ++i) {
+        const auto s =
+            snap({{"k", Variant(i % 50)}, {"bytes", Variant(i)}});
+        unbounded.process(s);
+        spilled.process(s);
+    }
+    EXPECT_FALSE(unbounded.spilled());
+    EXPECT_TRUE(spilled.spilled());
+    EXPECT_GT(spilled.stats().spill_runs, 0u);
+    EXPECT_GT(spilled.stats().spill_bytes, 0u);
+
+    const auto a = unbounded.flush();
+    const auto b = spilled.flush();
+    ASSERT_EQ(a.size(), b.size());
+    for (const RecordMap& row : a) {
+        const RecordMap match = find_record(b, "k", row.get("k"));
+        EXPECT_EQ(match.get("count"), row.get("count"));
+        EXPECT_EQ(match.get("sum#bytes"), row.get("sum#bytes"));
+    }
+    EXPECT_EQ(spilled.num_processed(), 200u);
+}
+
+TEST_F(AggDbTest, SpillIsByteIdenticalAcrossRecordAndBatchPaths) {
+    const auto config = [] {
+        return AggregationConfig::parse("count,sum(time)", "k");
+    };
+    std::vector<SnapshotRecord> snaps;
+    for (int i = 0; i < 120; ++i)
+        snaps.push_back(snap({{"k", Variant(i % 40)}, {"time", Variant(0.25 * i)}}));
+
+    AggregationDB rec_db(config(), &registry);
+    rec_db.set_memory_budget(1);
+    for (const SnapshotRecord& s : snaps)
+        rec_db.process(s);
+
+    AggregationDB batch_db(config(), &registry);
+    batch_db.set_memory_budget(1);
+    std::vector<std::uint32_t> sel;
+    const RecordBatch b = batch_of(snaps, sel);
+    batch_db.process_batch(b, sel);
+
+    EXPECT_TRUE(rec_db.spilled());
+    EXPECT_TRUE(batch_db.spilled());
+    const auto a = rec_db.flush();
+    const auto c = batch_db.flush();
+    ASSERT_EQ(a.size(), c.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], c[i]) << "spilled group " << i << " differs";
+}
+
+TEST_F(AggDbTest, SpillHandlesEmptyImplicitKey) {
+    // regression: a zero-length GROUP BY * key (empty record) sorts first
+    // in the spill run; the merge must not treat it as end-of-input
+    AggregationDB db(AggregationConfig::parse("count", "*"), &registry);
+    db.set_memory_budget(1);
+    db.process(SnapshotRecord()); // empty record -> empty key
+    for (int i = 0; i < 30; ++i)
+        db.process(snap({{"k", Variant(i)}}));
+    EXPECT_TRUE(db.spilled());
+    const auto out = db.flush();
+    EXPECT_EQ(out.size(), 31u);
+    int empties = 0;
+    for (const RecordMap& row : out)
+        if (!row.find("k"))
+            ++empties;
+    EXPECT_EQ(empties, 1) << "the empty-key group survives the spill merge";
+}
+
+TEST_F(AggDbTest, SpilledSerializeMergesIntoFreshDb) {
+    const auto config = [] {
+        return AggregationConfig::parse("count,sum(bytes)", "k");
+    };
+    AggregationDB spilled(config(), &registry);
+    spilled.set_memory_budget(1);
+    for (int i = 0; i < 100; ++i)
+        spilled.process(snap({{"k", Variant(i % 25)}, {"bytes", Variant(2)}}));
+    ASSERT_TRUE(spilled.spilled());
+
+    AggregationDB merged(config(), &registry);
+    merged.merge_serialized(spilled.serialize());
+    EXPECT_EQ(merged.num_processed(), 100u);
+    const auto out = merged.flush();
+    ASSERT_EQ(out.size(), 25u);
+    for (const RecordMap& row : out) {
+        EXPECT_EQ(row.get("count").to_uint(), 4u);
+        EXPECT_EQ(row.get("sum#bytes").to_int(), 8);
+    }
+}
+
+TEST_F(AggDbTest, ClearDropsSpillState) {
+    AggregationDB db(AggregationConfig::parse("count", "k"), &registry);
+    db.set_memory_budget(1);
+    for (int i = 0; i < 40; ++i)
+        db.process(snap({{"k", Variant(i)}}));
+    ASSERT_TRUE(db.spilled());
+    db.clear();
+    EXPECT_FALSE(db.spilled());
+    EXPECT_EQ(db.size(), 0u);
+    db.process(snap({{"k", Variant(1)}}));
+    EXPECT_EQ(db.flush().size(), 1u);
+}

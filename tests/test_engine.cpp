@@ -477,3 +477,113 @@ TEST(EngineStats, WorkerErrorsPropagateToCaller) {
     EXPECT_THROW(eng.run({dir.file("ok.cali"), dir.file("missing.cali")}),
                  std::runtime_error);
 }
+
+// ------------------------------------------------- batched execution + spill
+
+TEST(BatchedExecution, RecordShimMatchesBatchedAcrossBatchSizes) {
+    TempDir dir("batch");
+    std::vector<std::string> files;
+    for (int f = 0; f < 3; ++f) {
+        files.push_back(dir.file("b" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 150, f * 150);
+    }
+    const std::string query =
+        "LET squared=scale(count,2) AGGREGATE sum(squared),count "
+        "GROUP BY kernel ORDER BY kernel FORMAT csv";
+
+    EngineOptions opts;
+    opts.threads = 1;
+    opts.batched = false;
+    const std::string record_out = run_engine(query, files, opts);
+
+    opts.batched = true;
+    for (std::size_t bs : {std::size_t(1), std::size_t(7), std::size_t(1024)}) {
+        opts.batch_size = bs;
+        EXPECT_EQ(record_out, run_engine(query, files, opts))
+            << "batch size " << bs << " differs from the record shim";
+    }
+}
+
+TEST(BatchedExecution, ByteMorselsBatchedMatchesRecord) {
+    TempDir dir("batch-range");
+    write_cali(dir.file("big.cali"), 1200);
+    EngineOptions opts;
+    opts.threads          = 4;
+    opts.bytes_per_morsel = 2048;
+    opts.batched          = false;
+    const std::string record_out = run_engine(
+        "AGGREGATE sum(count),max(id) GROUP BY kernel FORMAT table",
+        {dir.file("big.cali")}, opts);
+    opts.batched    = true;
+    opts.batch_size = 7;
+    EXPECT_EQ(record_out,
+              run_engine("AGGREGATE sum(count),max(id) GROUP BY kernel FORMAT table",
+                         {dir.file("big.cali")}, opts));
+}
+
+TEST(BatchedExecution, WithGlobalsBatchedMatchesRecord) {
+    TempDir dir("batch-globals");
+    std::vector<std::string> files;
+    for (int f = 0; f < 2; ++f) {
+        files.push_back(dir.file("r" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 40, f * 40, f == 0 ? "0" : "1");
+    }
+    const std::string query =
+        "AGGREGATE sum(count) GROUP BY kernel,mpi.rank ORDER BY mpi.rank,kernel "
+        "FORMAT csv";
+    EngineOptions opts;
+    opts.with_globals = true;
+    opts.threads      = 1;
+    opts.batched      = false;
+    const std::string record_out = run_engine(query, files, opts);
+    opts.batched = true;
+    EXPECT_EQ(record_out, run_engine(query, files, opts));
+    EXPECT_NE(record_out.find("advec"), std::string::npos);
+}
+
+TEST(BatchedExecution, DefaultBatchSizeSetter) {
+    const std::size_t before = default_batch_size();
+    set_default_batch_size(7);
+    EXPECT_EQ(default_batch_size(), 7u);
+    set_default_batch_size(std::size_t(1) << 30); // clamped to the cap
+    EXPECT_EQ(default_batch_size(), std::size_t(1) << 20);
+    set_default_batch_size(0); // back to env / built-in default
+    EXPECT_EQ(default_batch_size(), before);
+}
+
+TEST(SpillBudget, BoundedAggregationMatchesUnbounded) {
+    // integer metrics only: exact sums make spilled output byte-identical
+    TempDir dir("spill");
+    write_cali(dir.file("many.cali"), 500); // 500 unique ids -> 500 groups
+    const std::string query =
+        "AGGREGATE sum(count),count GROUP BY id ORDER BY id FORMAT csv";
+
+    EngineOptions opts;
+    opts.threads = 1;
+    const std::string unbounded = run_engine(query, {dir.file("many.cali")}, opts);
+
+    opts.agg_memory_budget = 1; // clamps to the 16-entry floor -> many runs
+    const std::string spilled = run_engine(query, {dir.file("many.cali")}, opts);
+    EXPECT_EQ(unbounded, spilled);
+
+    // parallel: worker partials drain unspilled into the budgeted root
+    opts.threads          = 4;
+    opts.bytes_per_morsel = 2048;
+    EXPECT_EQ(unbounded, run_engine(query, {dir.file("many.cali")}, opts));
+}
+
+TEST(SpillBudget, DefaultBudgetSetterAppliesToEngine) {
+    TempDir dir("spill-default");
+    write_cali(dir.file("many.cali"), 300);
+    const std::string query = "AGGREGATE count GROUP BY id ORDER BY id FORMAT csv";
+
+    EngineOptions opts;
+    opts.threads = 1;
+    const std::string unbounded = run_engine(query, {dir.file("many.cali")}, opts);
+
+    set_default_agg_memory_budget(1);
+    // sentinel options pick up the process-wide default
+    const std::string spilled = run_engine(query, {dir.file("many.cali")}, opts);
+    set_default_agg_memory_budget(static_cast<std::size_t>(-1)); // restore
+    EXPECT_EQ(unbounded, spilled);
+}
