@@ -16,16 +16,59 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <mutex>
 #include <string>
 #include <sys/resource.h>
+#include <thread>
+#include <unistd.h>
 #include <vector>
+
+// Build-time fallback commit id (set by CMake from `git rev-parse`); the
+// CALIB_GIT_SHA environment variable overrides it at run time.
+#ifndef CALIB_GIT_SHA
+#define CALIB_GIT_SHA ""
+#endif
 
 namespace calib::bench {
 
 inline int env_int(const char* name, int fallback) {
     const char* v = std::getenv(name);
     return v ? std::atoi(v) : fallback;
+}
+
+/// Run-provenance stamp for BENCH_*.json emitters: a ready-to-splice
+/// `"meta": {...}` member carrying the commit id (CALIB_GIT_SHA env, then
+/// the build-time definition), ISO-8601 UTC timestamp, hostname, hardware
+/// concurrency, and optional CALIB_BUILD_TAG. calib-benchdiff reads these
+/// fields when normalizing the document into the performance history.
+inline std::string meta_json() {
+    std::string commit;
+    if (const char* env = std::getenv("CALIB_GIT_SHA"); env && *env)
+        commit = env;
+    else
+        commit = CALIB_GIT_SHA;
+    if (commit.empty())
+        commit = "unknown";
+
+    const std::time_t now = std::time(nullptr);
+    std::tm tm{};
+    gmtime_r(&now, &tm);
+    char stamp[32];
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm);
+
+    char host[256] = {};
+    if (gethostname(host, sizeof(host) - 1) != 0 || !host[0])
+        std::snprintf(host, sizeof(host), "unknown");
+
+    std::string json = "\"meta\": {\"commit\": \"" + commit +
+                       "\", \"timestamp\": \"" + stamp + "\", \"host\": \"" +
+                       host + "\", \"hardware_concurrency\": " +
+                       std::to_string(std::thread::hardware_concurrency());
+    if (const char* tag = std::getenv("CALIB_BUILD_TAG"); tag && *tag)
+        json += std::string(", \"build\": \"") + tag + "\"";
+    json += "}";
+    return json;
 }
 
 struct BenchSetup {

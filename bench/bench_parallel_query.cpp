@@ -42,7 +42,8 @@ int main() {
     std::string reference; // 1-thread rendering, for the identity check
 
     std::ostringstream json;
-    json << "{\n  \"bench\": \"parallel_query\",\n"
+    json << "{\n  \"bench\": \"parallel_query\",\n  " << meta_json()
+         << ",\n"
          << "  \"hardware_concurrency\": "
          << engine::ThreadPool::default_threads() << ",\n"
          << "  \"files\": " << nfiles << ",\n  \"results\": [";

@@ -74,7 +74,7 @@ int main() {
     const int client_counts[]    = {1, 4, 16};
 
     std::ostringstream json;
-    json << "{\n  \"bench\": \"proxyd\",\n"
+    json << "{\n  \"bench\": \"proxyd\",\n  " << meta_json() << ",\n"
          << "  \"records_per_client\": " << records_per_client
          << ",\n  \"results\": [";
 

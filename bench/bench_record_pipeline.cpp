@@ -216,7 +216,7 @@ int run_io_bench(const QuerySpec& spec, int reps) {
                 identical ? "yes" : "NO");
 
     std::ostringstream json;
-    json << "{\n  \"bench\": \"io\",\n"
+    json << "{\n  \"bench\": \"io\",\n  " << meta_json() << ",\n"
          << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
          << ",\n  \"file_bytes\": " << static_cast<std::uint64_t>(file_bytes)
          << ",\n  \"records\": " << mmap_m.records << ",\n  \"ingest\": [\n";
@@ -331,7 +331,8 @@ int main() {
                 static_cast<long long>(name_resolutions), res_per_entry);
 
     std::ostringstream json;
-    json << "{\n  \"bench\": \"record_pipeline\",\n"
+    json << "{\n  \"bench\": \"record_pipeline\",\n  " << meta_json()
+         << ",\n"
          << "  \"files\": " << nfiles << ",\n"
          << "  \"records\": " << id_path.records << ",\n  \"results\": [\n"
          << "    {\"path\": \"name\", \"wall_s\": " << name_path.wall_s

@@ -138,7 +138,7 @@ int main() {
                     overhead_disabled_pct);
 
     std::ostringstream json;
-    json << "{\n  \"bench\": \"micro_obs\",\n"
+    json << "{\n  \"bench\": \"micro_obs\",\n  " << meta_json() << ",\n"
          << "  \"records\": " << n << ",\n  \"results\": [\n"
          << "    {\"mode\": \"baseline\", \"ns_per_record\": " << per_rec_base
          << "},\n"

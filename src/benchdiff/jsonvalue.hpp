@@ -1,0 +1,54 @@
+// A minimal JSON *tree* parser for the benchdiff normalizer.
+//
+// The io/ JsonReader is deliberately restricted to flat record arrays (the
+// query-pipeline input shape) and streams records without building a tree.
+// Bench harnesses, however, emit small *nested* documents (BENCH_*.json:
+// objects holding arrays of result objects), and normalizing those into
+// history records requires walking the whole structure. This parser builds
+// the tree for exactly that purpose — documents are a few KiB, so the
+// allocation cost of a tree is irrelevant here.
+//
+// Supported: the full JSON value grammar (null/bool/number/string with
+// escapes/array/object), which is a superset of what the benches emit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace calib::benchdiff {
+
+class JsonValue {
+public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /// Members in document order (bench docs rely on no particular order,
+    /// but deterministic iteration keeps normalization stable).
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool is_number() const noexcept { return type == Type::Number; }
+    bool is_string() const noexcept { return type == Type::String; }
+    bool is_array() const noexcept { return type == Type::Array; }
+    bool is_object() const noexcept { return type == Type::Object; }
+
+    /// First member named \a key, or nullptr (objects only).
+    const JsonValue* find(std::string_view key) const noexcept {
+        for (const auto& [k, v] : object)
+            if (k == key)
+                return &v;
+        return nullptr;
+    }
+};
+
+/// Parse one JSON document (trailing whitespace allowed, nothing else).
+/// Throws std::runtime_error with the byte position on malformed input.
+JsonValue parse_json(std::string_view text);
+
+} // namespace calib::benchdiff

@@ -5,6 +5,7 @@
 #include "obs/log.hpp"     // IWYU pragma: export
 #include "obs/metrics.hpp" // IWYU pragma: export
 #include "obs/report.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"   // IWYU pragma: export
 
 #include "common/attribute.hpp"   // IWYU pragma: export
 #include "common/idrecord.hpp"    // IWYU pragma: export

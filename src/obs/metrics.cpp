@@ -1,5 +1,7 @@
 #include "metrics.hpp"
 
+#include "trace.hpp"
+
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -11,6 +13,7 @@ namespace calib::obs {
 namespace detail {
 
 std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_trace{false};
 
 std::size_t thread_index_slow() noexcept {
     static std::atomic<std::size_t> next{0};
@@ -21,6 +24,10 @@ std::size_t thread_index_slow() noexcept {
 
 void set_enabled(bool on) noexcept {
     detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) noexcept {
+    detail::g_trace.store(on, std::memory_order_relaxed);
 }
 
 bool init_from_env() {
@@ -118,8 +125,17 @@ namespace {
 thread_local Phase* t_current_phase = nullptr;
 } // namespace
 
+namespace detail {
+
+/// Nesting path of the innermost Phase open on this thread ("" if none).
+const std::string* current_phase_path() noexcept {
+    return t_current_phase ? &t_current_phase->path() : nullptr;
+}
+
+} // namespace detail
+
 Phase::Phase(const char* name) : parent_(t_current_phase) {
-    if (!enabled()) {
+    if (!enabled() && !trace_enabled()) {
         start_ = 0;
         return;
     }
@@ -138,6 +154,9 @@ Phase::~Phase() {
         return;
     const std::uint64_t elapsed = now_ns() - start_;
     MetricsRegistry::instance().record_phase(path_, elapsed);
+    if (trace_enabled())
+        trace_record({path_, "phase", detail::thread_index(), start_, elapsed,
+                      elapsed});
     t_current_phase = parent_;
 }
 
@@ -183,6 +202,15 @@ Sample read_item(Kind kind, const char* name, void* instrument) {
         s.p50              = h->quantile(0.50);
         s.p90              = h->quantile(0.90);
         s.p99              = h->quantile(0.99);
+        std::size_t last = 0;
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b)
+            if (h->bucket_count(b) != 0)
+                last = b;
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b <= last && s.count != 0; ++b) {
+            cumulative += h->bucket_count(b);
+            s.buckets.emplace_back(Histogram::bucket_upper_bound(b), cumulative);
+        }
         break;
     }
     }

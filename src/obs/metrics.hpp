@@ -32,20 +32,29 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace calib::obs {
 
 // ---------------------------------------------------------------- enable flag
 
+class Timer;
+
 namespace detail {
 extern std::atomic<bool> g_enabled;
+extern std::atomic<bool> g_trace;
 /// Small dense id for the calling thread (monotonic from 0).
 std::size_t thread_index_slow() noexcept;
 inline std::size_t thread_index() noexcept {
     static thread_local const std::size_t idx = thread_index_slow();
     return idx;
 }
+/// Record one SpanTimer span into the trace buffer (trace.cpp); the event
+/// path is the current Phase path plus the timer's leaf name (a timer
+/// named "phase.read" traces as "read", matching the --stats phase tree).
+void trace_span(const Timer& timer, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::uint64_t exclusive_ns);
 } // namespace detail
 
 /// The global metrics switch. Off by default; the relaxed load below is the
@@ -55,6 +64,15 @@ inline bool enabled() noexcept {
 }
 
 void set_enabled(bool on) noexcept;
+
+/// The trace-timeline switch (see obs/trace.hpp): when on, Phase scopes
+/// and SpanTimers additionally log individual span events. Independent of
+/// the metrics switch — either works without the other.
+inline bool trace_enabled() noexcept {
+    return detail::g_trace.load(std::memory_order_relaxed);
+}
+
+void set_trace_enabled(bool on) noexcept;
 
 /// Enable metrics when CALIB_METRICS is set to anything but "0"/"" in the
 /// environment. Returns the resulting enabled state.
@@ -89,6 +107,9 @@ struct Sample {
     std::uint64_t total_ns = 0;
     std::uint64_t max_ns   = 0;
     std::uint64_t p50 = 0, p90 = 0, p99 = 0;
+    /// histogram only: (upper bound, cumulative count) per occupied
+    /// bucket, ascending, truncated after the last non-empty bucket.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
 };
 
 class Counter {
@@ -194,7 +215,8 @@ private:
 class SpanTimer {
 public:
     explicit SpanTimer(Timer& t) noexcept
-        : timer_(t), on_(enabled()), last_(on_ ? now_ns() : 0) {}
+        : timer_(t), on_(enabled() || trace_enabled()),
+          last_(on_ ? now_ns() : 0), start_(last_) {}
     ~SpanTimer() { stop(); }
 
     void pause() noexcept {
@@ -208,8 +230,11 @@ public:
     }
     void stop() noexcept {
         if (on_) {
-            acc_ += now_ns() - last_;
+            const std::uint64_t now = now_ns();
+            acc_ += now - last_;
             timer_.record(acc_);
+            if (trace_enabled())
+                detail::trace_span(timer_, start_, now - start_, acc_);
             on_ = false;
         }
     }
@@ -217,8 +242,9 @@ public:
 private:
     Timer& timer_;
     bool on_;
-    std::uint64_t last_ = 0;
-    std::uint64_t acc_  = 0;
+    std::uint64_t last_  = 0;
+    std::uint64_t acc_   = 0;
+    std::uint64_t start_ = 0; ///< wall span start, for the trace timeline
 };
 
 /// Power-of-two-bucket distribution: bucket b counts values in
@@ -255,6 +281,18 @@ public:
     /// Upper bound of the bucket where the cumulative count crosses
     /// \a q * count (q in [0,1]); 0 when empty.
     std::uint64_t quantile(double q) const noexcept;
+
+    /// Raw count of bucket \a b (b < kBuckets). Bucket 0 holds the value
+    /// 0; bucket b holds values in [2^(b-1), 2^b).
+    std::uint64_t bucket_count(std::size_t b) const noexcept {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+
+    /// Largest value bucket \a b can hold (the Prometheus `le` bound):
+    /// 0 for bucket 0, else 2^b - 1.
+    static constexpr std::uint64_t bucket_upper_bound(std::size_t b) noexcept {
+        return b == 0 ? 0 : (std::uint64_t(1) << (b >= 64 ? 63 : b)) - 1;
+    }
 
     const char* name() const noexcept { return name_; }
     void reset() noexcept;

@@ -4,10 +4,20 @@
 #include "metrics.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <string_view>
+#include <thread>
+#include <unistd.h>
 #include <vector>
+
+// Build-time fallback commit id (set by CMake from `git rev-parse`); the
+// CALIB_GIT_SHA environment variable overrides it at run time.
+#ifndef CALIB_GIT_SHA
+#define CALIB_GIT_SHA ""
+#endif
 
 namespace calib::obs {
 
@@ -138,6 +148,31 @@ void write_stats_json(std::ostream& os) {
             os << ",\n";
         first = false;
     };
+
+    // run-provenance stamp, consumed by calib-benchdiff when the
+    // self-profile is appended to a performance history
+    {
+        std::string commit;
+        if (const char* env = std::getenv("CALIB_GIT_SHA"); env && *env)
+            commit = env;
+        else
+            commit = CALIB_GIT_SHA;
+        if (commit.empty())
+            commit = "unknown";
+        const std::time_t now = std::time(nullptr);
+        std::tm tm{};
+        gmtime_r(&now, &tm);
+        char stamp[32];
+        std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%SZ", &tm);
+        char host[256] = {};
+        if (gethostname(host, sizeof(host) - 1) != 0 || !host[0])
+            std::snprintf(host, sizeof(host), "unknown");
+        sep();
+        os << "  {\"kind\": \"meta\", \"commit\": \"" << commit
+           << "\", \"timestamp\": \"" << stamp << "\", \"host\": \"" << host
+           << "\", \"hardware_concurrency\": "
+           << std::thread::hardware_concurrency() << "}";
+    }
 
     for (const PhaseRow& r : rows) {
         sep();

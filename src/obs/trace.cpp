@@ -1,0 +1,147 @@
+#include "trace.hpp"
+
+#include "log.hpp"
+#include "metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+#include <string_view>
+
+namespace calib::obs {
+
+namespace detail {
+// metrics.cpp (owns the thread-local phase stack)
+const std::string* current_phase_path() noexcept;
+} // namespace detail
+
+namespace {
+
+constexpr std::size_t kTraceCapacity = 1u << 20;
+
+struct TraceBuffer {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::size_t dropped = 0;
+};
+
+TraceBuffer& buffer() {
+    static TraceBuffer b;
+    return b;
+}
+
+} // namespace
+
+void trace_record(TraceEvent ev) {
+    if (!trace_enabled())
+        return;
+    TraceBuffer& b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    if (b.events.size() >= kTraceCapacity) {
+        ++b.dropped;
+        return;
+    }
+    b.events.push_back(std::move(ev));
+}
+
+namespace detail {
+
+void trace_span(const Timer& timer, std::uint64_t start_ns,
+                std::uint64_t dur_ns, std::uint64_t exclusive_ns) {
+    // "phase.read" -> leaf "read", so spans line up with the phase table
+    std::string_view leaf = timer.name();
+    if (leaf.substr(0, 6) == "phase.")
+        leaf.remove_prefix(6);
+
+    TraceEvent ev;
+    if (const std::string* parent = current_phase_path(); parent && !parent->empty()) {
+        ev.path.reserve(parent->size() + 1 + leaf.size());
+        ev.path.append(*parent).append(1, '/').append(leaf);
+    } else {
+        ev.path.assign(leaf);
+    }
+    ev.cat          = "span";
+    ev.tid          = thread_index();
+    ev.start_ns     = start_ns;
+    ev.dur_ns       = dur_ns;
+    ev.exclusive_ns = exclusive_ns;
+    trace_record(std::move(ev));
+}
+
+} // namespace detail
+
+std::vector<TraceEvent> trace_events() {
+    TraceBuffer& b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    return b.events;
+}
+
+void trace_reset() {
+    TraceBuffer& b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    b.events.clear();
+    b.dropped = 0;
+}
+
+std::size_t trace_dropped() {
+    TraceBuffer& b = buffer();
+    std::lock_guard<std::mutex> lock(b.mutex);
+    return b.dropped;
+}
+
+std::size_t trace_capacity() noexcept { return kTraceCapacity; }
+
+void write_trace_json(std::ostream& os) {
+    const std::vector<TraceEvent> events = trace_events();
+
+    // ts is relative to the earliest span so timelines start near zero
+    std::uint64_t base = 0;
+    if (!events.empty()) {
+        base = events.front().start_ns;
+        for (const TraceEvent& ev : events)
+            base = std::min(base, ev.start_ns);
+    }
+
+    char num[64];
+    const auto us = [&num](std::uint64_t ns) {
+        std::snprintf(num, sizeof(num), "%llu.%03llu",
+                      static_cast<unsigned long long>(ns / 1000),
+                      static_cast<unsigned long long>(ns % 1000));
+        return std::string(num);
+    };
+    const auto leaf = [](const std::string& path) {
+        const std::size_t slash = path.rfind('/');
+        return slash == std::string::npos ? path : path.substr(slash + 1);
+    };
+
+    os << "[\n";
+    bool first = true;
+    for (const TraceEvent& ev : events) {
+        if (!first)
+            os << ",\n";
+        first = false;
+        os << "  {\"ph\": \"X\", \"name\": \"" << leaf(ev.path)
+           << "\", \"path\": \"" << ev.path << "\", \"cat\": \"" << ev.cat
+           << "\", \"pid\": 0, \"tid\": " << ev.tid
+           << ", \"ts\": " << us(ev.start_ns - base)
+           << ", \"dur\": " << us(ev.dur_ns)
+           << ", \"exclusive_us\": " << us(ev.exclusive_ns) << "}";
+    }
+    os << "\n]\n";
+}
+
+bool write_trace_json_file(const std::string& path) {
+    std::ofstream os(path);
+    if (!os) {
+        log_error() << "cannot open trace output file " << path;
+        return false;
+    }
+    write_trace_json(os);
+    if (const std::size_t dropped = trace_dropped())
+        log_warn() << "trace buffer full: dropped " << dropped << " events";
+    return true;
+}
+
+} // namespace calib::obs

@@ -1,0 +1,75 @@
+// Trace-timeline collection: a wall-clock span log behind the --stats
+// phase tree.
+//
+// The metrics layer aggregates (a Phase table row is count + total); this
+// layer keeps the *individual* spans so a run can be inspected as a
+// timeline. When tracing is enabled, every Phase scope and every SpanTimer
+// records one complete span event (path, thread, start, duration) into a
+// bounded in-process buffer, and write_trace_json() renders the buffer as
+// Chrome trace_event JSON — loadable in Perfetto / chrome://tracing via
+// `cali-query --trace-json`.
+//
+// The JSON is deliberately a *flat record array* (the trace_event "JSON
+// Array Format"), so calib can query its own timeline:
+//
+//   [ {"ph": "X", "name": "merge", "path": "process/merge", "cat": "phase",
+//      "pid": 0, "tid": 0, "ts": 1042.125, "dur": 17.250,
+//      "exclusive_us": 17.250}, ... ]
+//
+//   ph            always "X" (complete event)
+//   ts, dur       microseconds; ts is relative to the first recorded span
+//   name          leaf name ("merge")
+//   path          full nesting path ("process/merge") — an extension key;
+//                 trace viewers ignore it, tests verify nesting with it
+//   cat           "phase" (Phase scope) or "span" (SpanTimer)
+//   exclusive_us  for spans, the exclusive time accumulated across
+//                 pause()/resume() (what the phase.* timers aggregate);
+//                 equal to dur for phases
+//
+// Tracing is independent of the metrics enable flag (either works alone)
+// and is NOT async-signal-safe: recording takes a mutex, like Phase exit
+// already does. Keep it off the sampling-handler path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace calib::obs {
+
+struct TraceEvent {
+    std::string path;      ///< full nesting path, e.g. "process/merge"
+    const char* cat = "";  ///< "phase" or "span"
+    std::size_t tid = 0;   ///< obs thread index
+    std::uint64_t start_ns     = 0; ///< monotonic clock, absolute
+    std::uint64_t dur_ns       = 0; ///< wall duration of the span
+    std::uint64_t exclusive_ns = 0; ///< spans: exclusive time; else dur_ns
+};
+
+/// Append one event (no-op unless tracing is enabled). The buffer is
+/// bounded (trace_capacity()); events beyond it are counted as dropped.
+void trace_record(TraceEvent ev);
+
+/// Copy of the recorded events, in recording order (children of a nesting
+/// scope complete — and therefore appear — before their parent).
+std::vector<TraceEvent> trace_events();
+
+/// Drop all recorded events and the dropped-count.
+void trace_reset();
+
+/// Events discarded because the buffer was full.
+std::size_t trace_dropped();
+
+/// Buffer bound (events). Generous: phases/spans are per-stage and
+/// per-morsel, not per-record.
+std::size_t trace_capacity() noexcept;
+
+/// Render the buffer as Chrome trace_event JSON (schema above).
+void write_trace_json(std::ostream& os);
+
+/// Write the trace to \a path. Returns false (and logs) on open failure.
+bool write_trace_json_file(const std::string& path);
+
+} // namespace calib::obs

@@ -552,12 +552,16 @@ std::string ProxyDaemon::scrape_text() const {
                << "\n";
             break;
         case obs::Kind::Histogram:
-            os << "# TYPE " << name << "_count counter\n"
-               << name << "_count " << s.count << "\n"
-               << "# TYPE " << name << "_sum counter\n"
+            // proper Prometheus histogram series: cumulative _bucket
+            // counts with `le` bounds (the log2 bucket upper bounds),
+            // a catch-all +Inf bucket, then _sum and _count
+            os << "# TYPE " << name << " histogram\n";
+            for (const auto& [le, cumulative] : s.buckets)
+                os << name << "_bucket{le=\"" << le << "\"} " << cumulative
+                   << "\n";
+            os << name << "_bucket{le=\"+Inf\"} " << s.count << "\n"
                << name << "_sum " << s.total_ns << "\n"
-               << "# TYPE " << name << "_p99 gauge\n"
-               << name << "_p99 " << s.p99 << "\n";
+               << name << "_count " << s.count << "\n";
             break;
         }
     }

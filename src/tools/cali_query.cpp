@@ -54,6 +54,10 @@ void usage() {
         "      --no-mmap         read files into memory instead of mmap()ing\n"
         "                        them (also: CALIB_NO_MMAP=1)\n"
         "      --stats-json <f>  write the self-profile as a JSON record array\n"
+        "      --trace-json <f>  write a span timeline of the run as Chrome\n"
+        "                        trace_event JSON (open in Perfetto or\n"
+        "                        chrome://tracing; also queryable with\n"
+        "                        --json-input)\n"
         "  -v, --verbose         more diagnostics on stderr (-v info, -vv debug)\n"
         "  -h, --help            show this message\n"
         "\n"
@@ -71,6 +75,7 @@ int main(int argc, char** argv) {
     std::string connect;
     std::string channel = "default";
     std::string stats_json;
+    std::string trace_json;
     long threads      = 0; // 0 = hardware concurrency
     int verbose       = 0;
     bool stats        = false;
@@ -157,6 +162,13 @@ int main(int argc, char** argv) {
                 return 2;
             }
             stats_json = argv[i];
+        } else if (arg == "--trace-json") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            trace_json = argv[i];
         } else if (arg == "-v" || arg == "--verbose") {
             ++verbose;
         } else if (arg == "-vv") {
@@ -230,6 +242,10 @@ int main(int argc, char** argv) {
         calib::obs::set_enabled(true);
         calib::obs::MetricsRegistry::instance().reset();
     }
+    if (!trace_json.empty()) {
+        calib::obs::set_trace_enabled(true);
+        calib::obs::trace_reset();
+    }
 
     try {
         calib::QuerySpec spec;
@@ -293,6 +309,9 @@ int main(int argc, char** argv) {
             calib::obs::write_stats_table(stderr);
         }
         if (!stats_json.empty() && !calib::obs::write_stats_json_file(stats_json))
+            return 1;
+        if (!trace_json.empty() &&
+            !calib::obs::write_trace_json_file(trace_json))
             return 1;
     } catch (const calib::CalQLError& e) {
         std::fprintf(stderr, "cali-query: query error at position %zu: %s\n",

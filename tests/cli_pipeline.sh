@@ -4,7 +4,7 @@
 # check the results are consistent.
 #
 # usage: cli_pipeline.sh <clever-run> <cali-query> <mpi-caliquery> <paradis-gen>
-#                        <cali-stat> <calib-proxyd> <calib-push>
+#                        <cali-stat> <calib-proxyd> <calib-push> <calib-benchdiff>
 set -euo pipefail
 
 CLEVER_RUN=$1
@@ -14,6 +14,7 @@ PARADIS_GEN=$4
 CALI_STAT=$5
 CALIB_PROXYD=$6
 CALIB_PUSH=$7
+CALIB_BENCHDIFF=$8
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -111,6 +112,91 @@ echo "== mpi-caliquery --stats =="
     > mpistats_out.csv 2> mpistats_err.txt
 diff plain_out.csv mpistats_out.csv || { echo "mpi --stats contaminated stdout"; exit 1; }
 grep -q "reader.records" mpistats_err.txt
+
+echo "== mpi-caliquery --stats-json parity with cali-query =="
+"$MPI_CALIQUERY" -n 2 --stats-json mpiself.json \
+    -q "AGGREGATE sum(count) GROUP BY kernel FORMAT csv" clever-*.cali \
+    > /dev/null
+test -s mpiself.json || { echo "missing mpiself.json"; exit 1; }
+# both self-profiles expose the same record kinds and parse as records
+for f in self.json mpiself.json; do
+    "$CALI_QUERY" --json-input \
+        -q "SELECT name,value WHERE kind=counter ORDER BY name FORMAT csv" \
+        "$f" | grep -q "reader.records" || {
+        echo "$f: missing reader.records counter"; exit 1; }
+    "$CALI_QUERY" --json-input -q "AGGREGATE count WHERE kind=meta FORMAT csv" \
+        "$f" | tail -1 | grep -qx "1" || {
+        echo "$f: expected exactly one meta record"; exit 1; }
+done
+
+echo "== --trace-json: Chrome trace_event timeline, queryable =="
+"$CALI_QUERY" --trace-json trace.json \
+    -q "AGGREGATE sum(count) GROUP BY kernel FORMAT csv" clever-*.cali \
+    > /dev/null
+test -s trace.json || { echo "missing trace.json"; exit 1; }
+# every event is a complete ("X") span with name/ts/dur; the phase paths
+# in the timeline match the --stats phase tree (parse/process/format)
+"$CALI_QUERY" --json-input \
+    -q "SELECT path,cat WHERE ph=X GROUP BY path,cat AGGREGATE count
+        ORDER BY path FORMAT csv" trace.json > tracephases.csv
+grep -q "^parse,phase" tracephases.csv
+grep -q "^process,phase" tracephases.csv
+grep -q "^format,phase" tracephases.csv
+grep -q ",span" tracephases.csv   # stage timers show up as span events
+events=$("$CALI_QUERY" --json-input -q "AGGREGATE count FORMAT csv" trace.json | tail -1)
+durs=$("$CALI_QUERY" --json-input -q "AGGREGATE count WHERE dur FORMAT csv" trace.json | tail -1)
+test "$events" = "$durs" || { echo "trace events missing dur fields"; exit 1; }
+
+echo "== calib-benchdiff: append -> CalQL round-trip -> gate =="
+# seed five quiet runs from the real self-profiles, then inject a 1000x
+# slowdown into a sixth and require the gate to flag it. Wall-clock
+# metrics jitter from run to run, so the gate is pinned to the one
+# deterministic counter via the override file (which also exercises
+# glob patterns, direction=, and skip).
+cat > bd_overrides.txt <<'EOF'
+# pin the CI gate to the deterministic record counter
+ci/reader.records direction=lower
+ci/*_s     skip   # wall-clock timings jitter between runs
+ci/*.mean  skip   # histogram stats are timing-derived too
+ci/*.p99   skip
+EOF
+for i in 1 2 3 4 5; do
+    CALIB_GIT_SHA="commit$i" "$CALI_QUERY" --stats-json "run$i.json" \
+        -q "AGGREGATE sum(count) GROUP BY kernel FORMAT csv" clever-*.cali \
+        > /dev/null
+    CALIB_GIT_SHA="commit$i" "$CALIB_BENCHDIFF" append hist.cali \
+        --bench ci "run$i.json" 2>> bd.log
+done
+# the history is an ordinary calib stream: plain cali-query reads it
+"$CALI_QUERY" hist.cali \
+    -q "AGGREGATE count GROUP BY bd.commit ORDER BY bd.commit FORMAT csv" \
+    > hist.csv
+grep -q "^commit1," hist.csv
+grep -q "^commit5," hist.csv
+"$CALIB_BENCHDIFF" list hist.cali | grep -q "reader.records"
+# quiet history: the gate passes
+"$CALIB_BENCHDIFF" check hist.cali --overrides bd_overrides.txt > check_ok.txt
+grep -q ": 0 regression(s)" check_ok.txt
+# inject the regression: scale the record counter 1000x in a copied
+# profile (--commit overrides the copy's embedded commit5 meta stamp)
+sed 's/"name": "reader.records", "value": \([0-9]*\)/"name": "reader.records", "value": \1000/' \
+    run5.json > run6.json
+"$CALIB_BENCHDIFF" append hist.cali --commit commitbad \
+    --bench ci run6.json 2>> bd.log
+if "$CALIB_BENCHDIFF" check hist.cali --overrides bd_overrides.txt \
+        --json verdict.json > check_bad.txt; then
+    echo "gate must fail on the injected regression"; cat check_bad.txt; exit 1
+fi
+grep -q "regression" check_bad.txt
+grep -q "ci/reader.records" check_bad.txt
+grep -q "commit commitbad" check_bad.txt   # --commit won over the file stamp
+# the JSON verdict names the metric and is itself queryable
+"$CALI_QUERY" --json-input \
+    -q "SELECT metric WHERE status=regression FORMAT csv" verdict.json \
+    | grep -q "reader.records"
+# --soft reports but exits 0 (PR builds)
+"$CALIB_BENCHDIFF" check hist.cali --overrides bd_overrides.txt --soft \
+    > /dev/null || { echo "--soft must exit 0"; exit 1; }
 
 echo "== CALIB_METRICS=1: runtime self-profile at channel flush =="
 CALIB_METRICS=1 "$CLEVER_RUN" -n 1 --steps 2 --nx 16 --ny 16 \

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -253,4 +254,127 @@ TEST_F(ObsTest, ReaderInstrumentsCountRecords) {
     EXPECT_EQ(n, 2u);
     EXPECT_EQ(mreg.value("reader.records") - records0, 2);
     EXPECT_EQ(mreg.value("reader.entries") - entries0, 4);
+}
+
+TEST_F(ObsTest, HistogramBinPlacementMatchesLog2Bounds) {
+    // bucket 0 holds the value 0; bucket b holds [2^(b-1), 2^b)
+    t_histogram.record(0);
+    t_histogram.record(1);    // bucket 1
+    t_histogram.record(2);    // bucket 2
+    t_histogram.record(3);    // bucket 2
+    t_histogram.record(4);    // bucket 3
+    t_histogram.record(1023); // bucket 10
+    t_histogram.record(1024); // bucket 11
+    EXPECT_EQ(t_histogram.bucket_count(0), 1u);
+    EXPECT_EQ(t_histogram.bucket_count(1), 1u);
+    EXPECT_EQ(t_histogram.bucket_count(2), 2u);
+    EXPECT_EQ(t_histogram.bucket_count(3), 1u);
+    EXPECT_EQ(t_histogram.bucket_count(10), 1u);
+    EXPECT_EQ(t_histogram.bucket_count(11), 1u);
+
+    // the le bounds quantile() reports are the bucket upper bounds
+    EXPECT_EQ(obs::Histogram::bucket_upper_bound(0), 0u);
+    EXPECT_EQ(obs::Histogram::bucket_upper_bound(1), 1u);
+    EXPECT_EQ(obs::Histogram::bucket_upper_bound(2), 3u);
+    EXPECT_EQ(obs::Histogram::bucket_upper_bound(10), 1023u);
+
+    // snapshot carries cumulative (le, count) pairs up to the last
+    // occupied bucket — the Prometheus exposition reads these directly
+    const std::optional<obs::Sample> found =
+        obs::MetricsRegistry::instance().find("test.histogram");
+    ASSERT_TRUE(found.has_value());
+    const obs::Sample& s = *found;
+    ASSERT_FALSE(s.buckets.empty());
+    EXPECT_EQ(s.buckets.front().first, 0u);
+    EXPECT_EQ(s.buckets.front().second, 1u);
+    EXPECT_EQ(s.buckets.back().first, 2047u);
+    EXPECT_EQ(s.buckets.back().second, 7u);
+    for (std::size_t i = 1; i < s.buckets.size(); ++i) {
+        EXPECT_LT(s.buckets[i - 1].first, s.buckets[i].first);
+        EXPECT_LE(s.buckets[i - 1].second, s.buckets[i].second);
+    }
+}
+
+TEST_F(ObsTest, TimerMaxMergesAcrossShards) {
+    // distinct threads land in distinct shards; the reported max must be
+    // the global maximum, and count/total the exact sums
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([t] {
+            t_timer.record(100 * (t + 1));
+            t_timer.record(10);
+        });
+    for (std::thread& t : threads)
+        t.join();
+    EXPECT_EQ(t_timer.count(), 16u);
+    EXPECT_EQ(t_timer.total_ns(), 100u * 36u + 8u * 10u);
+    EXPECT_EQ(t_timer.max_ns(), 800u);
+}
+
+TEST_F(ObsTest, TraceCapturesNestedSpansWithPhasePaths) {
+    obs::set_trace_enabled(true);
+    obs::trace_reset();
+    {
+        obs::Phase outer("touter");
+        {
+            obs::Phase inner("tinner");
+            obs::SpanTimer span(t_timer); // traces under the enclosing phases
+            span.stop();
+        }
+    }
+    obs::set_trace_enabled(false);
+
+    const std::vector<obs::TraceEvent> events = obs::trace_events();
+    ASSERT_EQ(events.size(), 3u);
+    // children complete before parents: span, inner, outer
+    EXPECT_EQ(events[0].path, "touter/tinner/test.timer");
+    EXPECT_STREQ(events[0].cat, "span");
+    EXPECT_EQ(events[1].path, "touter/tinner");
+    EXPECT_STREQ(events[1].cat, "phase");
+    EXPECT_EQ(events[2].path, "touter");
+    // a nested span starts no earlier and ends no later than its parent
+    EXPECT_GE(events[1].start_ns, events[2].start_ns);
+    EXPECT_LE(events[1].start_ns + events[1].dur_ns,
+              events[2].start_ns + events[2].dur_ns);
+    obs::trace_reset();
+}
+
+TEST_F(ObsTest, TraceWorksWithMetricsDisabled) {
+    obs::set_enabled(false); // tracing is independent of the metrics switch
+    obs::set_trace_enabled(true);
+    obs::trace_reset();
+    { obs::Phase only("tsolo"); }
+    obs::set_trace_enabled(false);
+    ASSERT_EQ(obs::trace_events().size(), 1u);
+    EXPECT_EQ(obs::trace_events()[0].path, "tsolo");
+    obs::trace_reset();
+    obs::set_enabled(true); // fixture TearDown expects it on
+}
+
+TEST_F(ObsTest, TraceJsonIsAQueryableRecordArray) {
+    obs::set_trace_enabled(true);
+    obs::trace_reset();
+    {
+        obs::Phase outer("qouter");
+        { obs::Phase inner("qinner"); }
+    }
+    obs::set_trace_enabled(false);
+
+    std::ostringstream os;
+    obs::write_trace_json(os);
+    // well-formed trace_event JSON: parseable as a flat record array with
+    // ph/name/ts/dur on every event, nesting recorded in "path"
+    const std::vector<RecordMap> events = read_json_records(os.str());
+    ASSERT_EQ(events.size(), 2u);
+    for (const RecordMap& ev : events) {
+        EXPECT_EQ(ev.get("ph").to_string(), "X");
+        EXPECT_EQ(ev.get("cat").to_string(), "phase");
+        EXPECT_FALSE(ev.get("name").to_string().empty());
+        EXPECT_GE(ev.get("ts").to_double(), 0.0);
+        EXPECT_GE(ev.get("dur").to_double(), 0.0);
+    }
+    EXPECT_EQ(events[0].get("name").to_string(), "qinner");
+    EXPECT_EQ(events[0].get("path").to_string(), "qouter/qinner");
+    EXPECT_EQ(events[1].get("path").to_string(), "qouter");
+    obs::trace_reset();
 }

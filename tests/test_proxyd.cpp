@@ -749,6 +749,37 @@ TEST(ProxydDaemon, ScrapeDisambiguatesCollidingLabelNames) {
     EXPECT_NE(text.find("a_b_2=\""), std::string::npos) << text;
 }
 
+TEST(ProxydDaemon, ScrapeExportsPrometheusHistogramSeries) {
+    obs::set_enabled(true);
+    static obs::Histogram hist("test.scrape_hist_ns");
+    hist.reset();
+    hist.record(0);
+    hist.record(1);
+    hist.record(3);
+    hist.record(100);
+    obs::set_enabled(false);
+
+    proxyd::DaemonOptions opts;
+    proxyd::ProxyDaemon daemon(opts); // no sockets needed for scrape_text
+    const std::string text = daemon.scrape_text();
+
+    // cumulative _bucket series with log2 le bounds, +Inf catch-all,
+    // then _sum/_count — the proper Prometheus histogram shape
+    const char* expected[] = {
+        "# TYPE calib_test_scrape_hist_ns histogram\n",
+        "calib_test_scrape_hist_ns_bucket{le=\"0\"} 1\n",    // the value 0
+        "calib_test_scrape_hist_ns_bucket{le=\"1\"} 2\n",    // + value 1
+        "calib_test_scrape_hist_ns_bucket{le=\"3\"} 3\n",    // + value 3
+        "calib_test_scrape_hist_ns_bucket{le=\"63\"} 3\n",   // empty gap bucket
+        "calib_test_scrape_hist_ns_bucket{le=\"127\"} 4\n",  // + value 100
+        "calib_test_scrape_hist_ns_bucket{le=\"+Inf\"} 4\n",
+        "calib_test_scrape_hist_ns_sum 104\n",
+        "calib_test_scrape_hist_ns_count 4\n",
+    };
+    for (const char* line : expected)
+        EXPECT_NE(text.find(line), std::string::npos) << line << "\n" << text;
+}
+
 TEST(ProxydDaemon, TcpIngestWorksLikeUnix) {
     proxyd::DaemonOptions opts;
     opts.listen = "127.0.0.1:0";
