@@ -80,13 +80,17 @@ EngineRun run_engine(const QuerySpec& spec, const std::string& path,
                      std::size_t threads, bool use_mmap,
                      std::size_t morsel_bytes, std::size_t flush_limit,
                      bool batched, std::size_t batch_size,
-                     std::size_t memory_budget) {
+                     std::size_t memory_budget,
+                     engine::MergeStrategy strategy =
+                         engine::MergeStrategy::Adaptive) {
     EngineRun run;
     run.label = "t" + std::to_string(threads) + (use_mmap ? "/mmap" : "/read") +
                 "/m" + std::to_string(morsel_bytes) +
                 (flush_limit ? "/flush" : "") +
                 (batched ? "/b" + std::to_string(batch_size) : "/rec") +
                 (memory_budget ? "/spill" : "");
+    if (strategy != engine::MergeStrategy::Adaptive)
+        run.label += std::string("/") + engine::merge_strategy_name(strategy);
     const bool mmap_before = FileBuffer::mmap_enabled();
     FileBuffer::set_mmap_enabled(use_mmap);
     try {
@@ -98,8 +102,10 @@ EngineRun run_engine(const QuerySpec& spec, const std::string& path,
         opts.batched    = batched;
         opts.batch_size = batch_size;
         // explicit (not the SIZE_MAX sentinel), so CALIB_AGG_MEM in the
-        // environment cannot perturb fuzz determinism
+        // environment cannot perturb fuzz determinism; same for the merge
+        // strategy vs CALIB_MERGE_STRATEGY
         opts.agg_memory_budget = memory_budget;
+        opts.merge_strategy    = strategy;
         engine::ParallelQueryProcessor engine(spec, opts);
         QueryProcessor& proc = engine.run({path});
         std::ostringstream os;
@@ -242,6 +248,20 @@ std::vector<std::string> check_case(const Corpus& corpus, const std::string& que
                                       morsel_bytes, flush_limit,
                                       /*batched=*/true, 1024,
                                       /*memory_budget=*/0));
+    // merge-strategy matrix: every phase-2 strategy must be byte-identical
+    // to the adaptive head at every thread count (the strategies realize
+    // the same per-key reduction DAG; only the schedule differs). Runs
+    // share the case's morsel and flush plan — the flush plan fixes the
+    // reduction DAG, the strategy must not.
+    for (engine::MergeStrategy strategy :
+         {engine::MergeStrategy::Pairwise, engine::MergeStrategy::Tree,
+          engine::MergeStrategy::Radix})
+        for (std::size_t threads :
+             {std::size_t(1), std::size_t(2), std::size_t(4)})
+            runs.push_back(run_engine(spec, input.path(), threads,
+                                      /*use_mmap=*/true, morsel_bytes,
+                                      flush_limit, /*batched=*/true, 1024,
+                                      /*memory_budget=*/0, strategy));
     // batch-size invariance family: the record-at-a-time shim and forced
     // tiny batch sizes must be byte-identical to the batched default (the
     // columnar-pipeline claim). Early flush triggers at batch — not record —
@@ -301,6 +321,17 @@ std::vector<std::string> check_case(const Corpus& corpus, const std::string& que
     spill_runs.push_back(run_engine(spec, input.path(), 4, false, morsel_bytes, 0,
                                     /*batched=*/true, 7, 1));
     compare_family(spill_runs);
+
+    // radix under spill: the spill run boundaries depend on the insertion
+    // sequence, so strategies need not agree with each other here — but each
+    // strategy must still be thread-count-deterministic within itself
+    std::vector<EngineRun> radix_spill_runs;
+    for (std::size_t threads : {std::size_t(1), std::size_t(4)})
+        radix_spill_runs.push_back(
+            run_engine(spec, input.path(), threads, true, morsel_bytes, 0,
+                       /*batched=*/true, 1024, /*memory_budget=*/1,
+                       engine::MergeStrategy::Radix));
+    compare_family(radix_spill_runs);
 
     if (!corpus.well_formed)
         return failures; // mutated input: cross-engine agreement was the check

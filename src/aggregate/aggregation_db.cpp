@@ -12,6 +12,7 @@
 #include <cstring>
 #include <numeric>
 #include <stdexcept>
+#include <type_traits>
 
 #include <unistd.h>
 
@@ -843,14 +844,36 @@ void AggregationDB::flush(const std::function<void(RecordMap&&)>& sink) const {
         return;
     }
 
-    // percent_total denominators, one per configured op
+    // percent_total denominators, one per configured op. Accumulated in
+    // canonical (key-sorted) order, not insertion order: the double sum is
+    // then a function of the group-state set alone, so every merge
+    // strategy — which may assemble the table in a different entry order —
+    // yields identical denominators. Matches the spilled path, which
+    // iterates in spill-key order.
     std::vector<double> denominators(config_.ops.size(), 0.0);
-    for (std::size_t i = 0; i < config_.ops.size(); ++i) {
-        if (config_.ops[i].op != AggOp::PercentTotal)
-            continue;
-        for (std::size_t e = 0; e < entries_.size(); ++e)
-            denominators[i] +=
-                kernel::state_sum_value(config_.ops[i].op, entry_state(e, i));
+    bool need_denominators = false;
+    for (const AggOpConfig& op : config_.ops)
+        if (op.op == AggOp::PercentTotal)
+            need_denominators = true;
+    if (need_denominators) {
+        std::vector<std::uint32_t> order(entries_.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::sort(order.begin(), order.end(),
+                  [this](std::uint32_t a, std::uint32_t b) {
+                      const EntryRec& ra = entries_[a];
+                      const EntryRec& rb = entries_[b];
+                      return compare_keys(key_arena_.data() + ra.key_offset,
+                                          ra.key_len,
+                                          key_arena_.data() + rb.key_offset,
+                                          rb.key_len) < 0;
+                  });
+        for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+            if (config_.ops[i].op != AggOp::PercentTotal)
+                continue;
+            for (const std::uint32_t e : order)
+                denominators[i] +=
+                    kernel::state_sum_value(config_.ops[i].op, entry_state(e, i));
+        }
     }
 
     for (std::size_t e = 0; e < entries_.size(); ++e) {
@@ -933,6 +956,160 @@ void AggregationDB::merge(AggregationDB&& other) {
     other.clear();
 }
 
+void AggregationDB::append_entry_unchecked(const AggregationDB& src,
+                                           const EntryRec& rec) {
+    EntryRec out     = rec;
+    out.key_offset   = static_cast<std::uint32_t>(key_arena_.size());
+    out.state_offset = static_cast<std::uint32_t>(state_arena_.size());
+    key_arena_.insert(key_arena_.end(),
+                      src.key_arena_.begin() + rec.key_offset,
+                      src.key_arena_.begin() + rec.key_offset + rec.key_len);
+    state_arena_.insert(state_arena_.end(),
+                        src.state_arena_.begin() + rec.state_offset,
+                        src.state_arena_.begin() + rec.state_offset +
+                            state_stride_);
+    entries_.push_back(out);
+    const std::size_t mask = table_.size() - 1;
+    std::size_t slot       = rec.hash & mask;
+    while (table_[slot] != 0)
+        slot = (slot + 1) & mask;
+    table_[slot] = static_cast<std::uint32_t>(entries_.size());
+    ++stats_.inserts;
+    aggdb_inserts.add();
+    if (entries_.size() * 10 > table_.size() * 7)
+        grow_table(table_.size() * 2);
+}
+
+std::vector<AggregationDB> AggregationDB::extract_partitions(unsigned bits) {
+    assert(bits >= 1 && bits <= 8);
+    assert(!spilled()); // worker partials never spill (budget is root-only)
+    const std::size_t nparts = std::size_t(1) << bits;
+    const unsigned shift     = 64 - bits;
+
+    std::vector<AggregationDB> parts;
+    parts.reserve(nparts);
+    for (std::size_t p = 0; p < nparts; ++p)
+        parts.emplace_back(config_, registry_);
+    if (entries_.empty())
+        return parts;
+
+    // size each partition exactly up front so the scatter loop below is a
+    // pure cursor-bump memcpy per entry — no capacity checks, no rehash
+    std::vector<std::uint32_t> counts(nparts, 0);
+    std::vector<std::size_t> key_elems(nparts, 0);
+    for (const EntryRec& rec : entries_) {
+        const std::size_t p = rec.hash >> shift;
+        ++counts[p];
+        key_elems[p] += rec.key_len;
+    }
+    for (std::size_t p = 0; p < nparts; ++p) {
+        if (counts[p] == 0)
+            continue;
+        AggregationDB& dst = parts[p];
+        dst.entries_.reserve(counts[p]);
+        dst.key_arena_.resize(key_elems[p]);
+        dst.state_arena_.resize(counts[p] * state_stride_);
+        if (std::size_t(counts[p]) * 2 > dst.table_.size())
+            dst.grow_table(std::size_t(counts[p]) * 2);
+        dst.stats_.inserts += counts[p];
+    }
+    aggdb_inserts.add(entries_.size());
+
+    static_assert(std::is_trivially_copyable_v<Entry>,
+                  "key arena scatter relies on memcpy");
+    std::vector<std::uint32_t> key_cur(nparts, 0), state_cur(nparts, 0);
+    for (const EntryRec& rec : entries_) {
+        const std::size_t p = rec.hash >> shift;
+        AggregationDB& dst = parts[p];
+        EntryRec out       = rec;
+        out.key_offset     = key_cur[p];
+        out.state_offset   = state_cur[p];
+        std::memcpy(dst.key_arena_.data() + key_cur[p],
+                    key_arena_.data() + rec.key_offset,
+                    rec.key_len * sizeof(Entry));
+        std::memcpy(dst.state_arena_.data() + state_cur[p],
+                    state_arena_.data() + rec.state_offset,
+                    state_stride_ * sizeof(std::uint64_t));
+        key_cur[p] += rec.key_len;
+        state_cur[p] += static_cast<std::uint32_t>(state_stride_);
+        dst.entries_.push_back(out);
+        const std::size_t mask = dst.table_.size() - 1;
+        std::size_t slot       = rec.hash & mask;
+        while (dst.table_[slot] != 0)
+            slot = (slot + 1) & mask;
+        dst.table_[slot] = static_cast<std::uint32_t>(dst.entries_.size());
+    }
+
+    // the source restarts empty; processed count, stats, and resolution
+    // state stay (the engine folds counts through the processor merge)
+    key_arena_.clear();
+    state_arena_.clear();
+    entries_.clear();
+    table_.assign(initial_table_slots, 0);
+    return parts;
+}
+
+void AggregationDB::absorb_disjoint(AggregationDB&& other) {
+    assert(config_.ops.size() == other.config_.ops.size());
+    assert(registry_ == other.registry_);
+    assert(!other.spilled());
+    if (other.entries_.empty()) {
+        processed_ += other.processed_;
+        other.clear();
+        return;
+    }
+    if (entries_.empty()) {
+        merge(std::move(other)); // arena steal
+        return;
+    }
+    aggdb_merges.add();
+    if (spill_limit_ == 0) {
+        // no budget → no spill can interleave, so concatenate the arenas
+        // wholesale and fix entry offsets up instead of copying per entry
+        reserve(entries_.size() + other.entries_.size());
+        const auto key_base   = static_cast<std::uint32_t>(key_arena_.size());
+        const auto state_base = static_cast<std::uint32_t>(state_arena_.size());
+        key_arena_.insert(key_arena_.end(), other.key_arena_.begin(),
+                          other.key_arena_.end());
+        state_arena_.insert(state_arena_.end(), other.state_arena_.begin(),
+                            other.state_arena_.end());
+        const std::size_t mask = table_.size() - 1;
+        for (const EntryRec& rec : other.entries_) {
+            EntryRec out = rec;
+            out.key_offset += key_base;
+            out.state_offset += state_base;
+            entries_.push_back(out);
+            std::size_t slot = rec.hash & mask;
+            while (table_[slot] != 0)
+                slot = (slot + 1) & mask;
+            table_[slot] = static_cast<std::uint32_t>(entries_.size());
+            ++stats_.inserts;
+            aggdb_inserts.add();
+        }
+        processed_ += other.processed_;
+        other.clear();
+        return;
+    }
+    std::size_t want = entries_.size() + other.entries_.size();
+    want             = std::min(want, spill_limit_);
+    reserve(want);
+    for (const EntryRec& rec : other.entries_) {
+        append_entry_unchecked(other, rec);
+        maybe_spill();
+    }
+    processed_ += other.processed_;
+    other.clear();
+}
+
+std::size_t AggregationDB::serialized_entry_count(std::span<const std::byte> data) {
+    ByteReader r(data);
+    if (r.get<std::uint32_t>() != serialize_magic)
+        throw std::runtime_error("AggregationDB: bad serialization magic");
+    r.get<std::uint32_t>(); // op count
+    r.get<std::uint64_t>(); // processed
+    return r.get<std::uint32_t>();
+}
+
 std::vector<std::byte> AggregationDB::serialize() const {
     std::vector<std::byte> buf;
     ByteWriter w(buf);
@@ -984,6 +1161,23 @@ std::vector<std::byte> AggregationDB::serialize() const {
 }
 
 void AggregationDB::merge_serialized(std::span<const std::byte> data) {
+    merge_serialized_impl(data, 0, 0);
+}
+
+void AggregationDB::merge_serialized(std::span<const std::byte> data, unsigned bits,
+                                     std::size_t partition) {
+    assert(bits >= 1 && bits <= 8);
+    assert(partition < (std::size_t(1) << bits));
+    merge_serialized_impl(data, bits, partition);
+}
+
+/// bits == 0 folds every entry (plain merge_serialized); bits > 0 folds
+/// only the entries whose key hash lands in \a partition — the rest are
+/// still decoded (to advance the reader) but not applied. Record counts
+/// are credited once per buffer: always when bits == 0, else only by the
+/// partition-0 replay.
+void AggregationDB::merge_serialized_impl(std::span<const std::byte> data,
+                                          unsigned bits, std::size_t partition) {
     ByteReader r(data);
     if (r.get<std::uint32_t>() != serialize_magic)
         throw std::runtime_error("AggregationDB: bad serialization magic");
@@ -992,7 +1186,8 @@ void AggregationDB::merge_serialized(std::span<const std::byte> data) {
         throw std::runtime_error("AggregationDB: op-count mismatch in merge");
     const auto nprocessed = r.get<std::uint64_t>();
     const auto nentries   = r.get<std::uint32_t>();
-    std::size_t want      = entries_.size() + nentries;
+    std::size_t want      = entries_.size() +
+                       (bits == 0 ? nentries : nentries >> bits);
     if (spill_limit_ != 0)
         want = std::min<std::size_t>(want, spill_limit_);
     reserve(want);
@@ -1013,7 +1208,14 @@ void AggregationDB::merge_serialized(std::span<const std::byte> data) {
                 attr = registry_->create(name, value.type()).id();
             key[k] = Entry(attr, value);
         }
-        const std::uint64_t h   = hash_key(key, key_len);
+        const std::uint64_t h = hash_key(key, key_len);
+        if (bits != 0 && (h >> (64 - bits)) != partition) {
+            for (std::size_t i = 0; i < config_.ops.size(); ++i) {
+                kernel::state_init(config_.ops[i].op, scratch);
+                kernel::state_deserialize(config_.ops[i].op, scratch, r);
+            }
+            continue;
+        }
         const std::size_t index = find_or_insert(key, key_len, h);
         for (std::size_t i = 0; i < config_.ops.size(); ++i) {
             kernel::state_init(config_.ops[i].op, scratch);
@@ -1022,7 +1224,8 @@ void AggregationDB::merge_serialized(std::span<const std::byte> data) {
         }
         maybe_spill();
     }
-    processed_ += nprocessed;
+    if (bits == 0 || partition == 0)
+        processed_ += nprocessed;
 }
 
 void AggregationDB::clear() {

@@ -132,6 +132,33 @@ public:
     /// afterwards.
     void merge(AggregationDB&& other);
 
+    /// Split the live entries into 2^bits databases by the top \a bits of
+    /// each entry's key hash (the radix merge's partition function). Key
+    /// and state blocks are copied verbatim — no kernel calls, so states
+    /// are bitwise-preserved. This database is left empty (processed count
+    /// and stats stay). bits must be in [1, 8]; must not have spilled.
+    std::vector<AggregationDB> extract_partitions(unsigned bits);
+
+    /// Append every entry of \a other, whose keys are disjoint from this
+    /// database's by contract (radix partitions): key/state blocks copy
+    /// verbatim and table slots probe to the first empty slot with no key
+    /// comparisons or kernel calls. Much cheaper than merge() for the
+    /// radix concatenation step. \a other is empty afterwards.
+    void absorb_disjoint(AggregationDB&& other);
+
+    /// Partition-filtered variant of merge_serialized(): folds in only the
+    /// entries whose key hash lands in \a partition (top \a bits), so each
+    /// radix partition task can replay early-flush buffers independently.
+    /// The buffer's record count is credited only when partition == 0, so
+    /// replaying every partition of one buffer counts it exactly once.
+    void merge_serialized(std::span<const std::byte> data, unsigned bits,
+                          std::size_t partition);
+
+    /// Entry count recorded in a serialize() buffer header (used by the
+    /// engine's adaptive merge selector to size early-flushed partials
+    /// without re-parsing the buffer).
+    static std::size_t serialized_entry_count(std::span<const std::byte> data);
+
     /// Serialize all entries (attribute labels by name, so the buffer is
     /// meaningful across registries).
     std::vector<std::byte> serialize() const;
@@ -177,6 +204,12 @@ private:
     bool skip_in_implicit_key(id_t attr);
     std::size_t find_or_insert(const Entry* key, std::size_t key_len, std::uint64_t hash);
     void grow_table(std::size_t min_slots);
+    /// Copy one entry's key/state blocks from \a src verbatim and insert
+    /// its table slot without key comparisons (caller guarantees the key
+    /// is not present).
+    void append_entry_unchecked(const AggregationDB& src, const EntryRec& rec);
+    void merge_serialized_impl(std::span<const std::byte> data, unsigned bits,
+                               std::size_t partition);
     void update_ops(std::size_t entry_index, std::span<const Entry> record);
     void update_ops_cols(std::size_t entry_index, const RecordBatch& batch,
                          std::size_t row);

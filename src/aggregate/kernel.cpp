@@ -89,6 +89,9 @@ bool int_addend(const Variant& v, std::int64_t* out) {
 void sum_widen(SumState* s, std::int64_t a, std::int64_t b) {
     s->dsum = static_cast<double>(a) + static_cast<double>(b);
     s->kind = 2;
+    s->isum = 0; // canonical: the integer accumulator is dead on the
+                 // double path, and equal value sequences must produce
+                 // bitwise-equal states (the init-merge lemma)
 }
 
 void sum_update(SumState* s, const Variant& v) {
@@ -106,8 +109,10 @@ void sum_update(SumState* s, const Variant& v) {
             s->kind = 1;
         }
     } else {
-        if (s->kind == 1)
+        if (s->kind == 1) {
             s->dsum = static_cast<double>(s->isum);
+            s->isum = 0; // see sum_widen: keep the state canonical
+        }
         s->kind = 2;
         s->dsum += v.to_double();
     }
@@ -127,10 +132,15 @@ void sum_merge(SumState* s, const SumState* o) {
         }
     } else {
         const double add = o->kind == 1 ? static_cast<double>(o->isum) : o->dsum;
-        if (s->kind == 1)
+        if (s->kind == 1) {
             s->dsum = static_cast<double>(s->isum);
+            s->isum = 0; // see sum_widen: keep the state canonical
+        }
+        // a freshly-initialized destination must reproduce the source
+        // bitwise (e.g. -0.0 survives); the merge-strategy byte-identity
+        // contract rests on this — see docs/ENGINE.md
+        s->dsum = s->kind == 0 ? add : s->dsum + add;
         s->kind = 2;
-        s->dsum += add;
     }
     s->updates += o->updates;
 }
@@ -243,6 +253,11 @@ void state_merge(AggOp op, void* state, const void* other) noexcept {
     case AggOp::Avg: {
         auto* s = as<AvgState>(state);
         const auto* o = as<AvgState>(other);
+        if (s->count == 0) {
+            // bitwise copy onto a fresh destination (strategy byte-identity)
+            *s = *o;
+            break;
+        }
         s->sum += o->sum;
         s->count += o->count;
         break;

@@ -1,0 +1,94 @@
+#include "merge_strategy.hpp"
+
+#include "../common/util.hpp"
+
+#include <cstdlib>
+
+namespace calib::engine {
+
+namespace {
+
+MergeStrategy g_default = MergeStrategy::Default; // Default = env fallback
+
+std::size_t env_entries(const char* name, std::size_t fallback) {
+    const char* s = std::getenv(name);
+    std::size_t v = 0;
+    if (s && *s && util::parse_size(s, v))
+        return v;
+    return fallback;
+}
+
+} // namespace
+
+const char* merge_strategy_name(MergeStrategy s) noexcept {
+    switch (s) {
+    case MergeStrategy::Adaptive: return "adaptive";
+    case MergeStrategy::Pairwise: return "pairwise";
+    case MergeStrategy::Tree:     return "tree";
+    case MergeStrategy::Radix:    return "radix";
+    case MergeStrategy::Default:  break;
+    }
+    return "default";
+}
+
+bool parse_merge_strategy(std::string_view name, MergeStrategy& out) noexcept {
+    if (name == "adaptive" || name == "auto")
+        out = MergeStrategy::Adaptive;
+    else if (name == "pairwise" || name == "serial")
+        out = MergeStrategy::Pairwise;
+    else if (name == "tree")
+        out = MergeStrategy::Tree;
+    else if (name == "radix")
+        out = MergeStrategy::Radix;
+    else
+        return false;
+    return true;
+}
+
+int merge_strategy_code(MergeStrategy s) noexcept {
+    switch (s) {
+    case MergeStrategy::Pairwise: return 1;
+    case MergeStrategy::Tree:     return 2;
+    case MergeStrategy::Radix:    return 3;
+    default:                      return 0;
+    }
+}
+
+MergeStrategy default_merge_strategy() {
+    if (g_default != MergeStrategy::Default)
+        return g_default;
+    static const MergeStrategy env = [] {
+        MergeStrategy s = MergeStrategy::Adaptive;
+        if (const char* v = std::getenv("CALIB_MERGE_STRATEGY"); v && *v)
+            parse_merge_strategy(v, s); // unknown names keep Adaptive
+        return s;
+    }();
+    return env;
+}
+
+void set_default_merge_strategy(MergeStrategy s) {
+    g_default = s;
+}
+
+MergeTuning default_merge_tuning() {
+    static const MergeTuning env = [] {
+        MergeTuning t;
+        t.small_entries = env_entries("CALIB_MERGE_SMALL", t.small_entries);
+        t.radix_entries = env_entries("CALIB_MERGE_RADIX_MIN", t.radix_entries);
+        return t;
+    }();
+    return env;
+}
+
+MergeStrategy select_merge_strategy(const MergeObservation& obs,
+                                    const MergeTuning& tuning) noexcept {
+    if (!obs.has_aggregation)
+        return obs.partials >= 8 ? MergeStrategy::Tree : MergeStrategy::Pairwise;
+    if (obs.total_entries <= tuning.small_entries)
+        return MergeStrategy::Pairwise;
+    if (obs.flush_buffers > 0 || obs.total_entries >= tuning.radix_entries)
+        return MergeStrategy::Radix;
+    return MergeStrategy::Tree;
+}
+
+} // namespace calib::engine

@@ -1,0 +1,96 @@
+// Phase-2 merge strategies for the parallel query engine.
+//
+// Phase 1 produces one partial QueryProcessor per morsel; phase 2 folds
+// them into the root. Three strategies realize the *same* per-key
+// floating-point reduction DAG (the stride-doubling tree over morsel
+// indices, then early-flush buffers in (morsel, flush-sequence) order),
+// so their output bytes are identical — they differ only in how the work
+// is scheduled:
+//
+//   pairwise  the stride merges run serially on the driver thread. No
+//             task overhead; best for small group counts.
+//   tree      each level's independent merges run as ThreadPool tasks
+//             with a barrier per level (the historical default).
+//   radix     every partial is split by key-hash radix into P fixed
+//             partitions; the P partition folds are independent pool
+//             tasks (each folding its pieces in the same stride-doubling
+//             worker-index order), and the driver concatenates the
+//             disjoint partition results in partition order. Parallelism
+//             is per-partition instead of per-level, and each partition's
+//             hash table is ~1/P the size — cache-resident at high
+//             cardinality where a monolithic table thrashes.
+//
+// The adaptive selector picks one per query from cardinality observed at
+// the end of phase 1. Its inputs (morsel count, per-partial entry counts,
+// flush counts) are functions of the input set only — never the thread
+// count — so the choice, like the strategies themselves, cannot perturb
+// output bytes. docs/ENGINE.md has the full determinism argument.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace calib::engine {
+
+enum class MergeStrategy : std::uint8_t {
+    Default = 0, ///< resolve via default_merge_strategy() (env or adaptive)
+    Adaptive,    ///< select per query from phase-1 cardinality
+    Pairwise,    ///< serial stride-doubling fold on the driver
+    Tree,        ///< stride-doubling fold, level merges as pool tasks
+    Radix,       ///< hash-partitioned parallel fold + ordered concatenation
+};
+
+/// Lower-case name ("adaptive", "pairwise", "tree", "radix").
+const char* merge_strategy_name(MergeStrategy s) noexcept;
+
+/// Parse a strategy name (as accepted by --merge-strategy /
+/// CALIB_MERGE_STRATEGY). Returns false on an unknown name.
+bool parse_merge_strategy(std::string_view name, MergeStrategy& out) noexcept;
+
+/// Stable numeric code for the engine.merge_strategy gauge:
+/// 0 none/serial, 1 pairwise, 2 tree, 3 radix.
+int merge_strategy_code(MergeStrategy s) noexcept;
+
+/// Process-wide default used when EngineOptions::merge_strategy is
+/// Default: the last set_default_merge_strategy() value, else
+/// CALIB_MERGE_STRATEGY, else Adaptive. (mpi-caliquery plumbs its
+/// --merge-strategy through this, like set_default_batch_size.)
+MergeStrategy default_merge_strategy();
+/// Override the process-wide default (Default restores the env fallback).
+void set_default_merge_strategy(MergeStrategy s);
+
+/// What phase 1 observed, fed to the adaptive selector. Every field is a
+/// deterministic function of the input set (morsel plan + records), never
+/// of the thread count — see the determinism note above.
+struct MergeObservation {
+    std::size_t partials        = 0; ///< morsel count (= partial count)
+    bool has_aggregation        = false;
+    std::size_t total_entries   = 0; ///< live + early-flushed entries, summed
+    std::size_t max_entries     = 0; ///< largest single partial (live+flushed)
+    std::size_t flush_buffers   = 0; ///< early-flush buffers across partials
+};
+
+/// Selector thresholds (see docs/ENGINE.md "Tuning the selector").
+struct MergeTuning {
+    /// At or below this many total observed groups the merge is trivial:
+    /// stay pairwise and skip task overhead.
+    std::size_t small_entries = 4096;
+    /// At or above this many total observed groups (or when any partial
+    /// early-flushed, which means cardinality already blew the partial
+    /// bound) the monolithic fold is cache-bound: go radix.
+    std::size_t radix_entries = std::size_t(1) << 16;
+};
+
+/// Resolve the MergeTuning defaults, honoring CALIB_MERGE_SMALL and
+/// CALIB_MERGE_RADIX_MIN when set.
+MergeTuning default_merge_tuning();
+
+/// The adaptive policy: pairwise below small_entries, radix at or above
+/// radix_entries (or after any early flush), tree in between. Queries
+/// without aggregation have nothing to partition: pairwise for few
+/// partials, tree otherwise.
+MergeStrategy select_merge_strategy(const MergeObservation& obs,
+                                    const MergeTuning& tuning) noexcept;
+
+} // namespace calib::engine

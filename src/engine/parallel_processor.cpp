@@ -20,6 +20,14 @@ namespace {
 
 obs::Counter engine_early_flushes("engine.early_flushes");
 obs::Counter engine_early_flush_bytes("engine.early_flush_bytes");
+// last run's phase-2 profile: strategy code (0 none, 1 pairwise, 2 tree,
+// 3 radix), radix partition count, and merge wall time in milliseconds
+obs::Gauge engine_merge_strategy("engine.merge_strategy");
+obs::Gauge engine_merge_partitions("engine.merge_partitions");
+obs::Gauge engine_merge_ms("engine.merge_ms");
+// per-partition fold spans (radix): visible in --stats and as --trace-json
+// timeline events
+obs::Timer merge_partition_time("merge.partition");
 
 constexpr std::size_t max_batch_rows = std::size_t(1) << 20;
 
@@ -69,6 +77,32 @@ struct Partial {
     /// Early-flushed aggregation buffers, in flush order.
     std::vector<std::vector<std::byte>> flushed;
 };
+
+/// The canonical phase-2 fold: a stride-doubling tree over morsel indices
+/// (merge neighbor i+stride into i). Every strategy executes exactly this
+/// per-key merge order; they differ only in scheduling, so output bytes
+/// are strategy-invariant. Here: serially, on the driver.
+void fold_pairwise(std::vector<Partial>& partials) {
+    const std::size_t n = partials.size();
+    for (std::size_t stride = 1; stride < n; stride *= 2)
+        for (std::size_t i = 0; i + stride < n; i += 2 * stride)
+            partials[i].proc->merge(std::move(*partials[i + stride].proc));
+}
+
+/// The same fold with each level's independent merges as pool tasks and a
+/// barrier per level.
+void fold_tree(std::vector<Partial>& partials, ThreadPool& pool) {
+    const std::size_t n = partials.size();
+    for (std::size_t stride = 1; stride < n; stride *= 2) {
+        std::vector<std::future<void>> level;
+        for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
+            level.push_back(pool.submit([&a = partials[i], &b = partials[i + stride]] {
+                a.proc->merge(std::move(*b.proc));
+            }));
+        }
+        wait_all(level);
+    }
+}
 
 } // namespace
 
@@ -310,26 +344,127 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
     engine_early_flushes.add(stats_.early_flushes);
     engine_early_flush_bytes.add(stats_.early_flush_bytes);
 
-    // phase 2: pairwise reduction tree over adjacent partials. Merging
-    // neighbor i+stride into i keeps passthrough records in morsel (=input)
-    // order, and the tree shape depends only on the morsel count — never on
-    // the thread count.
+    // phase 2: pick a merge strategy from what phase 1 observed, then fold
+    // the partials into the root. Every strategy realizes the same per-key
+    // reduction DAG — the stride-doubling tree over morsel indices (which
+    // keeps passthrough records in morsel order and depends only on the
+    // morsel count, never the thread count), with early-flush buffers
+    // folded in (morsel, flush-sequence) order — so output bytes are
+    // identical across strategies; only the schedule differs.
+    MergeObservation mobs;
+    mobs.partials        = n;
+    mobs.has_aggregation = root_.aggregation_db() != nullptr;
+    for (const Partial& p : partials) {
+        std::size_t own = p.proc->aggregation_entries();
+        for (const std::vector<std::byte>& buf : p.flushed)
+            own += AggregationDB::serialized_entry_count(buf);
+        mobs.total_entries += own;
+        mobs.max_entries = std::max(mobs.max_entries, own);
+        mobs.flush_buffers += p.flushed.size();
+    }
+    MergeTuning tuning = default_merge_tuning();
+    if (opts_.merge_small_entries != 0)
+        tuning.small_entries = opts_.merge_small_entries;
+    if (opts_.merge_radix_entries != 0)
+        tuning.radix_entries = opts_.merge_radix_entries;
+    MergeStrategy strategy = opts_.merge_strategy == MergeStrategy::Default
+                                 ? default_merge_strategy()
+                                 : opts_.merge_strategy;
+    if (strategy == MergeStrategy::Adaptive || strategy == MergeStrategy::Default)
+        strategy = select_merge_strategy(mobs, tuning);
+    if (strategy == MergeStrategy::Radix && !mobs.has_aggregation)
+        strategy = MergeStrategy::Tree; // passthrough rows: nothing to partition
+
     obs::Phase merge_phase("merge");
-    for (std::size_t stride = 1; stride < n; stride *= 2) {
-        std::vector<std::future<void>> level;
-        for (std::size_t i = 0; i + stride < n; i += 2 * stride) {
-            level.push_back(pool.submit([&a = partials[i], &b = partials[i + stride]] {
-                a.proc->merge(std::move(*b.proc));
+    const std::uint64_t merge_t0 = obs::now_ns();
+
+    if (strategy == MergeStrategy::Radix) {
+        unsigned bits = opts_.merge_radix_bits != 0 ? opts_.merge_radix_bits : 4;
+        bits          = std::clamp(bits, 1u, 8u);
+        const std::size_t nparts = std::size_t(1) << bits;
+        stats_.merge_partitions  = nparts;
+
+        // split every partial's group table into hash partitions (verbatim
+        // state copies — no kernel arithmetic), one pool task per partial
+        std::vector<std::vector<AggregationDB>> pieces(n);
+        {
+            std::vector<std::future<void>> extract;
+            extract.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                extract.push_back(
+                    pool.submit([&pc = pieces[i], &p = partials[i], bits] {
+                        pc = p.proc->aggregation_db()->extract_partitions(bits);
+                    }));
+            }
+            wait_all(extract);
+        }
+        // the databases are now empty, so these merges only fold record
+        // counts (in/kept/processed) into the root
+        for (Partial& p : partials)
+            root_.merge(std::move(*p.proc));
+
+        // flush buffers in (morsel, flush-sequence) order, shared read-only
+        // by every partition task
+        std::vector<const std::vector<std::byte>*> flushed;
+        for (const Partial& p : partials)
+            for (const std::vector<std::byte>& buf : p.flushed)
+                flushed.push_back(&buf);
+
+        // one pool task per partition: fold its pieces in the same
+        // stride-doubling worker-index order as the tree (identical per-key
+        // arithmetic), then replay the flush buffers filtered to this
+        // partition. Partition tables are ~1/P the monolithic size, so the
+        // fold stays cache-resident at high cardinality.
+        std::vector<std::future<void>> tasks;
+        tasks.reserve(nparts);
+        for (std::size_t part = 0; part < nparts; ++part) {
+            tasks.push_back(pool.submit([&pieces, &flushed, part, bits, n] {
+                obs::SpanTimer span(merge_partition_time);
+                for (std::size_t stride = 1; stride < n; stride *= 2)
+                    for (std::size_t i = 0; i + stride < n; i += 2 * stride)
+                        pieces[i][part].merge(std::move(pieces[i + stride][part]));
+                for (const std::vector<std::byte>* buf : flushed)
+                    pieces[0][part].merge_serialized(*buf, bits, part);
             }));
         }
-        wait_all(level);
+        wait_all(tasks);
+
+        // concatenate the disjoint partition results in partition order —
+        // deterministic, and byte-invisible anyway (flush denominators and
+        // row order are canonicalized downstream). Sizing the root once up
+        // front avoids log(P) incremental rehashes of the full table.
+        AggregationDB* rootdb = root_.aggregation_db();
+        std::size_t total = 0;
+        for (std::size_t part = 0; part < nparts; ++part)
+            total += pieces[0][part].size();
+        for (std::size_t part = 0; part < nparts; ++part) {
+            rootdb->absorb_disjoint(std::move(pieces[0][part]));
+            // the first non-empty absorb steals that partition's arenas;
+            // size for the full concatenation right after it (skipped when
+            // a spill budget caps the live table anyway)
+            if (opts_.agg_memory_budget == 0 && rootdb->size() != 0 &&
+                total != 0) {
+                rootdb->reserve(total);
+                total = 0;
+            }
+        }
+    } else {
+        if (strategy == MergeStrategy::Pairwise)
+            fold_pairwise(partials);
+        else
+            fold_tree(partials, pool);
+        root_.merge(std::move(*partials[0].proc));
+        // early-flushed buffers fold in last, in morsel order (deterministic)
+        for (Partial& p : partials)
+            for (const std::vector<std::byte>& buf : p.flushed)
+                root_.merge_serialized(buf);
     }
 
-    root_.merge(std::move(*partials[0].proc));
-    // early-flushed buffers fold in last, in morsel order (deterministic)
-    for (Partial& p : partials)
-        for (const std::vector<std::byte>& buf : p.flushed)
-            root_.merge_serialized(buf);
+    stats_.merge_strategy = strategy;
+    stats_.merge_ns       = obs::now_ns() - merge_t0;
+    engine_merge_strategy.set(merge_strategy_code(strategy));
+    engine_merge_partitions.set(static_cast<std::int64_t>(stats_.merge_partitions));
+    engine_merge_ms.set(static_cast<std::int64_t>(stats_.merge_ns / 1000000));
 }
 
 } // namespace calib::engine

@@ -4,16 +4,19 @@
 //   phase 1  workers pull morsels and run the full record pipeline
 //            (read -> LET -> filter -> aggregate) into thread-local
 //            partial QueryProcessors sharing one attribute registry;
-//   phase 2  partials are combined with a pairwise reduction tree
-//            (id-based move merges — no serialization), then the driver
-//            finishes: canonical order -> ORDER BY -> LIMIT -> FORMAT.
+//   phase 2  partials are combined by one of three merge strategies —
+//            pairwise (serial), tree (level-parallel), or radix
+//            (partition-parallel) — picked per query by an adaptive
+//            cardinality selector (see merge_strategy.hpp), then the
+//            driver finishes: canonical order -> ORDER BY -> LIMIT ->
+//            FORMAT.
 //
-// Output bytes are identical for every thread count: the morsel split and
-// the merge-tree shape depend only on the input set (so every thread
-// count, including 1, executes the same floating-point reduction DAG),
-// and aggregated rows are re-sorted canonically before formatting (see
-// QueryProcessor::result()). docs/ENGINE.md and docs/CORRECTNESS.md have
-// the full argument.
+// Output bytes are identical for every thread count and every merge
+// strategy: the morsel split and the per-key reduction DAG depend only on
+// the input set (so every configuration executes the same floating-point
+// arithmetic), and aggregated rows are re-sorted canonically before
+// formatting (see QueryProcessor::result()). docs/ENGINE.md and
+// docs/CORRECTNESS.md have the full argument.
 //
 // An adaptive escape hatch bounds worker memory on high-cardinality keys:
 // when a partial database exceeds max_partial_entries, it is serialized
@@ -21,6 +24,7 @@
 // reduction, in morsel order, so determinism is unaffected.
 #pragma once
 
+#include "merge_strategy.hpp"
 #include "morsel.hpp"
 
 #include "../common/attribute.hpp"
@@ -61,6 +65,18 @@ struct EngineOptions {
     /// unbounded). The sentinel SIZE_MAX resolves to
     /// default_agg_memory_budget() (CALIB_AGG_MEM or unbounded).
     std::size_t agg_memory_budget = static_cast<std::size_t>(-1);
+    /// Phase-2 merge strategy. Default resolves through
+    /// default_merge_strategy() (CALIB_MERGE_STRATEGY or Adaptive); all
+    /// strategies produce byte-identical output (see merge_strategy.hpp),
+    /// so this is a performance knob, never a correctness one.
+    MergeStrategy merge_strategy = MergeStrategy::Default;
+    /// Radix partition count as a bit width (2^bits partitions), clamped
+    /// to [1, 8]. 0 = default (4 bits = 16 partitions).
+    unsigned merge_radix_bits = 0;
+    /// Adaptive-selector thresholds; 0 = default_merge_tuning()
+    /// (CALIB_MERGE_SMALL / CALIB_MERGE_RADIX_MIN or built-ins).
+    std::size_t merge_small_entries = 0;
+    std::size_t merge_radix_entries = 0;
 };
 
 /// Process-wide default rows-per-batch for batched execution: the last
@@ -80,6 +96,13 @@ struct EngineStats {
     std::size_t morsels           = 0;
     std::size_t early_flushes     = 0;
     std::uint64_t early_flush_bytes = 0;
+    /// Phase-2 strategy actually executed (Default = no merge phase ran,
+    /// i.e. the single-morsel serial path).
+    MergeStrategy merge_strategy = MergeStrategy::Default;
+    /// Radix partition count (0 unless the radix strategy ran).
+    std::size_t merge_partitions = 0;
+    /// Phase-2 merge wall time in nanoseconds (0 on the serial path).
+    std::uint64_t merge_ns = 0;
 };
 
 class ParallelQueryProcessor {

@@ -77,6 +77,15 @@ public:
     /// parallel engine's early-flush check watches this.
     std::size_t aggregation_entries() const noexcept;
 
+    /// Direct access to the aggregation database (nullptr without
+    /// aggregation). The parallel engine's radix merge extracts hash
+    /// partitions from worker partials and absorbs the folded partitions
+    /// into the root through this.
+    AggregationDB* aggregation_db() noexcept { return db_ ? &*db_ : nullptr; }
+    const AggregationDB* aggregation_db() const noexcept {
+        return db_ ? &*db_ : nullptr;
+    }
+
     /// Early flush: serialize the partial aggregation state and clear it,
     /// bounding worker memory on high-cardinality keys. Returns an empty
     /// buffer when there is no aggregation (or nothing to flush); record

@@ -46,6 +46,11 @@ void usage() {
         "                        also: CALIB_BATCH_SIZE; suffixes K/M/G)\n"
         "      --no-batch        record-at-a-time pipeline (same output bytes;\n"
         "                        for comparison and debugging)\n"
+        "      --merge-strategy <adaptive|pairwise|tree|radix>\n"
+        "                        phase-2 partial-merge strategy (default\n"
+        "                        adaptive: picked per query from observed\n"
+        "                        cardinality; also: CALIB_MERGE_STRATEGY;\n"
+        "                        same output bytes for every choice)\n"
         "      --max-groups-mem <bytes>\n"
         "                        bound aggregation memory: beyond this, sorted\n"
         "                        runs of partial aggregates spill to a temp\n"
@@ -84,6 +89,8 @@ int main(int argc, char** argv) {
     bool batched      = true;
     std::size_t batch_size = 0;                             // 0 = default
     std::size_t agg_mem    = static_cast<std::size_t>(-1);  // -1 = default
+    calib::engine::MergeStrategy merge_strategy =
+        calib::engine::MergeStrategy::Default; // env or adaptive
     std::vector<std::string> files;
 
     for (int i = 1; i < argc; ++i) {
@@ -144,6 +151,17 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--no-batch") {
             batched = false;
+        } else if (arg == "--merge-strategy") {
+            if (++i >= argc) {
+                std::fprintf(stderr, "cali-query: missing argument for %s\n",
+                             arg.c_str());
+                return 2;
+            }
+            if (!calib::engine::parse_merge_strategy(argv[i], merge_strategy)) {
+                std::fprintf(stderr, "cali-query: unknown merge strategy '%s'\n",
+                             argv[i]);
+                return 2;
+            }
         } else if (arg == "--max-groups-mem") {
             if (++i >= argc) {
                 std::fprintf(stderr, "cali-query: missing argument for %s\n",
@@ -263,6 +281,7 @@ int main(int argc, char** argv) {
         eopts.batched           = batched;
         eopts.batch_size        = batch_size;
         eopts.agg_memory_budget = agg_mem;
+        eopts.merge_strategy    = merge_strategy;
 
         calib::engine::ParallelQueryProcessor engine(spec, eopts);
         calib::QueryProcessor& proc = engine.run(files);
@@ -306,6 +325,19 @@ int main(int argc, char** argv) {
                          static_cast<unsigned long long>(proc.num_records_kept()),
                          proc.result().size(), engine.stats().threads,
                          engine.stats().morsels);
+            if (engine.stats().merge_strategy !=
+                calib::engine::MergeStrategy::Default) {
+                std::fprintf(
+                    stderr, "cali-query: merge strategy %s, %.3f ms%s\n",
+                    calib::engine::merge_strategy_name(
+                        engine.stats().merge_strategy),
+                    static_cast<double>(engine.stats().merge_ns) * 1e-6,
+                    engine.stats().merge_partitions != 0
+                        ? (" (" + std::to_string(engine.stats().merge_partitions) +
+                           " partitions)")
+                              .c_str()
+                        : "");
+            }
             calib::obs::write_stats_table(stderr);
         }
         if (!stats_json.empty() && !calib::obs::write_stats_json_file(stats_json))

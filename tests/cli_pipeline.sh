@@ -50,6 +50,40 @@ echo "== cali-query: -t 4 output is byte-identical to -t 1 =="
 diff t1.csv t4.csv || { echo "-t 1 and -t 4 results differ"; exit 1; }
 diff serial.csv t4.csv || { echo "default and -t 4 results differ"; exit 1; }
 
+echo "== --merge-strategy: every strategy byte-identical at t1 and t4 =="
+for strat in pairwise tree radix adaptive; do
+    "$CALI_QUERY" -t 1 --merge-strategy "$strat" \
+        -q "AGGREGATE sum(count),sum(sum#time.duration) GROUP BY kernel
+            ORDER BY kernel FORMAT csv" clever-*.cali > "ms_t1.csv"
+    "$CALI_QUERY" -t 4 --merge-strategy "$strat" \
+        -q "AGGREGATE sum(count),sum(sum#time.duration) GROUP BY kernel
+            ORDER BY kernel FORMAT csv" clever-*.cali > "ms_t4.csv"
+    diff ms_t1.csv ms_t4.csv || {
+        echo "--merge-strategy $strat: t1 and t4 differ"; exit 1; }
+    diff t1.csv ms_t1.csv || {
+        echo "--merge-strategy $strat differs from the default engine"; exit 1; }
+done
+CALIB_MERGE_STRATEGY=tree "$CALI_QUERY" -t 4 \
+    -q "AGGREGATE sum(count),sum(sum#time.duration) GROUP BY kernel
+        ORDER BY kernel FORMAT csv" clever-*.cali > ms_env.csv
+diff t1.csv ms_env.csv || { echo "CALIB_MERGE_STRATEGY changed output"; exit 1; }
+"$CALI_QUERY" --merge-strategy bogus -q "FORMAT csv" clever-0.cali 2>/dev/null && {
+    echo "bogus --merge-strategy must fail"; exit 1; }
+
+echo "== --merge-strategy: the engine.merge_strategy gauge reports the code =="
+for pair in pairwise:1 tree:2 radix:3; do
+    strat=${pair%:*}; code=${pair#*:}
+    "$CALI_QUERY" -t 4 --merge-strategy "$strat" --stats-json "ms_$strat.json" \
+        -q "AGGREGATE sum(count) GROUP BY kernel FORMAT csv" clever-*.cali \
+        > /dev/null
+    grep -q "\"name\": \"engine.merge_strategy\", \"value\": $code" \
+        "ms_$strat.json" || {
+        echo "engine.merge_strategy gauge: expected code $code for $strat"
+        exit 1; }
+done
+grep -q "\"name\": \"engine.merge_partitions\", \"value\": 16" ms_radix.json || {
+    echo "engine.merge_partitions gauge missing for radix"; exit 1; }
+
 echo "== cali-query: WHERE/LET clauses on the same data =="
 "$CALI_QUERY" -q "LET t=scale(sum#time.duration,0.001)
                   AGGREGATE sum(t) AS ms WHERE not(mpi.function)

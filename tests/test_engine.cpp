@@ -587,3 +587,204 @@ TEST(SpillBudget, DefaultBudgetSetterAppliesToEngine) {
     set_default_agg_memory_budget(static_cast<std::size_t>(-1)); // restore
     EXPECT_EQ(unbounded, spilled);
 }
+
+// --------------------------------------------------- phase-2 merge strategies
+
+namespace {
+
+const MergeStrategy kStrategies[] = {MergeStrategy::Pairwise,
+                                     MergeStrategy::Tree, MergeStrategy::Radix,
+                                     MergeStrategy::Adaptive};
+
+/// High-cardinality multi-file input: 4 files x 250 unique ids, plus the
+/// shared low-cardinality kernel key and fractional averages so the radix
+/// partition assembly is exercised on floating-point states too.
+std::vector<std::string> write_strategy_input(TempDir& dir) {
+    std::vector<std::string> files;
+    for (int f = 0; f < 4; ++f) {
+        files.push_back(dir.file("s" + std::to_string(f) + ".cali"));
+        write_cali(files.back(), 250, f * 250);
+    }
+    return files;
+}
+
+} // namespace
+
+TEST(MergeStrategies, AllStrategiesByteIdenticalAcrossThreadCounts) {
+    TempDir dir("merge-strat");
+    const std::vector<std::string> files = write_strategy_input(dir);
+    const char* const queries[]          = {
+        "AGGREGATE sum(count),count GROUP BY id ORDER BY id FORMAT csv",
+        "AGGREGATE avg(count),percent_total(count) GROUP BY kernel "
+                 "ORDER BY kernel FORMAT csv",
+        "AGGREGATE min(id),max(id) GROUP BY * FORMAT csv",
+    };
+    for (const char* query : queries) {
+        EngineOptions base;
+        base.threads             = 1;
+        base.merge_strategy      = MergeStrategy::Pairwise;
+        const std::string serial = run_engine(query, files, base);
+        for (MergeStrategy s : kStrategies) {
+            EngineOptions opts;
+            opts.merge_strategy = s;
+            for (std::size_t t : {std::size_t(1), std::size_t(2),
+                                  std::size_t(4), std::size_t(8)}) {
+                opts.threads = t;
+                EXPECT_EQ(serial, run_engine(query, files, opts))
+                    << merge_strategy_name(s) << " t" << t << ": " << query;
+            }
+        }
+    }
+}
+
+TEST(MergeStrategies, EarlyFlushByteIdenticalForEveryStrategy) {
+    TempDir dir("merge-flush");
+    const std::vector<std::string> files = write_strategy_input(dir);
+    const std::string query =
+        "AGGREGATE sum(count),count GROUP BY id ORDER BY id FORMAT csv";
+
+    EngineOptions base;
+    base.threads             = 1;
+    base.merge_strategy      = MergeStrategy::Pairwise;
+    const std::string serial = run_engine(query, files, base);
+
+    for (MergeStrategy s : kStrategies) {
+        EngineOptions opts;
+        opts.merge_strategy      = s;
+        opts.max_partial_entries = 64; // force many flush buffers
+        for (std::size_t t : {std::size_t(2), std::size_t(4)}) {
+            opts.threads = t;
+            EngineStats stats;
+            EXPECT_EQ(serial, run_engine(query, files, opts, &stats))
+                << merge_strategy_name(s) << " t" << t << " with early flush";
+            EXPECT_GT(stats.early_flushes, 0u) << merge_strategy_name(s);
+        }
+    }
+}
+
+TEST(MergeStrategies, StatsReportExecutedStrategyAndPartitions) {
+    TempDir dir("merge-stats");
+    const std::vector<std::string> files = write_strategy_input(dir);
+    const std::string query = "AGGREGATE sum(count) GROUP BY id FORMAT csv";
+
+    EngineOptions opts;
+    opts.threads = 4;
+    EngineStats stats;
+
+    opts.merge_strategy = MergeStrategy::Pairwise;
+    run_engine(query, files, opts, &stats);
+    EXPECT_EQ(stats.merge_strategy, MergeStrategy::Pairwise);
+    EXPECT_EQ(stats.merge_partitions, 0u);
+
+    opts.merge_strategy = MergeStrategy::Tree;
+    run_engine(query, files, opts, &stats);
+    EXPECT_EQ(stats.merge_strategy, MergeStrategy::Tree);
+
+    opts.merge_strategy = MergeStrategy::Radix;
+    run_engine(query, files, opts, &stats);
+    EXPECT_EQ(stats.merge_strategy, MergeStrategy::Radix);
+    EXPECT_EQ(stats.merge_partitions, 16u); // default 4 bits
+    EXPECT_GT(stats.merge_ns, 0u);
+
+    opts.merge_radix_bits = 3;
+    run_engine(query, files, opts, &stats);
+    EXPECT_EQ(stats.merge_partitions, 8u);
+}
+
+TEST(MergeStrategies, AdaptiveSelectorPicksByCardinality) {
+    TempDir dir("merge-adaptive");
+    const std::vector<std::string> files = write_strategy_input(dir);
+    const std::string query = "AGGREGATE sum(count) GROUP BY id FORMAT csv";
+
+    // 1000 groups: above a tiny radix threshold -> radix
+    EngineOptions opts;
+    opts.threads             = 4;
+    opts.merge_strategy      = MergeStrategy::Adaptive;
+    opts.merge_small_entries = 16; // 1000 groups is not "small"
+    opts.merge_radix_entries = 64;
+    EngineStats stats;
+    run_engine(query, files, opts, &stats);
+    EXPECT_EQ(stats.merge_strategy, MergeStrategy::Radix);
+
+    // below the small-query threshold -> pairwise (4 groups << 4096)
+    opts.merge_small_entries = 0; // back to default tuning
+    opts.merge_radix_entries = 0;
+    run_engine("AGGREGATE sum(count) GROUP BY kernel FORMAT csv", files, opts,
+               &stats);
+    EXPECT_EQ(stats.merge_strategy, MergeStrategy::Pairwise);
+
+    // mid-band cardinality with raised thresholds -> tree
+    opts.merge_small_entries = 16;
+    opts.merge_radix_entries = 1u << 20;
+    run_engine(query, files, opts, &stats);
+    EXPECT_EQ(stats.merge_strategy, MergeStrategy::Tree);
+
+    // the selector observes the input set, never the thread count: the
+    // choice is identical at every thread count (thread-count identity
+    // depends on this when a spill budget is set)
+    for (std::size_t t : kThreadCounts) {
+        opts.threads = t;
+        run_engine(query, files, opts, &stats);
+        EXPECT_EQ(stats.merge_strategy, MergeStrategy::Tree) << "t" << t;
+    }
+}
+
+TEST(MergeStrategies, NonAggregationQueriesNeverUseRadix) {
+    TempDir dir("merge-passthru");
+    const std::vector<std::string> files = write_strategy_input(dir);
+    EngineOptions opts;
+    opts.threads        = 4;
+    opts.merge_strategy = MergeStrategy::Radix; // demoted: no aggregation DB
+    EngineStats stats;
+    const std::string out =
+        run_engine("SELECT kernel,id FORMAT csv", files, opts, &stats);
+    EXPECT_EQ(stats.merge_strategy, MergeStrategy::Tree);
+    EXPECT_NE(out.find("advec"), std::string::npos);
+
+    opts.merge_strategy = MergeStrategy::Pairwise;
+    EXPECT_EQ(out, run_engine("SELECT kernel,id FORMAT csv", files, opts));
+}
+
+TEST(MergeStrategies, SpillBudgetStaysThreadCountDeterministic) {
+    // with a budget each strategy must still be identical across thread
+    // counts (strategy-to-strategy identity is not promised under spill)
+    TempDir dir("merge-spill");
+    const std::vector<std::string> files = write_strategy_input(dir);
+    const std::string query =
+        "AGGREGATE sum(count),count GROUP BY id ORDER BY id FORMAT csv";
+    for (MergeStrategy s :
+         {MergeStrategy::Pairwise, MergeStrategy::Tree, MergeStrategy::Radix}) {
+        EngineOptions opts;
+        opts.merge_strategy    = s;
+        opts.agg_memory_budget = 1; // clamps to the 16-entry floor
+        opts.threads           = 1;
+        const std::string t1 = run_engine(query, files, opts);
+        for (std::size_t t : kThreadCounts) {
+            opts.threads = t;
+            EXPECT_EQ(t1, run_engine(query, files, opts))
+                << merge_strategy_name(s) << " t" << t << " under spill";
+        }
+    }
+}
+
+TEST(MergeStrategies, ParseAndDefaultRoundTrip) {
+    MergeStrategy s = MergeStrategy::Default;
+    EXPECT_TRUE(parse_merge_strategy("radix", s));
+    EXPECT_EQ(s, MergeStrategy::Radix);
+    EXPECT_TRUE(parse_merge_strategy("auto", s));
+    EXPECT_EQ(s, MergeStrategy::Adaptive);
+    EXPECT_TRUE(parse_merge_strategy("serial", s));
+    EXPECT_EQ(s, MergeStrategy::Pairwise);
+    EXPECT_FALSE(parse_merge_strategy("bogus", s));
+
+    const MergeStrategy before = default_merge_strategy();
+    set_default_merge_strategy(MergeStrategy::Tree);
+    EXPECT_EQ(default_merge_strategy(), MergeStrategy::Tree);
+    set_default_merge_strategy(MergeStrategy::Default); // back to env/adaptive
+    EXPECT_EQ(default_merge_strategy(), before);
+
+    EXPECT_EQ(merge_strategy_code(MergeStrategy::Default), 0);
+    EXPECT_EQ(merge_strategy_code(MergeStrategy::Pairwise), 1);
+    EXPECT_EQ(merge_strategy_code(MergeStrategy::Tree), 2);
+    EXPECT_EQ(merge_strategy_code(MergeStrategy::Radix), 3);
+}

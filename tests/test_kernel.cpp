@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <random>
 #include <vector>
@@ -380,4 +381,39 @@ TEST(HistogramKernel, PinsNaNAndInfinities) {
     EXPECT_EQ(histogram_bin_index(std::numeric_limits<double>::max()),
               histogram_bins - 1);
     EXPECT_EQ(histogram_bin_index(5e-324), 0); // subnormals land in bin 0
+}
+
+// The init-merge lemma: merging any organically-built state into a freshly
+// initialized one reproduces the source bitwise. The radix merge strategy
+// depends on this to assemble partition tables from verbatim state copies
+// (docs/ENGINE.md); every kernel must uphold it, including signed-zero and
+// kind-tag corners of the sum state.
+TEST(AllKernels, MergeIntoFreshStateIsBitwiseIdentity) {
+    const AggOp ops[] = {AggOp::Count,    AggOp::Sum,       AggOp::Min,
+                         AggOp::Max,      AggOp::Avg,       AggOp::Variance,
+                         AggOp::Histogram, AggOp::PercentTotal};
+    const Variant inputs[] = {Variant(3ll),   Variant(-7ll), Variant(2.5),
+                              Variant(-0.25), Variant(0ll),  Variant(1e12)};
+    for (AggOp op : ops) {
+        for (std::size_t n = 0; n <= std::size(inputs); ++n) {
+            State src(op); // n = 0 covers the fresh-into-fresh corner
+            for (std::size_t i = 0; i < n; ++i)
+                src.update(inputs[i]);
+            State dst(op);
+            dst.merge(src);
+            EXPECT_EQ(std::memcmp(dst.buf.data(), src.buf.data(),
+                                  state_size(op)),
+                      0)
+                << agg_op_name(op) << " after " << n << " updates";
+        }
+    }
+    // the -0.0 corner explicitly: a merge must not turn +0.0 into -0.0 or
+    // drop the float kind tag
+    State neg(AggOp::Sum);
+    neg.update(Variant(-0.0));
+    State fresh(AggOp::Sum);
+    fresh.merge(neg);
+    EXPECT_EQ(std::memcmp(fresh.buf.data(), neg.buf.data(),
+                          state_size(AggOp::Sum)),
+              0);
 }
