@@ -1,0 +1,185 @@
+// WINDOW/SLIDE cost study: pane-count and slide-ratio sweep over the
+// windowed aggregation path (src/aggregate/windowed_db.cpp).
+//
+// A windowed query splits the aggregation into ceil(W/S) pane
+// AggregationDBs plus a fold of the live panes at flush, so the
+// interesting axes are (a) how much the per-record pane routing costs
+// against the unwindowed baseline and (b) how the flush-time fold scales
+// with the pane count. The sweep runs one deterministic dataset — a
+// monotone time.offset ramp with a fixed-cardinality key column — through
+// the full parallel engine at slide ratios 1 (tumbling), 4, 16, and 64,
+// with the window sized so roughly half the time axis stays live.
+//
+// Output bytes are asserted identical between 1 and 4 threads at every
+// point: windowed results carry the same byte-identity contract as the
+// plain engine (docs/ENGINE.md), and a violation fails the bench.
+//
+// Emits BENCH_window.json (perf trajectory; bench/ci_gate_overrides.txt
+// has the matching window/* gate series).
+//
+// Environment knobs:
+//   CALIB_BENCH_WIN_FILES    input files              (default 8)
+//   CALIB_BENCH_WIN_RECORDS  records per file         (default 100000)
+//   CALIB_BENCH_WIN_KEYS     key cardinality          (default 4000)
+//   CALIB_BENCH_WIN_THREADS  engine threads           (default 4)
+//   CALIB_BENCH_WIN_REPS     repetitions (best kept)  (default 2)
+#include "bench_common.hpp"
+#include "engine/parallel_processor.hpp"
+#include "io/caliwriter.hpp"
+#include "query/calql.hpp"
+#include "runtime/clock.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace calib;
+using namespace calib::bench;
+
+namespace {
+
+std::vector<std::string> generate(const std::string& dir, int nfiles,
+                                  int per_file, std::size_t nkeys) {
+    std::filesystem::create_directories(dir);
+    std::vector<std::string> files;
+    for (int f = 0; f < nfiles; ++f) {
+        files.push_back(dir + "/win-" + std::to_string(f) + ".cali");
+        std::ofstream os(files.back());
+        CaliWriter w(os);
+        for (int i = 0; i < per_file; ++i) {
+            const std::size_t global = static_cast<std::size_t>(f) *
+                                           static_cast<std::size_t>(per_file) +
+                                       static_cast<std::size_t>(i);
+            RecordMap r;
+            // one record per microsecond of simulated time, interleaved
+            // across files so every morsel spans many panes
+            r.append("time.offset",
+                     Variant(static_cast<double>(global)));
+            r.append("id", Variant(static_cast<long long>(
+                               (global * 0x9E3779B97F4A7C15ULL) % nkeys)));
+            r.append("count", Variant(static_cast<long long>(global % 13 + 1)));
+            w.write_record(r);
+        }
+    }
+    return files;
+}
+
+struct Measured {
+    double wall_s      = 0;
+    double mrec_per_s  = 0;
+    std::size_t groups = 0;
+    std::string output;
+};
+
+Measured run_point(const QuerySpec& spec, const std::vector<std::string>& files,
+                   std::size_t threads, int reps, std::uint64_t total_records) {
+    Measured best;
+    for (int rep = 0; rep < reps; ++rep) {
+        engine::EngineOptions opts;
+        opts.threads = threads;
+        engine::ParallelQueryProcessor eng(spec, opts);
+        const std::uint64_t t0 = now_ns();
+        QueryProcessor& proc   = eng.run(files);
+        const std::size_t rows = proc.result().size();
+        const double wall_s    = static_cast<double>(now_ns() - t0) * 1e-9;
+        if (rep == 0 || wall_s < best.wall_s) {
+            best.wall_s     = wall_s;
+            best.mrec_per_s = wall_s > 0 ? static_cast<double>(total_records) *
+                                               1e-6 / wall_s
+                                         : 0;
+        }
+        if (rep == 0) {
+            best.groups = rows;
+            std::ostringstream os;
+            proc.write(os);
+            best.output = os.str();
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+int main() {
+    const int nfiles   = env_int("CALIB_BENCH_WIN_FILES", 8);
+    const int per_file = env_int("CALIB_BENCH_WIN_RECORDS", 100000);
+    const std::size_t nkeys =
+        static_cast<std::size_t>(env_int("CALIB_BENCH_WIN_KEYS", 4000));
+    const std::size_t threads =
+        static_cast<std::size_t>(env_int("CALIB_BENCH_WIN_THREADS", 4));
+    const int reps = env_int("CALIB_BENCH_WIN_REPS", 2);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "calib-bench-win-data")
+            .string();
+
+    const std::uint64_t total = static_cast<std::uint64_t>(nfiles) *
+                                static_cast<std::uint64_t>(per_file);
+    const std::vector<std::string> files =
+        generate(dir, nfiles, per_file, nkeys);
+    // time axis is [0, total) microseconds; keep ~half of it live
+    const std::uint64_t window_us = total / 2;
+
+    std::printf("# window sweep: %d files x %d records, %zu keys, %zu threads, "
+                "%d reps\n",
+                nfiles, per_file, nkeys, threads, reps);
+    std::printf("%10s %8s %8s %10s %10s %6s\n", "point", "panes", "groups",
+                "wall_s", "mrec_s", "ident");
+
+    std::ostringstream json;
+    json << "{\n  \"bench\": \"window\",\n  " << meta_json() << ",\n"
+         << "  \"threads\": " << threads << ",\n  \"files\": " << nfiles
+         << ",\n  \"records_per_file\": " << per_file << ",\n  \"results\": [";
+
+    bool first        = true;
+    int not_identical = 0;
+
+    // unwindowed baseline: same query, no WINDOW clause
+    const std::string base_q =
+        "AGGREGATE sum(count),count GROUP BY id FORMAT csv";
+    {
+        const QuerySpec spec = parse_calql(base_q);
+        const Measured m = run_point(spec, files, threads, reps, total);
+        const Measured serial = run_point(spec, files, 1, 1, total);
+        const bool identical  = m.output == serial.output;
+        not_identical += identical ? 0 : 1;
+        std::printf("%10s %8s %8zu %10.3f %10.2f %6s\n", "baseline", "-",
+                    m.groups, m.wall_s, m.mrec_per_s, identical ? "yes" : "NO");
+        json << "\n    {\"name\": \"baseline\", \"panes\": 0, \"groups\": "
+             << m.groups << ", \"wall_s\": " << m.wall_s
+             << ", \"mrec_s\": " << m.mrec_per_s << ", \"identical_output\": "
+             << (identical ? "true" : "false") << "}";
+        first = false;
+    }
+
+    for (const std::uint64_t ratio : {std::uint64_t(1), std::uint64_t(4),
+                                      std::uint64_t(16), std::uint64_t(64)}) {
+        const std::uint64_t slide_us = window_us / ratio;
+        const std::string q = base_q + " WINDOW " + std::to_string(window_us) +
+                              " SLIDE " + std::to_string(slide_us);
+        const QuerySpec spec  = parse_calql(q);
+        const Measured m      = run_point(spec, files, threads, reps, total);
+        const Measured serial = run_point(spec, files, 1, 1, total);
+        const bool identical  = m.output == serial.output;
+        not_identical += identical ? 0 : 1;
+        const std::string name = "panes" + std::to_string(ratio);
+        std::printf("%10s %8llu %8zu %10.3f %10.2f %6s\n", name.c_str(),
+                    static_cast<unsigned long long>(spec.window.pane_count()),
+                    m.groups, m.wall_s, m.mrec_per_s, identical ? "yes" : "NO");
+        json << ",\n    {\"name\": \"" << name
+             << "\", \"panes\": " << spec.window.pane_count()
+             << ", \"groups\": " << m.groups << ", \"wall_s\": " << m.wall_s
+             << ", \"mrec_s\": " << m.mrec_per_s << ", \"identical_output\": "
+             << (identical ? "true" : "false") << "}";
+    }
+    (void)first;
+    std::filesystem::remove_all(dir);
+
+    json << "\n  ],\n  \"identity_violations\": " << not_identical << "\n}\n";
+    std::printf("\n%s", json.str().c_str());
+    std::ofstream("BENCH_window.json") << json.str();
+    std::printf("# wrote BENCH_window.json\n");
+    return not_identical == 0 ? 0 : 1;
+}

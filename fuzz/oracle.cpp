@@ -1,5 +1,7 @@
 #include "oracle.hpp"
 
+#include "../src/aggregate/window.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -288,6 +290,8 @@ OracleOpResult finalize_op(AggOp kind, const GroupAcc& group,
         if (acc.n == 0)
             break;
         r.present = true;
+        if (pct_denom_bound >= kHuge)
+            r.unbounded = true; // denominator may overflow double (see caller)
         const long double num       = acc.lsum.value();
         const long double num_bound = sum_bound(acc.n, acc.labs.value());
         if (pct_denom > 0.0L) {
@@ -440,6 +444,36 @@ OracleResult oracle_run(const QuerySpec& spec, const std::vector<RecordMap>& inp
             records.push_back(std::move(record));
     }
 
+    // WINDOW: route surviving records by the shared pane arithmetic (the
+    // one declarative statement both sides use), find the watermark, and
+    // keep only the trailing live range. Records without a usable pane —
+    // missing time attribute, non-numeric value, NaN/inf, out-of-range —
+    // drop, per docs/CORRECTNESS.md. This mirrors the engine's order of
+    // operations: windowing sits after LET and WHERE.
+    if (spec.window.enabled()) {
+        const std::string time_attr = spec.window.time_attribute();
+        std::vector<std::optional<std::int64_t>> panes;
+        std::optional<std::int64_t> watermark;
+        panes.reserve(records.size());
+        for (const RecordMap& record : records) {
+            const std::optional<std::int64_t> p =
+                pane_index(record.get(time_attr), spec.window.slide());
+            if (p && (!watermark || *p > *watermark))
+                watermark = *p;
+            panes.push_back(p);
+        }
+        std::vector<RecordMap> live;
+        if (watermark) {
+            const std::int64_t floor =
+                *watermark -
+                static_cast<std::int64_t>(spec.window.pane_count()) + 1;
+            for (std::size_t i = 0; i < records.size(); ++i)
+                if (panes[i] && *panes[i] >= floor)
+                    live.push_back(std::move(records[i]));
+        }
+        records = std::move(live);
+    }
+
     if (!result.aggregated) {
         result.records = std::move(records);
         return result;
@@ -486,6 +520,13 @@ OracleResult oracle_run(const QuerySpec& spec, const std::vector<RecordMap>& inp
         }
         denoms[i]       = d.value();
         denom_bounds[i] = sum_bound(n + groups.size(), dabs.value());
+        // when the absolute mass exceeds double range the engine's
+        // double-precision denominator can overflow to inf in some
+        // association orders (making every group's percentage +/-0) even
+        // though the cancelled long double total is moderate; signal
+        // finalize_op with a sentinel bound
+        if (dabs.value() > kHuge)
+            denom_bounds[i] = kHuge;
     }
 
     for (const GroupAcc& g : groups) {

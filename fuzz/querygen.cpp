@@ -2,6 +2,7 @@
 
 #include "fuzz_rng.hpp"
 
+#include <algorithm>
 #include <cctype>
 
 namespace calib::fuzz {
@@ -167,6 +168,27 @@ std::string generate_query(std::uint64_t seed, const Corpus& corpus) {
         if (rng.chance(40))
             o += " DESC";
         clause(o);
+    }
+
+    // WINDOW family: trailing-window restriction over a (usually numeric)
+    // time attribute. Bare durations are microseconds; adversarial values
+    // land in wildly distant panes, exercising retirement and the
+    // out-of-range / non-numeric / NaN drop policy on both sides of the
+    // differential. Omitting BY targets the default time.offset, which the
+    // corpus never defines — the all-dropped path.
+    if (rng.chance(35)) {
+        static const std::uint64_t widths_us[] = {1, 64, 100, 1000, 5000000};
+        const std::uint64_t width_us = widths_us[rng.below(5)];
+        std::string w = "WINDOW " + std::to_string(width_us);
+        if (rng.chance(75))
+            w += " BY " + quoted(pick_attr(rng, corpus, rng.chance(80)));
+        if (rng.chance(50) && width_us > 1) {
+            static const std::uint64_t divisors[] = {2, 3, 4, 8};
+            const std::uint64_t slide_us =
+                std::max<std::uint64_t>(1, width_us / divisors[rng.below(4)]);
+            w += " SLIDE " + std::to_string(slide_us);
+        }
+        clause(w);
     }
 
     static const char* formats[] = {"table", "csv", "json", "expand", "tree"};

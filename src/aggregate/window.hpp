@@ -1,0 +1,90 @@
+// Sliding-window specification and pane arithmetic (CalQL WINDOW/SLIDE).
+//
+// A window of duration W sliding by S is maintained as a ring of
+// ceil(W/S) *panes*, each one pane-width (= S) of time. Every pane is a
+// full mergeable partial aggregate (an AggregationDB), so the window
+// result is a fold of the live panes through the same merge DAG the
+// parallel engine uses — no subtractable kernel states are required, and
+// byte-identity across thread counts / merge strategies is preserved.
+//
+// Pane assignment is floor division: a timestamp t (in microseconds)
+// belongs to pane floor(t / S), i.e. pane k covers [k*S, (k+1)*S) and a
+// timestamp exactly on a pane edge opens the *new* pane. The watermark is
+// the largest pane index seen; live panes are the trailing ceil(W/S)
+// panes ending at the watermark, and older panes retire deterministically.
+#pragma once
+
+#include "../common/variant.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace calib {
+
+/// Parsed form of "WINDOW <duration> [BY <attr>] [SLIDE <duration>]".
+struct WindowSpec {
+    /// Window duration in microseconds; 0 = no window clause.
+    std::uint64_t duration_us = 0;
+    /// Slide (pane width) in microseconds; 0 = tumbling (slide == duration).
+    std::uint64_t slide_us = 0;
+    /// Time attribute the window keys on; empty = "time.offset" (the
+    /// runtime's microseconds-since-thread-start timestamp).
+    std::string attribute;
+
+    bool enabled() const noexcept { return duration_us > 0; }
+
+    std::uint64_t slide() const noexcept {
+        return slide_us > 0 ? slide_us : duration_us;
+    }
+
+    const std::string& time_attribute() const {
+        static const std::string def = "time.offset";
+        return attribute.empty() ? def : attribute;
+    }
+
+    /// Number of live panes: ceil(duration / slide).
+    std::uint64_t pane_count() const noexcept {
+        const std::uint64_t s = slide();
+        return s == 0 ? 0 : (duration_us + s - 1) / s;
+    }
+
+    bool operator==(const WindowSpec& rhs) const {
+        return duration_us == rhs.duration_us && slide_us == rhs.slide_us &&
+               attribute == rhs.attribute;
+    }
+};
+
+/// Pane index of timestamp \a t_us with pane width \a slide_us, or nullopt
+/// when the timestamp cannot be placed: NaN/inf, or a magnitude whose pane
+/// index does not fit an int64. The division is done in double, so the
+/// assignment is uniform across Int/UInt/Double timestamps of equal value
+/// (timestamps beyond 2^53 µs lose sub-µs precision — deterministically).
+/// This is the single pane-assignment function: the engine, the daemon,
+/// the tests, and the fuzz oracle all call it, so they cannot disagree.
+inline std::optional<std::int64_t> pane_index(double t_us,
+                                              std::uint64_t slide_us) noexcept {
+    if (slide_us == 0 || !std::isfinite(t_us))
+        return std::nullopt;
+    const double p = std::floor(t_us / static_cast<double>(slide_us));
+    // 2^62 bounds keep the later live-range arithmetic (index +/- pane
+    // count) far from int64 overflow
+    constexpr double limit = 4611686018427387904.0; // 2^62
+    if (!(p > -limit && p < limit))
+        return std::nullopt;
+    return static_cast<std::int64_t>(p);
+}
+
+/// Pane index of a record's time-attribute value. Missing (Empty), bool,
+/// and string values have no timestamp: the record is excluded from
+/// windowed results (and counted by the caller) — the policy pinned in
+/// docs/CORRECTNESS.md.
+inline std::optional<std::int64_t> pane_index(const Variant& value,
+                                              std::uint64_t slide_us) noexcept {
+    if (!value.is_numeric())
+        return std::nullopt;
+    return pane_index(value.to_double(), slide_us);
+}
+
+} // namespace calib

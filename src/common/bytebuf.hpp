@@ -75,6 +75,14 @@ public:
         return v;
     }
 
+    /// View of the next \a len raw bytes (nested buffers); no copy.
+    std::span<const std::byte> get_bytes(std::size_t len) {
+        require(len);
+        auto s = data_.subspan(pos_, len);
+        pos_ += len;
+        return s;
+    }
+
     std::string_view get_string() {
         const auto len = get<std::uint32_t>();
         require(len);

@@ -1,8 +1,11 @@
 #include "util.hpp"
 
+#include "log.hpp"
+
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 
 namespace calib::util {
@@ -179,6 +182,91 @@ bool parse_size(std::string_view text, std::size_t& out) {
     }
     out = value;
     return true;
+}
+
+bool parse_duration(std::string_view text, std::uint64_t& out_us) {
+    if (text.empty())
+        return false;
+    std::uint64_t value = 0;
+    std::size_t i       = 0;
+    bool digits         = false;
+    for (; i < text.size(); ++i) {
+        const char c = text[i];
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+            break;
+        const std::uint64_t d = static_cast<std::uint64_t>(c - '0');
+        if (value > (std::numeric_limits<std::uint64_t>::max() - d) / 10)
+            return false; // overflow
+        value  = value * 10 + d;
+        digits = true;
+    }
+    if (!digits)
+        return false;
+    std::uint64_t mult = 1; // bare number = microseconds
+    if (i < text.size()) {
+        const std::string suffix = to_lower(text.substr(i));
+        if (suffix == "us")
+            mult = 1;
+        else if (suffix == "ms")
+            mult = 1000;
+        else if (suffix == "s")
+            mult = 1000 * 1000;
+        else if (suffix == "m")
+            mult = std::uint64_t(60) * 1000 * 1000;
+        else if (suffix == "h")
+            mult = std::uint64_t(3600) * 1000 * 1000;
+        else
+            return false;
+        if (value > std::numeric_limits<std::uint64_t>::max() / mult)
+            return false;
+    }
+    out_us = value * mult;
+    return true;
+}
+
+std::string format_duration(std::uint64_t us) {
+    struct Unit {
+        std::uint64_t mult;
+        const char* suffix;
+    };
+    static const Unit units[] = {{std::uint64_t(3600) * 1000 * 1000, "h"},
+                                 {std::uint64_t(60) * 1000 * 1000, "m"},
+                                 {1000 * 1000, "s"},
+                                 {1000, "ms"}};
+    for (const Unit& u : units)
+        if (us >= u.mult && us % u.mult == 0)
+            return std::to_string(us / u.mult) + u.suffix;
+    return std::to_string(us) + "us";
+}
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+    const char* text = std::getenv(name);
+    if (!text)
+        return fallback;
+    std::size_t value = 0;
+    if (!parse_size(text, value)) {
+        log_warn() << name << "='" << text
+                   << "' is not a valid size (digits with optional K/M/G "
+                      "suffix); using default "
+                   << fallback;
+        return fallback;
+    }
+    return value;
+}
+
+std::uint64_t env_duration(const char* name, std::uint64_t fallback_us) {
+    const char* text = std::getenv(name);
+    if (!text)
+        return fallback_us;
+    std::uint64_t value = 0;
+    if (!parse_duration(text, value)) {
+        log_warn() << name << "='" << text
+                   << "' is not a valid duration (digits with optional "
+                      "us/ms/s/m/h suffix); using default "
+                   << format_duration(fallback_us);
+        return fallback_us;
+    }
+    return value;
 }
 
 } // namespace calib::util

@@ -1,6 +1,8 @@
 // Small string and parsing utilities shared across modules.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,5 +42,24 @@ std::string format_bytes(double bytes);
 /// binary suffix K/M/G (e.g. "4096", "64k", "2M"). Returns false on empty
 /// input, trailing garbage, or overflow; \a out is untouched on failure.
 bool parse_size(std::string_view text, std::size_t& out);
+
+/// Parse a non-negative duration into microseconds: plain digits with an
+/// optional case-insensitive suffix us/ms/s/m/h (e.g. "500ms", "10s",
+/// "1500" = 1500 µs). Same contract as parse_size: false on empty input,
+/// trailing garbage, or overflow; \a out_us is untouched on failure.
+bool parse_duration(std::string_view text, std::uint64_t& out_us);
+
+/// Render a microsecond count with the largest suffix that divides it
+/// evenly ("10s", "500ms", "1500us"). Round-trips through parse_duration.
+std::string format_duration(std::uint64_t us);
+
+/// getenv + parse_size with diagnostics: unset returns \a fallback
+/// silently; a set-but-unparsable value logs a warning naming the variable
+/// and returns \a fallback. This is the one validation path for size-like
+/// env knobs — the CLI flags use parse_size directly and error out.
+std::size_t env_size(const char* name, std::size_t fallback);
+
+/// getenv + parse_duration twin of env_size (duration-valued env knobs).
+std::uint64_t env_duration(const char* name, std::uint64_t fallback_us);
 
 } // namespace calib::util

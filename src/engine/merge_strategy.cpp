@@ -1,5 +1,6 @@
 #include "merge_strategy.hpp"
 
+#include "../common/log.hpp"
 #include "../common/util.hpp"
 
 #include <cstdlib>
@@ -9,14 +10,6 @@ namespace calib::engine {
 namespace {
 
 MergeStrategy g_default = MergeStrategy::Default; // Default = env fallback
-
-std::size_t env_entries(const char* name, std::size_t fallback) {
-    const char* s = std::getenv(name);
-    std::size_t v = 0;
-    if (s && *s && util::parse_size(s, v))
-        return v;
-    return fallback;
-}
 
 } // namespace
 
@@ -59,8 +52,12 @@ MergeStrategy default_merge_strategy() {
         return g_default;
     static const MergeStrategy env = [] {
         MergeStrategy s = MergeStrategy::Adaptive;
-        if (const char* v = std::getenv("CALIB_MERGE_STRATEGY"); v && *v)
-            parse_merge_strategy(v, s); // unknown names keep Adaptive
+        if (const char* v = std::getenv("CALIB_MERGE_STRATEGY")) {
+            if (!parse_merge_strategy(v, s))
+                log_warn() << "CALIB_MERGE_STRATEGY='" << v
+                           << "' is not a merge strategy "
+                              "(adaptive|pairwise|tree|radix); using adaptive";
+        }
         return s;
     }();
     return env;
@@ -73,8 +70,8 @@ void set_default_merge_strategy(MergeStrategy s) {
 MergeTuning default_merge_tuning() {
     static const MergeTuning env = [] {
         MergeTuning t;
-        t.small_entries = env_entries("CALIB_MERGE_SMALL", t.small_entries);
-        t.radix_entries = env_entries("CALIB_MERGE_RADIX_MIN", t.radix_entries);
+        t.small_entries = util::env_size("CALIB_MERGE_SMALL", t.small_entries);
+        t.radix_entries = util::env_size("CALIB_MERGE_RADIX_MIN", t.radix_entries);
         return t;
     }();
     return env;

@@ -35,14 +35,6 @@ std::size_t clamp_batch_size(std::size_t rows) {
     return rows == 0 ? 1 : std::min(rows, max_batch_rows);
 }
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-    const char* s = std::getenv(name);
-    std::size_t v = 0;
-    if (s && *s && util::parse_size(s, v))
-        return v;
-    return fallback;
-}
-
 std::size_t g_default_batch_size = 0; // 0 = unset; fall back to env / 1024
 std::size_t g_default_agg_budget = static_cast<std::size_t>(-1); // unset
 
@@ -109,8 +101,10 @@ void fold_tree(std::vector<Partial>& partials, ThreadPool& pool) {
 std::size_t default_batch_size() {
     if (g_default_batch_size != 0)
         return g_default_batch_size;
+    // util::env_size warns on a set-but-unparsable value — the same
+    // validation the CLI flag applies, minus the hard error
     static const std::size_t env =
-        clamp_batch_size(env_size("CALIB_BATCH_SIZE", 1024));
+        clamp_batch_size(util::env_size("CALIB_BATCH_SIZE", 1024));
     return env;
 }
 
@@ -121,7 +115,7 @@ void set_default_batch_size(std::size_t rows) {
 std::size_t default_agg_memory_budget() {
     if (g_default_agg_budget != static_cast<std::size_t>(-1))
         return g_default_agg_budget;
-    static const std::size_t env = env_size("CALIB_AGG_MEM", 0);
+    static const std::size_t env = util::env_size("CALIB_AGG_MEM", 0);
     return env;
 }
 
@@ -357,7 +351,9 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
     for (const Partial& p : partials) {
         std::size_t own = p.proc->aggregation_entries();
         for (const std::vector<std::byte>& buf : p.flushed)
-            own += AggregationDB::serialized_entry_count(buf);
+            own += root_.windowed_db()
+                       ? WindowedAggregator::serialized_entry_count(buf)
+                       : AggregationDB::serialized_entry_count(buf);
         mobs.total_entries += own;
         mobs.max_entries = std::max(mobs.max_entries, own);
         mobs.flush_buffers += p.flushed.size();
@@ -373,7 +369,9 @@ void ParallelQueryProcessor::run_parallel(const std::vector<Morsel>& morsels,
     if (strategy == MergeStrategy::Adaptive || strategy == MergeStrategy::Default)
         strategy = select_merge_strategy(mobs, tuning);
     if (strategy == MergeStrategy::Radix && !mobs.has_aggregation)
-        strategy = MergeStrategy::Tree; // passthrough rows: nothing to partition
+        strategy = MergeStrategy::Tree; // passthrough rows and windowed pane
+                                        // rings: no monolithic table to
+                                        // hash-partition
 
     obs::Phase merge_phase("merge");
     const std::uint64_t merge_t0 = obs::now_ns();

@@ -11,9 +11,12 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <chrono>
+
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/timerfd.h>
 #include <unistd.h>
 
 namespace calib::proxyd {
@@ -75,6 +78,13 @@ std::string escape_label(std::string_view value) {
     return out;
 }
 
+std::uint64_t steady_now_us() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 std::string format_number(const Variant& v) {
     switch (v.type()) {
     case Variant::Type::Int:
@@ -122,6 +132,8 @@ ProxyDaemon::~ProxyDaemon() {
         ::close(epoll_fd_);
     if (stop_fd_ >= 0)
         ::close(stop_fd_);
+    if (timer_fd_ >= 0)
+        ::close(timer_fd_);
     ingest_listener_.close();
     tcp_listener_.close();
     http_listener_.close();
@@ -132,6 +144,11 @@ ProxyDaemon::~ProxyDaemon() {
 void ProxyDaemon::start() {
     if (opts_.listen.empty())
         throw std::runtime_error("calib-proxyd: no listen address");
+    if (opts_.slide_us > 0 && opts_.window_us == 0)
+        throw std::runtime_error("calib-proxyd: --slide without --window");
+    if (opts_.slide_us > opts_.window_us)
+        throw std::runtime_error(
+            "calib-proxyd: slide is larger than the window duration");
 
     // fail fast on a bad daemon-global aggregate clause, before any
     // client's hello can trip over it
@@ -149,6 +166,10 @@ void ProxyDaemon::start() {
     stop_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
     if (stop_fd_ < 0)
         throw std::runtime_error(std::string("eventfd: ") + std::strerror(errno));
+    timer_fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_CLOEXEC | TFD_NONBLOCK);
+    if (timer_fd_ < 0)
+        throw std::runtime_error(std::string("timerfd_create: ") +
+                                 std::strerror(errno));
 
     const auto watch = [this](int fd) {
         epoll_event ev{};
@@ -176,6 +197,8 @@ void ProxyDaemon::start() {
         watch(http_listener_.fd());
     }
     watch(stop_fd_);
+    watch(timer_fd_);
+    arm_timer(); // first slide tick for windowed channels
 }
 
 void ProxyDaemon::stop() noexcept {
@@ -209,21 +232,64 @@ void ProxyDaemon::begin_drain() {
         ::unlink(unix_path_.c_str());
         unix_path_.clear();
     }
+    arm_timer(); // the drain deadline is a timer deadline now
+}
+
+void ProxyDaemon::arm_timer() {
+    if (timer_fd_ < 0)
+        return;
+    std::uint64_t delay_ns = 0; // 0 = disarm
+    bool armed             = false;
+
+    if (opts_.window_us > 0) {
+        // next slide-tick boundary in the channel clock's timeline (the
+        // injected test clock and the real timerfd clock tick at the same
+        // rate for our purposes: the relative delay is what matters)
+        const std::uint64_t slide =
+            opts_.slide_us > 0 ? opts_.slide_us : opts_.window_us;
+        const std::uint64_t now_us =
+            opts_.clock ? opts_.clock() : steady_now_us();
+        const std::uint64_t next_us = (now_us / slide + 1) * slide;
+        delay_ns                    = (next_us - now_us) * 1000ull;
+        armed                       = true;
+    }
+    if (draining_) {
+        const std::uint64_t now_ns = obs::now_ns();
+        const std::uint64_t drain_ns =
+            deadline_ > now_ns ? deadline_ - now_ns : 1;
+        if (!armed || drain_ns < delay_ns)
+            delay_ns = drain_ns;
+        armed = true;
+    }
+
+    itimerspec its{};
+    if (armed) {
+        if (delay_ns == 0)
+            delay_ns = 1; // it_value = 0 would disarm instead of firing
+        its.it_value.tv_sec  = static_cast<time_t>(delay_ns / 1000000000ull);
+        its.it_value.tv_nsec = static_cast<long>(delay_ns % 1000000000ull);
+    }
+    timerfd_settime(timer_fd_, 0, &its, nullptr);
+}
+
+bool ProxyDaemon::on_timer() {
+    for (auto& [name, ch] : channels_)
+        ch->retire_expired();
+    if (draining_ && obs::now_ns() >= deadline_)
+        return false;
+    arm_timer();
+    return true;
 }
 
 void ProxyDaemon::run() {
     epoll_event events[64];
+    bool deadline_passed = false;
 
-    while (!(draining_ && conns_.empty())) {
-        int timeout = -1;
-        if (draining_) {
-            const std::uint64_t now = obs::now_ns();
-            if (now >= deadline_)
-                break;
-            timeout = static_cast<int>((deadline_ - now) / 1000000ull) + 1;
-        }
-
-        const int n = epoll_wait(epoll_fd_, events, 64, timeout);
+    while (!deadline_passed && !(draining_ && conns_.empty())) {
+        // one timerfd carries every time-based wakeup (slide ticks for
+        // pane retirement, the drain deadline), so the wait itself can
+        // block indefinitely without stalling either
+        const int n = epoll_wait(epoll_fd_, events, 64, -1);
         if (n < 0) {
             if (errno == EINTR)
                 continue;
@@ -238,6 +304,14 @@ void ProxyDaemon::run() {
                 while (::read(stop_fd_, &drained, sizeof(drained)) > 0)
                     ;
                 begin_drain();
+                continue;
+            }
+            if (fd == timer_fd_) {
+                std::uint64_t expirations;
+                while (::read(timer_fd_, &expirations, sizeof(expirations)) > 0)
+                    ;
+                if (!on_timer())
+                    deadline_passed = true;
                 continue;
             }
             if (fd == ingest_listener_.fd() || fd == tcp_listener_.fd() ||
@@ -502,8 +576,12 @@ ProxyChannel* ProxyDaemon::channel(const std::string& name, bool create) {
     if (!create)
         return nullptr; // query-only hello against a channel nobody fed
     try {
+        WindowSpec window;
+        window.duration_us = opts_.window_us;
+        window.slide_us    = opts_.slide_us;
         auto ch = std::make_unique<ProxyChannel>(name, opts_.aggregate,
-                                                 opts_.prealloc);
+                                                 opts_.prealloc, window,
+                                                 opts_.clock);
         return channels_.emplace(name, std::move(ch)).first->second.get();
     } catch (const std::exception&) {
         return nullptr; // rejects the client's hello
@@ -574,6 +652,19 @@ std::string ProxyDaemon::scrape_text() const {
            << "calib_channel_bytes" << label << " " << ch->bytes() << "\n"
            << "calib_channel_clients_total" << label << " " << ch->clients_total
            << "\n";
+        if (ch->windowed()) {
+            // per-window gauges: the live pane ring's shape and contents
+            os << "calib_channel_window_seconds" << label << " "
+               << static_cast<double>(ch->window().duration_us) / 1e6 << "\n"
+               << "calib_channel_window_slide_seconds" << label << " "
+               << static_cast<double>(ch->window().slide()) / 1e6 << "\n"
+               << "calib_channel_window_live_panes" << label << " "
+               << ch->live_panes() << "\n"
+               << "calib_channel_window_live_records" << label << " "
+               << ch->live_records() << "\n"
+               << "calib_channel_window_retired_panes_total" << label << " "
+               << ch->retired_panes() << "\n";
+        }
     }
 
     // channel contents as labeled series: string-valued entries become

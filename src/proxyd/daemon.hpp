@@ -47,6 +47,14 @@ struct DaemonOptions {
     std::size_t prealloc        = 1024;     ///< per-channel entry preallocation
     int drain_timeout_ms        = 5000;     ///< shutdown drain deadline
     std::size_t scrape_max_series = 1000;   ///< data series cap per scrape
+
+    /// Arrival-time window per channel: queries and scrapes see only the
+    /// trailing window_us of traffic. 0 = cumulative (no window).
+    std::uint64_t window_us = 0;
+    std::uint64_t slide_us  = 0; ///< pane width; 0 = tumbling (== window_us)
+    /// Injectable µs clock for channel pane assignment (tests); empty =
+    /// monotonic steady clock.
+    ProxyChannel::Clock clock;
 };
 
 class ProxyDaemon {
@@ -113,6 +121,13 @@ private:
     void update_events(Connection& conn);
     void close_connection(Connection& conn);
     void begin_drain();
+    /// Re-arm the timerfd to the nearest pending deadline: the next slide
+    /// tick (windowed channels retire panes there) and/or the drain
+    /// deadline. Disarmed when neither applies.
+    void arm_timer();
+    /// Timer fired: retire expired panes on every channel, re-arm.
+    /// Returns false when the drain deadline has passed (stop the loop).
+    bool on_timer();
 
     DaemonOptions opts_;
 
@@ -126,6 +141,7 @@ private:
 
     int epoll_fd_ = -1;
     int stop_fd_  = -1; ///< eventfd; stop() writes, the loop reads
+    int timer_fd_ = -1; ///< drives pane retirement and the drain deadline
 
     bool draining_          = false;
     std::uint64_t deadline_ = 0; ///< drain deadline, monotonic ns

@@ -4,6 +4,7 @@
 #include "../query/calql.hpp"
 #include "../query/processor.hpp"
 
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
 
@@ -41,25 +42,122 @@ AggregationConfig make_config(const std::string& aggregate) {
     return spec.aggregation;
 }
 
+std::uint64_t steady_now_us() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
 } // namespace
 
 // ------------------------------------------------------------- ProxyChannel
 
 ProxyChannel::ProxyChannel(std::string name, const std::string& aggregate,
-                           std::size_t prealloc)
+                           std::size_t prealloc, WindowSpec window, Clock clock)
     : name_(std::move(name)), registry_(std::make_unique<AttributeRegistry>()),
-      exact_(aggregate.empty()), db_(make_config(aggregate), registry_.get()) {
-    db_.reserve(prealloc);
+      exact_(aggregate.empty()), window_(std::move(window)),
+      clock_(clock ? std::move(clock) : Clock(&steady_now_us)),
+      prealloc_(prealloc), db_(make_config(aggregate), registry_.get()) {
+    if (!windowed())
+        db_.reserve(prealloc);
+}
+
+std::int64_t ProxyChannel::live_floor(std::uint64_t now_us) const noexcept {
+    // the arrival pane of `now` is always representable: the shared
+    // pane_index bound (|pane| < 2^62) holds for any uint64 µs clock
+    const std::int64_t current =
+        *pane_index(static_cast<double>(now_us), window_.slide());
+    return current - static_cast<std::int64_t>(window_.pane_count()) + 1;
 }
 
 void ProxyChannel::fold(const IdRecord& record) {
-    db_.process(record);
+    if (!windowed()) {
+        db_.process(record);
+        ++records_;
+        return;
+    }
+    const std::uint64_t now = clock_();
+    const std::int64_t pane =
+        *pane_index(static_cast<double>(now), window_.slide());
+    auto it = panes_.find(pane);
+    if (it == panes_.end()) {
+        it = panes_
+                 .emplace(pane, AggregationDB(db_.config(), registry_.get()))
+                 .first;
+        it->second.reserve(prealloc_);
+    }
+    it->second.process(record);
     ++records_;
+    retire_expired();
+}
+
+void ProxyChannel::retire_expired() {
+    if (!windowed() || panes_.empty())
+        return;
+    const auto end = panes_.lower_bound(live_floor(clock_()));
+    for (auto it = panes_.begin(); it != end; it = panes_.erase(it))
+        ++retired_panes_;
+}
+
+std::size_t ProxyChannel::groups() const noexcept {
+    if (!windowed())
+        return db_.size();
+    std::size_t n = 0;
+    for (const auto& [idx, db] : panes_)
+        n += db.size();
+    return n;
+}
+
+std::size_t ProxyChannel::bytes() const noexcept {
+    if (!windowed())
+        return db_.bytes();
+    std::size_t n = 0;
+    for (const auto& [idx, db] : panes_)
+        n += db.bytes();
+    return n;
+}
+
+std::size_t ProxyChannel::live_panes() const noexcept {
+    if (!windowed() || panes_.empty())
+        return 0;
+    const std::int64_t floor = live_floor(clock_());
+    std::size_t n = 0;
+    for (const auto& [idx, db] : panes_)
+        if (idx >= floor)
+            ++n;
+    return n;
+}
+
+std::uint64_t ProxyChannel::live_records() const noexcept {
+    if (!windowed() || panes_.empty())
+        return 0;
+    const std::int64_t floor = live_floor(clock_());
+    std::uint64_t n = 0;
+    for (const auto& [idx, db] : panes_)
+        if (idx >= floor)
+            n += db.num_processed();
+    return n;
 }
 
 std::vector<ProxyChannel::Row> ProxyChannel::rows() const {
+    std::vector<RecordMap> flushed;
+    if (!windowed()) {
+        flushed = db_.flush();
+    } else {
+        // fold the live panes (anchored at *now*, so idle time shrinks the
+        // result even before the next retirement tick) into a scratch DB
+        AggregationDB scratch(db_.config(), registry_.get());
+        if (!panes_.empty()) {
+            const std::int64_t floor = live_floor(clock_());
+            for (const auto& [idx, db] : panes_)
+                if (idx >= floor)
+                    scratch.merge(db);
+        }
+        flushed = scratch.flush();
+    }
+
     std::vector<Row> out;
-    std::vector<RecordMap> flushed = db_.flush();
     out.reserve(flushed.size());
     for (RecordMap& r : flushed) {
         Row row;

@@ -25,6 +25,14 @@
 //     sum(sum#x), ... — the same contract as querying the runtime
 //     aggregate service's output files).
 //
+// Either mode may additionally be *windowed* (--window/--slide): the
+// channel keeps a ring of per-pane databases keyed by arrival time (the
+// daemon's monotonic clock, not a record attribute — clients need not
+// carry synchronized timestamps), and rows()/answer() fold only the
+// panes inside the trailing window, anchored at the current clock. Panes
+// older than the window retire; during idle periods the daemon's timerfd
+// drives retirement so the live set decays even with no traffic.
+//
 // Thread-safety: none — the daemon's event loop owns all channels and
 // sessions (single-threaded aggregation, no locks; clients achieve
 // parallelism across connections, the daemon stays the serialization
@@ -34,12 +42,14 @@
 #include "../net/frame.hpp"
 
 #include "../aggregate/aggregation_db.hpp"
+#include "../aggregate/window.hpp"
 #include "../common/attribute.hpp"
 #include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -49,24 +59,46 @@ namespace calib::proxyd {
 
 class ProxyChannel {
 public:
+    /// Monotonic microsecond clock; injectable so tests can steer pane
+    /// assignment and retirement deterministically. Empty = steady clock.
+    using Clock = std::function<std::uint64_t()>;
+
     /// \param aggregate CalQL aggregation clause ("AGGREGATE ... GROUP BY
     ///        ..."), or empty for exact mode.
+    /// \param window arrival-time window; disabled (default) keeps one
+    ///        cumulative database, enabled keeps a pane ring and answers
+    ///        queries over the trailing window only.
     /// Throws CalQLError / runtime_error on a bad clause.
     ProxyChannel(std::string name, const std::string& aggregate,
-                 std::size_t prealloc = 1024);
+                 std::size_t prealloc = 1024, WindowSpec window = {},
+                 Clock clock = {});
 
     const std::string& name() const noexcept { return name_; }
     bool exact() const noexcept { return exact_; }
+    bool windowed() const noexcept { return window_.enabled(); }
+    const WindowSpec& window() const noexcept { return window_; }
 
     AttributeRegistry& registry() noexcept { return *registry_; }
 
     /// Fold one record (daemon-registry attribute ids) into the channel.
     void fold(const IdRecord& record);
 
+    /// Drop panes that fell out of the live range (windowed mode; no-op
+    /// otherwise). The daemon's timerfd calls this once per slide tick so
+    /// idle channels decay without traffic.
+    void retire_expired();
+
     std::uint64_t records() const noexcept { return records_; }
-    std::size_t groups() const noexcept { return db_.size(); }
-    std::size_t bytes() const noexcept { return db_.bytes(); }
+    std::size_t groups() const noexcept;
+    std::size_t bytes() const noexcept;
     const AggregationConfig& config() const noexcept { return db_.config(); }
+
+    /// Windowed-mode gauges (all zero when not windowed): panes currently
+    /// inside the live range, panes retired so far, and records folded
+    /// into live panes.
+    std::size_t live_panes() const noexcept;
+    std::uint64_t retired_panes() const noexcept { return retired_panes_; }
+    std::uint64_t live_records() const noexcept;
 
     std::uint64_t clients_total = 0; ///< connections that ever joined
 
@@ -85,10 +117,18 @@ public:
     std::string answer(std::string_view calql, bool* ok) const;
 
 private:
+    /// Smallest pane index still inside the window, anchored at now.
+    std::int64_t live_floor(std::uint64_t now_us) const noexcept;
+
     std::string name_;
     std::unique_ptr<AttributeRegistry> registry_;
     bool exact_;
-    AggregationDB db_;
+    WindowSpec window_;
+    Clock clock_;
+    std::size_t prealloc_;
+    AggregationDB db_; ///< the cumulative database (non-windowed mode)
+    std::map<std::int64_t, AggregationDB> panes_; ///< windowed mode, ascending
+    std::uint64_t retired_panes_ = 0;
     std::uint64_t records_ = 0;
 };
 

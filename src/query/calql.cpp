@@ -144,12 +144,24 @@ public:
             } else if (kw == "limit") {
                 reject_duplicate(seen_limit_, t);
                 parse_limit(spec);
+            } else if (kw == "window") {
+                reject_duplicate(seen_window_, t);
+                parse_window(spec);
+            } else if (kw == "slide") {
+                reject_duplicate(seen_slide_, t);
+                slide_pos_ = t.pos;
+                parse_slide(spec);
             }
             else if (kw == "let")
                 parse_let(spec);
             else
                 throw CalQLError("unknown clause '" + t.text + "'", t.pos);
         }
+        if (seen_slide_ && !seen_window_)
+            throw CalQLError("SLIDE without a WINDOW clause", slide_pos_);
+        if (spec.window.slide_us > spec.window.duration_us)
+            throw CalQLError("SLIDE is larger than the WINDOW duration",
+                             slide_pos_);
         return spec;
     }
 
@@ -183,8 +195,10 @@ private:
     bool at_clause_boundary() const {
         if (peek().kind != Tok::Ident)
             return peek().kind == Tok::End;
-        static const char* clauses[] = {"select", "aggregate", "group",  "where",
-                                        "order",  "let",       "format", "limit"};
+        static const char* clauses[] = {"select", "aggregate", "group",
+                                        "where",  "order",     "let",
+                                        "format", "limit",     "window",
+                                        "slide"};
         for (const char* c : clauses)
             if (util::iequals(peek().text, c))
                 return true;
@@ -263,6 +277,15 @@ private:
                     const Token alias = next();
                     if (alias.kind != Tok::Ident && alias.kind != Tok::String)
                         throw CalQLError("expected alias after AS", alias.pos);
+                    // conflicting aliases for one column would silently
+                    // resolve last-one-wins; repeating the same alias is fine
+                    auto it = spec.aliases.find(name);
+                    if (it != spec.aliases.end() && it->second != alias.text)
+                        throw CalQLError("conflicting alias '" + alias.text +
+                                             "' for column '" + name +
+                                             "' (already aliased as '" +
+                                             it->second + "')",
+                                         alias.pos);
                     spec.aliases[name] = alias.text;
                 }
                 spec.select.push_back(std::move(name));
@@ -422,6 +445,41 @@ private:
         } while (accept(Tok::Comma));
     }
 
+    /// "10s", "500ms", bare "1500" (µs) — validated with the same
+    /// parse_size-family rules as the CLI duration flags.
+    std::uint64_t parse_duration_value(const char* clause) {
+        const Token t = next();
+        if (t.kind != Tok::Number && t.kind != Tok::Ident)
+            throw CalQLError(std::string("expected duration after ") + clause,
+                             t.pos);
+        std::uint64_t us = 0;
+        if (!util::parse_duration(t.text, us))
+            throw CalQLError(std::string(clause) + " duration '" + t.text +
+                                 "' is not a valid duration (digits with "
+                                 "optional us/ms/s/m/h suffix)",
+                             t.pos);
+        if (us == 0)
+            throw CalQLError(std::string(clause) + " duration must be positive",
+                             t.pos);
+        return us;
+    }
+
+    /// WINDOW <duration> [BY <time-attribute>]
+    void parse_window(QuerySpec& spec) {
+        spec.window.duration_us = parse_duration_value("WINDOW");
+        if (accept_keyword("by")) {
+            const Token attr = next();
+            if (attr.kind != Tok::Ident && attr.kind != Tok::String)
+                throw CalQLError("expected time attribute after BY", attr.pos);
+            spec.window.attribute = normalize_attr(attr.text);
+        }
+    }
+
+    /// SLIDE <duration>
+    void parse_slide(QuerySpec& spec) {
+        spec.window.slide_us = parse_duration_value("SLIDE");
+    }
+
     void parse_limit(QuerySpec& spec) {
         const Token t = expect(Tok::Number, "limit value");
         if (!t.text.empty() && t.text[0] == '-')
@@ -455,6 +513,9 @@ private:
     bool seen_order_  = false;
     bool seen_format_ = false;
     bool seen_limit_  = false;
+    bool seen_window_ = false;
+    bool seen_slide_  = false;
+    std::size_t slide_pos_ = 0; ///< for the end-of-parse SLIDE checks
 };
 
 std::string quote_if_needed(const std::string& s) {
@@ -572,6 +633,14 @@ std::string to_calql(const QuerySpec& spec) {
             if (spec.sort[i].descending)
                 s += " DESC";
         }
+        append_clause(s);
+    }
+    if (spec.window.enabled()) {
+        std::string s = "WINDOW " + util::format_duration(spec.window.duration_us);
+        if (!spec.window.attribute.empty())
+            s += " BY " + quote_if_needed(spec.window.attribute);
+        if (spec.window.slide_us > 0)
+            s += " SLIDE " + util::format_duration(spec.window.slide_us);
         append_clause(s);
     }
     if (spec.format != "table")

@@ -8,6 +8,10 @@
 //   WHERE     cond, ...                       conjunctive filters; conditions are
 //                                             attr | not(attr) | attr <op> value
 //   ORDER BY  attr [ASC|DESC], ...
+//   WINDOW    duration [BY time-attr]         sliding window over a time
+//   SLIDE     duration                        attribute (default time.offset);
+//                                             durations like 10s, 500ms, 1500
+//                                             (bare = µs); SLIDE <= WINDOW
 //   FORMAT    table | csv | json | expand | tree
 //   LIMIT     n
 //

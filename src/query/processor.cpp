@@ -29,7 +29,10 @@ QueryProcessor::QueryProcessor(QuerySpec spec)
         // so a bare "GROUP BY function" query is meaningful.
         if (cfg.ops.empty())
             cfg.ops.push_back(AggOpConfig{AggOp::Count, "", ""});
-        db_.emplace(std::move(cfg), registry_);
+        if (spec_.window.enabled())
+            wdb_.emplace(std::move(cfg), spec_.window, registry_);
+        else
+            db_.emplace(std::move(cfg), registry_);
     }
 }
 
@@ -40,8 +43,36 @@ QueryProcessor::QueryProcessor(QuerySpec spec, AttributeRegistry* registry)
         AggregationConfig cfg = spec_.aggregation;
         if (cfg.ops.empty())
             cfg.ops.push_back(AggOpConfig{AggOp::Count, "", ""});
-        db_.emplace(std::move(cfg), registry_);
+        if (spec_.window.enabled())
+            wdb_.emplace(std::move(cfg), spec_.window, registry_);
+        else
+            db_.emplace(std::move(cfg), registry_);
     }
+}
+
+Variant QueryProcessor::passthrough_timestamp(const IdRecord& record) {
+    if (pass_time_id_ == invalid_id && pass_time_gen_ != registry_->generation()) {
+        pass_time_gen_ = registry_->generation();
+        pass_time_id_  = registry_->find(spec_.window.time_attribute()).id();
+    }
+    return pass_time_id_ != invalid_id ? record.get(pass_time_id_) : Variant();
+}
+
+void QueryProcessor::add_passthrough(RecordMap&& row, const Variant& timestamp) {
+    if (!spec_.window.enabled()) {
+        passthrough_.push_back(std::move(row));
+        return;
+    }
+    const std::optional<std::int64_t> p =
+        pane_index(timestamp, spec_.window.slide());
+    if (!p) {
+        ++pass_dropped_;
+        return;
+    }
+    passthrough_.push_back(std::move(row));
+    passthrough_panes_.push_back(*p);
+    if (!pass_watermark_ || *p > *pass_watermark_)
+        pass_watermark_ = *p;
 }
 
 void QueryProcessor::add(IdRecord&& record) {
@@ -60,10 +91,15 @@ void QueryProcessor::add(IdRecord&& record) {
     if (db_) {
         obs::Timer::Scope t(aggregate_time);
         db_->process(record);
+    } else if (wdb_) {
+        obs::Timer::Scope t(aggregate_time);
+        wdb_->process(record);
     } else {
         // passthrough rows surface verbatim in the output, so they go back
         // to names here; aggregated rows stay id-based until flush()
-        passthrough_.push_back(to_recordmap(record, *registry_));
+        const Variant ts =
+            spec_.window.enabled() ? passthrough_timestamp(record) : Variant();
+        add_passthrough(to_recordmap(record, *registry_), ts);
     }
 }
 
@@ -88,10 +124,22 @@ void QueryProcessor::add_batch(RecordBatch& batch) {
     if (db_) {
         obs::Timer::Scope t(aggregate_time);
         db_->process_batch(batch, sel_);
+    } else if (wdb_) {
+        // windowed: route row by row — pane assignment is per record, and
+        // the record-at-a-time path keeps batched and unbatched runs
+        // trivially byte-identical
+        obs::Timer::Scope t(aggregate_time);
+        for (const std::uint32_t r : sel_) {
+            batch.materialize(r, rec_scratch_);
+            wdb_->process(rec_scratch_);
+        }
     } else {
         for (const std::uint32_t r : sel_) {
             batch.materialize(r, rec_scratch_);
-            passthrough_.push_back(to_recordmap(rec_scratch_, *registry_));
+            const Variant ts = spec_.window.enabled()
+                                   ? passthrough_timestamp(rec_scratch_)
+                                   : Variant();
+            add_passthrough(to_recordmap(rec_scratch_, *registry_), ts);
         }
     }
 }
@@ -99,6 +147,8 @@ void QueryProcessor::add_batch(RecordBatch& batch) {
 void QueryProcessor::set_aggregation_memory_budget(std::size_t bytes) {
     if (db_)
         db_->set_memory_budget(bytes);
+    if (wdb_)
+        wdb_->set_memory_budget(bytes);
 }
 
 void QueryProcessor::add(const RecordMap& record) {
@@ -109,8 +159,13 @@ void QueryProcessor::add(const RecordMap& record) {
         ++kept_;
         if (db_)
             db_->process_offline(record);
+        else if (wdb_)
+            wdb_->process_offline(record);
         else
-            passthrough_.push_back(record);
+            add_passthrough(RecordMap(record),
+                            spec_.window.enabled()
+                                ? record.get(spec_.window.time_attribute())
+                                : Variant());
         return;
     }
     // derived attributes are computed before filtering and aggregation
@@ -121,8 +176,14 @@ void QueryProcessor::add(const RecordMap& record) {
     ++kept_;
     if (db_)
         db_->process_offline(derived);
-    else
-        passthrough_.push_back(std::move(derived));
+    else if (wdb_)
+        wdb_->process_offline(derived);
+    else {
+        const Variant ts = spec_.window.enabled()
+                               ? derived.get(spec_.window.time_attribute())
+                               : Variant();
+        add_passthrough(std::move(derived), ts);
+    }
 }
 
 void QueryProcessor::add(const std::vector<RecordMap>& records) {
@@ -136,9 +197,18 @@ void QueryProcessor::merge(QueryProcessor& other) {
     if (db_ && other.db_) {
         // registries differ; go through the name-based serialized form
         db_->merge_serialized(other.db_->serialize());
+    } else if (wdb_ && other.wdb_) {
+        wdb_->merge_serialized(other.wdb_->serialize());
     } else {
         passthrough_.insert(passthrough_.end(), other.passthrough_.begin(),
                             other.passthrough_.end());
+        passthrough_panes_.insert(passthrough_panes_.end(),
+                                  other.passthrough_panes_.begin(),
+                                  other.passthrough_panes_.end());
+        pass_dropped_ += other.pass_dropped_;
+        if (other.pass_watermark_ &&
+            (!pass_watermark_ || *other.pass_watermark_ > *pass_watermark_))
+            pass_watermark_ = other.pass_watermark_;
     }
 }
 
@@ -151,38 +221,70 @@ void QueryProcessor::merge(QueryProcessor&& other) {
             db_->merge(std::move(*other.db_));
         else
             db_->merge_serialized(other.db_->serialize());
+    } else if (wdb_ && other.wdb_) {
+        if (registry_ == other.registry_)
+            wdb_->merge(std::move(*other.wdb_));
+        else
+            wdb_->merge_serialized(other.wdb_->serialize());
     } else {
         passthrough_.insert(passthrough_.end(),
                             std::make_move_iterator(other.passthrough_.begin()),
                             std::make_move_iterator(other.passthrough_.end()));
         other.passthrough_.clear();
+        passthrough_panes_.insert(passthrough_panes_.end(),
+                                  other.passthrough_panes_.begin(),
+                                  other.passthrough_panes_.end());
+        other.passthrough_panes_.clear();
+        pass_dropped_ += other.pass_dropped_;
+        other.pass_dropped_ = 0;
+        if (other.pass_watermark_ &&
+            (!pass_watermark_ || *other.pass_watermark_ > *pass_watermark_))
+            pass_watermark_ = other.pass_watermark_;
     }
 }
 
 std::size_t QueryProcessor::aggregation_entries() const noexcept {
-    return db_ ? db_->size() : 0;
+    return db_ ? db_->size() : wdb_ ? wdb_->entries() : 0;
 }
 
 std::vector<std::byte> QueryProcessor::take_partial() {
-    if (!db_ || db_->empty())
-        return {};
-    // the record count travels inside the buffer (db.processed_); in_/kept_
-    // stay here so they are counted exactly once
-    std::vector<std::byte> buf = db_->serialize();
-    db_->clear();
-    return buf;
+    if (db_ && !db_->empty()) {
+        // the record count travels inside the buffer (db.processed_);
+        // in_/kept_ stay here so they are counted exactly once
+        std::vector<std::byte> buf = db_->serialize();
+        db_->clear();
+        return buf;
+    }
+    if (wdb_ && !wdb_->empty()) {
+        std::vector<std::byte> buf = wdb_->serialize();
+        wdb_->clear(); // keeps the watermark: late records must stay late
+        return buf;
+    }
+    return {};
 }
 
 std::vector<std::byte> QueryProcessor::serialize_partial() const {
     if (db_)
         return db_->serialize();
-    // no aggregation: serialize raw records
+    if (wdb_)
+        return wdb_->serialize();
+    // no aggregation: serialize raw records. In windowed passthrough mode
+    // the magic changes and every record carries its pane index.
+    const bool windowed = spec_.window.enabled();
     std::vector<std::byte> buf;
     ByteWriter w(buf);
-    w.put(static_cast<std::uint32_t>(0x0CA11B0Fu));
+    w.put(static_cast<std::uint32_t>(windowed ? 0x0CA11B10u : 0x0CA11B0Fu));
     w.put(static_cast<std::uint64_t>(in_));
+    if (windowed) {
+        w.put(static_cast<std::uint8_t>(pass_watermark_.has_value() ? 1 : 0));
+        w.put(static_cast<std::int64_t>(pass_watermark_.value_or(0)));
+        w.put(pass_dropped_);
+    }
     w.put(static_cast<std::uint32_t>(passthrough_.size()));
-    for (const RecordMap& r : passthrough_) {
+    for (std::size_t i = 0; i < passthrough_.size(); ++i) {
+        const RecordMap& r = passthrough_[i];
+        if (windowed)
+            w.put(passthrough_panes_[i]);
         w.put(static_cast<std::uint32_t>(r.size()));
         for (const auto& [name, value] : r) {
             w.put_string(name);
@@ -197,12 +299,27 @@ void QueryProcessor::merge_serialized(std::span<const std::byte> data) {
         db_->merge_serialized(data);
         return;
     }
+    if (wdb_) {
+        wdb_->merge_serialized(data);
+        return;
+    }
     ByteReader r(data);
-    if (r.get<std::uint32_t>() != 0x0CA11B0Fu)
+    const auto magic    = r.get<std::uint32_t>();
+    const bool windowed = magic == 0x0CA11B10u;
+    if (!windowed && magic != 0x0CA11B0Fu)
         throw std::runtime_error("QueryProcessor: bad record-buffer magic");
     in_ += r.get<std::uint64_t>();
+    if (windowed) {
+        const bool has_wm     = r.get<std::uint8_t>() != 0;
+        const std::int64_t wm = r.get<std::int64_t>();
+        if (has_wm && (!pass_watermark_ || wm > *pass_watermark_))
+            pass_watermark_ = wm;
+        pass_dropped_ += r.get<std::uint64_t>();
+    }
     const auto n = r.get<std::uint32_t>();
     for (std::uint32_t i = 0; i < n; ++i) {
+        if (windowed)
+            passthrough_panes_.push_back(r.get<std::int64_t>());
         RecordMap rec;
         const auto fields = r.get<std::uint32_t>();
         for (std::uint32_t f = 0; f < fields; ++f) {
@@ -277,9 +394,29 @@ void QueryProcessor::canonicalize_rows(std::vector<RecordMap>& records) const {
 const std::vector<RecordMap>& QueryProcessor::result() {
     if (result_)
         return *result_;
-    std::vector<RecordMap> out = db_ ? db_->flush() : std::move(passthrough_);
-    if (db_)
+    std::vector<RecordMap> out;
+    if (db_) {
+        out = db_->flush();
         canonicalize_rows(out);
+    } else if (wdb_) {
+        out = wdb_->flush(); // fold of the live panes
+        canonicalize_rows(out);
+    } else if (spec_.window.enabled()) {
+        // windowed passthrough: keep rows whose pane lies in the trailing
+        // window ending at the watermark, preserving input order
+        if (pass_watermark_) {
+            const std::int64_t lo =
+                *pass_watermark_ -
+                static_cast<std::int64_t>(spec_.window.pane_count()) + 1;
+            for (std::size_t i = 0; i < passthrough_.size(); ++i)
+                if (passthrough_panes_[i] >= lo)
+                    out.push_back(std::move(passthrough_[i]));
+        }
+        passthrough_.clear();
+        passthrough_panes_.clear();
+    } else {
+        out = std::move(passthrough_);
+    }
     sort_records(out);
     if (spec_.limit > 0 && out.size() > spec_.limit)
         out.resize(spec_.limit);

@@ -13,6 +13,7 @@
 #include "queryspec.hpp"
 
 #include "../aggregate/aggregation_db.hpp"
+#include "../aggregate/windowed_db.hpp"
 #include "../common/attribute.hpp"
 #include "../common/idrecord.hpp"
 #include "../common/recordmap.hpp"
@@ -78,12 +79,20 @@ public:
     std::size_t aggregation_entries() const noexcept;
 
     /// Direct access to the aggregation database (nullptr without
-    /// aggregation). The parallel engine's radix merge extracts hash
-    /// partitions from worker partials and absorbs the folded partitions
-    /// into the root through this.
+    /// aggregation, and nullptr for windowed queries — the pane ring is
+    /// not one monolithic table, so the radix merge demotes to tree). The
+    /// parallel engine's radix merge extracts hash partitions from worker
+    /// partials and absorbs the folded partitions into the root through
+    /// this.
     AggregationDB* aggregation_db() noexcept { return db_ ? &*db_ : nullptr; }
     const AggregationDB* aggregation_db() const noexcept {
         return db_ ? &*db_ : nullptr;
+    }
+
+    /// The pane ring backing a windowed aggregation (nullptr otherwise).
+    WindowedAggregator* windowed_db() noexcept { return wdb_ ? &*wdb_ : nullptr; }
+    const WindowedAggregator* windowed_db() const noexcept {
+        return wdb_ ? &*wdb_ : nullptr;
     }
 
     /// Early flush: serialize the partial aggregation state and clear it,
@@ -112,6 +121,12 @@ public:
 private:
     void sort_records(std::vector<RecordMap>& records) const;
     void canonicalize_rows(std::vector<RecordMap>& records) const;
+    /// Time-attribute value of a record in windowed passthrough mode
+    /// (lazily resolves the attribute id, AggregationDB-style).
+    Variant passthrough_timestamp(const IdRecord& record);
+    /// Append a passthrough row; in windowed mode assigns its pane (rows
+    /// without a usable timestamp are dropped and counted).
+    void add_passthrough(RecordMap&& row, const Variant& timestamp);
 
     QuerySpec spec_;
     std::unique_ptr<AttributeRegistry> owned_registry_;
@@ -119,7 +134,15 @@ private:
     SnapshotFilter id_filter_; ///< id-compiled WHERE (shares registry_)
     CompiledLets id_lets_;     ///< id-compiled LET (shares registry_)
     std::optional<AggregationDB> db_;
+    std::optional<WindowedAggregator> wdb_; ///< windowed aggregation mode
     std::vector<RecordMap> passthrough_;
+    /// Windowed passthrough mode: pane index per passthrough row, plus the
+    /// watermark the live range anchors to at result() time.
+    std::vector<std::int64_t> passthrough_panes_;
+    std::optional<std::int64_t> pass_watermark_;
+    std::uint64_t pass_dropped_ = 0;
+    id_t pass_time_id_          = invalid_id;
+    std::size_t pass_time_gen_  = static_cast<std::size_t>(-1);
     std::optional<std::vector<RecordMap>> result_;
     std::vector<std::uint32_t> sel_; ///< reused selection-vector scratch
     IdRecord rec_scratch_;           ///< reused row-materialize scratch

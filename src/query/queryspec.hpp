@@ -4,6 +4,7 @@
 #pragma once
 
 #include "../aggregate/ops.hpp"
+#include "../aggregate/window.hpp"
 #include "../common/variant.hpp"
 
 #include <string>
@@ -86,6 +87,11 @@ struct QuerySpec {
 
     /// Maximum number of output records; 0 = unlimited.
     std::size_t limit = 0;
+
+    /// Sliding window ("WINDOW 10s SLIDE 1s BY time.offset"); disabled by
+    /// default. Restricts the result to records whose time attribute falls
+    /// in the trailing window ending at the maximum timestamp seen.
+    WindowSpec window;
 
     /// Display-name overrides (attribute -> column title).
     std::unordered_map<std::string, std::string> aliases;

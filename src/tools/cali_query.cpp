@@ -69,6 +69,9 @@ void usage() {
         "query language clauses:\n"
         "  SELECT col,...  AGGREGATE op(attr),...  GROUP BY attr,...|*\n"
         "  LET x=scale|truncate|ratio|first(...)   WHERE cond,...\n"
+        "  WINDOW dur [BY attr] [SLIDE dur]  (trailing-window aggregation\n"
+        "                        over the time attribute; default time.offset;\n"
+        "                        durations take us/ms/s/m/h suffixes)\n"
         "  ORDER BY attr [DESC]  FORMAT table|csv|json|expand|tree  LIMIT n");
 }
 

@@ -46,6 +46,12 @@ void usage() {
         "                           as offline cali-query would)\n"
         "  -o, --flush-output <pat> write each channel's aggregate to <pat>\n"
         "                           on shutdown; '%c' expands to the channel\n"
+        "  -w, --window <dur>       keep only the trailing <dur> of traffic\n"
+        "                           per channel (arrival time); queries and\n"
+        "                           scrapes answer over the live window.\n"
+        "                           durations take us/ms/s/m/h suffixes\n"
+        "      --slide <dur>        window pane width (default: tumbling,\n"
+        "                           i.e. the window duration)\n"
         "      --drain-timeout <ms> shutdown drain deadline (default 5000)\n"
         "      --max-frame <bytes>  per-frame payload bound (default 4 MiB)\n"
         "      --max-tx <bytes>     per-connection outbound bound (default 8 MiB)\n"
@@ -91,6 +97,22 @@ int main(int argc, char** argv) {
             opts.aggregate = need_value();
         } else if (arg == "-o" || arg == "--flush-output") {
             flush_output = need_value();
+        } else if (arg == "-w" || arg == "--window") {
+            if (!calib::util::parse_duration(need_value(), opts.window_us) ||
+                opts.window_us == 0) {
+                std::fprintf(stderr,
+                             "calib-proxyd: bad --window duration "
+                             "(digits with optional us/ms/s/m/h suffix)\n");
+                return 2;
+            }
+        } else if (arg == "--slide") {
+            if (!calib::util::parse_duration(need_value(), opts.slide_us) ||
+                opts.slide_us == 0) {
+                std::fprintf(stderr,
+                             "calib-proxyd: bad --slide duration "
+                             "(digits with optional us/ms/s/m/h suffix)\n");
+                return 2;
+            }
         } else if (arg == "--drain-timeout") {
             std::size_t ms = 0;
             if (!parse_size(need_value(), ms) || ms == 0 ||
@@ -125,6 +147,15 @@ int main(int argc, char** argv) {
 
     if (opts.listen.empty()) {
         usage();
+        return 2;
+    }
+    if (opts.slide_us > 0 && opts.window_us == 0) {
+        std::fprintf(stderr, "calib-proxyd: --slide requires --window\n");
+        return 2;
+    }
+    if (opts.slide_us > opts.window_us) {
+        std::fprintf(stderr,
+                     "calib-proxyd: --slide is larger than --window\n");
         return 2;
     }
     if (verbose > 0)

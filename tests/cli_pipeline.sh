@@ -84,6 +84,49 @@ done
 grep -q "\"name\": \"engine.merge_partitions\", \"value\": 16" ms_radix.json || {
     echo "engine.merge_partitions gauge missing for radix"; exit 1; }
 
+echo "== WINDOW: byte-identical across threads, strategies, batch sizes =="
+# a trace-mode run (no aggregation) carries time.offset on every record
+"$CLEVER_RUN" -n 1 --steps 4 --nx 32 --ny 16 \
+    -P "services.enable=event,timer,trace,recorder
+timer.offset=true
+recorder.filename=wtrace-%r.cali"
+test -s wtrace-0.cali || { echo "missing wtrace-0.cali"; exit 1; }
+win_q="AGGREGATE count,sum(time.duration) GROUP BY kernel
+       WINDOW 10ms SLIDE 2ms ORDER BY kernel FORMAT csv"
+"$CALI_QUERY" -t 1 -q "$win_q" wtrace-0.cali > win_ref.csv
+rows=$(tail -n +2 win_ref.csv | grep -c .)
+test "$rows" -ge 1 || { echo "windowed query returned no rows"; exit 1; }
+for threads in 1 2 4; do
+    for strat in pairwise tree radix adaptive; do
+        "$CALI_QUERY" -t "$threads" --merge-strategy "$strat" -q "$win_q" \
+            wtrace-0.cali > win_run.csv
+        diff win_ref.csv win_run.csv || {
+            echo "WINDOW: -t $threads --merge-strategy $strat differs"; exit 1; }
+    done
+done
+for bs in 1 7 4096; do
+    "$CALI_QUERY" -t 4 --batch-size "$bs" -q "$win_q" wtrace-0.cali > win_run.csv
+    diff win_ref.csv win_run.csv || {
+        echo "WINDOW: --batch-size $bs differs"; exit 1; }
+done
+"$CALI_QUERY" -t 4 --no-batch -q "$win_q" wtrace-0.cali > win_run.csv
+diff win_ref.csv win_run.csv || { echo "WINDOW: --no-batch differs"; exit 1; }
+# a window wider than the whole trace keeps every timed record: the result
+# must equal the plain (window-free) aggregation over the same file
+"$CALI_QUERY" -q "AGGREGATE count GROUP BY kernel WINDOW 1h
+                  ORDER BY kernel FORMAT csv" wtrace-0.cali > win_wide.csv
+"$CALI_QUERY" -q "AGGREGATE count GROUP BY kernel
+                  ORDER BY kernel FORMAT csv" wtrace-0.cali > win_plain.csv
+diff win_wide.csv win_plain.csv || {
+    echo "wide WINDOW differs from the plain aggregation"; exit 1; }
+# malformed window clauses are parse errors, not silent acceptance
+for bad in "WINDOW 10s SLIDE 20s" "WINDOW 0" "WINDOW 5s WINDOW 2s" \
+           "SLIDE 1s" "WINDOW 5s SLIDE 0"; do
+    if "$CALI_QUERY" -q "AGGREGATE count $bad" wtrace-0.cali 2>/dev/null; then
+        echo "'$bad' must be rejected"; exit 1
+    fi
+done
+
 echo "== cali-query: WHERE/LET clauses on the same data =="
 "$CALI_QUERY" -q "LET t=scale(sum#time.duration,0.001)
                   AGGREGATE sum(t) AS ms WHERE not(mpi.function)
@@ -318,6 +361,57 @@ wait "$proxyd_pid" || { echo "daemon exited non-zero"; cat proxyd.log; exit 1; }
 grep -q "connections," proxyd.log
 test -s daemon-clever.cali || { echo "missing daemon flush file"; exit 1; }
 "$CALI_STAT" -g daemon-clever.cali | grep -q "kernel"
+
+echo "== calib-proxyd --window: live trailing-window queries =="
+# a window far wider than the test run keeps everything pushed live, so
+# the windowed channel's answer must match the offline replay exactly
+"$CALIB_PROXYD" -l "$workdir/proxyd-w.sock" --http 127.0.0.1:0 \
+    --window 1h --slide 1m -o "daemon-w-%c.cali" 2> proxyd_w.log &
+proxyd_w_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" proxyd_w.log && break
+    sleep 0.1
+done
+grep -q "listening on" proxyd_w.log || {
+    echo "windowed daemon failed to start"; cat proxyd_w.log; exit 1; }
+
+"$CALIB_PUSH" -c "$workdir/proxyd-w.sock" --channel wclever clever-0.cali \
+    2>> push.log
+"$CALIB_PUSH" -c "$workdir/proxyd-w.sock" --channel wclever clever-1.cali \
+    2>> push.log
+
+"$CALI_QUERY" -c "$workdir/proxyd-w.sock" --channel wclever -q "$daemon_q" \
+    > wlive.csv
+"$CALI_QUERY" -q "$daemon_q" clever-0.cali clever-1.cali > woffline.csv
+diff wlive.csv woffline.csv || {
+    echo "windowed live and offline results differ"; exit 1; }
+
+# the scrape exposes the per-window gauges
+http_addr=$(sed -n 's/.*http \([0-9.]*:[0-9]*\).*/\1/p' proxyd_w.log)
+exec 3<>"/dev/tcp/${http_addr%:*}/${http_addr##*:}"
+printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+cat <&3 > scrape_w.txt
+exec 3<&- 3>&-
+grep -q 'calib_channel_window_seconds{channel="wclever"} 3600' scrape_w.txt
+grep -q 'calib_channel_window_slide_seconds{channel="wclever"} 60' scrape_w.txt
+grep -q 'calib_channel_window_live_panes{channel="wclever"}' scrape_w.txt
+grep -q 'calib_channel_window_retired_panes_total{channel="wclever"}' scrape_w.txt
+
+# SIGTERM drain: the final live panes reach the flush file
+kill -TERM "$proxyd_w_pid"
+wait "$proxyd_w_pid" || {
+    echo "windowed daemon exited non-zero"; cat proxyd_w.log; exit 1; }
+test -s daemon-w-wclever.cali || {
+    echo "missing windowed daemon flush file"; exit 1; }
+"$CALI_STAT" -g daemon-w-wclever.cali | grep -q "kernel"
+
+# bad window flags fail fast
+if "$CALIB_PROXYD" -l "$workdir/bad.sock" --slide 5s 2>/dev/null; then
+    echo "--slide without --window must fail"; exit 1
+fi
+if "$CALIB_PROXYD" -l "$workdir/bad.sock" -w 1s --slide 5s 2>/dev/null; then
+    echo "--slide larger than --window must fail"; exit 1
+fi
 
 echo "== error handling =="
 if "$CALI_QUERY" -q "THIS IS NOT CALQL" clever-0.cali 2>/dev/null; then

@@ -232,6 +232,7 @@ TEST_P(CalQLRoundTrip, ToCalqlParsesBackEquivalently) {
     EXPECT_EQ(a.sort, b.sort);
     EXPECT_EQ(a.format, b.format);
     EXPECT_EQ(a.limit, b.limit);
+    EXPECT_EQ(a.window, b.window);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -244,6 +245,7 @@ INSTANTIATE_TEST_SUITE_P(
         "AGGREGATE count GROUP BY * FORMAT json",
         "WHERE a=1,b!=2,c<3,d>=4,e FORMAT csv",
         "AGGREGATE min(x),max(x),avg(x),variance(x),histogram(x) GROUP BY k",
+        "AGGREGATE count GROUP BY k WINDOW 10s SLIDE 2s",
         ""));
 
 // ---- numeric-correctness hardening regressions (differential fuzzing) ----
@@ -303,4 +305,117 @@ TEST(CalQLErrors, MalformedInputsThrowNeverCrash) {
           "WHERE a<=>b", "AGGREGATE nosuchop(x)"}) {
         EXPECT_THROW(parse_calql(q), CalQLError) << q;
     }
+}
+
+// ---- WINDOW / SLIDE --------------------------------------------------------
+
+TEST(CalQLWindow, ParseTumbling) {
+    QuerySpec s = parse_calql("AGGREGATE count GROUP BY k WINDOW 10s");
+    EXPECT_TRUE(s.window.enabled());
+    EXPECT_EQ(s.window.duration_us, 10u * 1000000u);
+    EXPECT_EQ(s.window.slide_us, 0u);            // tumbling: slide == window
+    EXPECT_EQ(s.window.slide(), s.window.duration_us);
+    EXPECT_EQ(s.window.pane_count(), 1u);
+    EXPECT_EQ(s.window.time_attribute(), "time.offset"); // the default
+}
+
+TEST(CalQLWindow, ParseSliding) {
+    QuerySpec s = parse_calql("AGGREGATE sum(x) GROUP BY k WINDOW 10s SLIDE 2s");
+    EXPECT_EQ(s.window.duration_us, 10u * 1000000u);
+    EXPECT_EQ(s.window.slide_us, 2u * 1000000u);
+    EXPECT_EQ(s.window.pane_count(), 5u);
+}
+
+TEST(CalQLWindow, PaneCountRoundsUp) {
+    QuerySpec s = parse_calql("WINDOW 10s SLIDE 3s");
+    EXPECT_EQ(s.window.pane_count(), 4u); // ceil(10/3)
+}
+
+TEST(CalQLWindow, ByOverridesTimeAttribute) {
+    QuerySpec s = parse_calql("AGGREGATE count WINDOW 500ms BY sim.time");
+    EXPECT_EQ(s.window.attribute, "sim.time");
+    EXPECT_EQ(s.window.time_attribute(), "sim.time");
+}
+
+TEST(CalQLWindow, BareNumberIsMicroseconds) {
+    QuerySpec s = parse_calql("WINDOW 250");
+    EXPECT_EQ(s.window.duration_us, 250u);
+}
+
+TEST(CalQLWindow, AllDurationSuffixes) {
+    EXPECT_EQ(parse_calql("WINDOW 5us").window.duration_us, 5u);
+    EXPECT_EQ(parse_calql("WINDOW 5ms").window.duration_us, 5000u);
+    EXPECT_EQ(parse_calql("WINDOW 5s").window.duration_us, 5000000u);
+    EXPECT_EQ(parse_calql("WINDOW 5m").window.duration_us, 300000000u);
+    EXPECT_EQ(parse_calql("WINDOW 2h").window.duration_us, 7200000000u);
+}
+
+TEST(CalQLWindow, ClauseOrderIrrelevant) {
+    QuerySpec s =
+        parse_calql("WINDOW 1s SLIDE 100ms AGGREGATE count GROUP BY k");
+    EXPECT_EQ(s.window.duration_us, 1000000u);
+    EXPECT_EQ(s.aggregation.key.attributes, (std::vector<std::string>{"k"}));
+}
+
+TEST(CalQLWindow, ToCalqlRoundTrip) {
+    for (const char* q :
+         {"AGGREGATE count GROUP BY k WINDOW 10s",
+          "AGGREGATE count GROUP BY k WINDOW 10s SLIDE 2s",
+          "AGGREGATE sum(x) WINDOW 1500ms BY sim.time SLIDE 300ms",
+          "WINDOW 250"}) {
+        const QuerySpec a = parse_calql(q);
+        const QuerySpec b = parse_calql(to_calql(a));
+        EXPECT_EQ(a.window, b.window) << q << " -> " << to_calql(a);
+    }
+}
+
+TEST(CalQLWindowErrors, ZeroDurationRejected) {
+    EXPECT_THROW(parse_calql("WINDOW 0"), CalQLError);
+    EXPECT_THROW(parse_calql("WINDOW 0s"), CalQLError);
+    EXPECT_THROW(parse_calql("WINDOW 1s SLIDE 0ms"), CalQLError);
+}
+
+TEST(CalQLWindowErrors, BadDurationRejected) {
+    EXPECT_THROW(parse_calql("WINDOW banana"), CalQLError);
+    EXPECT_THROW(parse_calql("WINDOW 10parsecs"), CalQLError);
+    EXPECT_THROW(parse_calql("WINDOW -5s"), CalQLError);
+    EXPECT_THROW(parse_calql("WINDOW"), CalQLError);
+    EXPECT_THROW(parse_calql("WINDOW 1s SLIDE"), CalQLError);
+    EXPECT_THROW(parse_calql("WINDOW 99999999999999999999s"), CalQLError);
+}
+
+TEST(CalQLWindowErrors, DuplicateWindowOrSlide) {
+    for (const char* q : {"WINDOW 1s WINDOW 2s", "WINDOW 1s SLIDE 1s SLIDE 2s"}) {
+        try {
+            parse_calql(q);
+            FAIL() << "expected CalQLError for: " << q;
+        } catch (const CalQLError& e) {
+            EXPECT_GT(e.position(), 0u) << q;
+            EXPECT_NE(std::string(e.what()).find("duplicate"),
+                      std::string::npos)
+                << q;
+        }
+    }
+}
+
+TEST(CalQLWindowErrors, SlideWithoutWindow) {
+    EXPECT_THROW(parse_calql("AGGREGATE count SLIDE 1s"), CalQLError);
+}
+
+TEST(CalQLWindowErrors, SlideLargerThanWindow) {
+    try {
+        parse_calql("WINDOW 1s SLIDE 2s");
+        FAIL() << "expected CalQLError";
+    } catch (const CalQLError& e) {
+        EXPECT_NE(std::string(e.what()).find("larger than"), std::string::npos);
+    }
+}
+
+TEST(CalQLErrors, ConflictingSelectAliasRejected) {
+    // silent last-one-wins on AS aliases was a bug: the same column aliased
+    // two different ways must be a parse error, not a quiet override
+    EXPECT_THROW(parse_calql("SELECT kernel AS A, kernel AS B"), CalQLError);
+    // repeating the *same* alias is harmless and stays accepted
+    QuerySpec s = parse_calql("SELECT kernel AS K, kernel AS K");
+    EXPECT_EQ(s.aliases.at("kernel"), "K");
 }

@@ -136,3 +136,58 @@ TEST(FuzzDifferential, SeedSweepIsClean) {
             ADD_FAILURE() << "seed " << seed << ": " << f;
     }
 }
+
+TEST(FuzzGenerators, QuerySweepEmitsWindowClauses) {
+    // the windowed family must actually appear in the generated stream —
+    // guard against the WINDOW branch silently rotting away
+    const cf::Corpus corpus = cf::generate_corpus(3);
+    bool saw_window = false, saw_slide = false, saw_by = false;
+    for (std::uint64_t seed = 0; seed < 200; ++seed) {
+        const std::string q = cf::generate_query(seed, corpus);
+        if (q.find("WINDOW ") == std::string::npos)
+            continue;
+        saw_window = true;
+        if (q.find("SLIDE ") != std::string::npos)
+            saw_slide = true;
+        if (q.find(" BY ", q.find("WINDOW ")) != std::string::npos)
+            saw_by = true;
+        EXPECT_NO_THROW(calib::parse_calql(q)) << q;
+    }
+    EXPECT_TRUE(saw_window);
+    EXPECT_TRUE(saw_slide);
+    EXPECT_TRUE(saw_by);
+}
+
+TEST(FuzzOracle, WindowRestrictsToTrailingPanes) {
+    // pinned windowed case: times 0..90 in steps of 10, WINDOW 40 SLIDE 20
+    // -> watermark pane 4, live panes {3, 4} = times [60, 90]
+    std::vector<RecordMap> records;
+    for (int i = 0; i < 10; ++i) {
+        RecordMap r;
+        r.append("region", Variant(std::string(i % 2 ? "a" : "b")));
+        r.append("t", Variant(static_cast<double>(i * 10)));
+        records.push_back(std::move(r));
+    }
+    { // a record without the time attribute drops
+        RecordMap r;
+        r.append("region", Variant(std::string("a")));
+        records.push_back(std::move(r));
+    }
+    const std::string query =
+        "AGGREGATE count GROUP BY region WINDOW 40 BY t SLIDE 20";
+    const calib::QuerySpec spec  = calib::parse_calql(query);
+    const cf::OracleResult oracle = cf::oracle_run(spec, records);
+    std::uint64_t total = 0;
+    for (const cf::OracleGroup& g : oracle.groups)
+        total += g.ops[0].exact.to_uint();
+    EXPECT_EQ(total, 4u); // times 60, 70, 80, 90
+
+    const std::vector<RecordMap> rows = calib::run_query(query, records);
+    EXPECT_TRUE(cf::oracle_compare(spec, oracle, rows).empty());
+
+    // the comparator still has teeth on the windowed path
+    std::vector<RecordMap> tampered = rows;
+    ASSERT_FALSE(tampered.empty());
+    tampered[0].set("count", Variant(static_cast<unsigned long long>(99)));
+    EXPECT_FALSE(cf::oracle_compare(spec, oracle, tampered).empty());
+}

@@ -804,4 +804,201 @@ TEST(ProxydDaemon, TcpIngestWorksLikeUnix) {
     loop.join();
 }
 
+// --------------------------------------------------------- windowed channels
+
+TEST(ProxydWindow, TrailingWindowAnswersMatchOfflineSubset) {
+    // injectable clock: pane assignment is arrival time, fully test-driven
+    std::uint64_t now = 0;
+    WindowSpec w;
+    w.duration_us = 1000; // 1ms window, 500us panes
+    w.slide_us    = 500;
+    proxyd::ProxyChannel ch("w", "", 64, w, [&now] { return now; });
+    ASSERT_TRUE(ch.windowed());
+
+    const std::vector<RecordMap> corpus = make_corpus(60, 3);
+    AttributeRegistry& reg              = ch.registry();
+    std::vector<RecordMap> live;
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        now = i * 100; // one record per 100us: 5 per pane
+        IdRecord rec;
+        for (const auto& [name, value] : corpus[i])
+            rec.append(reg.create(name, value.type()).id(), value);
+        ch.fold(rec);
+    }
+    // arrival times 0..5900; final pane = floor(5900/500) = 11; the live
+    // window covers panes {10, 11} = arrivals in [5000, 5900]
+    for (std::size_t i = 0; i < corpus.size(); ++i)
+        if (i * 100 >= 5000)
+            live.push_back(corpus[i]);
+
+    EXPECT_EQ(ch.records(), corpus.size());
+    EXPECT_EQ(ch.live_panes(), 2u);
+    EXPECT_GT(ch.retired_panes(), 0u);
+
+    const char* q = "AGGREGATE sum(val),count GROUP BY kernel "
+                    "ORDER BY kernel FORMAT csv";
+    bool ok = false;
+    EXPECT_EQ(ch.answer(q, &ok), offline_answer(live, q));
+    EXPECT_TRUE(ok);
+
+    std::uint64_t total = 0;
+    for (const proxyd::ProxyChannel::Row& row : ch.rows())
+        total += row.weight;
+    EXPECT_EQ(total, live.size());
+}
+
+TEST(ProxydWindow, IdlePeriodExpiresDataWithoutTraffic) {
+    std::uint64_t now = 0;
+    WindowSpec w;
+    w.duration_us = 1000;
+    proxyd::ProxyChannel ch("w", "", 64, w, [&now] { return now; });
+
+    AttributeRegistry& reg = ch.registry();
+    IdRecord rec;
+    rec.append(reg.create("kernel", Variant::Type::String).id(),
+               Variant(std::string_view("k")));
+    ch.fold(rec);
+    EXPECT_EQ(ch.live_panes(), 1u);
+    EXPECT_EQ(ch.live_records(), 1u);
+    EXPECT_FALSE(ch.rows().empty());
+
+    // idle: no folds, the clock just advances past the window. The live
+    // view (anchored at now) empties immediately...
+    now = 5000;
+    EXPECT_EQ(ch.live_panes(), 0u);
+    EXPECT_EQ(ch.live_records(), 0u);
+    EXPECT_TRUE(ch.rows().empty());
+    bool ok = false;
+    EXPECT_EQ(ch.answer("AGGREGATE count FORMAT csv", &ok),
+              offline_answer({}, "AGGREGATE count FORMAT csv"));
+    EXPECT_TRUE(ok);
+
+    // ...and retirement (the daemon's timer tick) frees the pane memory
+    EXPECT_GT(ch.groups(), 0u); // pane still held before the tick
+    ch.retire_expired();
+    EXPECT_EQ(ch.groups(), 0u);
+    EXPECT_EQ(ch.retired_panes(), 1u);
+    EXPECT_EQ(ch.records(), 1u); // the lifetime counter is cumulative
+}
+
+TEST(ProxydWindow, DaemonTimerRetiresIdlePanes) {
+    // real daemon, real clock: the timerfd must retire panes during an
+    // idle period with no connections driving the epoll loop
+    const std::string sock = test_socket_path("winretire");
+    proxyd::DaemonOptions opts;
+    opts.listen    = sock;
+    opts.window_us = 100000; // 100ms window, 50ms panes
+    opts.slide_us  = 50000;
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    std::thread loop([&] { daemon.run(); });
+
+    {
+        net::ProxyClient::Options copts;
+        copts.address = sock;
+        copts.channel = "win";
+        net::ProxyClient client(copts);
+        client.push(make_corpus(50, 9));
+        client.query("AGGREGATE count FORMAT csv"); // ack: records folded
+        client.close();
+    }
+    // idle well past the window; the timer fires every 50ms slide tick
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    daemon.stop();
+    loop.join();
+
+    proxyd::ProxyChannel* ch = daemon.channel("win", false);
+    ASSERT_NE(ch, nullptr);
+    EXPECT_EQ(ch->records(), 50u);       // folded...
+    EXPECT_EQ(ch->groups(), 0u);         // ...but retired while idle
+    EXPECT_GT(ch->retired_panes(), 0u);
+    EXPECT_EQ(ch->live_panes(), 0u);
+}
+
+TEST(ProxydWindow, DrainKeepsFinalPaneFlush) {
+    // SIGTERM-style drain with a window wide enough that nothing expired:
+    // the flush file must carry the full live pane contents
+    const std::string sock = test_socket_path("winflush");
+    proxyd::DaemonOptions opts;
+    opts.listen    = sock;
+    opts.window_us = 10000000; // 10s: everything stays live
+    proxyd::ProxyDaemon daemon(opts);
+    daemon.start();
+    std::thread loop([&] { daemon.run(); });
+
+    const std::vector<RecordMap> corpus = make_corpus(300, 11);
+    {
+        net::ProxyClient::Options copts;
+        copts.address = sock;
+        copts.channel = "flush";
+        net::ProxyClient client(copts);
+        client.push(corpus);
+        client.close(); // Bye without awaiting an ack: drain folds the rest
+    }
+    daemon.stop();
+    loop.join();
+    EXPECT_EQ(daemon.stats().records, corpus.size());
+
+    test::TempDir dir("proxyd-winflush");
+    daemon.write_flush_files(dir.file("%c.cali"));
+    AttributeRegistry reg;
+    std::uint64_t total = 0;
+    CaliReader::read_file(dir.file("flush.cali"), reg, [&](IdRecord&& rec) {
+        const Attribute count = reg.find("count");
+        ASSERT_TRUE(count.valid());
+        total += rec.get(count.id()).to_uint();
+    });
+    EXPECT_EQ(total, corpus.size());
+}
+
+TEST(ProxydWindow, ScrapeExportsWindowGauges) {
+    proxyd::DaemonOptions opts;
+    opts.window_us = 2000000; // 2s window, 1s panes
+    opts.slide_us  = 1000000;
+    proxyd::ProxyDaemon daemon(opts);
+    proxyd::ProxyChannel* ch = daemon.channel("wg");
+    ASSERT_NE(ch, nullptr);
+    ASSERT_TRUE(ch->windowed());
+
+    AttributeRegistry& reg = ch->registry();
+    IdRecord rec;
+    rec.append(reg.create("kernel", Variant::Type::String).id(),
+               Variant(std::string_view("k")));
+    ch->fold(rec);
+
+    const std::string scrape = daemon.scrape_text();
+    EXPECT_NE(scrape.find("calib_channel_window_seconds{channel=\"wg\"} 2"),
+              std::string::npos);
+    EXPECT_NE(
+        scrape.find("calib_channel_window_slide_seconds{channel=\"wg\"} 1"),
+        std::string::npos);
+    EXPECT_NE(
+        scrape.find("calib_channel_window_live_panes{channel=\"wg\"} 1"),
+        std::string::npos);
+    EXPECT_NE(
+        scrape.find("calib_channel_window_live_records{channel=\"wg\"} 1"),
+        std::string::npos);
+    EXPECT_NE(scrape.find(
+                  "calib_channel_window_retired_panes_total{channel=\"wg\"} 0"),
+              std::string::npos);
+}
+
+TEST(ProxydWindow, DaemonRejectsBadWindowOptions) {
+    {
+        proxyd::DaemonOptions opts;
+        opts.listen   = test_socket_path("winbad1");
+        opts.slide_us = 1000; // SLIDE without WINDOW
+        proxyd::ProxyDaemon daemon(opts);
+        EXPECT_THROW(daemon.start(), std::runtime_error);
+    }
+    {
+        proxyd::DaemonOptions opts;
+        opts.listen    = test_socket_path("winbad2");
+        opts.window_us = 1000;
+        opts.slide_us  = 2000; // slide larger than the window
+        proxyd::ProxyDaemon daemon(opts);
+        EXPECT_THROW(daemon.start(), std::runtime_error);
+    }
+}
+
 } // namespace

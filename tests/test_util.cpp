@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace calib::util;
 
 TEST(Split, Basic) {
@@ -107,4 +109,70 @@ TEST(FormatBytes, Units) {
     EXPECT_EQ(format_bytes(512), "512.0 B");
     EXPECT_EQ(format_bytes(2048), "2.0 KiB");
     EXPECT_EQ(format_bytes(3.5 * 1024 * 1024), "3.5 MiB");
+}
+
+TEST(ParseDuration, SuffixesAndBareMicroseconds) {
+    std::uint64_t us = 0;
+    EXPECT_TRUE(parse_duration("250", us));
+    EXPECT_EQ(us, 250u);
+    EXPECT_TRUE(parse_duration("5us", us));
+    EXPECT_EQ(us, 5u);
+    EXPECT_TRUE(parse_duration("5ms", us));
+    EXPECT_EQ(us, 5000u);
+    EXPECT_TRUE(parse_duration("10s", us));
+    EXPECT_EQ(us, 10000000u);
+    EXPECT_TRUE(parse_duration("2m", us));
+    EXPECT_EQ(us, 120000000u);
+    EXPECT_TRUE(parse_duration("1h", us));
+    EXPECT_EQ(us, 3600000000u);
+    EXPECT_TRUE(parse_duration("5MS", us)); // suffixes are case-insensitive
+    EXPECT_EQ(us, 5000u);
+}
+
+TEST(ParseDuration, RejectsGarbageAndLeavesOutputUntouched) {
+    std::uint64_t us = 42;
+    EXPECT_FALSE(parse_duration("", us));
+    EXPECT_FALSE(parse_duration("abc", us));
+    EXPECT_FALSE(parse_duration("-5s", us));
+    EXPECT_FALSE(parse_duration("5 s", us));
+    EXPECT_FALSE(parse_duration("5parsecs", us));
+    EXPECT_FALSE(parse_duration("s", us));
+    EXPECT_FALSE(parse_duration("99999999999999999999s", us)); // overflow
+    EXPECT_EQ(us, 42u); // failures never clobber the output
+}
+
+TEST(FormatDuration, PicksLargestEvenUnit) {
+    EXPECT_EQ(format_duration(5), "5us");
+    EXPECT_EQ(format_duration(5000), "5ms");
+    EXPECT_EQ(format_duration(10000000), "10s");
+    EXPECT_EQ(format_duration(120000000), "2m");
+    EXPECT_EQ(format_duration(3600000000ull), "1h");
+    EXPECT_EQ(format_duration(1500), "1500us"); // 1.5ms does not divide evenly
+}
+
+TEST(FormatDuration, RoundTripsThroughParse) {
+    for (const std::uint64_t us :
+         {1ull, 250ull, 5000ull, 10000000ull, 90000000ull, 7200000000ull}) {
+        std::uint64_t back = 0;
+        ASSERT_TRUE(parse_duration(format_duration(us), back));
+        EXPECT_EQ(back, us);
+    }
+}
+
+TEST(EnvKnobs, InvalidValuesFallBackToDefault) {
+    // invalid env values must not be silently swallowed: env_size warns and
+    // returns the fallback (the warning path is the observable contract
+    // shared with the CLI flags; here we pin the fallback behavior)
+    ::setenv("CALIB_TEST_SIZE_KNOB", "not-a-size", 1);
+    EXPECT_EQ(env_size("CALIB_TEST_SIZE_KNOB", 77), 77u);
+    ::setenv("CALIB_TEST_SIZE_KNOB", "4K", 1);
+    EXPECT_EQ(env_size("CALIB_TEST_SIZE_KNOB", 77), 4096u);
+    ::unsetenv("CALIB_TEST_SIZE_KNOB");
+    EXPECT_EQ(env_size("CALIB_TEST_SIZE_KNOB", 77), 77u);
+
+    ::setenv("CALIB_TEST_DUR_KNOB", "soon", 1);
+    EXPECT_EQ(env_duration("CALIB_TEST_DUR_KNOB", 123), 123u);
+    ::setenv("CALIB_TEST_DUR_KNOB", "10ms", 1);
+    EXPECT_EQ(env_duration("CALIB_TEST_DUR_KNOB", 123), 10000u);
+    ::unsetenv("CALIB_TEST_DUR_KNOB");
 }
